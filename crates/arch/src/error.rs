@@ -1,0 +1,62 @@
+//! The workspace-wide error type.
+
+use core::fmt;
+
+/// Errors surfaced by the Blue Gene/P model and the counter library.
+#[derive(Debug)]
+pub enum BgpError {
+    /// A hardware configuration failed validation.
+    Config(String),
+    /// The counter interface was used out of protocol
+    /// (e.g. `BGP_Start` before `BGP_Initialize`, mismatched stop).
+    Protocol(String),
+    /// A counter dump file was malformed.
+    Corrupt(String),
+    /// An I/O error while reading or writing dump files.
+    Io(std::io::Error),
+    /// An MPI-level usage error (bad rank, size mismatch, deadlock).
+    Mpi(String),
+}
+
+impl fmt::Display for BgpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BgpError::Config(m) => write!(f, "configuration error: {m}"),
+            BgpError::Protocol(m) => write!(f, "counter-interface protocol error: {m}"),
+            BgpError::Corrupt(m) => write!(f, "corrupt counter dump: {m}"),
+            BgpError::Io(e) => write!(f, "i/o error: {e}"),
+            BgpError::Mpi(m) => write!(f, "mpi error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BgpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BgpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BgpError {
+    fn from(e: std::io::Error) -> Self {
+        BgpError::Io(e)
+    }
+}
+
+/// Convenient result alias.
+pub type Result<T> = core::result::Result<T, BgpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BgpError::Protocol("BGP_Start before BGP_Initialize".into());
+        assert!(e.to_string().contains("BGP_Start"));
+        let e: BgpError = std::io::Error::new(std::io::ErrorKind::NotFound, "x").into();
+        assert!(matches!(e, BgpError::Io(_)));
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 3 table (modes of operation).
+fn main() {
+    bgp_bench::emit("fig03_modes", &bgp_bench::figures::fig03());
+}

@@ -1,0 +1,5 @@
+//! Fig. 6: dynamic FP instruction mix of the NAS kernels.
+use bgp_bench::{figures, Scale};
+fn main() {
+    bgp_bench::emit("fig06_instr_mix", &figures::fig06(Scale::from_args()));
+}

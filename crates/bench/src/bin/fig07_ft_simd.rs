@@ -1,0 +1,8 @@
+//! Fig. 7: FT SIMD instructions across compiler builds.
+use bgp_bench::{figures, Scale};
+fn main() {
+    bgp_bench::emit(
+        "fig07_ft_simd",
+        &figures::fig_simd_sweep(bgp_nas::Kernel::Ft, Scale::from_args()),
+    );
+}

@@ -1,0 +1,8 @@
+//! Fig. 8: MG SIMD instructions across compiler builds.
+use bgp_bench::{figures, Scale};
+fn main() {
+    bgp_bench::emit(
+        "fig08_mg_simd",
+        &figures::fig_simd_sweep(bgp_nas::Kernel::Mg, Scale::from_args()),
+    );
+}

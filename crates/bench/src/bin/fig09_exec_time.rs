@@ -1,0 +1,10 @@
+//! Fig. 9: execution time vs compiler build (first half of the suite).
+use bgp_bench::{figures, Scale};
+use bgp_nas::Kernel;
+fn main() {
+    let csv = figures::fig_exec_time(
+        &[Kernel::Mg, Kernel::Ft, Kernel::Ep, Kernel::Cg],
+        Scale::from_args(),
+    );
+    bgp_bench::emit("fig09_exec_time", &csv);
+}

@@ -1,0 +1,10 @@
+//! Fig. 10: execution time vs compiler build (second half of the suite).
+use bgp_bench::{figures, Scale};
+use bgp_nas::Kernel;
+fn main() {
+    let csv = figures::fig_exec_time(
+        &[Kernel::Is, Kernel::Lu, Kernel::Sp, Kernel::Bt],
+        Scale::from_args(),
+    );
+    bgp_bench::emit("fig10_exec_time", &csv);
+}

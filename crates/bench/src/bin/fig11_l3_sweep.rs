@@ -1,0 +1,5 @@
+//! Fig. 11: DDR traffic vs L3 size (0-8 MB).
+use bgp_bench::{figures, Scale};
+fn main() {
+    bgp_bench::emit("fig11_l3_sweep", &figures::fig11(Scale::from_args()));
+}

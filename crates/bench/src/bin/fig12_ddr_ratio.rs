@@ -1,0 +1,6 @@
+//! Fig. 12: DDR-traffic ratio, VNM vs SMP/1.
+use bgp_bench::{figures, Scale};
+fn main() {
+    let rows = figures::mode_comparison(Scale::from_args());
+    bgp_bench::emit("fig12_ddr_ratio", &figures::fig12(&rows));
+}

@@ -1,0 +1,6 @@
+//! Fig. 13: execution-time increase per node, VNM vs SMP/1.
+use bgp_bench::{figures, Scale};
+fn main() {
+    let rows = figures::mode_comparison(Scale::from_args());
+    bgp_bench::emit("fig13_time_increase", &figures::fig13(&rows));
+}

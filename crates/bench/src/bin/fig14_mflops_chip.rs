@@ -1,0 +1,6 @@
+//! Fig. 14: MFLOPS per chip, VNM vs SMP/1.
+use bgp_bench::{figures, Scale};
+fn main() {
+    let rows = figures::mode_comparison(Scale::from_args());
+    bgp_bench::emit("fig14_mflops_chip", &figures::fig14(&rows));
+}

@@ -1,0 +1,5 @@
+//! Extension experiment: even/odd-node 512-event coverage vs two runs.
+use bgp_bench::{figures, Scale};
+fn main() {
+    bgp_bench::emit("fig_ext_512events", &figures::fig_ext_512events(Scale::from_args()));
+}

@@ -1,0 +1,5 @@
+//! Extension experiment: the same job in all four operating modes.
+use bgp_bench::{figures, Scale};
+fn main() {
+    bgp_bench::emit("fig_ext_modes_all4", &figures::fig_ext_modes(Scale::from_args()));
+}

@@ -1,0 +1,5 @@
+//! Extension experiment: L2 prefetch-depth sweep (paper SIX future work).
+use bgp_bench::{figures, Scale};
+fn main() {
+    bgp_bench::emit("fig_ext_prefetch", &figures::fig_ext_prefetch(Scale::from_args()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §IV overhead measurement (196 cycles).
+fn main() {
+    bgp_bench::emit("tab_overhead", &bgp_bench::figures::tab_overhead());
+}

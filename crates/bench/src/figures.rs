@@ -1,0 +1,353 @@
+//! One function per table/figure of the paper. The `src/bin/fig*`
+//! binaries are thin wrappers; `repro_all` calls everything in sequence.
+
+use crate::{measure_cores, measure_memory, RunConfig, Scale};
+use bgp_arch::events::{CoreEvent, CounterMode};
+use bgp_arch::{modes::OpMode, CORE_CLOCK_HZ};
+use bgp_compiler::{CompileOpts, QArch};
+use bgp_core::{INIT_CYCLES, START_CYCLES, STOP_CYCLES, TOTAL_OVERHEAD_CYCLES};
+use bgp_mpi::CounterPolicy;
+use bgp_nas::Kernel;
+use bgp_postproc::{
+    ddr_traffic_bytes_per_node, fp_mix, l3_miss_ratio, mflops_per_chip, Csv, MixCategory,
+};
+
+/// Fig. 3: the modes-of-operation table.
+pub fn fig03() -> Csv {
+    let mut csv = Csv::new(["mode", "processes_per_node", "threads_per_process"]);
+    for m in OpMode::ALL {
+        csv.row([
+            m.label().to_string(),
+            m.processes_per_node().to_string(),
+            m.threads_per_process().to_string(),
+        ]);
+    }
+    csv
+}
+
+/// §IV overhead table: the interface-library call costs in cycles,
+/// measured against the Time Base exactly like the paper (and the
+/// constants they decompose into).
+pub fn tab_overhead() -> Csv {
+    // Measure: instrument an empty snippet on a 1-rank machine.
+    let mut spec = bgp_mpi::JobSpec::new(1, OpMode::Smp1);
+    spec.counter_policy = CounterPolicy::Fixed(CounterMode::Mode0);
+    let machine = bgp_mpi::Machine::new(spec);
+    let lib = bgp_core::CounterLibrary::new(std::sync::Arc::clone(&machine));
+    let lib2 = std::sync::Arc::clone(&lib);
+    let measured = machine.run(move |ctx| {
+        let t0 = ctx.cycles();
+        lib2.bgp_initialize(ctx).expect("init");
+        lib2.bgp_start(ctx, 0).expect("start");
+        lib2.bgp_stop(ctx, 0).expect("stop");
+        let t_total = ctx.cycles() - t0;
+        // Marginal start/stop pair for an already-initialized unit.
+        let t1 = ctx.cycles();
+        lib2.bgp_start(ctx, 1).expect("start");
+        lib2.bgp_stop(ctx, 1).expect("stop");
+        let t_pair = ctx.cycles() - t1;
+        lib2.bgp_finalize(ctx).expect("finalize");
+        (t_total, t_pair)
+    })[0];
+    let mut csv = Csv::new(["quantity", "cycles"]);
+    csv.row(["measured initialize+start+stop".into(), measured.0.to_string()]);
+    csv.row(["measured marginal start+stop pair".into(), measured.1.to_string()]);
+    csv.row(["model BGP_Initialize".into(), INIT_CYCLES.to_string()]);
+    csv.row(["model BGP_Start".into(), START_CYCLES.to_string()]);
+    csv.row(["model BGP_Stop".into(), STOP_CYCLES.to_string()]);
+    csv.row(["paper total (196)".into(), TOTAL_OVERHEAD_CYCLES.to_string()]);
+    csv
+}
+
+/// Fig. 6: dynamic FP instruction mix of all eight kernels
+/// (VNM, `-O5 -qarch=440d`, the paper's configuration).
+pub fn fig06(scale: Scale) -> Csv {
+    let mut csv = Csv::new([
+        "kernel",
+        "ranks",
+        "single add-sub",
+        "single mult",
+        "single FMA",
+        "single div",
+        "SIMD add-sub",
+        "SIMD FMA",
+        "SIMD mult",
+    ]);
+    for kernel in Kernel::ALL {
+        let cfg = RunConfig::new(kernel, scale.class(), scale.ranks());
+        let m = measure_cores(&cfg);
+        let mix = fp_mix(&m.frame);
+        let mut row = vec![kernel.name().to_string(), cfg.ranks.to_string()];
+        for cat in MixCategory::ALL {
+            row.push(format!("{:.4}", mix.fraction(cat)));
+        }
+        csv.row(row);
+    }
+    csv
+}
+
+/// Figs. 7/8: SIMD instruction counts of one kernel across compiler
+/// builds, ±`-qarch=440d`.
+pub fn fig_simd_sweep(kernel: Kernel, scale: Scale) -> Csv {
+    let mut csv = Csv::new([
+        "build",
+        "SIMD add-sub",
+        "SIMD FMA",
+        "SIMD mult",
+        "quadload",
+        "quadstore",
+        "total FP instr",
+    ]);
+    let mut builds: Vec<CompileOpts> = Vec::new();
+    for base in CompileOpts::paper_sweep() {
+        builds.push(base.with_qarch(QArch::Ppc440));
+        builds.push(base.with_qarch(QArch::Ppc440d));
+    }
+    for compile in builds {
+        let mut cfg = RunConfig::new(kernel, scale.class(), scale.ranks());
+        cfg.compile = compile;
+        let m = measure_cores(&cfg);
+        let mix = fp_mix(&m.frame);
+        let quadload: u64 = (0..4).map(|c| m.frame.sum(CoreEvent::Quadload.id(c))).sum();
+        let quadstore: u64 = (0..4).map(|c| m.frame.sum(CoreEvent::Quadstore.id(c))).sum();
+        csv.row([
+            compile.label(),
+            mix.count(MixCategory::SimdAddSub).to_string(),
+            mix.count(MixCategory::SimdFma).to_string(),
+            mix.count(MixCategory::SimdMult).to_string(),
+            quadload.to_string(),
+            quadstore.to_string(),
+            mix.total().to_string(),
+        ]);
+    }
+    csv
+}
+
+/// Figs. 9/10: execution time (cycles and seconds) of a set of kernels
+/// across the four builds of the paper's sweep; `norm_vs_baseline`
+/// column shows the fraction of baseline time.
+pub fn fig_exec_time(kernels: &[Kernel], scale: Scale) -> Csv {
+    let mut csv = Csv::new(["kernel", "build", "cycles", "seconds", "norm_vs_baseline"]);
+    for &kernel in kernels {
+        let mut baseline = None;
+        for compile in CompileOpts::paper_sweep() {
+            let mut cfg = RunConfig::new(kernel, scale.class(), scale.ranks());
+            cfg.compile = compile;
+            let m = measure_cores(&cfg);
+            let cycles = m.job_cycles;
+            let base = *baseline.get_or_insert(cycles);
+            csv.row([
+                kernel.name().to_string(),
+                compile.label(),
+                cycles.to_string(),
+                format!("{:.6}", cycles as f64 / CORE_CLOCK_HZ as f64),
+                format!("{:.4}", cycles as f64 / base as f64),
+            ]);
+        }
+    }
+    csv
+}
+
+/// Fig. 11: DDR traffic per node vs L3 size (0–8 MB in 2 MB steps).
+pub fn fig11(scale: Scale) -> Csv {
+    let mut csv = Csv::new([
+        "kernel",
+        "l3_mb",
+        "ddr_traffic_bytes_per_node",
+        "l3_miss_ratio",
+        "norm_vs_no_l3",
+    ]);
+    for kernel in Kernel::ALL {
+        let mut no_l3 = None;
+        for mb in [0usize, 2, 4, 6, 8] {
+            let mut cfg = RunConfig::new(kernel, scale.class(), scale.ranks());
+            cfg.machine = cfg.machine.with_l3_bytes(mb << 20);
+            let m = measure_memory(&cfg);
+            let traffic = ddr_traffic_bytes_per_node(&m.frame);
+            let base = *no_l3.get_or_insert(traffic);
+            csv.row([
+                kernel.name().to_string(),
+                mb.to_string(),
+                format!("{traffic:.0}"),
+                format!("{:.4}", l3_miss_ratio(&m.frame)),
+                format!("{:.4}", traffic / base.max(1.0)),
+            ]);
+        }
+    }
+    csv
+}
+
+/// One kernel's VNM-vs-SMP/1 comparison (feeds Figs. 12, 13 and 14).
+pub struct ModeRow {
+    /// Kernel.
+    pub kernel: Kernel,
+    /// DDR traffic per chip, Virtual Node Mode (4 ranks/chip).
+    pub vnm_traffic: f64,
+    /// DDR traffic per chip, SMP/1 with the 2 MB fairness L3.
+    pub smp_traffic: f64,
+    /// Job cycles, VNM.
+    pub vnm_cycles: u64,
+    /// Job cycles, SMP/1.
+    pub smp_cycles: u64,
+    /// Achieved MFLOPS per chip, VNM.
+    pub vnm_mflops: f64,
+    /// Achieved MFLOPS per chip, SMP/1.
+    pub smp_mflops: f64,
+}
+
+/// Run the §VIII comparison for every kernel: the same ranks packed
+/// 4-per-chip (VNM) versus 1-per-chip (SMP/1, L3 limited to 2 MB per the
+/// paper's fairness boot option).
+pub fn mode_comparison(scale: Scale) -> Vec<ModeRow> {
+    let mut rows = Vec::new();
+    for kernel in Kernel::ALL {
+        let vnm = RunConfig::new(kernel, scale.class(), scale.ranks());
+        let mut smp = vnm.clone();
+        smp.mode = OpMode::Smp1;
+        smp.machine = smp.machine.with_l3_bytes(2 << 20);
+
+        let vnm_mem = measure_memory(&vnm);
+        let smp_mem = measure_memory(&smp);
+        let vnm_core = measure_cores(&vnm);
+        let smp_core = measure_cores(&smp);
+        rows.push(ModeRow {
+            kernel,
+            vnm_traffic: ddr_traffic_bytes_per_node(&vnm_mem.frame),
+            smp_traffic: ddr_traffic_bytes_per_node(&smp_mem.frame),
+            vnm_cycles: vnm_mem.job_cycles,
+            smp_cycles: smp_mem.job_cycles,
+            vnm_mflops: mflops_per_chip(&vnm_core.frame, 4),
+            smp_mflops: mflops_per_chip(&smp_core.frame, 1),
+        });
+    }
+    rows
+}
+
+/// Fig. 12: per-chip DDR-traffic ratio, VNM ÷ SMP/1.
+pub fn fig12(rows: &[ModeRow]) -> Csv {
+    let mut csv = Csv::new(["kernel", "vnm_bytes_per_chip", "smp_bytes_per_chip", "ratio"]);
+    let mut sum = 0.0;
+    for r in rows {
+        let ratio = r.vnm_traffic / r.smp_traffic.max(1.0);
+        sum += ratio;
+        csv.row([
+            r.kernel.name().to_string(),
+            format!("{:.0}", r.vnm_traffic),
+            format!("{:.0}", r.smp_traffic),
+            format!("{ratio:.3}"),
+        ]);
+    }
+    csv.row([
+        "MEAN".into(),
+        String::new(),
+        String::new(),
+        format!("{:.3}", sum / rows.len() as f64),
+    ]);
+    csv
+}
+
+/// Fig. 13: execution-time increase per node, VNM vs SMP/1 (percent).
+pub fn fig13(rows: &[ModeRow]) -> Csv {
+    let mut csv = Csv::new(["kernel", "vnm_cycles", "smp_cycles", "increase_percent"]);
+    let mut sum = 0.0;
+    for r in rows {
+        let inc = (r.vnm_cycles as f64 / r.smp_cycles as f64 - 1.0) * 100.0;
+        sum += inc;
+        csv.row([
+            r.kernel.name().to_string(),
+            r.vnm_cycles.to_string(),
+            r.smp_cycles.to_string(),
+            format!("{inc:.2}"),
+        ]);
+    }
+    csv.row([
+        "MEAN".into(),
+        String::new(),
+        String::new(),
+        format!("{:.2}", sum / rows.len() as f64),
+    ]);
+    csv
+}
+
+/// Fig. 14: achieved MFLOPS per chip, VNM vs SMP/1.
+pub fn fig14(rows: &[ModeRow]) -> Csv {
+    let mut csv = Csv::new(["kernel", "vnm_mflops_per_chip", "smp_mflops_per_chip", "ratio"]);
+    let mut sum = 0.0;
+    for r in rows {
+        let ratio = r.vnm_mflops / r.smp_mflops.max(1e-9);
+        sum += ratio;
+        csv.row([
+            r.kernel.name().to_string(),
+            format!("{:.1}", r.vnm_mflops),
+            format!("{:.1}", r.smp_mflops),
+            format!("{ratio:.3}"),
+        ]);
+    }
+    csv.row([
+        "MEAN".into(),
+        String::new(),
+        String::new(),
+        format!("{:.3}", sum / rows.len() as f64),
+    ]);
+    csv
+}
+
+/// Extension (§IX future work): sweep the L2 prefetch depth and observe
+/// execution time and DDR traffic for the streaming kernels.
+pub fn fig_ext_prefetch(scale: Scale) -> Csv {
+    let mut csv = Csv::new(["kernel", "prefetch_depth", "cycles", "ddr_traffic_bytes_per_node"]);
+    for kernel in [Kernel::Mg, Kernel::Cg] {
+        for depth in [0usize, 2, 8] {
+            let mut cfg = RunConfig::new(kernel, scale.class(), scale.ranks());
+            cfg.machine = cfg.machine.with_l2_prefetch_depth(depth);
+            let m = measure_memory(&cfg);
+            csv.row([
+                kernel.name().to_string(),
+                depth.to_string(),
+                m.job_cycles.to_string(),
+                format!("{:.0}", ddr_traffic_bytes_per_node(&m.frame)),
+            ]);
+        }
+    }
+    csv
+}
+
+/// Extension: all four operating modes of Fig. 3 running the same MPI
+/// job (threads beyond one per process idle, as for any MPI-only code).
+pub fn fig_ext_modes(scale: Scale) -> Csv {
+    let mut csv = Csv::new(["kernel", "mode", "nodes", "cycles", "mflops_per_chip"]);
+    for kernel in [Kernel::Cg, Kernel::Mg] {
+        for mode in OpMode::ALL {
+            let mut cfg = RunConfig::new(kernel, scale.class(), scale.ranks() / 2);
+            cfg.mode = mode;
+            let m = measure_cores(&cfg);
+            let spec_nodes = cfg.ranks.div_ceil(mode.processes_per_node());
+            csv.row([
+                kernel.name().to_string(),
+                mode.label().to_string(),
+                spec_nodes.to_string(),
+                m.job_cycles.to_string(),
+                format!("{:.1}", mflops_per_chip(&m.frame, mode.processes_per_node())),
+            ]);
+        }
+    }
+    csv
+}
+
+/// Extension: the §IV even/odd-node trick — 512 events in one run versus
+/// two fixed-mode runs.
+pub fn fig_ext_512events(scale: Scale) -> Csv {
+    let kernel = Kernel::Cg;
+    let cfg = RunConfig::new(kernel, scale.class(), scale.ranks());
+    // One run, even/odd policy.
+    let eo = measure_cores(&cfg);
+    let eo_events = eo.frame.all_stats().len();
+    // Two runs, fixed policies.
+    let m0 = crate::measure(&cfg, CounterPolicy::Fixed(CounterMode::Mode0));
+    let m1 = crate::measure(&cfg, CounterPolicy::Fixed(CounterMode::Mode1));
+    let fixed_events = m0.frame.all_stats().len() + m1.frame.all_stats().len();
+    let mut csv = Csv::new(["strategy", "runs", "events_observed"]);
+    csv.row(["even/odd nodes (the paper's)".into(), "1".into(), eo_events.to_string()]);
+    csv.row(["two fixed-mode runs".into(), "2".into(), fixed_events.to_string()]);
+    csv
+}

@@ -1,0 +1,210 @@
+//! # bgp-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (`src/bin/fig*.rs`), plus the
+//! Criterion micro-benchmarks in `benches/`. This library holds the
+//! shared machinery: run a NAS kernel job under whole-program
+//! instrumentation, post-process the dumps into a [`Frame`], and extract
+//! the metrics the figures plot.
+//!
+//! Because a node's UPC unit observes one counter mode per run, every
+//! *full* measurement is two runs — exactly the methodology the paper's
+//! even/odd-node trick optimizes: one run with
+//! [`CounterPolicy::EvenOdd`]`(mode0, mode1)` for the per-core events
+//! (instruction mix, cycles, flops) and one with mode 2 for the shared
+//! L3/DDR events.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+
+use bgp_arch::events::CounterMode;
+use bgp_arch::{MachineConfig, OpMode};
+use bgp_compiler::CompileOpts;
+use bgp_core::{run_instrumented, WHOLE_PROGRAM_SET};
+use bgp_mpi::{CounterPolicy, JobSpec, Machine};
+use bgp_nas::{Class, Kernel};
+use bgp_postproc::Frame;
+use std::path::PathBuf;
+
+/// Everything that identifies one measured job.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Kernel under test.
+    pub kernel: Kernel,
+    /// Problem class.
+    pub class: Class,
+    /// MPI ranks.
+    pub ranks: usize,
+    /// Node operating mode.
+    pub mode: OpMode,
+    /// Compiler build.
+    pub compile: CompileOpts,
+    /// Node hardware.
+    pub machine: MachineConfig,
+}
+
+impl RunConfig {
+    /// Paper-default configuration for a kernel at the given scale.
+    pub fn new(kernel: Kernel, class: Class, ranks: usize) -> RunConfig {
+        RunConfig {
+            kernel,
+            class,
+            ranks: kernel.clamp_ranks(ranks, class),
+            mode: OpMode::VirtualNode,
+            compile: CompileOpts::o5(),
+            machine: MachineConfig::default(),
+        }
+    }
+
+    fn spec(&self, policy: CounterPolicy) -> JobSpec {
+        let mut spec = JobSpec::new(self.ranks, self.mode);
+        spec.machine = self.machine.clone();
+        spec.compile = self.compile;
+        spec.counter_policy = policy;
+        spec
+    }
+}
+
+/// Outcome of one instrumented run under one counter policy.
+pub struct Measured {
+    /// Aggregated whole-program counter frame.
+    pub frame: Frame,
+    /// Wall-clock cycles of the job (slowest core).
+    pub job_cycles: u64,
+    /// Whether every rank's kernel verification passed.
+    pub verified: bool,
+}
+
+/// Run the kernel once with the given counter policy.
+pub fn measure(cfg: &RunConfig, policy: CounterPolicy) -> Measured {
+    let machine = Machine::new(cfg.spec(policy));
+    let kernel = cfg.kernel;
+    let class = cfg.class;
+    let (results, lib) = run_instrumented(&machine, move |ctx| kernel.run(ctx, class));
+    let verified = results.iter().all(|r| r.verified);
+    assert!(
+        verified,
+        "{} class {} on {} ranks failed verification",
+        cfg.kernel, cfg.class, cfg.ranks
+    );
+    let dumps = lib.dumps().expect("all nodes finalized");
+    let frame = Frame::from_dumps(&dumps, WHOLE_PROGRAM_SET).expect("valid dumps");
+    Measured { frame, job_cycles: machine.job_cycles(), verified }
+}
+
+/// Run with the even/odd mode-0/1 policy: per-core events (FPU mix,
+/// cycle counters) across all four cores of the chip.
+pub fn measure_cores(cfg: &RunConfig) -> Measured {
+    measure(
+        cfg,
+        CounterPolicy::EvenOdd { even: CounterMode::Mode0, odd: CounterMode::Mode1 },
+    )
+}
+
+/// Run with mode 2 everywhere: shared L3/DDR events.
+pub fn measure_memory(cfg: &RunConfig) -> Measured {
+    measure(cfg, CounterPolicy::Fixed(CounterMode::Mode2))
+}
+
+/// Run with mode 3 everywhere: network events.
+pub fn measure_network(cfg: &RunConfig) -> Measured {
+    measure(cfg, CounterPolicy::Fixed(CounterMode::Mode3))
+}
+
+/// Experiment scale selected on the command line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny smoke-test scale (class S, 8 ranks).
+    Quick,
+    /// Default reproduction scale (class A, 16 ranks over 4 VNM nodes —
+    /// sized for single-host simulation; use `--paper` for the paper's
+    /// process counts).
+    Default,
+    /// The paper's process counts (class A, 128 ranks / 121 for SP & BT).
+    Paper,
+}
+
+impl Scale {
+    /// Parse from argv: `--quick` or `--paper`, default otherwise.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--quick") {
+            Scale::Quick
+        } else if args.iter().any(|a| a == "--paper") {
+            Scale::Paper
+        } else {
+            Scale::Default
+        }
+    }
+
+    /// Problem class at this scale.
+    pub fn class(self) -> Class {
+        match self {
+            Scale::Quick => Class::S,
+            _ => Class::A,
+        }
+    }
+
+    /// Target rank count (kernels clamp to their nearest legal count).
+    pub fn ranks(self) -> usize {
+        match self {
+            Scale::Quick => 8,
+            Scale::Default => 16,
+            Scale::Paper => 128,
+        }
+    }
+}
+
+/// Directory figure binaries write their CSVs into (`results/`).
+pub fn results_dir() -> PathBuf {
+    let p = std::env::var("BGP_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let p = PathBuf::from(p);
+    std::fs::create_dir_all(&p).expect("create results dir");
+    p
+}
+
+/// Print a banner + the CSV body to stdout and persist it.
+pub fn emit(name: &str, csv: &bgp_postproc::Csv) {
+    let path = results_dir().join(format!("{name}.csv"));
+    csv.write(&path).expect("write csv");
+    println!("==== {name} -> {} ====", path.display());
+    print!("{}", csv.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_arch::events::CoreEvent;
+    use bgp_postproc::{fp_mix, MixCategory};
+
+    #[test]
+    fn measure_cores_sees_all_four_cores_in_vnm() {
+        let cfg = RunConfig::new(Kernel::Ep, Class::S, 8);
+        let m = measure_cores(&cfg);
+        assert!(m.verified);
+        for core in 0..4 {
+            assert!(
+                m.frame.sum(CoreEvent::CycleCount.id(core)) > 0,
+                "core {core} cycle counter empty"
+            );
+        }
+        let mix = fp_mix(&m.frame);
+        assert!(mix.count(MixCategory::SingleFma) > 0);
+    }
+
+    #[test]
+    fn measure_memory_sees_ddr_traffic() {
+        let cfg = RunConfig::new(Kernel::Mg, Class::S, 8);
+        let m = measure_memory(&cfg);
+        assert!(bgp_postproc::ddr_traffic_bytes_per_node(&m.frame) > 0.0);
+        assert!(m.job_cycles > 0);
+    }
+
+    #[test]
+    fn scale_parsing_defaults() {
+        assert_eq!(Scale::Default.ranks(), 16);
+        assert_eq!(Scale::Paper.ranks(), 128);
+        assert_eq!(Scale::Quick.class(), Class::S);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests of the instruction-selection model.
+
+use bgp_compiler::{CodeGen, CompileOpts, FractionSelector, OptLevel, PairPlan, QArch};
+use proptest::prelude::*;
+
+fn arb_opts() -> impl Strategy<Value = CompileOpts> {
+    (
+        0usize..4,
+        any::<bool>(),
+        0usize..3,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(opt, qstrict, qarch, qtune, qcache, qhot)| CompileOpts {
+            opt: [OptLevel::O2, OptLevel::O3, OptLevel::O4, OptLevel::O5][opt],
+            qstrict,
+            qarch: [QArch::Generic, QArch::Ppc440, QArch::Ppc440d][qarch],
+            qtune,
+            qcache,
+            qhot,
+        })
+}
+
+proptest! {
+    /// The fraction selector's long-run rate equals its fraction exactly
+    /// over whole multiples of the denominator.
+    #[test]
+    fn selector_rate_is_exact(num in 0u32..=64, rounds in 1usize..20) {
+        let den = 64;
+        let mut s = FractionSelector::new(num, den);
+        let hits = (0..rounds * den as usize).filter(|_| s.next()).count();
+        prop_assert_eq!(hits, rounds * num as usize);
+    }
+
+    /// SIMD plans appear only when the build enables SIMD-ization, and
+    /// never on non-vectorizable loops.
+    #[test]
+    fn simd_gating(opts in arb_opts(), n in 1usize..500) {
+        let mut cg = CodeGen::new(opts);
+        let mut any_simd = false;
+        for i in 0..n {
+            let vectorizable = i % 3 != 0;
+            let plan = cg.plan_pair(vectorizable);
+            if plan == PairPlan::Simd {
+                any_simd = true;
+                prop_assert!(vectorizable, "SIMD plan for a non-vectorizable pair");
+                prop_assert!(opts.simd_enabled(), "SIMD plan under {opts:?}");
+            }
+        }
+        // At O4/O5 with 440d, a long vectorizable run must produce SIMD.
+        if opts.simd_enabled() && opts.opt >= OptLevel::O4 && n > 10 {
+            prop_assert!(any_simd);
+        }
+    }
+
+    /// Overhead is monotone in the element count and linear-ish: charging
+    /// two batches equals charging one combined batch.
+    #[test]
+    fn overhead_is_additive(opts in arb_opts(), a in 1u64..2_000, b in 1u64..2_000) {
+        let mut cg1 = CodeGen::new(opts);
+        let o1 = cg1.overhead(a);
+        let o2 = cg1.overhead(b);
+        let mut cg2 = CodeGen::new(opts);
+        let o = cg2.overhead(a + b);
+        prop_assert_eq!(o.int_ops, o1.int_ops + o2.int_ops);
+        prop_assert_eq!(o.branches, o1.branches + o2.branches);
+        prop_assert_eq!(o.mispredicts, o1.mispredicts + o2.mispredicts);
+    }
+
+    /// Mispredicts never exceed branches; branches never exceed elements.
+    #[test]
+    fn overhead_bounds(opts in arb_opts(), n in 0u64..10_000) {
+        let mut cg = CodeGen::new(opts);
+        let o = cg.overhead(n);
+        prop_assert!(o.mispredicts <= o.branches);
+        prop_assert!(o.branches <= n);
+        // Unrolled builds take fewer branches.
+        prop_assert!(o.branches * cg.params().unroll as u64 <= n + cg.params().unroll as u64);
+    }
+
+    /// Determinism: two engines with the same flags produce identical
+    /// decision streams.
+    #[test]
+    fn engine_is_deterministic(opts in arb_opts(), seq in proptest::collection::vec(any::<bool>(), 0..300)) {
+        let mut a = CodeGen::new(opts);
+        let mut b = CodeGen::new(opts);
+        for &v in &seq {
+            prop_assert_eq!(a.plan_pair(v), b.plan_pair(v));
+            prop_assert_eq!(a.redundant_mem(), b.redundant_mem());
+        }
+        prop_assert_eq!(a.overhead(123), b.overhead(123));
+    }
+
+    /// Higher optimization levels never emit more overhead instructions
+    /// (fixing every other flag).
+    #[test]
+    fn overhead_monotone_in_level(n in 100u64..5_000) {
+        let mut last = u64::MAX;
+        for opt in OptLevel::ALL {
+            let opts = CompileOpts { opt, ..CompileOpts::o4() };
+            let mut cg = CodeGen::new(opts);
+            let o = cg.overhead(n);
+            let total = o.int_ops + o.branches;
+            prop_assert!(total <= last, "{opt:?} emitted more overhead");
+            last = total;
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! The **per-node binary dump format** written by `BGP_Finalize`.
+//!
+//! The paper's library "dumps the difference in counter data between the
+//! corresponding pairs of BGP_Start() and the BGP_Stop() functions of all
+//! the sets into a binary file at each node" (§IV). This module defines
+//! that record format and its hand-rolled little-endian codec, including
+//! the integrity fields the post-processing tools check ("the data is
+//! checked based on the number of records and the length of each record").
+//!
+//! ## Layout (little-endian)
+//!
+//! ```text
+//! magic   : b"BGPC"
+//! version : u32 (= 1)
+//! node_id : u32
+//! mode    : u8   (counter mode 0-3)
+//! n_sets  : u32
+//! sets    : n_sets × { set_id: u32, records: u32, counts: 256 × u64 }
+//! checksum: u64  (wrapping byte sum of everything before it)
+//! ```
+
+use bgp_arch::events::{CounterMode, NUM_COUNTERS};
+use bgp_arch::{error::Result, BgpError};
+
+/// File magic.
+pub const MAGIC: &[u8; 4] = b"BGPC";
+/// Format version.
+pub const VERSION: u32 = 1;
+
+/// Accumulated counter deltas of one instrumentation set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SetDump {
+    /// Set number (the argument of `BGP_Start`/`BGP_Stop`).
+    pub id: u32,
+    /// How many start/stop pairs were accumulated.
+    pub records: u32,
+    /// Summed counter deltas, one per physical counter slot.
+    pub counts: Vec<u64>,
+}
+
+/// Everything one node dumps at `BGP_Finalize`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeDump {
+    /// Node id within the partition.
+    pub node: u32,
+    /// Counter mode the node's UPC unit was programmed into.
+    pub mode: CounterMode,
+    /// Per-set accumulated deltas, ordered by set id.
+    pub sets: Vec<SetDump>,
+}
+
+impl NodeDump {
+    /// Counter deltas of one set, if present.
+    pub fn set(&self, id: u32) -> Option<&SetDump> {
+        self.sets.iter().find(|s| s.id == id)
+    }
+}
+
+/// Encode a dump.
+pub fn encode(dump: &NodeDump) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17 + dump.sets.len() * (8 + NUM_COUNTERS * 8) + 8);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&dump.node.to_le_bytes());
+    out.push(dump.mode.index() as u8);
+    out.extend_from_slice(&(dump.sets.len() as u32).to_le_bytes());
+    for s in &dump.sets {
+        assert_eq!(s.counts.len(), NUM_COUNTERS, "a set always carries 256 counters");
+        out.extend_from_slice(&s.id.to_le_bytes());
+        out.extend_from_slice(&s.records.to_le_bytes());
+        for c in &s.counts {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+    let sum = checksum(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Decode and integrity-check a dump.
+pub fn decode(bytes: &[u8]) -> Result<NodeDump> {
+    let mut r = Reader { bytes, pos: 0 };
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(BgpError::Corrupt("bad magic".into()));
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(BgpError::Corrupt(format!("unsupported version {version}")));
+    }
+    let node = r.u32()?;
+    let mode_byte = r.u8()?;
+    let mode = CounterMode::from_index(mode_byte as usize)
+        .ok_or_else(|| BgpError::Corrupt(format!("invalid counter mode {mode_byte}")))?;
+    let n_sets = r.u32()? as usize;
+    // Each set record is 8 + 2048 bytes; guard length before reading.
+    let body_len = 17 + n_sets * (8 + NUM_COUNTERS * 8);
+    if bytes.len() != body_len + 8 {
+        return Err(BgpError::Corrupt(format!(
+            "length mismatch: {} bytes for {} sets (want {})",
+            bytes.len(),
+            n_sets,
+            body_len + 8
+        )));
+    }
+    let mut sets = Vec::with_capacity(n_sets);
+    for _ in 0..n_sets {
+        let id = r.u32()?;
+        let records = r.u32()?;
+        let mut counts = Vec::with_capacity(NUM_COUNTERS);
+        for _ in 0..NUM_COUNTERS {
+            counts.push(r.u64()?);
+        }
+        sets.push(SetDump { id, records, counts });
+    }
+    let declared = r.u64()?;
+    let actual = checksum(&bytes[..body_len]);
+    if declared != actual {
+        return Err(BgpError::Corrupt(format!(
+            "checksum mismatch: stored {declared:#x}, computed {actual:#x}"
+        )));
+    }
+    Ok(NodeDump { node, mode, sets })
+}
+
+fn checksum(bytes: &[u8]) -> u64 {
+    // Position-weighted wrapping sum: cheap, order-sensitive.
+    bytes
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc.wrapping_mul(31).wrapping_add(b as u64 ^ i as u64))
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(BgpError::Corrupt("truncated dump".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NodeDump {
+        NodeDump {
+            node: 7,
+            mode: CounterMode::Mode2,
+            sets: vec![
+                SetDump { id: 0, records: 1, counts: (0..256).map(|i| i as u64 * 3).collect() },
+                SetDump { id: 5, records: 2, counts: vec![u64::MAX; 256] },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = sample();
+        assert_eq!(decode(&encode(&d)).unwrap(), d);
+    }
+
+    #[test]
+    fn empty_dump_round_trips() {
+        let d = NodeDump { node: 0, mode: CounterMode::Mode0, sets: vec![] };
+        assert_eq!(decode(&encode(&d)).unwrap(), d);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut b = encode(&sample());
+        b[0] = b'X';
+        assert!(matches!(decode(&b), Err(BgpError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let b = encode(&sample());
+        for cut in [0, 3, 16, b.len() - 1] {
+            assert!(
+                matches!(decode(&b[..cut]), Err(BgpError::Corrupt(_))),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bitflip_in_counts_caught_by_checksum() {
+        let mut b = encode(&sample());
+        let mid = b.len() / 2;
+        b[mid] ^= 0x40;
+        assert!(matches!(decode(&b), Err(BgpError::Corrupt(_))));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut b = encode(&sample());
+        b.push(0);
+        assert!(matches!(decode(&b), Err(BgpError::Corrupt(_))));
+    }
+
+    #[test]
+    fn invalid_mode_rejected() {
+        let mut b = encode(&sample());
+        b[12] = 9; // mode byte
+        assert!(matches!(decode(&b), Err(BgpError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,318 @@
+//! A generic set-associative, write-back, LRU cache core.
+//!
+//! Used for the L1-I/L1-D (32-byte lines), the private L2 and the shared
+//! L3 banks (128-byte lines). Addresses are handled at *line* granularity:
+//! callers shift byte addresses down before lookup, so one `Cache` never
+//! needs to know its line size.
+//!
+//! The implementation is flat-array based (no per-set allocation, no
+//! hashing): `sets × ways` tag and metadata slots, with a monotonically
+//! increasing stamp providing exact LRU. Set selection is `line % sets`,
+//! reduced to a mask when `sets` is a power of two — the L3 is built from
+//! 2 MB eDRAM macros and legitimately has non-power-of-two set counts
+//! (e.g. the 6 MB point of the paper's Fig. 11 sweep).
+
+/// Sentinel tag meaning "invalid way".
+const INVALID: u64 = u64::MAX;
+
+/// A line evicted by a fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// Line address (same granularity the cache was addressed with).
+    pub line: u64,
+    /// Whether the line was dirty (needs writing down the hierarchy).
+    pub dirty: bool,
+}
+
+/// Result of a demand lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hit {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Whether the hit line had been brought in by a prefetch and this is
+    /// the first demand touch since.
+    pub first_prefetch_use: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    tag: u64,
+    stamp: u64,
+    dirty: bool,
+    prefetched: bool,
+}
+
+impl Way {
+    const EMPTY: Way = Way { tag: INVALID, stamp: 0, dirty: false, prefetched: false };
+}
+
+/// A set-associative LRU cache addressed at line granularity.
+///
+/// ```
+/// use bgp_mem::Cache;
+///
+/// let mut c = Cache::new(2, 2); // 2 sets × 2 ways
+/// assert!(!c.access(7, false).hit);   // cold miss
+/// c.fill(7, false, false);
+/// assert!(c.access(7, true).hit);     // write hit marks the line dirty
+/// assert_eq!(c.flush(), vec![7]);     // flush returns the dirty lines
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    ways: Vec<Way>,
+    num_sets: usize,
+    assoc: usize,
+    set_mask: Option<u64>,
+    clock: u64,
+}
+
+impl Cache {
+    /// Build a cache with `sets` sets of `assoc` ways.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(sets: usize, assoc: usize) -> Cache {
+        assert!(sets > 0 && assoc > 0, "cache must have sets and ways");
+        Cache {
+            ways: vec![Way::EMPTY; sets * assoc],
+            num_sets: sets,
+            assoc,
+            set_mask: sets.is_power_of_two().then(|| sets as u64 - 1),
+            clock: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Associativity.
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    /// Total line capacity.
+    pub fn capacity_lines(&self) -> usize {
+        self.num_sets * self.assoc
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        match self.set_mask {
+            Some(m) => (line & m) as usize,
+            None => (line % self.num_sets as u64) as usize,
+        }
+    }
+
+    #[inline]
+    fn set_slice(&mut self, set: usize) -> &mut [Way] {
+        let base = set * self.assoc;
+        &mut self.ways[base..base + self.assoc]
+    }
+
+    /// Demand access: returns hit/miss, refreshes LRU, optionally marks
+    /// the line dirty (write hit).
+    #[inline]
+    pub fn access(&mut self, line: u64, write: bool) -> Hit {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(line);
+        for w in self.set_slice(set) {
+            if w.tag == line {
+                w.stamp = clock;
+                let first_prefetch_use = w.prefetched;
+                w.prefetched = false;
+                if write {
+                    w.dirty = true;
+                }
+                return Hit { hit: true, first_prefetch_use };
+            }
+        }
+        Hit { hit: false, first_prefetch_use: false }
+    }
+
+    /// Probe without disturbing LRU or prefetch state (snoop path).
+    pub fn contains(&self, line: u64) -> bool {
+        let set = self.set_of(line);
+        let base = set * self.assoc;
+        self.ways[base..base + self.assoc].iter().any(|w| w.tag == line)
+    }
+
+    /// Install `line`, evicting the LRU way if the set is full.
+    ///
+    /// `dirty` marks the line modified on arrival (write-allocate store,
+    /// or a write-back arriving from above). `prefetched` tags the line
+    /// as speculatively fetched so the first demand hit can be attributed
+    /// to the prefetcher.
+    #[inline]
+    pub fn fill(&mut self, line: u64, dirty: bool, prefetched: bool) -> Option<Evicted> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(line);
+        let mut victim = 0usize;
+        let mut victim_stamp = u64::MAX;
+        let slice = self.set_slice(set);
+        for (i, w) in slice.iter_mut().enumerate() {
+            if w.tag == line {
+                // Already present (e.g. a racing prefetch): refresh.
+                w.stamp = clock;
+                w.dirty |= dirty;
+                w.prefetched &= prefetched;
+                return None;
+            }
+            if w.tag == INVALID {
+                *w = Way { tag: line, stamp: clock, dirty, prefetched };
+                return None;
+            }
+            if w.stamp < victim_stamp {
+                victim_stamp = w.stamp;
+                victim = i;
+            }
+        }
+        let w = &mut slice[victim];
+        let evicted = Evicted { line: w.tag, dirty: w.dirty };
+        *w = Way { tag: line, stamp: clock, dirty, prefetched };
+        Some(evicted)
+    }
+
+    /// Mark an already-present line dirty; returns whether it was present.
+    pub fn mark_dirty(&mut self, line: u64) -> bool {
+        let set = self.set_of(line);
+        for w in self.set_slice(set) {
+            if w.tag == line {
+                w.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Remove a line (snoop invalidation); returns its dirtiness if it
+    /// was present.
+    pub fn invalidate(&mut self, line: u64) -> Option<bool> {
+        let set = self.set_of(line);
+        for w in self.set_slice(set) {
+            if w.tag == line {
+                let dirty = w.dirty;
+                *w = Way::EMPTY;
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Number of valid lines currently resident (O(capacity); tests only).
+    pub fn resident_lines(&self) -> usize {
+        self.ways.iter().filter(|w| w.tag != INVALID).count()
+    }
+
+    /// Drop every line, returning the dirty ones (cache flush).
+    pub fn flush(&mut self) -> Vec<u64> {
+        let mut dirty = Vec::new();
+        for w in &mut self.ways {
+            if w.tag != INVALID && w.dirty {
+                dirty.push(w.tag);
+            }
+            *w = Way::EMPTY;
+        }
+        dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(4, 2);
+        assert!(!c.access(10, false).hit);
+        c.fill(10, false, false);
+        assert!(c.access(10, false).hit);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = Cache::new(1, 2);
+        c.fill(1, false, false);
+        c.fill(2, false, false);
+        c.access(1, false); // 2 becomes LRU
+        let ev = c.fill(3, false, false).unwrap();
+        assert_eq!(ev.line, 2);
+        assert!(c.contains(1));
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn dirty_state_survives_and_reports_on_eviction() {
+        let mut c = Cache::new(1, 1);
+        c.fill(7, false, false);
+        assert!(c.mark_dirty(7));
+        let ev = c.fill(8, false, false).unwrap();
+        assert_eq!(ev, Evicted { line: 7, dirty: true });
+        let ev2 = c.fill(9, false, false).unwrap();
+        assert_eq!(ev2, Evicted { line: 8, dirty: false });
+    }
+
+    #[test]
+    fn write_access_marks_dirty() {
+        let mut c = Cache::new(2, 2);
+        c.fill(4, false, false);
+        assert!(c.access(4, true).hit);
+        let flushed = c.flush();
+        assert_eq!(flushed, vec![4]);
+    }
+
+    #[test]
+    fn prefetched_flag_reports_first_use_only() {
+        let mut c = Cache::new(2, 2);
+        c.fill(6, false, true);
+        let h1 = c.access(6, false);
+        assert!(h1.hit && h1.first_prefetch_use);
+        let h2 = c.access(6, false);
+        assert!(h2.hit && !h2.first_prefetch_use);
+    }
+
+    #[test]
+    fn refill_of_resident_line_does_not_evict() {
+        let mut c = Cache::new(1, 2);
+        c.fill(1, false, false);
+        c.fill(2, true, false);
+        assert!(c.fill(2, false, false).is_none());
+        // Dirty bit is sticky across the duplicate fill.
+        let ev = c.fill(3, false, false).unwrap();
+        assert_eq!(ev.line, 1, "line 2 was refreshed by refill");
+    }
+
+    #[test]
+    fn invalidate_returns_dirtiness() {
+        let mut c = Cache::new(2, 1);
+        c.fill(3, true, false);
+        assert_eq!(c.invalidate(3), Some(true));
+        assert_eq!(c.invalidate(3), None);
+        assert!(!c.contains(3));
+    }
+
+    #[test]
+    fn non_power_of_two_sets_distribute_all_lines() {
+        // Mirrors the 6 MB L3 configuration (3072 sets).
+        let mut c = Cache::new(3, 2);
+        for line in 0..6u64 {
+            c.fill(line, false, false);
+        }
+        assert_eq!(c.resident_lines(), 6, "3 sets × 2 ways all used");
+        for line in 0..6u64 {
+            assert!(c.contains(line));
+        }
+    }
+
+    #[test]
+    fn conflict_misses_within_one_set() {
+        let mut c = Cache::new(4, 1);
+        c.fill(0, false, false);
+        c.fill(4, false, false); // same set (0), evicts 0
+        assert!(!c.contains(0));
+        assert!(c.contains(4));
+    }
+}

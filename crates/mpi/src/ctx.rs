@@ -1,0 +1,742 @@
+//! **RankCtx** — the world as seen by one MPI rank.
+//!
+//! A kernel receives a `RankCtx` and uses it for everything observable:
+//!
+//! * *memory*: allocate [`SimVec`]s and access elements (each access
+//!   walks the node's cache hierarchy and retires a load/store),
+//! * *arithmetic*: retire the FP instructions the modeled compiler
+//!   selects for each semantic operation ([`RankCtx::fp_pair`] and
+//!   friends consult the build's [`bgp_compiler::CodeGen`]),
+//! * *messaging*: point-to-point sends/receives over the torus and the
+//!   collective operations over the tree/barrier networks.
+//!
+//! Every memory access ticks the turnstile quantum and every MPI call is
+//! a scheduling point, so ranks of one node interleave finely enough to
+//! contend for the shared L3 and DDR ports.
+
+use crate::comm::{
+    bytes_to_f64s, f64s_to_bytes, CollKind, Message, Payload, ReduceOp,
+};
+use crate::machine::{place, Machine, Placement};
+use crate::simvec::{SimElem, SimVec};
+use bgp_arch::events::NetEvent;
+use bgp_compiler::{CodeGen, PairPlan};
+use bgp_fpu::FpOp;
+use bgp_node::{MemWidth, Node};
+use std::sync::Arc;
+
+/// A semantic floating-point element operation, before instruction
+/// selection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SemOp {
+    /// `a ± b`.
+    Add,
+    /// `a * b`.
+    Mul,
+    /// `a / b`.
+    Div,
+    /// `a * b + c` — fuses to FMA when the build allows.
+    MulAdd,
+}
+
+/// Execution context of one rank.
+pub struct RankCtx {
+    machine: Arc<Machine>,
+    rank: usize,
+    size: usize,
+    place: Placement,
+    /// Thread currently executing (OpenMP-style); selects the core
+    /// within the process's core range. 0 = the master thread.
+    active_thread: usize,
+    threads: usize,
+    cg: CodeGen,
+    alloc_cursor: u64,
+    alloc_limit: u64,
+    tick: u64,
+    quantum: u64,
+    coll_count: u64,
+}
+
+impl RankCtx {
+    pub(crate) fn new(machine: Arc<Machine>, rank: usize) -> RankCtx {
+        let spec = machine.spec();
+        let place = place(spec, rank);
+        let cg = CodeGen::new(spec.compile);
+        let quantum = spec.quantum.max(1);
+        let alloc_limit =
+            spec.machine.memory_bytes / spec.mode.processes_per_node() as u64;
+        let threads = spec.mode.threads_per_process();
+        RankCtx {
+            machine,
+            rank,
+            size: 0, // fixed up below
+            place,
+            active_thread: 0,
+            threads,
+            cg,
+            alloc_cursor: 0,
+            alloc_limit,
+            tick: 0,
+            quantum,
+            coll_count: 0,
+        }
+        .with_size()
+    }
+
+    fn with_size(mut self) -> Self {
+        self.size = self.machine.spec().ranks;
+        self
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total ranks in the job.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Hosting node id.
+    pub fn node_id(&self) -> bgp_arch::NodeId {
+        self.place.node
+    }
+
+    /// Core the **active thread** computes on.
+    pub fn core(&self) -> usize {
+        self.place.core + self.active_thread
+    }
+
+    /// Hardware threads this process may run (per the operating mode).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Switch execution to OpenMP-style thread `t` (core
+    /// `process_base + t`). Thread 0 is the master; MPI calls are only
+    /// legal from the master (MPI_THREAD_FUNNELED, like the hybrid codes
+    /// the paper anticipates in SIX).
+    ///
+    /// # Panics
+    /// Panics if `t` exceeds the operating mode's threads per process.
+    pub fn set_thread(&mut self, t: usize) {
+        assert!(
+            t < self.threads,
+            "thread {t} out of range: mode allows {} threads/process",
+            self.threads
+        );
+        self.active_thread = t;
+    }
+
+    /// Run `body` once per thread with a static contiguous split of
+    /// `0..n` — an OpenMP `parallel for` with static scheduling under the
+    /// simulator's bulk-synchronous execution: each thread's work retires
+    /// on its own core, so the node's wall-clock is the slowest thread.
+    pub fn omp_for(
+        &mut self,
+        n: usize,
+        mut body: impl FnMut(&mut RankCtx, core::ops::Range<usize>),
+    ) {
+        let threads = self.threads;
+        let chunk = n.div_ceil(threads);
+        for t in 0..threads {
+            let lo = (t * chunk).min(n);
+            let hi = ((t + 1) * chunk).min(n);
+            self.set_thread(t);
+            body(self, lo..hi);
+        }
+        self.set_thread(0);
+        // Fork/join barrier: the master resumes only after the slowest
+        // thread finished.
+        let cores: Vec<usize> = (0..threads).map(|t| self.place.core + t).collect();
+        let node = self.place.node.0;
+        let mut m = self.machine.nodes[node].lock();
+        let t_max = cores.iter().map(|&c| m.timebase(c)).max().unwrap_or(0);
+        for &c in &cores {
+            m.advance_to(c, t_max);
+        }
+    }
+
+    /// Node-local process slot.
+    pub fn process(&self) -> usize {
+        self.place.process
+    }
+
+    /// This rank's core clock (cycles).
+    pub fn cycles(&self) -> u64 {
+        let core = self.core();
+        self.with_node(|n| n.timebase(core))
+    }
+
+    /// The build's instruction-selection engine (read-only).
+    pub fn codegen(&self) -> &CodeGen {
+        &self.cg
+    }
+
+    /// Charge raw cycles to this rank's core (runtime-library overheads —
+    /// used by the counter interface library to model its call costs).
+    pub fn charge_cycles(&mut self, n: u64) {
+        let core = self.core();
+        self.with_node(|node| node.charge_cycles(core, n));
+    }
+
+    /// Run `f` with exclusive access to this rank's node. Intended for
+    /// runtime libraries layered over the context (the counter library's
+    /// snapshot path); kernels should not need it.
+    pub fn with_own_node<T>(&self, f: impl FnOnce(&mut Node) -> T) -> T {
+        self.with_node(f)
+    }
+
+    #[inline]
+    fn with_node<T>(&self, f: impl FnOnce(&mut Node) -> T) -> T {
+        f(&mut self.machine.nodes[self.place.node.0].lock())
+    }
+
+    /// Yield the turn now (MPI boundary).
+    fn yield_now(&mut self) {
+        self.tick = 0;
+        self.machine.sched.yield_turn(self.rank);
+    }
+
+    #[inline]
+    fn quantum_tick(&mut self) {
+        self.tick += 1;
+        if self.tick >= self.quantum {
+            self.tick = 0;
+            self.machine.sched.yield_turn(self.rank);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory
+    // ------------------------------------------------------------------
+
+    /// Allocate a simulated array of `n` elements in this rank's
+    /// process-virtual address space (32-byte aligned, zero-initialized).
+    ///
+    /// # Panics
+    /// Panics if the process memory partition is exhausted.
+    pub fn alloc<T: SimElem>(&mut self, n: usize) -> SimVec<T> {
+        let base = (self.alloc_cursor + 31) & !31;
+        let bytes = n as u64 * T::BYTES;
+        assert!(
+            base + bytes <= self.alloc_limit,
+            "rank {} out of simulated memory: {} + {} > {}",
+            self.rank,
+            base,
+            bytes,
+            self.alloc_limit
+        );
+        self.alloc_cursor = base + bytes;
+        SimVec::from_parts(vec![T::default(); n], base)
+    }
+
+    #[inline]
+    fn mem(&mut self, vaddr: u64, width: MemWidth, write: bool) {
+        self.quantum_tick();
+        let redundant = self.cg.redundant_mem();
+        let (core, process) = (self.core(), self.place.process);
+        self.with_node(|n| {
+            n.mem_op(core, process, vaddr, width, write);
+            if redundant {
+                // Spill/reload pair of a register-starved build: reload
+                // the same datum (an extra issued load, usually L1-hot).
+                n.mem_op(core, process, vaddr, MemWidth::Double, false);
+            }
+        });
+    }
+
+    /// Simulated element load.
+    #[inline]
+    pub fn ld<T: SimElem>(&mut self, v: &SimVec<T>, i: usize) -> T {
+        self.mem(v.addr(i), T::WIDTH, false);
+        v.raw(i)
+    }
+
+    /// Simulated element store.
+    #[inline]
+    pub fn st<T: SimElem>(&mut self, v: &mut SimVec<T>, i: usize, x: T) {
+        self.mem(v.addr(i), T::WIDTH, true);
+        *v.raw_mut(i) = x;
+    }
+
+    // ------------------------------------------------------------------
+    // Compiled arithmetic
+    // ------------------------------------------------------------------
+
+    /// Ask the build how to lower the next element pair of a loop whose
+    /// data parallelism is (`true`) or is not (`false`) provable.
+    #[inline]
+    pub fn plan_pair(&mut self, vectorizable: bool) -> PairPlan {
+        self.cg.plan_pair(vectorizable)
+    }
+
+    /// Load elements `i`, `i+1` under `plan`: one quadload (SIMD) or two
+    /// double loads (scalar).
+    #[inline]
+    pub fn ld2(&mut self, v: &SimVec<f64>, i: usize, plan: PairPlan) -> (f64, f64) {
+        match plan {
+            PairPlan::Simd => self.mem(v.addr(i), MemWidth::Quad, false),
+            PairPlan::Scalar => {
+                self.mem(v.addr(i), MemWidth::Double, false);
+                self.mem(v.addr(i + 1), MemWidth::Double, false);
+            }
+        }
+        (v.raw(i), v.raw(i + 1))
+    }
+
+    /// Store elements `i`, `i+1` under `plan`.
+    #[inline]
+    pub fn st2(&mut self, v: &mut SimVec<f64>, i: usize, x: (f64, f64), plan: PairPlan) {
+        match plan {
+            PairPlan::Simd => self.mem(v.addr(i), MemWidth::Quad, true),
+            PairPlan::Scalar => {
+                self.mem(v.addr(i), MemWidth::Double, true);
+                self.mem(v.addr(i + 1), MemWidth::Double, true);
+            }
+        }
+        *v.raw_mut(i) = x.0;
+        *v.raw_mut(i + 1) = x.1;
+    }
+
+    /// Retire the instructions of one semantic op applied to an element
+    /// **pair** under `plan`.
+    pub fn fp_pair(&mut self, plan: PairPlan, sem: SemOp) {
+        let fma = self.cg.fma();
+        let core = self.core();
+        self.with_node(|n| match (plan, sem) {
+            (PairPlan::Simd, SemOp::MulAdd) if fma => n.fp_op(core, FpOp::SimdFma, 1),
+            (PairPlan::Simd, SemOp::MulAdd) => {
+                n.fp_op(core, FpOp::SimdMult, 1);
+                n.fp_op(core, FpOp::SimdAddSub, 1);
+            }
+            (PairPlan::Simd, SemOp::Add) => n.fp_op(core, FpOp::SimdAddSub, 1),
+            (PairPlan::Simd, SemOp::Mul) => n.fp_op(core, FpOp::SimdMult, 1),
+            (PairPlan::Simd, SemOp::Div) => n.fp_op(core, FpOp::SimdDiv, 1),
+            (PairPlan::Scalar, SemOp::MulAdd) if fma => n.fp_op(core, FpOp::Fma, 2),
+            (PairPlan::Scalar, SemOp::MulAdd) => {
+                n.fp_op(core, FpOp::Mult, 2);
+                n.fp_op(core, FpOp::AddSub, 2);
+            }
+            (PairPlan::Scalar, SemOp::Add) => n.fp_op(core, FpOp::AddSub, 2),
+            (PairPlan::Scalar, SemOp::Mul) => n.fp_op(core, FpOp::Mult, 2),
+            (PairPlan::Scalar, SemOp::Div) => n.fp_op(core, FpOp::Div, 2),
+        });
+    }
+
+    /// Retire the instructions of one semantic op on a **single** element
+    /// (loop remainders, genuinely scalar code).
+    pub fn fp1(&mut self, sem: SemOp) {
+        let fma = self.cg.fma();
+        let core = self.core();
+        self.with_node(|n| match sem {
+            SemOp::MulAdd if fma => n.fp_op(core, FpOp::Fma, 1),
+            SemOp::MulAdd => {
+                n.fp_op(core, FpOp::Mult, 1);
+                n.fp_op(core, FpOp::AddSub, 1);
+            }
+            SemOp::Add => n.fp_op(core, FpOp::AddSub, 1),
+            SemOp::Mul => n.fp_op(core, FpOp::Mult, 1),
+            SemOp::Div => n.fp_op(core, FpOp::Div, 1),
+        });
+    }
+
+    /// Retire `n` scalar instructions of one semantic class in a single
+    /// batch (register-resident arithmetic such as RNG transforms or
+    /// polynomial iterations, where per-element calls would be wasteful).
+    pub fn fp_scalar_n(&mut self, sem: SemOp, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let fma = self.cg.fma();
+        let core = self.core();
+        self.with_node(|node| match sem {
+            SemOp::MulAdd if fma => node.fp_op(core, FpOp::Fma, n),
+            SemOp::MulAdd => {
+                node.fp_op(core, FpOp::Mult, n);
+                node.fp_op(core, FpOp::AddSub, n);
+            }
+            SemOp::Add => node.fp_op(core, FpOp::AddSub, n),
+            SemOp::Mul => node.fp_op(core, FpOp::Mult, n),
+            SemOp::Div => node.fp_op(core, FpOp::Div, n),
+        });
+    }
+
+    /// Retire the instructions of `n` scalar math-library evaluations
+    /// (`ln`, `sqrt`, …) as the build lowers them — a generic libm call
+    /// at the baseline, an inlined FMA sequence at `-O4`/`-O5`.
+    pub fn libm_calls(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let p = self.cg.libm();
+        let fma = self.cg.fma();
+        let core = self.core();
+        self.with_node(|node| {
+            if fma {
+                node.fp_op(core, FpOp::Fma, p.fma * n);
+            } else {
+                node.fp_op(core, FpOp::Mult, p.fma * n);
+                node.fp_op(core, FpOp::AddSub, p.fma * n);
+            }
+            node.fp_op(core, FpOp::Mult, p.mul * n);
+            node.fp_op(core, FpOp::Div, p.div * n);
+            node.int_op(core, p.int_ops * n);
+        });
+    }
+
+    /// Retire the loop-overhead instructions accompanying `elements` of
+    /// useful work (address arithmetic, induction updates, back-branches;
+    /// amount depends on the build's optimization level).
+    pub fn overhead(&mut self, elements: u64) {
+        let o = self.cg.overhead(elements);
+        let core = self.core();
+        self.with_node(|n| {
+            n.int_op(core, o.int_ops);
+            n.branch_op(core, o.branches, o.mispredicts);
+        });
+    }
+
+    /// Retire raw integer instructions (index computation, key handling —
+    /// used by the integer-sort kernel).
+    pub fn int_ops(&mut self, n: u64) {
+        let core = self.core();
+        self.with_node(|node| node.int_op(core, n));
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point messaging (torus)
+    // ------------------------------------------------------------------
+
+    /// Send `data` to `dst` with `tag`. Non-overtaking per (src, dst).
+    pub fn send(&mut self, dst: usize, tag: u32, data: Payload) {
+        assert!(dst < self.size, "send to invalid rank {dst}");
+        let bytes = data.len() as u64;
+        let dst_node = place(self.machine.spec(), dst).node;
+        let cost = self.machine.torus.transfer(self.place.node, dst_node, bytes);
+        let overhead = self.machine.spec().mpi.send_overhead;
+        let core = self.core();
+        let ready_at = self.with_node(|n| {
+            n.charge_cycles(core, overhead + cost.cycles);
+            n.emit_event(NetEvent::TorusPktSent.id(), cost.packets);
+            n.emit_event(NetEvent::TorusBytesSent.id(), bytes);
+            n.emit_event(NetEvent::TorusHops.id(), cost.hops);
+            n.timebase(core)
+        });
+        {
+            let mut comm = self.machine.comm.lock();
+            comm.mailboxes[dst].push_back(Message { src: self.rank, tag, data, ready_at });
+        }
+        self.machine.sched.unblock(dst);
+        self.yield_now();
+    }
+
+    /// Receive a message from `src` (or any source) with `tag`. Blocks
+    /// until a matching message arrives.
+    pub fn recv(&mut self, src: Option<usize>, tag: u32) -> Payload {
+        loop {
+            let msg = {
+                let mut comm = self.machine.comm.lock();
+                let mb = &mut comm.mailboxes[self.rank];
+                let idx = mb
+                    .iter()
+                    .position(|m| m.tag == tag && src.map_or(true, |s| s == m.src));
+                idx.and_then(|i| mb.remove(i))
+            };
+            if let Some(msg) = msg {
+                let bytes = msg.data.len() as u64;
+                let packet = self.machine.spec().net.torus_packet_bytes;
+                let packets = bytes.div_ceil(packet).max(1);
+                let overhead = self.machine.spec().mpi.recv_overhead;
+                let core = self.core();
+                self.with_node(|n| {
+                    n.advance_to(core, msg.ready_at);
+                    n.charge_cycles(core, overhead);
+                    n.emit_event(NetEvent::TorusPktRecv.id(), packets);
+                    n.emit_event(NetEvent::TorusBytesRecv.id(), bytes);
+                });
+                return msg.data;
+            }
+            self.machine.sched.block(self.rank);
+        }
+    }
+
+    /// Exchange with a partner: send then receive (mailboxes are
+    /// unbounded, so this cannot deadlock pairwise).
+    pub fn sendrecv(&mut self, peer: usize, tag: u32, data: Payload) -> Payload {
+        self.send(peer, tag, data);
+        self.recv(Some(peer), tag)
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives (tree + barrier networks)
+    // ------------------------------------------------------------------
+
+    /// Global barrier over the dedicated barrier network.
+    pub fn barrier(&mut self) {
+        self.collective(CollKind::Barrier, Contrib::None);
+    }
+
+    /// Broadcast `data` from `root`; non-roots pass `None` and receive
+    /// the root's payload.
+    pub fn bcast(&mut self, root: usize, data: Option<Payload>) -> Payload {
+        let contrib = if self.rank == root {
+            Contrib::Bytes(data.expect("root must supply the broadcast payload"))
+        } else {
+            Contrib::None
+        };
+        match self.collective(CollKind::Bcast { root }, contrib) {
+            CollResult::Bytes(b) => b,
+            _ => unreachable!("bcast returns bytes"),
+        }
+    }
+
+    /// Reduce `data` to `root` with `op`; only the root receives the
+    /// combined payload.
+    pub fn reduce(&mut self, root: usize, op: ReduceOp, data: Payload) -> Option<Payload> {
+        match self.collective(CollKind::Reduce { root, op }, Contrib::Bytes(data)) {
+            CollResult::Bytes(b) => Some(b),
+            CollResult::None => None,
+            _ => unreachable!("reduce returns bytes or nothing"),
+        }
+    }
+
+    /// All-reduce with `op`; every rank receives the combined payload.
+    pub fn allreduce(&mut self, op: ReduceOp, data: Payload) -> Payload {
+        match self.collective(CollKind::Allreduce { op }, Contrib::Bytes(data)) {
+            CollResult::Bytes(b) => b,
+            _ => unreachable!("allreduce returns bytes"),
+        }
+    }
+
+    /// Convenience: all-reduce a `f64` slice by summation.
+    pub fn allreduce_sum_f64(&mut self, vals: &[f64]) -> Vec<f64> {
+        bytes_to_f64s(&self.allreduce(ReduceOp::SumF64, f64s_to_bytes(vals)))
+    }
+
+    /// Personalized all-to-all: `rows[d]` goes to rank `d`; returns the
+    /// chunks every rank addressed to this one (in source order).
+    pub fn alltoall(&mut self, rows: Vec<Payload>) -> Vec<Payload> {
+        assert_eq!(rows.len(), self.size, "alltoall needs one chunk per rank");
+        match self.collective(CollKind::Alltoall, Contrib::Row(rows)) {
+            CollResult::Column(c) => c,
+            _ => unreachable!("alltoall returns a column"),
+        }
+    }
+
+    fn collective(&mut self, kind: CollKind, contrib: Contrib) -> CollResult {
+        let slot_idx = (self.coll_count % 2) as usize;
+        self.coll_count += 1;
+        let n = self.size;
+        let my_cycles = self.cycles();
+        let mut completed_now = false;
+        {
+            let mut comm = self.machine.comm.lock();
+            let slot = &mut comm.slots[slot_idx];
+            if slot.kind.is_none() {
+                slot.begin(n, kind);
+            }
+            assert_eq!(
+                slot.kind,
+                Some(kind),
+                "rank {} entered a different collective than its peers",
+                self.rank
+            );
+            match contrib {
+                Contrib::None => {}
+                Contrib::Bytes(p) => slot.contrib[self.rank] = Some(p),
+                Contrib::Row(row) => slot.matrix[self.rank] = row,
+            }
+            slot.arrived += 1;
+            slot.t_max = slot.t_max.max(my_cycles);
+            if slot.arrived == n {
+                let cost = collective_cost(&self.machine, kind, slot, n);
+                slot.ready_at = slot.t_max + self.machine.spec().mpi.coll_overhead + cost;
+                match kind {
+                    CollKind::Reduce { op, .. } | CollKind::Allreduce { op } => {
+                        let mut acc =
+                            slot.contrib[0].clone().expect("rank 0 contribution missing");
+                        for r in 1..n {
+                            op.combine(
+                                &mut acc,
+                                slot.contrib[r].as_ref().expect("contribution missing"),
+                            );
+                        }
+                        slot.result = acc;
+                    }
+                    CollKind::Bcast { root } => {
+                        slot.result =
+                            slot.contrib[root].clone().expect("root contribution missing");
+                    }
+                    CollKind::Barrier | CollKind::Alltoall => {}
+                }
+                slot.complete = true;
+                completed_now = true;
+            }
+        }
+        if completed_now {
+            for r in 0..n {
+                if r != self.rank {
+                    self.machine.sched.unblock(r);
+                }
+            }
+        } else {
+            loop {
+                if self.machine.comm.lock().slots[slot_idx].complete {
+                    break;
+                }
+                self.machine.sched.block(self.rank);
+            }
+        }
+
+        // Consume: read my share, then free the slot.
+        let (result, ready_at, sent_bytes, recv_bytes) = {
+            let mut comm = self.machine.comm.lock();
+            let slot = &mut comm.slots[slot_idx];
+            let ra = slot.ready_at;
+            let (result, sent, recvd) = match kind {
+                CollKind::Barrier => (CollResult::None, 0, 0),
+                CollKind::Bcast { root } => {
+                    let b = slot.result.clone();
+                    let sent = if self.rank == root { b.len() as u64 } else { 0 };
+                    (CollResult::Bytes(b.clone()), sent, b.len() as u64)
+                }
+                CollKind::Reduce { root, .. } => {
+                    let mine = slot.contrib[self.rank].as_ref().map_or(0, |p| p.len() as u64);
+                    if self.rank == root {
+                        let b = slot.result.clone();
+                        let len = b.len() as u64;
+                        (CollResult::Bytes(b), mine, len)
+                    } else {
+                        (CollResult::None, mine, 0)
+                    }
+                }
+                CollKind::Allreduce { .. } => {
+                    let mine = slot.contrib[self.rank].as_ref().map_or(0, |p| p.len() as u64);
+                    let b = slot.result.clone();
+                    let len = b.len() as u64;
+                    (CollResult::Bytes(b), mine, len)
+                }
+                CollKind::Alltoall => {
+                    let col: Vec<Payload> =
+                        (0..n).map(|src| slot.matrix[src][self.rank].clone()).collect();
+                    let sent: u64 = slot.matrix[self.rank]
+                        .iter()
+                        .enumerate()
+                        .filter(|&(d, _)| d != self.rank)
+                        .map(|(_, p)| p.len() as u64)
+                        .sum();
+                    let recvd: u64 = col
+                        .iter()
+                        .enumerate()
+                        .filter(|&(s, _)| s != self.rank)
+                        .map(|(_, p)| p.len() as u64)
+                        .sum();
+                    (CollResult::Column(col), sent, recvd)
+                }
+            };
+            slot.consume(n);
+            (result, ra, sent, recvd)
+        };
+
+        let core = self.core();
+        let packet = self.machine.spec().net.torus_packet_bytes;
+        self.with_node(|node| {
+            node.advance_to(core, ready_at);
+            match kind {
+                CollKind::Barrier => node.emit_event(NetEvent::BarrierCrossed.id(), 1),
+                CollKind::Alltoall => {
+                    // All-to-all rides the torus.
+                    if sent_bytes > 0 {
+                        node.emit_event(
+                            NetEvent::TorusPktSent.id(),
+                            sent_bytes.div_ceil(packet),
+                        );
+                        node.emit_event(NetEvent::TorusBytesSent.id(), sent_bytes);
+                    }
+                    if recv_bytes > 0 {
+                        node.emit_event(
+                            NetEvent::TorusPktRecv.id(),
+                            recv_bytes.div_ceil(packet),
+                        );
+                        node.emit_event(NetEvent::TorusBytesRecv.id(), recv_bytes);
+                    }
+                }
+                _ => {
+                    if sent_bytes > 0 {
+                        node.emit_event(
+                            NetEvent::CollPktSent.id(),
+                            sent_bytes.div_ceil(packet).max(1),
+                        );
+                        node.emit_event(NetEvent::CollBytesSent.id(), sent_bytes);
+                    }
+                    if recv_bytes > 0 {
+                        node.emit_event(
+                            NetEvent::CollPktRecv.id(),
+                            recv_bytes.div_ceil(packet).max(1),
+                        );
+                        node.emit_event(NetEvent::CollBytesRecv.id(), recv_bytes);
+                    }
+                }
+            }
+        });
+        self.yield_now();
+        result
+    }
+}
+
+enum Contrib {
+    None,
+    Bytes(Payload),
+    Row(Vec<Payload>),
+}
+
+enum CollResult {
+    None,
+    Bytes(Payload),
+    Column(Vec<Payload>),
+}
+
+/// Completion cost (cycles) of a collective once all ranks have arrived.
+fn collective_cost(
+    machine: &Machine,
+    kind: CollKind,
+    slot: &crate::comm::CollSlot,
+    n: usize,
+) -> u64 {
+    let net = &machine.spec().net;
+    match kind {
+        CollKind::Barrier => machine.barrier_net.barrier_cycles(),
+        CollKind::Bcast { root } => {
+            let bytes = slot.contrib[root].as_ref().map_or(0, |p| p.len() as u64);
+            machine.coll_net.broadcast(bytes).cycles
+        }
+        CollKind::Reduce { .. } => {
+            let bytes = slot.contrib[0].as_ref().map_or(0, |p| p.len() as u64);
+            machine.coll_net.reduce(bytes).cycles
+        }
+        CollKind::Allreduce { .. } => {
+            let bytes = slot.contrib[0].as_ref().map_or(0, |p| p.len() as u64);
+            machine.coll_net.reduce(bytes).cycles + machine.coll_net.broadcast(bytes).cycles
+        }
+        CollKind::Alltoall => {
+            // Each rank injects (n-1) chunks serially; the last byte also
+            // crosses up to the torus diameter.
+            let max_out = (0..n)
+                .map(|src| {
+                    slot.matrix[src]
+                        .iter()
+                        .enumerate()
+                        .filter(|&(d, _)| d != src)
+                        .map(|(_, p)| p.len() as u64)
+                        .sum::<u64>()
+                })
+                .max()
+                .unwrap_or(0);
+            let dims = machine.torus.dims();
+            let diameter = (dims.x / 2 + dims.y / 2 + dims.z / 2).max(1) as u64;
+            max_out.div_ceil(net.torus_bytes_per_cycle) + diameter * net.torus_hop_cycles
+        }
+    }
+}

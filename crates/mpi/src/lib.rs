@@ -1,0 +1,34 @@
+//! # bgp-mpi — a deterministic MPI-like rank runtime over simulated nodes
+//!
+//! The paper's experiments run the NAS benchmarks as MPI jobs of 121–128
+//! processes over 32–128 Blue Gene/P nodes in different operating modes
+//! (§V–§VIII). This crate provides that substrate:
+//!
+//! * [`machine::Machine`] — a partition of [`bgp_node::Node`]s plus the
+//!   torus/collective/barrier networks,
+//! * [`machine::JobSpec`] / [`machine::place`] — rank placement per
+//!   operating mode (VNM packs 4 ranks per node, SMP/1 gives each rank a
+//!   whole node, …),
+//! * [`sched::Turnstile`] — the deterministic cooperative scheduler: one
+//!   OS thread per rank, exactly one running at a time, rotating at
+//!   memory-access quanta and MPI calls,
+//! * [`ctx::RankCtx`] — the API kernels program against: simulated
+//!   arrays, compiled arithmetic, sends/receives, collectives,
+//! * [`comm`] — payload codecs, reduce operators, rendezvous slots.
+//!
+//! Determinism contract: the same [`machine::JobSpec`] and kernel produce
+//! bit-identical counter values on every run (tested in `tests/`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod ctx;
+pub mod machine;
+pub mod sched;
+pub mod simvec;
+
+pub use comm::{bytes_to_f64s, bytes_to_u64s, f64s_to_bytes, u64s_to_bytes, Payload, ReduceOp};
+pub use ctx::{RankCtx, SemOp};
+pub use machine::{place, CounterPolicy, JobSpec, Machine, MpiCosts, Placement};
+pub use simvec::{SimElem, SimVec};

@@ -1,0 +1,335 @@
+//! The simulated **machine**: a partition of compute nodes, the three
+//! interconnects, rank placement, and the job runner.
+
+use crate::comm::{CollSlot, Message};
+use crate::ctx::RankCtx;
+use crate::sched::Turnstile;
+use bgp_arch::events::CounterMode;
+use bgp_arch::geometry::{NodeId, TorusDims};
+use bgp_arch::{MachineConfig, OpMode};
+use bgp_compiler::CompileOpts;
+use bgp_net::{BarrierNetwork, CollectiveNetwork, NetConfig, TorusNetwork};
+use bgp_node::Node;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Software overheads of the messaging layer (cycles).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MpiCosts {
+    /// Per-send software overhead.
+    pub send_overhead: u64,
+    /// Per-receive software overhead.
+    pub recv_overhead: u64,
+    /// Per-collective software overhead.
+    pub coll_overhead: u64,
+}
+
+impl Default for MpiCosts {
+    fn default() -> Self {
+        MpiCosts { send_overhead: 450, recv_overhead: 450, coll_overhead: 900 }
+    }
+}
+
+/// Which counter mode each node's UPC unit is programmed into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CounterPolicy {
+    /// Every node uses the same mode (256 events of coverage).
+    Fixed(CounterMode),
+    /// The paper's §IV trick: even-numbered nodes use one mode, odd
+    /// nodes another, yielding 512 events of coverage in a single run of
+    /// an SPMD program.
+    EvenOdd {
+        /// Mode for even-numbered nodes.
+        even: CounterMode,
+        /// Mode for odd-numbered nodes.
+        odd: CounterMode,
+    },
+}
+
+impl CounterPolicy {
+    /// Mode assigned to `node`.
+    pub fn mode_for(&self, node: NodeId) -> CounterMode {
+        match *self {
+            CounterPolicy::Fixed(m) => m,
+            CounterPolicy::EvenOdd { even, odd } => {
+                if node.0 % 2 == 0 {
+                    even
+                } else {
+                    odd
+                }
+            }
+        }
+    }
+}
+
+/// Complete description of one job run.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Number of MPI ranks.
+    pub ranks: usize,
+    /// Node operating mode (decides ranks per node).
+    pub mode: OpMode,
+    /// Node hardware configuration.
+    pub machine: MachineConfig,
+    /// Interconnect timing.
+    pub net: NetConfig,
+    /// UPC counter-mode assignment.
+    pub counter_policy: CounterPolicy,
+    /// Compiler flags the workload was "built" with.
+    pub compile: CompileOpts,
+    /// Memory accesses per scheduler time slice.
+    pub quantum: u64,
+    /// Messaging software overheads.
+    pub mpi: MpiCosts,
+}
+
+impl JobSpec {
+    /// A spec with paper-default hardware, `-O5` build, and mode-0/1
+    /// even/odd counter coverage.
+    pub fn new(ranks: usize, mode: OpMode) -> JobSpec {
+        assert!(ranks > 0);
+        JobSpec {
+            ranks,
+            mode,
+            machine: MachineConfig::default(),
+            net: NetConfig::default(),
+            counter_policy: CounterPolicy::EvenOdd {
+                even: CounterMode::Mode0,
+                odd: CounterMode::Mode1,
+            },
+            compile: CompileOpts::o5(),
+            quantum: 2048,
+            mpi: MpiCosts::default(),
+        }
+    }
+
+    /// Number of nodes the job occupies.
+    pub fn nodes(&self) -> usize {
+        self.ranks.div_ceil(self.mode.processes_per_node())
+    }
+}
+
+/// Where one rank lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Placement {
+    /// Hosting node.
+    pub node: NodeId,
+    /// Node-local process slot.
+    pub process: usize,
+    /// Core the (single-threaded) process computes on.
+    pub core: usize,
+}
+
+/// Block placement: ranks fill a node's process slots before moving to
+/// the next node (the CNK default XYZT-order mapping).
+pub fn place(spec: &JobSpec, rank: usize) -> Placement {
+    assert!(rank < spec.ranks);
+    let ppn = spec.mode.processes_per_node();
+    let process = rank % ppn;
+    Placement {
+        node: NodeId(rank / ppn),
+        process,
+        core: spec.mode.cores_of_process(process).start,
+    }
+}
+
+pub(crate) struct CommInner {
+    pub mailboxes: Vec<VecDeque<Message>>,
+    pub slots: [CollSlot; 2],
+}
+
+/// The simulated partition.
+///
+/// ```
+/// use bgp_arch::OpMode;
+/// use bgp_mpi::{JobSpec, Machine};
+///
+/// // Eight ranks in Virtual Node Mode occupy two simulated nodes.
+/// let machine = Machine::new(JobSpec::new(8, OpMode::VirtualNode));
+/// assert_eq!(machine.num_nodes(), 2);
+/// let sums = machine.run(|ctx| {
+///     ctx.allreduce_sum_f64(&[ctx.rank() as f64])[0]
+/// });
+/// assert!(sums.iter().all(|&s| s == 28.0)); // 0+1+…+7 everywhere
+/// ```
+pub struct Machine {
+    spec: JobSpec,
+    pub(crate) nodes: Vec<Mutex<Node>>,
+    pub(crate) torus: TorusNetwork,
+    pub(crate) coll_net: CollectiveNetwork,
+    pub(crate) barrier_net: BarrierNetwork,
+    pub(crate) sched: Turnstile,
+    pub(crate) comm: Mutex<CommInner>,
+    ran: AtomicBool,
+}
+
+impl Machine {
+    /// Boot a partition for `spec`.
+    pub fn new(spec: JobSpec) -> Arc<Machine> {
+        spec.machine.validate().expect("invalid machine configuration");
+        let n_nodes = spec.nodes();
+        let dims = TorusDims::for_nodes(n_nodes);
+        let nodes = (0..n_nodes)
+            .map(|i| {
+                let id = NodeId(i);
+                Mutex::new(Node::new(
+                    id,
+                    &spec.machine,
+                    spec.mode,
+                    spec.counter_policy.mode_for(id),
+                ))
+            })
+            .collect();
+        Arc::new(Machine {
+            torus: TorusNetwork::new(dims, spec.net.clone()),
+            coll_net: CollectiveNetwork::new(n_nodes, spec.net.clone()),
+            barrier_net: BarrierNetwork::new(spec.net.clone()),
+            sched: Turnstile::new(spec.ranks),
+            comm: Mutex::new(CommInner {
+                mailboxes: (0..spec.ranks).map(|_| VecDeque::new()).collect(),
+                slots: [CollSlot::default(), CollSlot::default()],
+            }),
+            nodes,
+            spec,
+            ran: AtomicBool::new(false),
+        })
+    }
+
+    /// The job specification.
+    pub fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    /// Number of nodes in the partition.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Run `f` with exclusive access to one node (inspection, counter
+    /// programming). Not for use from inside rank kernels.
+    pub fn with_node<T>(&self, node: usize, f: impl FnOnce(&mut Node) -> T) -> T {
+        f(&mut self.nodes[node].lock())
+    }
+
+    /// Enable every node's UPC unit (convenience for tests; the counter
+    /// library performs the real `BGP_Initialize` protocol).
+    pub fn enable_all_counters(&self) {
+        for n in &self.nodes {
+            n.lock().upc_mut().set_enabled(true);
+        }
+    }
+
+    /// Job wall-clock in cycles: the slowest core of the slowest node.
+    pub fn job_cycles(&self) -> u64 {
+        self.nodes.iter().map(|n| n.lock().node_cycles()).max().unwrap_or(0)
+    }
+
+    /// Execute the SPMD `kernel` on every rank.
+    ///
+    /// One OS thread per rank, serialized by the turnstile: the run is
+    /// deterministic and may be executed exactly once per machine.
+    /// Returns the per-rank kernel results in rank order.
+    pub fn run<R, F>(self: &Arc<Self>, kernel: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        assert!(
+            !self.ran.swap(true, Ordering::SeqCst),
+            "a Machine can only run one job; build a new one"
+        );
+        let kernel = &kernel;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..self.spec.ranks)
+                .map(|rank| {
+                    let mach = Arc::clone(self);
+                    s.spawn(move || {
+                        mach.sched.acquire(rank);
+                        // A panicking rank must abort the whole turnstile,
+                        // otherwise its peers wait for a turn that never
+                        // comes and the job hangs instead of failing.
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let mut ctx = RankCtx::new(Arc::clone(&mach), rank);
+                            kernel(&mut ctx)
+                        }));
+                        match out {
+                            Ok(r) => {
+                                mach.sched.done(rank);
+                                r
+                            }
+                            Err(e) => {
+                                mach.sched.abort();
+                                std::panic::resume_unwind(e);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_fills_nodes_in_block_order() {
+        let spec = JobSpec::new(8, OpMode::VirtualNode);
+        assert_eq!(spec.nodes(), 2);
+        assert_eq!(place(&spec, 0), Placement { node: NodeId(0), process: 0, core: 0 });
+        assert_eq!(place(&spec, 3), Placement { node: NodeId(0), process: 3, core: 3 });
+        assert_eq!(place(&spec, 4), Placement { node: NodeId(1), process: 0, core: 0 });
+    }
+
+    #[test]
+    fn smp1_gives_each_rank_its_own_node() {
+        let spec = JobSpec::new(4, OpMode::Smp1);
+        assert_eq!(spec.nodes(), 4);
+        for r in 0..4 {
+            let p = place(&spec, r);
+            assert_eq!(p.node, NodeId(r));
+            assert_eq!((p.process, p.core), (0, 0));
+        }
+    }
+
+    #[test]
+    fn dual_mode_packs_two_processes_per_node() {
+        let spec = JobSpec::new(4, OpMode::Dual);
+        assert_eq!(spec.nodes(), 2);
+        assert_eq!(place(&spec, 1), Placement { node: NodeId(0), process: 1, core: 2 });
+    }
+
+    #[test]
+    fn uneven_rank_count_rounds_nodes_up() {
+        // SP/BT run 121 ranks; in VNM that needs 31 nodes.
+        let spec = JobSpec::new(121, OpMode::VirtualNode);
+        assert_eq!(spec.nodes(), 31);
+    }
+
+    #[test]
+    fn even_odd_policy_programs_alternating_modes() {
+        let spec = JobSpec::new(16, OpMode::VirtualNode);
+        let m = Machine::new(spec);
+        assert_eq!(m.with_node(0, |n| n.upc().mode()), CounterMode::Mode0);
+        assert_eq!(m.with_node(1, |n| n.upc().mode()), CounterMode::Mode1);
+        assert_eq!(m.with_node(2, |n| n.upc().mode()), CounterMode::Mode0);
+    }
+
+    #[test]
+    fn machine_runs_exactly_once() {
+        let m = Machine::new(JobSpec::new(2, OpMode::VirtualNode));
+        let out = m.run(|ctx| ctx.rank() * 10);
+        assert_eq!(out, vec![0, 10]);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.run(|ctx| ctx.rank());
+        }));
+        assert!(res.is_err(), "second run must be rejected");
+    }
+}

@@ -1,0 +1,248 @@
+//! The **turnstile scheduler**: deterministic cooperative round-robin
+//! execution of rank threads.
+//!
+//! Exactly one rank thread runs at any instant; the turn rotates in rank
+//! order at *yield points* (every memory-access quantum and every MPI
+//! call). This serialization is what makes whole-machine simulation
+//! deterministic — identical runs produce bit-identical counter values —
+//! while still interleaving the ranks of one node finely enough to model
+//! shared-L3 interference and DDR port contention.
+//!
+//! Blocking (a receive with no matching message, a collective waiting for
+//! peers) parks the rank; another rank's delivery marks it ready again.
+//! If every live rank is parked the job has deadlocked and the scheduler
+//! panics with a per-rank diagnostic rather than hanging the test suite.
+
+use parking_lot::{Condvar, Mutex};
+
+/// Run state of one rank thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// May run when the turn reaches it.
+    Ready,
+    /// Parked on a receive or collective.
+    Blocked,
+    /// Returned from its kernel.
+    Done,
+}
+
+struct Sched {
+    current: usize,
+    status: Vec<Status>,
+    aborted: bool,
+}
+
+impl Sched {
+    /// Move the turn to the next ready rank after `from` (wrapping).
+    /// Panics on deadlock (live ranks exist but none ready).
+    fn advance(&mut self, from: usize) {
+        let n = self.status.len();
+        for off in 1..=n {
+            let cand = (from + off) % n;
+            if self.status[cand] == Status::Ready {
+                self.current = cand;
+                return;
+            }
+        }
+        if self.status.iter().all(|&s| s == Status::Done) {
+            self.current = n; // sentinel: nobody left
+            return;
+        }
+        let blocked: Vec<usize> = self
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == Status::Blocked)
+            .map(|(r, _)| r)
+            .collect();
+        panic!(
+            "MPI deadlock: no runnable rank; blocked ranks = {blocked:?} \
+             (mismatched send/recv or collective?)"
+        );
+    }
+}
+
+/// The shared turnstile.
+pub struct Turnstile {
+    m: Mutex<Sched>,
+    cv: Condvar,
+}
+
+impl Turnstile {
+    /// A turnstile for `n` ranks; rank 0 holds the first turn.
+    pub fn new(n: usize) -> Turnstile {
+        assert!(n > 0);
+        Turnstile {
+            m: Mutex::new(Sched { current: 0, status: vec![Status::Ready; n], aborted: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Wait until it is `rank`'s turn (thread start-up).
+    pub fn acquire(&self, rank: usize) {
+        let mut s = self.m.lock();
+        while s.current != rank {
+            assert!(!s.aborted, "job aborted: a peer rank panicked");
+            self.cv.wait(&mut s);
+        }
+        assert!(!s.aborted, "job aborted: a peer rank panicked");
+    }
+
+    /// Abort the job: every rank waiting in the turnstile panics instead
+    /// of waiting forever. Called when a rank thread panics so the whole
+    /// job fails loudly rather than hanging.
+    pub fn abort(&self) {
+        let mut s = self.m.lock();
+        s.aborted = true;
+        self.cv.notify_all();
+    }
+
+    /// Give up the turn and wait for the next one.
+    pub fn yield_turn(&self, rank: usize) {
+        let mut s = self.m.lock();
+        debug_assert_eq!(s.current, rank, "yield by a rank not holding the turn");
+        s.advance(rank);
+        if s.current == rank {
+            return; // sole runnable rank: keep going
+        }
+        self.cv.notify_all();
+        while s.current != rank {
+            assert!(!s.aborted, "job aborted: a peer rank panicked");
+            self.cv.wait(&mut s);
+        }
+        assert!(!s.aborted, "job aborted: a peer rank panicked");
+    }
+
+    /// Park `rank` until another rank calls [`Turnstile::unblock`] for it,
+    /// then wait for its turn.
+    pub fn block(&self, rank: usize) {
+        let mut s = self.m.lock();
+        debug_assert_eq!(s.current, rank);
+        s.status[rank] = Status::Blocked;
+        s.advance(rank);
+        self.cv.notify_all();
+        while !(s.status[rank] == Status::Ready && s.current == rank) {
+            assert!(!s.aborted, "job aborted: a peer rank panicked");
+            self.cv.wait(&mut s);
+        }
+        assert!(!s.aborted, "job aborted: a peer rank panicked");
+    }
+
+    /// Mark `rank` ready (message delivered / collective completed).
+    /// The caller keeps the turn; the unblocked rank runs when the
+    /// rotation reaches it.
+    pub fn unblock(&self, rank: usize) {
+        let mut s = self.m.lock();
+        if s.status[rank] == Status::Blocked {
+            s.status[rank] = Status::Ready;
+        }
+    }
+
+    /// Mark `rank` finished and pass the turn on.
+    pub fn done(&self, rank: usize) {
+        let mut s = self.m.lock();
+        if s.aborted {
+            return;
+        }
+        s.status[rank] = Status::Done;
+        if s.current == rank {
+            s.advance(rank);
+        }
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn round_robin_order_is_deterministic() {
+        let n = 4;
+        let ts = Arc::new(Turnstile::new(n));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for r in 0..n {
+            let ts = ts.clone();
+            let log = log.clone();
+            handles.push(std::thread::spawn(move || {
+                ts.acquire(r);
+                for _ in 0..3 {
+                    log.lock().push(r);
+                    ts.yield_turn(r);
+                }
+                ts.done(r);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let got = log.lock().clone();
+        assert_eq!(got, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sole_runnable_rank_keeps_running() {
+        let ts = Turnstile::new(1);
+        ts.acquire(0);
+        for _ in 0..10 {
+            ts.yield_turn(0);
+        }
+        ts.done(0);
+    }
+
+    #[test]
+    fn block_and_unblock_handshake() {
+        let ts = Arc::new(Turnstile::new(2));
+        let stage = Arc::new(AtomicUsize::new(0));
+        let t0 = {
+            let (ts, stage) = (ts.clone(), stage.clone());
+            std::thread::spawn(move || {
+                ts.acquire(0);
+                stage.store(1, Ordering::SeqCst);
+                ts.block(0); // parked until rank 1 unblocks us
+                assert_eq!(stage.load(Ordering::SeqCst), 2);
+                ts.done(0);
+            })
+        };
+        let t1 = {
+            let (ts, stage) = (ts.clone(), stage.clone());
+            std::thread::spawn(move || {
+                ts.acquire(1);
+                assert_eq!(stage.load(Ordering::SeqCst), 1);
+                stage.store(2, Ordering::SeqCst);
+                ts.unblock(0);
+                ts.yield_turn(1); // rank 0 runs here
+                ts.done(1);
+            })
+        };
+        t0.join().unwrap();
+        t1.join().unwrap();
+    }
+
+    #[test]
+    fn deadlock_panics_with_diagnostic() {
+        let ts = Arc::new(Turnstile::new(2));
+        let t0 = {
+            let ts = ts.clone();
+            std::thread::spawn(move || {
+                ts.acquire(0);
+                ts.block(0); // nobody will ever unblock us
+            })
+        };
+        let t1 = {
+            let ts = ts.clone();
+            std::thread::spawn(move || {
+                ts.acquire(1);
+                ts.block(1); // second blocker: detects the deadlock
+            })
+        };
+        // Rank 1 blocks last, finds no runnable rank, and panics with the
+        // diagnostic; rank 0 stays parked (its handle is dropped, which
+        // detaches the thread).
+        assert!(t1.join().is_err(), "the last blocker must panic");
+        drop(t0);
+    }
+}

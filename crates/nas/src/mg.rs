@@ -1,0 +1,382 @@
+//! **MG — MultiGrid**: V-cycles of a 7-point Poisson solver on a 3-D
+//! grid, 1-D-decomposed in z with plane halo exchanges at every level.
+//! The smoother/residual/transfer loops are unit-stride stencils — the
+//! data parallelism the XL compiler's `-qarch=440d` SIMD-ization feasts
+//! on, which is why MG (with FT) shows the big SIMD add-sub/FMA bars in
+//! the paper's Fig. 6 and the strong O-level response of Fig. 8.
+
+use crate::common::{Class, Kernel, KernelResult};
+use bgp_mpi::{bytes_to_f64s, f64s_to_bytes, RankCtx, SemOp, SimVec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-rank finest-grid dimensions (nx, ny, local nz).
+pub fn dims(class: Class) -> (usize, usize, usize) {
+    match class {
+        Class::S => (16, 16, 8),
+        Class::W => (32, 32, 8),
+        Class::A => (48, 48, 32),
+    }
+}
+
+/// V-cycles executed.
+pub fn cycles(class: Class) -> usize {
+    match class {
+        Class::S => 2,
+        Class::W => 3,
+        Class::A => 3,
+    }
+}
+
+/// One grid level: a `nx × ny × (nz+2)` box; z index 0 and nz+1 are halo
+/// planes (filled from neighbour ranks, zero at the physical boundary).
+struct Level {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    u: SimVec<f64>,
+    rhs: SimVec<f64>,
+    res: SimVec<f64>,
+}
+
+impl Level {
+    fn alloc(ctx: &mut RankCtx, nx: usize, ny: usize, nz: usize) -> Level {
+        let n = nx * ny * (nz + 2);
+        Level {
+            nx,
+            ny,
+            nz,
+            u: ctx.alloc(n),
+            rhs: ctx.alloc(n),
+            res: ctx.alloc(n),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, x: usize, y: usize, z_with_halo: usize) -> usize {
+        (z_with_halo * self.ny + y) * self.nx + x
+    }
+}
+
+/// Exchange the z halo planes of `field` with the rank's neighbours
+/// (non-periodic: outermost ranks keep zero halo).
+fn exchange_halo(ctx: &mut RankCtx, lv: &mut Level, field: usize, tag: u32) {
+    let (rank, size) = (ctx.rank(), ctx.size());
+    let plane = lv.nx * lv.ny;
+    let pack = |ctx: &mut RankCtx, lv: &Level, z: usize| -> Vec<f64> {
+        let v = match field {
+            0 => &lv.u,
+            _ => &lv.res,
+        };
+        let base = z * plane;
+        (0..plane).map(|i| ctx.ld(v, base + i)).collect()
+    };
+    let unpack = |ctx: &mut RankCtx, lv: &mut Level, z: usize, data: &[f64]| {
+        let base = z * plane;
+        for (i, &val) in data.iter().enumerate() {
+            match field {
+                0 => ctx.st(&mut lv.u, base + i, val),
+                _ => ctx.st(&mut lv.res, base + i, val),
+            }
+        }
+    };
+    // Upward: send top interior plane to rank+1, receive bottom halo.
+    if rank + 1 < size {
+        let top = pack(ctx, lv, lv.nz);
+        ctx.send(rank + 1, tag, f64s_to_bytes(&top));
+    }
+    if rank > 0 {
+        let data = bytes_to_f64s(&ctx.recv(Some(rank - 1), tag));
+        unpack(ctx, lv, 0, &data);
+    }
+    // Downward: send bottom interior plane to rank-1, receive top halo.
+    if rank > 0 {
+        let bot = pack(ctx, lv, 1);
+        ctx.send(rank - 1, tag + 1, f64s_to_bytes(&bot));
+    }
+    if rank + 1 < size {
+        let data = bytes_to_f64s(&ctx.recv(Some(rank + 1), tag + 1));
+        unpack(ctx, lv, lv.nz + 1, &data);
+    }
+    ctx.overhead(plane as u64);
+}
+
+const INV_D: f64 = 1.0 / 6.0;
+/// Weighted-Jacobi damping.
+const OMEGA: f64 = 0.8;
+
+/// One damped-Jacobi sweep: `u += ω D⁻¹ (rhs − A u)` with the 7-point
+/// Laplacian. Fully vectorizable stencil.
+fn smooth(ctx: &mut RankCtx, lv: &mut Level) {
+    exchange_halo(ctx, lv, 0, 20);
+    let (nx, ny, nz) = (lv.nx, lv.ny, lv.nz);
+    for z in 1..=nz {
+        for y in 0..ny {
+            let mut x = 0;
+            while x < nx {
+                let take_pair = x + 1 < nx;
+                let idx = lv.idx(x, y, z);
+                if take_pair {
+                    let plan = ctx.plan_pair(true);
+                    let (u0, u1) = ctx.ld2(&lv.u, idx, plan);
+                    let (b0, b1) = ctx.ld2(&lv.rhs, idx, plan);
+                    // Six neighbour arms per point (x arms overlap the
+                    // pair; y/z arms are unit-stride pair loads).
+                    let xm0 = if x > 0 { ctx.ld(&lv.u, idx - 1) } else { 0.0 };
+                    let xp1 = if x + 2 < nx { ctx.ld(&lv.u, idx + 2) } else { 0.0 };
+                    let (ym0, ym1) = if y > 0 {
+                        ctx.ld2(&lv.u, lv.idx(x, y - 1, z), plan)
+                    } else {
+                        (0.0, 0.0)
+                    };
+                    let (yp0, yp1) = if y + 1 < ny {
+                        ctx.ld2(&lv.u, lv.idx(x, y + 1, z), plan)
+                    } else {
+                        (0.0, 0.0)
+                    };
+                    let (zm0, zm1) = ctx.ld2(&lv.u, lv.idx(x, y, z - 1), plan);
+                    let (zp0, zp1) = ctx.ld2(&lv.u, lv.idx(x, y, z + 1), plan);
+                    // Neighbour sums: 5 pair-adds; residual FMA; relax FMA.
+                    for _ in 0..5 {
+                        ctx.fp_pair(plan, SemOp::Add);
+                    }
+                    ctx.fp_pair(plan, SemOp::MulAdd);
+                    ctx.fp_pair(plan, SemOp::MulAdd);
+                    let s0 = xm0 + u1 + ym0 + yp0 + zm0 + zp0;
+                    let s1 = u0 + xp1 + ym1 + yp1 + zm1 + zp1;
+                    let r0 = b0 - (6.0 * u0 - s0);
+                    let r1 = b1 - (6.0 * u1 - s1);
+                    ctx.st2(
+                        &mut lv.u,
+                        idx,
+                        (u0 + OMEGA * INV_D * r0, u1 + OMEGA * INV_D * r1),
+                        plan,
+                    );
+                    x += 2;
+                } else {
+                    let u0 = ctx.ld(&lv.u, idx);
+                    let b0 = ctx.ld(&lv.rhs, idx);
+                    let xm = if x > 0 { ctx.ld(&lv.u, idx - 1) } else { 0.0 };
+                    let zm = ctx.ld(&lv.u, lv.idx(x, y, z - 1));
+                    let zp = ctx.ld(&lv.u, lv.idx(x, y, z + 1));
+                    let ym = if y > 0 { ctx.ld(&lv.u, lv.idx(x, y - 1, z)) } else { 0.0 };
+                    let yp = if y + 1 < ny { ctx.ld(&lv.u, lv.idx(x, y + 1, z)) } else { 0.0 };
+                    for _ in 0..3 {
+                        ctx.fp1(SemOp::Add);
+                    }
+                    ctx.fp1(SemOp::MulAdd);
+                    ctx.fp1(SemOp::MulAdd);
+                    let s = xm + ym + yp + zm + zp;
+                    let r = b0 - (6.0 * u0 - s);
+                    ctx.st(&mut lv.u, idx, u0 + OMEGA * INV_D * r);
+                    x += 1;
+                }
+            }
+        }
+        ctx.overhead((nx * ny) as u64);
+    }
+}
+
+/// `res = rhs − A u` on the interior. Returns the local squared norm.
+fn residual(ctx: &mut RankCtx, lv: &mut Level) -> f64 {
+    exchange_halo(ctx, lv, 0, 24);
+    let (nx, ny, nz) = (lv.nx, lv.ny, lv.nz);
+    let mut norm = 0.0;
+    for z in 1..=nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let idx = lv.idx(x, y, z);
+                let u0 = ctx.ld(&lv.u, idx);
+                let b0 = ctx.ld(&lv.rhs, idx);
+                let xm = if x > 0 { ctx.ld(&lv.u, idx - 1) } else { 0.0 };
+                let xp = if x + 1 < nx { ctx.ld(&lv.u, idx + 1) } else { 0.0 };
+                let ym = if y > 0 { ctx.ld(&lv.u, lv.idx(x, y - 1, z)) } else { 0.0 };
+                let yp = if y + 1 < ny { ctx.ld(&lv.u, lv.idx(x, y + 1, z)) } else { 0.0 };
+                let zm = ctx.ld(&lv.u, lv.idx(x, y, z - 1));
+                let zp = ctx.ld(&lv.u, lv.idx(x, y, z + 1));
+                // Vectorizable stencil: charge as pair-ops every 2 points
+                // would be tidier, but the benchmark's resid() is written
+                // scalar-in-x with compiler pairing — model with pairs on
+                // even x.
+                if x % 2 == 0 {
+                    let plan = ctx.plan_pair(true);
+                    for _ in 0..3 {
+                        ctx.fp_pair(plan, SemOp::Add);
+                    }
+                    ctx.fp_pair(plan, SemOp::MulAdd);
+                }
+                let s = xm + xp + ym + yp + zm + zp;
+                let r = b0 - (6.0 * u0 - s);
+                ctx.st(&mut lv.res, idx, r);
+                norm += r * r;
+            }
+        }
+        ctx.overhead((nx * ny) as u64);
+    }
+    norm
+}
+
+/// Full-weighting-ish restriction (2×2×2 averaging) of `fine.res` into
+/// `coarse.rhs`.
+fn restrict(ctx: &mut RankCtx, fine: &mut Level, coarse: &mut Level) {
+    exchange_halo(ctx, fine, 1, 28);
+    let (cnx, cny, cnz) = (coarse.nx, coarse.ny, coarse.nz);
+    for z in 1..=cnz {
+        for y in 0..cny {
+            let mut x = 0;
+            while x < cnx {
+                let pair = x + 1 < cnx;
+                let (fz, fy, fx) = (2 * z - 1, 2 * y, 2 * x);
+                let mut sum = [0.0f64; 2];
+                for dz in 0..2usize {
+                    for dy in 0..2usize {
+                        for dx in 0..2usize {
+                            let fyy = (fy + dy).min(fine.ny - 1);
+                            let i0 = fine.idx(fx + dx, fyy, fz + dz);
+                            sum[0] += ctx.ld(&fine.res, i0);
+                            if pair {
+                                let i1 = fine.idx((fx + 2 + dx).min(fine.nx - 1), fyy, fz + dz);
+                                sum[1] += ctx.ld(&fine.res, i1);
+                            }
+                        }
+                    }
+                }
+                let cidx = coarse.idx(x, y, z);
+                if pair {
+                    let plan = ctx.plan_pair(true);
+                    for _ in 0..4 {
+                        ctx.fp_pair(plan, SemOp::Add);
+                    }
+                    ctx.fp_pair(plan, SemOp::Mul);
+                    ctx.st2(&mut coarse.rhs, cidx, (sum[0] / 8.0, sum[1] / 8.0), plan);
+                    x += 2;
+                } else {
+                    for _ in 0..7 {
+                        ctx.fp1(SemOp::Add);
+                    }
+                    ctx.fp1(SemOp::Mul);
+                    ctx.st(&mut coarse.rhs, cidx, sum[0] / 8.0);
+                    x += 1;
+                }
+            }
+        }
+        ctx.overhead((cnx * cny) as u64);
+    }
+}
+
+/// Trilinear-ish prolongation: add the coarse correction to the fine
+/// solution (nearest-point injection with pair stores).
+fn prolongate(ctx: &mut RankCtx, coarse: &mut Level, fine: &mut Level) {
+    exchange_halo(ctx, coarse, 0, 32);
+    let (cnx, cny, cnz) = (coarse.nx, coarse.ny, coarse.nz);
+    for z in 1..=cnz {
+        for y in 0..cny {
+            for x in 0..cnx {
+                let c = ctx.ld(&coarse.u, coarse.idx(x, y, z));
+                for dz in 0..2usize {
+                    for dy in 0..2usize {
+                        let fy = (2 * y + dy).min(fine.ny - 1);
+                        let fz = 2 * z - 1 + dz;
+                        let fi = fine.idx(2 * x, fy, fz);
+                        let plan = ctx.plan_pair(true);
+                        let (u0, u1) = ctx.ld2(&fine.u, fi, plan);
+                        ctx.fp_pair(plan, SemOp::Add);
+                        ctx.st2(&mut fine.u, fi, (u0 + c, u1 + c), plan);
+                    }
+                }
+            }
+        }
+        ctx.overhead((cnx * cny) as u64);
+    }
+}
+
+fn zero_field(ctx: &mut RankCtx, lv: &mut Level) {
+    let n = lv.nx * lv.ny * (lv.nz + 2);
+    for i in 0..n {
+        ctx.st(&mut lv.u, i, 0.0);
+    }
+    ctx.overhead(n as u64);
+}
+
+/// Run MG on this rank.
+pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
+    let (nx, ny, nz) = dims(class);
+    // Build the level hierarchy: halve every dimension until too coarse.
+    let mut levels = Vec::new();
+    let (mut lx, mut ly, mut lz) = (nx, ny, nz);
+    loop {
+        levels.push(Level::alloc(ctx, lx, ly, lz));
+        if lx % 2 != 0 || ly % 2 != 0 || lz % 2 != 0 || lx <= 4 || ly <= 4 || lz <= 2 {
+            break;
+        }
+        lx /= 2;
+        ly /= 2;
+        lz /= 2;
+    }
+    let depth = levels.len();
+
+    // NAS-MG-style ±1 point sources scattered through the fine grid.
+    let mut rng = StdRng::seed_from_u64(0x4d47 ^ ctx.rank() as u64);
+    {
+        let lv = &mut levels[0];
+        let n = lv.nx * lv.ny * (lv.nz + 2);
+        for i in 0..n {
+            ctx.st(&mut lv.rhs, i, 0.0);
+        }
+        for s in 0..20 {
+            let x = rng.gen_range(0..lv.nx);
+            let y = rng.gen_range(0..lv.ny);
+            let z = rng.gen_range(1..=lv.nz);
+            let v = if s % 2 == 0 { 1.0 } else { -1.0 };
+            let idx = lv.idx(x, y, z);
+            ctx.st(&mut lv.rhs, idx, v);
+        }
+        ctx.overhead(n as u64);
+    }
+    for lv in levels.iter_mut() {
+        zero_field(ctx, lv);
+    }
+
+    let initial = {
+        let local = residual(ctx, &mut levels[0]);
+        ctx.allreduce_sum_f64(&[local])[0].sqrt()
+    };
+
+    let mut norms = Vec::new();
+    for _cycle in 0..cycles(class) {
+        // Downstroke.
+        for l in 0..depth - 1 {
+            smooth(ctx, &mut levels[l]);
+            smooth(ctx, &mut levels[l]);
+            residual(ctx, &mut levels[l]);
+            let (a, b) = levels.split_at_mut(l + 1);
+            restrict(ctx, &mut a[l], &mut b[0]);
+            zero_field(ctx, &mut levels[l + 1]);
+        }
+        // Coarsest solve: a few extra sweeps.
+        for _ in 0..4 {
+            smooth(ctx, &mut levels[depth - 1]);
+        }
+        // Upstroke.
+        for l in (0..depth - 1).rev() {
+            let (a, b) = levels.split_at_mut(l + 1);
+            prolongate(ctx, &mut b[0], &mut a[l]);
+            smooth(ctx, &mut levels[l]);
+        }
+        let local = residual(ctx, &mut levels[0]);
+        norms.push(ctx.allreduce_sum_f64(&[local])[0].sqrt());
+    }
+
+    // Verification: the V-cycles monotonically reduce the residual and
+    // achieve a healthy total reduction.
+    let monotone = norms.windows(2).all(|w| w[1] <= w[0] * 1.0001);
+    let final_norm = *norms.last().expect("at least one cycle");
+    // Injection-prolongated weighted-Jacobi V-cycles contract modestly;
+    // demand a clear reduction without overfitting the rate.
+    let reduced = final_norm < 0.35 * initial;
+    KernelResult {
+        kernel: Kernel::Mg,
+        verified: monotone && reduced && final_norm.is_finite(),
+        checksum: final_norm,
+    }
+}

@@ -1,0 +1,238 @@
+//! # bgp-net — the Blue Gene/P interconnects
+//!
+//! Blue Gene/P provides five dedicated networks (paper §III); the three
+//! that carry application traffic are modeled here:
+//!
+//! * the **3-D torus** — point-to-point traffic between nearest
+//!   neighbours on a wrapped 3-D mesh ([`TorusNetwork`]),
+//! * the **collective network** — a tree supporting broadcast and
+//!   reductions ([`CollectiveNetwork`]),
+//! * the **barrier network** — a dedicated low-latency global AND/OR
+//!   ([`BarrierNetwork`]).
+//!
+//! (The remaining two, 10 Gb Ethernet for I/O and JTAG for control, carry
+//! no application traffic during the paper's experiments.)
+//!
+//! The models are cost models: given a transfer they return cycles and
+//! packet counts; the MPI runtime charges the cycles to ranks and reports
+//! the packet/byte counts to the UPC units of the endpoints. All values
+//! are deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bgp_arch::geometry::{NodeId, TorusDims};
+
+/// Timing/bandwidth parameters of the interconnects (cycles at 850 MHz).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetConfig {
+    /// Per-hop router latency on the torus (cycles).
+    pub torus_hop_cycles: u64,
+    /// Serialization bandwidth of a torus link (bytes per cycle).
+    pub torus_bytes_per_cycle: u64,
+    /// Maximum torus packet payload (bytes).
+    pub torus_packet_bytes: u64,
+    /// Per-tree-level latency of the collective network (cycles).
+    pub collective_level_cycles: u64,
+    /// Serialization bandwidth of the collective network (bytes/cycle).
+    pub collective_bytes_per_cycle: u64,
+    /// Round-trip latency of the barrier network (cycles). The hardware
+    /// barrier completes in ~1.3 µs irrespective of partition size.
+    pub barrier_cycles: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            torus_hop_cycles: 50,
+            torus_bytes_per_cycle: 2,
+            torus_packet_bytes: 256,
+            collective_level_cycles: 85,
+            collective_bytes_per_cycle: 2,
+            barrier_cycles: 1100,
+        }
+    }
+}
+
+/// Cost of one network transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransferCost {
+    /// End-to-end cycles charged to the participating ranks.
+    pub cycles: u64,
+    /// Packets injected.
+    pub packets: u64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Sum of hop counts over all packets (torus only; 0 on the tree).
+    pub hops: u64,
+}
+
+/// The 3-D torus point-to-point network.
+#[derive(Clone, Debug)]
+pub struct TorusNetwork {
+    dims: TorusDims,
+    cfg: NetConfig,
+}
+
+impl TorusNetwork {
+    /// A torus over `dims` with timing `cfg`.
+    pub fn new(dims: TorusDims, cfg: NetConfig) -> TorusNetwork {
+        TorusNetwork { dims, cfg }
+    }
+
+    /// The partition shape.
+    pub fn dims(&self) -> TorusDims {
+        self.dims
+    }
+
+    /// Cost of sending `bytes` from `src` to `dst`.
+    ///
+    /// Latency = hop traversal + serialization; on-node transfers pay
+    /// only a small local-copy cost (one hop's worth).
+    pub fn transfer(&self, src: NodeId, dst: NodeId, bytes: u64) -> TransferCost {
+        let hops = self.dims.hops(src, dst) as u64;
+        let packets = bytes.div_ceil(self.cfg.torus_packet_bytes).max(1);
+        let serialization = bytes.div_ceil(self.cfg.torus_bytes_per_cycle);
+        let latency = if hops == 0 {
+            // Same node: modeled as a memory-to-memory copy by the
+            // messaging layer; charge a single router traversal.
+            self.cfg.torus_hop_cycles
+        } else {
+            hops * self.cfg.torus_hop_cycles
+        };
+        TransferCost { cycles: latency + serialization, packets, bytes, hops: hops * packets }
+    }
+}
+
+/// The collective (tree) network.
+#[derive(Clone, Debug)]
+pub struct CollectiveNetwork {
+    nodes: usize,
+    cfg: NetConfig,
+}
+
+impl CollectiveNetwork {
+    /// A tree spanning `nodes` nodes with timing `cfg`.
+    pub fn new(nodes: usize, cfg: NetConfig) -> CollectiveNetwork {
+        assert!(nodes >= 1);
+        CollectiveNetwork { nodes, cfg }
+    }
+
+    /// Depth of the binary combining tree.
+    pub fn levels(&self) -> u64 {
+        if self.nodes == 1 {
+            0
+        } else {
+            (usize::BITS - (self.nodes - 1).leading_zeros()) as u64
+        }
+    }
+
+    /// Cost of a broadcast of `bytes` from the root to all nodes.
+    pub fn broadcast(&self, bytes: u64) -> TransferCost {
+        let cycles = self.levels() * self.cfg.collective_level_cycles
+            + bytes.div_ceil(self.cfg.collective_bytes_per_cycle);
+        TransferCost {
+            cycles,
+            packets: bytes.div_ceil(self.cfg.torus_packet_bytes).max(1),
+            bytes,
+            hops: 0,
+        }
+    }
+
+    /// Cost of a reduction of `bytes` (combine on the way up); an
+    /// all-reduce is a reduce followed by a broadcast.
+    pub fn reduce(&self, bytes: u64) -> TransferCost {
+        // The combining ALUs work at line rate: same cost shape as a
+        // broadcast.
+        self.broadcast(bytes)
+    }
+}
+
+/// The dedicated barrier network.
+#[derive(Clone, Debug)]
+pub struct BarrierNetwork {
+    cfg: NetConfig,
+}
+
+impl BarrierNetwork {
+    /// A barrier network with timing `cfg`.
+    pub fn new(cfg: NetConfig) -> BarrierNetwork {
+        BarrierNetwork { cfg }
+    }
+
+    /// Cycles for one global barrier.
+    pub fn barrier_cycles(&self) -> u64 {
+        self.cfg.barrier_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn torus(n: usize) -> TorusNetwork {
+        TorusNetwork::new(TorusDims::for_nodes(n), NetConfig::default())
+    }
+
+    #[test]
+    fn nearest_neighbor_is_cheapest() {
+        let t = torus(64); // 4×4×4
+        let near = t.transfer(NodeId(0), NodeId(1), 1024).cycles;
+        let far = t.transfer(NodeId(0), NodeId(21), 1024).cycles;
+        assert!(near < far);
+    }
+
+    #[test]
+    fn transfer_cost_scales_with_bytes() {
+        let t = torus(8);
+        let small = t.transfer(NodeId(0), NodeId(1), 256);
+        let big = t.transfer(NodeId(0), NodeId(1), 256 * 1024);
+        assert!(big.cycles > small.cycles);
+        assert_eq!(big.packets, 1024);
+        assert_eq!(small.packets, 1);
+    }
+
+    #[test]
+    fn zero_byte_message_still_costs_a_packet() {
+        let t = torus(8);
+        let c = t.transfer(NodeId(0), NodeId(1), 0);
+        assert_eq!(c.packets, 1);
+        assert!(c.cycles > 0);
+    }
+
+    #[test]
+    fn on_node_transfer_pays_local_copy_only() {
+        let t = torus(8);
+        let c = t.transfer(NodeId(3), NodeId(3), 512);
+        assert_eq!(c.hops, 0);
+        assert!(c.cycles < t.transfer(NodeId(0), NodeId(7), 512).cycles);
+    }
+
+    #[test]
+    fn collective_levels_grow_logarithmically() {
+        let cfg = NetConfig::default();
+        assert_eq!(CollectiveNetwork::new(1, cfg.clone()).levels(), 0);
+        assert_eq!(CollectiveNetwork::new(2, cfg.clone()).levels(), 1);
+        assert_eq!(CollectiveNetwork::new(32, cfg.clone()).levels(), 5);
+        assert_eq!(CollectiveNetwork::new(33, cfg).levels(), 6);
+    }
+
+    #[test]
+    fn collective_beats_naive_torus_fanout_for_large_partitions() {
+        let cfg = NetConfig::default();
+        let t = torus(512);
+        let c = CollectiveNetwork::new(512, cfg);
+        let bytes = 8;
+        // Broadcasting 8 bytes to 511 peers point-to-point costs far more
+        // than one tree traversal.
+        let tree = c.broadcast(bytes).cycles;
+        let p2p: u64 = (1..512).map(|d| t.transfer(NodeId(0), NodeId(d), bytes).cycles).sum();
+        assert!(tree * 100 < p2p);
+    }
+
+    #[test]
+    fn barrier_is_partition_size_independent() {
+        let b = BarrierNetwork::new(NetConfig::default());
+        assert_eq!(b.barrier_cycles(), NetConfig::default().barrier_cycles);
+    }
+}

@@ -1,0 +1,314 @@
+//! # bgp-node — a Blue Gene/P compute node
+//!
+//! Assembles the hardware blocks into one node (paper §III, Fig. 2):
+//! four [`core::Core`]s with their FPUs, the shared [`bgp_mem`] hierarchy,
+//! the [`bgp_upc`] performance-counter unit, and the chip Time Base.
+//!
+//! The node is the unit the interface library instruments: all UPC state
+//! is per-node, rank placement assigns processes to its cores per the
+//! operating mode, and all counter dumps are per-node files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod core;
+
+pub use crate::core::{Core, InstrCounts, ISSUE_WIDTH, MISPREDICT_PENALTY};
+
+use bgp_arch::events::{CoreEvent, CounterMode};
+use bgp_arch::geometry::{AddressLayout, NodeId};
+use bgp_arch::{MachineConfig, OpMode, CORES_PER_NODE};
+use bgp_mem::{HitLevel, MemorySystem};
+use bgp_upc::Upc;
+
+/// Memory-operation width as seen by the instruction set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemWidth {
+    /// 4-byte integer word.
+    Word,
+    /// 8-byte FP double.
+    Double,
+    /// 16-byte quadword feeding both FPU pipes (`-qarch=440d` codegen).
+    Quad,
+}
+
+impl MemWidth {
+    /// Transfer size in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            MemWidth::Word => 4,
+            MemWidth::Double => 8,
+            MemWidth::Quad => 16,
+        }
+    }
+
+    const fn event(self, write: bool) -> CoreEvent {
+        match (self, write) {
+            (MemWidth::Word, false) => CoreEvent::Load,
+            (MemWidth::Word, true) => CoreEvent::Store,
+            (MemWidth::Double, false) => CoreEvent::LoadDouble,
+            (MemWidth::Double, true) => CoreEvent::StoreDouble,
+            (MemWidth::Quad, false) => CoreEvent::Quadload,
+            (MemWidth::Quad, true) => CoreEvent::Quadstore,
+        }
+    }
+}
+
+/// One compute node.
+pub struct Node {
+    id: NodeId,
+    mode: OpMode,
+    layout: AddressLayout,
+    cores: Vec<Core>,
+    mem: MemorySystem,
+    upc: Upc,
+    /// Synthetic instruction-address cursor per core (loop-resident code).
+    icursor: [u64; CORES_PER_NODE],
+}
+
+impl Node {
+    /// Build a node.
+    ///
+    /// `counter_mode` selects which 256 of the 1024 events its UPC unit
+    /// observes (the interface library sets this per node parity).
+    pub fn new(id: NodeId, cfg: &MachineConfig, op_mode: OpMode, counter_mode: CounterMode) -> Node {
+        Node {
+            id,
+            mode: op_mode,
+            layout: AddressLayout::with_memory(op_mode, cfg.memory_bytes),
+            cores: (0..CORES_PER_NODE).map(Core::new).collect(),
+            mem: MemorySystem::new(cfg),
+            upc: Upc::new(counter_mode),
+            icursor: [0; CORES_PER_NODE],
+        }
+    }
+
+    /// Node identifier within the partition.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Operating mode the node was booted in.
+    pub fn op_mode(&self) -> OpMode {
+        self.mode
+    }
+
+    /// Process-virtual → node-physical address translation.
+    pub fn layout(&self) -> &AddressLayout {
+        &self.layout
+    }
+
+    /// The node's UPC unit.
+    pub fn upc(&self) -> &Upc {
+        &self.upc
+    }
+
+    /// Mutable access to the UPC unit (the interface library's handle).
+    pub fn upc_mut(&mut self) -> &mut Upc {
+        &mut self.upc
+    }
+
+    /// One core.
+    pub fn core(&self, core: usize) -> &Core {
+        &self.cores[core]
+    }
+
+    /// Ground-truth memory statistics.
+    pub fn mem_stats(&self) -> &bgp_mem::MemStats {
+        self.mem.stats()
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        self.mem.config()
+    }
+
+    /// The chip Time Base as observed by `core`: its own cycle count
+    /// (all cores advance concurrently on real hardware; in the
+    /// serialized simulation each core carries its own clock).
+    pub fn timebase(&self, core: usize) -> u64 {
+        self.cores[core].cycles()
+    }
+
+    /// Wall-clock cycles of the node: the slowest core.
+    pub fn node_cycles(&self) -> u64 {
+        self.cores.iter().map(Core::cycles).max().unwrap_or(0)
+    }
+
+    /// Retire one load or store of `width` by `core` at process-virtual
+    /// address `vaddr` of `process` (node-local process index).
+    ///
+    /// Walks the cache hierarchy, charges the stall, and reports both the
+    /// instruction-class event and the cache events. Returns the level
+    /// that satisfied the access.
+    pub fn mem_op(
+        &mut self,
+        core: usize,
+        process: usize,
+        vaddr: u64,
+        width: MemWidth,
+        write: bool,
+    ) -> HitLevel {
+        let paddr = self.layout.physical(process, vaddr);
+        // Instruction fetch for the surrounding code: one probe per
+        // retirement batch keeps the L1-I warm without per-instruction
+        // cost (kernels are loop-resident).
+        self.touch_icache(core);
+        let outcome = self.mem.access(core, paddr, write, &mut self.upc);
+        // A 16-byte quadword can straddle two 32-byte L1 lines only when
+        // misaligned; workloads keep quadword data 16-byte aligned, so a
+        // single hierarchy access suffices for every width.
+        self.cores[core].retire_mem(write, width.event(write), outcome.stall, &mut self.upc);
+        self.cores[core].sync_cycle_counter(&mut self.upc);
+        outcome.level
+    }
+
+    /// Retire `n` FP instructions of class `op` on `core`.
+    pub fn fp_op(&mut self, core: usize, op: bgp_fpu::FpOp, n: u64) {
+        self.cores[core].retire_fp(op, n, &mut self.upc);
+        self.cores[core].sync_cycle_counter(&mut self.upc);
+    }
+
+    /// Retire `n` integer instructions on `core`.
+    pub fn int_op(&mut self, core: usize, n: u64) {
+        self.cores[core].retire_int(n, &mut self.upc);
+        self.cores[core].sync_cycle_counter(&mut self.upc);
+    }
+
+    /// Retire `n` branches with `mispredicted` misses on `core`.
+    pub fn branch_op(&mut self, core: usize, n: u64, mispredicted: u64) {
+        self.cores[core].retire_branch(n, mispredicted, &mut self.upc);
+        self.cores[core].sync_cycle_counter(&mut self.upc);
+    }
+
+    /// Advance `core`'s clock to at least `target` cycles — used when the
+    /// core waits on an external event (message arrival, collective
+    /// completion). No-op if the core is already past `target`.
+    pub fn advance_to(&mut self, core: usize, target: u64) {
+        let cur = self.cores[core].cycles();
+        if target > cur {
+            self.cores[core].add_cycles(target - cur);
+            self.cores[core].sync_cycle_counter(&mut self.upc);
+        }
+    }
+
+    /// Charge raw cycles to `core` (network waits, runtime overheads).
+    pub fn charge_cycles(&mut self, core: usize, cycles: u64) {
+        self.cores[core].add_cycles(cycles);
+        self.cores[core].sync_cycle_counter(&mut self.upc);
+    }
+
+    /// Report a network event with a count to this node's UPC.
+    pub fn emit_event(&mut self, event: bgp_arch::EventId, count: u64) {
+        self.upc.emit(event, count);
+    }
+
+    fn touch_icache(&mut self, core: usize) {
+        // Rotate through a 16 KB loop-resident code footprint placed in a
+        // reserved high region so it never aliases workload data lines.
+        const CODE_FOOTPRINT: u64 = 16 << 10;
+        let cur = self.icursor[core];
+        self.icursor[core] = (cur + 32) % CODE_FOOTPRINT;
+        let iaddr = u64::MAX - CODE_FOOTPRINT + cur;
+        let stall = self.mem.ifetch(core, iaddr, &mut self.upc);
+        if stall > 0 {
+            self.cores[core].add_cycles(stall);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_arch::events::SharedEvent;
+    use bgp_fpu::FpOp;
+
+    fn node(counter_mode: CounterMode) -> Node {
+        let mut n = Node::new(
+            NodeId(0),
+            &MachineConfig::default(),
+            OpMode::VirtualNode,
+            counter_mode,
+        );
+        n.upc_mut().set_enabled(true);
+        n
+    }
+
+    #[test]
+    fn mem_ops_walk_the_hierarchy_and_charge_stalls() {
+        let mut n = node(CounterMode::Mode0);
+        let lvl = n.mem_op(0, 0, 0x1000, MemWidth::Double, false);
+        assert_eq!(lvl, HitLevel::Ddr);
+        assert!(n.core(0).cycles() >= n.config().lat_ddr);
+        let lvl = n.mem_op(0, 0, 0x1000, MemWidth::Double, false);
+        assert_eq!(lvl, HitLevel::L1);
+    }
+
+    #[test]
+    fn processes_have_disjoint_physical_footprints() {
+        let mut n = node(CounterMode::Mode2);
+        // Same virtual address, different processes: no sharing, so the
+        // second access is a fresh DDR miss.
+        n.mem_op(0, 0, 0x4000, MemWidth::Double, false);
+        let before = n.mem_stats().ddr_reads;
+        n.mem_op(1, 1, 0x4000, MemWidth::Double, false);
+        assert!(n.mem_stats().ddr_reads > before);
+    }
+
+    #[test]
+    fn upc_mode0_sees_core0_instruction_stream() {
+        let mut n = node(CounterMode::Mode0);
+        n.fp_op(0, FpOp::SimdFma, 10);
+        n.int_op(0, 4);
+        n.mem_op(0, 0, 0, MemWidth::Quad, false);
+        let upc = n.upc();
+        assert_eq!(upc.read_event(CoreEvent::FpSimdFma.id(0)), Some(10));
+        assert_eq!(upc.read_event(CoreEvent::IntOp.id(0)), Some(4));
+        assert_eq!(upc.read_event(CoreEvent::Quadload.id(0)), Some(1));
+        // Shared events are invisible in mode 0 but present in ground truth.
+        assert_eq!(upc.read_event(SharedEvent::DdrRead0.id()), None);
+        assert_eq!(n.mem_stats().ddr_reads, 1);
+    }
+
+    #[test]
+    fn cycle_count_event_tracks_core_clock() {
+        let mut n = node(CounterMode::Mode0);
+        n.int_op(0, 1000);
+        let counted = n.upc().read_event(CoreEvent::CycleCount.id(0)).unwrap();
+        assert_eq!(counted, n.core(0).cycles());
+        assert_eq!(counted, n.timebase(0));
+    }
+
+    #[test]
+    fn node_cycles_is_the_slowest_core() {
+        let mut n = node(CounterMode::Mode0);
+        n.int_op(0, 100);
+        n.int_op(2, 500);
+        assert_eq!(n.node_cycles(), n.core(2).cycles());
+    }
+
+    #[test]
+    fn icache_stays_warm_for_loop_resident_code() {
+        let mut n = node(CounterMode::Mode0);
+        for i in 0..10_000u64 {
+            n.mem_op(0, 0, (i % 64) * 8, MemWidth::Double, false);
+        }
+        let s = n.mem_stats();
+        // First pass through the 16 KB footprint misses; after that the
+        // 32 KB L1-I holds it entirely.
+        assert!(s.l1i_misses <= 512 + 8, "l1i misses: {}", s.l1i_misses);
+        assert!(s.l1i_hits > 9_000);
+    }
+
+    #[test]
+    fn charge_cycles_reaches_timebase_and_counter() {
+        let mut n = node(CounterMode::Mode0);
+        n.charge_cycles(1, 12345);
+        assert_eq!(n.timebase(1), 12345);
+        assert_eq!(n.upc().read_event(CoreEvent::CycleCount.id(1)), Some(12345));
+        // Core 3's clock is only visible in counter mode 1.
+        n.charge_cycles(3, 99);
+        assert_eq!(n.timebase(3), 99);
+        assert_eq!(n.upc().read_event(CoreEvent::CycleCount.id(3)), None);
+    }
+}

@@ -1,0 +1,160 @@
+//! `bgpc-dump` — inspect the per-node binary counter dumps the interface
+//! library writes (the command-line face of the paper's post-processing
+//! tools).
+//!
+//! ```text
+//! bgpc-dump <dir-or-file> [--set N] [--csv out.csv] [--all] [--top K]
+//! ```
+//!
+//! * default: summary per node + across-node statistics of the set's
+//!   busiest counters,
+//! * `--set N`: select an instrumentation set (default 0),
+//! * `--all`: print every observed counter (the paper's "statistics of
+//!   all the 512 counters" option),
+//! * `--top K`: how many counters the summary shows (default 20),
+//! * `--csv PATH`: also write the statistics as CSV,
+//! * `--report`: print the one-page human-readable report instead of the
+//!   raw counter table.
+
+use bgp_core::dump::NodeDump;
+use bgp_postproc::{stats_csv, Frame};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    input: PathBuf,
+    set: u32,
+    csv: Option<PathBuf>,
+    all: bool,
+    report: bool,
+    top: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut input = None;
+    let mut set = 0;
+    let mut csv = None;
+    let mut all = false;
+    let mut report = false;
+    let mut top = 20;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--set" => {
+                set = it
+                    .next()
+                    .ok_or("--set needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--set: {e}"))?;
+            }
+            "--csv" => csv = Some(PathBuf::from(it.next().ok_or("--csv needs a path")?)),
+            "--all" => all = true,
+            "--report" => report = true,
+            "--top" => {
+                top = it
+                    .next()
+                    .ok_or("--top needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: bgpc-dump <dir-or-file> [--set N] [--csv out.csv] [--all] [--top K]"
+                    .into());
+            }
+            other if input.is_none() => input = Some(PathBuf::from(other)),
+            other => return Err(format!("unexpected argument {other}")),
+        }
+    }
+    Ok(Args {
+        input: input.ok_or("missing input path (a .bgpc file or a directory of them)")?,
+        set,
+        csv,
+        all,
+        report,
+        top,
+    })
+}
+
+fn load(input: &Path) -> Result<Vec<NodeDump>, String> {
+    if input.is_dir() {
+        bgp_core::read_dumps(input).map_err(|e| e.to_string())
+    } else {
+        let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
+        Ok(vec![bgp_core::dump::decode(&bytes).map_err(|e| e.to_string())?])
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dumps = match load(&args.input) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bgpc-dump: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("{} node dump(s)", dumps.len());
+    for d in &dumps {
+        let sets: Vec<String> = d
+            .sets
+            .iter()
+            .map(|s| format!("{} ({} records)", s.id, s.records))
+            .collect();
+        println!("  node {:>5}  {}  sets: [{}]", d.node, d.mode, sets.join(", "));
+    }
+
+    let frame = match Frame::from_dumps(&dumps, args.set) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bgpc-dump: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for a in frame.anomalies() {
+        println!("warning: {a}");
+    }
+
+    if args.report {
+        println!("\n{}", bgp_postproc::render_report(&dumps, &frame));
+        return ExitCode::SUCCESS;
+    }
+
+    let mut stats = frame.all_stats();
+    if !args.all {
+        stats.sort_by_key(|(_, s)| std::cmp::Reverse(s.sum));
+        stats.truncate(args.top);
+    }
+    println!(
+        "\nset {} — {} counters{}:",
+        args.set,
+        stats.len(),
+        if args.all { "" } else { " (by total, use --all for every slot)" }
+    );
+    println!("{:<32} {:>14} {:>14} {:>16} {:>6}", "event", "min", "max", "mean", "nodes");
+    for (ev, s) in &stats {
+        println!(
+            "{:<32} {:>14} {:>14} {:>16.1} {:>6}",
+            ev.name(),
+            s.min,
+            s.max,
+            s.mean,
+            s.nodes
+        );
+    }
+
+    if let Some(path) = args.csv {
+        if let Err(e) = stats_csv(&frame).write(&path) {
+            eprintln!("bgpc-dump: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("\nstatistics written to {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,220 @@
+//! Aggregation of per-node dumps into a **counter frame**: the
+//! min/max/mean statistics the paper's post-processing tools compute over
+//! all nodes of a run (§IV), with the integrity checks it describes
+//! ("checked based on the number of records and the length of each
+//! record and also for the range of values").
+
+use bgp_arch::events::{CounterMode, EventId, NUM_COUNTERS};
+use bgp_arch::{error::Result, BgpError};
+use bgp_core::dump::NodeDump;
+use std::collections::HashMap;
+
+/// Across-node statistics of one event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EventStats {
+    /// Smallest per-node value.
+    pub min: u64,
+    /// Largest per-node value.
+    pub max: u64,
+    /// Arithmetic mean over observing nodes.
+    pub mean: f64,
+    /// Sum over observing nodes.
+    pub sum: u64,
+    /// Number of nodes that observed the event (were in its mode).
+    pub nodes: usize,
+}
+
+/// Aggregated view of one instrumentation set across all nodes.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    set: u32,
+    per_event: HashMap<EventId, EventStats>,
+    nodes_by_mode: [usize; 4],
+    records: u32,
+}
+
+impl Frame {
+    /// Build a frame for `set` from per-node dumps, performing the
+    /// paper's sanity checks. Every node must carry the set with the same
+    /// record count.
+    pub fn from_dumps(dumps: &[NodeDump], set: u32) -> Result<Frame> {
+        if dumps.is_empty() {
+            return Err(BgpError::Corrupt("no dumps to aggregate".into()));
+        }
+        let mut per_event: HashMap<EventId, EventStats> = HashMap::new();
+        let mut nodes_by_mode = [0usize; 4];
+        let mut records: Option<u32> = None;
+        for d in dumps {
+            let s = d.set(set).ok_or_else(|| {
+                BgpError::Corrupt(format!("node {} is missing set {set}", d.node))
+            })?;
+            if s.counts.len() != NUM_COUNTERS {
+                return Err(BgpError::Corrupt(format!(
+                    "node {}: set {set} has {} counters (want {NUM_COUNTERS})",
+                    d.node,
+                    s.counts.len()
+                )));
+            }
+            match records {
+                None => records = Some(s.records),
+                Some(r) if r == s.records => {}
+                Some(r) => {
+                    return Err(BgpError::Corrupt(format!(
+                        "node {}: set {set} has {} records, others have {r}",
+                        d.node, s.records
+                    )));
+                }
+            }
+            nodes_by_mode[d.mode.index()] += 1;
+            for (slot, &v) in s.counts.iter().enumerate() {
+                let ev = EventId::new(d.mode, slot as u8);
+                per_event
+                    .entry(ev)
+                    .and_modify(|st| {
+                        st.min = st.min.min(v);
+                        st.max = st.max.max(v);
+                        st.sum += v;
+                        st.nodes += 1;
+                    })
+                    .or_insert(EventStats { min: v, max: v, mean: 0.0, sum: v, nodes: 1 });
+            }
+        }
+        for st in per_event.values_mut() {
+            st.mean = st.sum as f64 / st.nodes as f64;
+        }
+        Ok(Frame {
+            set,
+            per_event,
+            nodes_by_mode,
+            records: records.expect("dumps is non-empty"),
+        })
+    }
+
+    /// The set this frame aggregates.
+    pub fn set(&self) -> u32 {
+        self.set
+    }
+
+    /// Start/stop pairs accumulated into the set (identical across nodes).
+    pub fn records(&self) -> u32 {
+        self.records
+    }
+
+    /// How many nodes observed each counter mode.
+    pub fn nodes_in_mode(&self, mode: CounterMode) -> usize {
+        self.nodes_by_mode[mode.index()]
+    }
+
+    /// Statistics of one event, if any node observed it.
+    pub fn stats(&self, ev: EventId) -> Option<&EventStats> {
+        self.per_event.get(&ev)
+    }
+
+    /// Sum of an event over all observing nodes (0 if unobserved).
+    pub fn sum(&self, ev: EventId) -> u64 {
+        self.per_event.get(&ev).map_or(0, |s| s.sum)
+    }
+
+    /// Mean of an event over observing nodes (0 if unobserved).
+    pub fn mean(&self, ev: EventId) -> f64 {
+        self.per_event.get(&ev).map_or(0.0, |s| s.mean)
+    }
+
+    /// All observed events with their statistics, sorted by event index
+    /// (for the "print the statistics of all 512 counters" CSV option).
+    pub fn all_stats(&self) -> Vec<(EventId, EventStats)> {
+        let mut v: Vec<_> = self.per_event.iter().map(|(&e, &s)| (e, s)).collect();
+        v.sort_by_key(|(e, _)| e.index());
+        v
+    }
+
+    /// Range-style anomaly scan: returns human-readable complaints for
+    /// suspicious data (all-zero frames, wildly skewed per-node values of
+    /// events that should be SPMD-symmetric).
+    pub fn anomalies(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.per_event.values().all(|s| s.sum == 0) {
+            out.push(format!("set {}: every counter is zero", self.set));
+        }
+        for (ev, st) in &self.per_event {
+            if st.nodes > 1 && st.min == 0 && st.max > 1_000_000 {
+                out.push(format!(
+                    "{}: node spread 0..{} looks asymmetric for an SPMD code",
+                    ev.name(),
+                    st.max
+                ));
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_core::dump::SetDump;
+
+    fn dump(node: u32, mode: CounterMode, fill: u64) -> NodeDump {
+        NodeDump {
+            node,
+            mode,
+            sets: vec![SetDump { id: 0, records: 1, counts: vec![fill; NUM_COUNTERS] }],
+        }
+    }
+
+    #[test]
+    fn min_max_mean_over_nodes() {
+        let dumps = vec![
+            dump(0, CounterMode::Mode2, 10),
+            dump(1, CounterMode::Mode2, 30),
+        ];
+        let f = Frame::from_dumps(&dumps, 0).unwrap();
+        let ev = EventId::new(CounterMode::Mode2, 5);
+        let st = f.stats(ev).unwrap();
+        assert_eq!((st.min, st.max, st.sum, st.nodes), (10, 30, 40, 2));
+        assert!((st.mean - 20.0).abs() < 1e-12);
+        assert_eq!(f.nodes_in_mode(CounterMode::Mode2), 2);
+        assert_eq!(f.nodes_in_mode(CounterMode::Mode0), 0);
+    }
+
+    #[test]
+    fn mixed_modes_partition_the_event_space() {
+        let dumps = vec![
+            dump(0, CounterMode::Mode0, 7),
+            dump(1, CounterMode::Mode1, 9),
+        ];
+        let f = Frame::from_dumps(&dumps, 0).unwrap();
+        assert_eq!(f.sum(EventId::new(CounterMode::Mode0, 0)), 7);
+        assert_eq!(f.sum(EventId::new(CounterMode::Mode1, 0)), 9);
+        assert_eq!(f.sum(EventId::new(CounterMode::Mode2, 0)), 0);
+        assert_eq!(f.all_stats().len(), 512, "two modes → 512 observed events");
+    }
+
+    #[test]
+    fn missing_set_is_an_integrity_error() {
+        let d0 = dump(0, CounterMode::Mode0, 1);
+        let mut d1 = dump(1, CounterMode::Mode0, 1);
+        d1.sets[0].id = 3;
+        assert!(Frame::from_dumps(&[d0, d1], 0).is_err());
+    }
+
+    #[test]
+    fn record_count_mismatch_is_an_integrity_error() {
+        let d0 = dump(0, CounterMode::Mode0, 1);
+        let mut d1 = dump(1, CounterMode::Mode0, 1);
+        d1.sets[0].records = 2;
+        assert!(Frame::from_dumps(&[d0, d1], 0).is_err());
+    }
+
+    #[test]
+    fn anomaly_scan_flags_all_zero_and_asymmetric_data() {
+        let f = Frame::from_dumps(&[dump(0, CounterMode::Mode0, 0)], 0).unwrap();
+        assert!(f.anomalies().iter().any(|a| a.contains("every counter is zero")));
+
+        let mut d1 = dump(1, CounterMode::Mode0, 0);
+        d1.sets[0].counts[3] = 5_000_000;
+        let f = Frame::from_dumps(&[dump(0, CounterMode::Mode0, 0), d1], 0).unwrap();
+        assert!(f.anomalies().iter().any(|a| a.contains("asymmetric")));
+    }
+}

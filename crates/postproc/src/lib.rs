@@ -1,0 +1,29 @@
+//! # bgp-postproc — post-processing and data mining for counter dumps
+//!
+//! The paper ships post-processing tools that read the per-node binary
+//! files, sanity-check them, compute per-counter statistics (minimum,
+//! maximum, arithmetic mean) across all nodes, derive user-defined
+//! metrics (MFLOPS from the FPU counters, L3-DDR traffic from the L3/DDR
+//! counters), and print `.csv` records per application (§IV). This crate
+//! is those tools:
+//!
+//! * [`frame::Frame`] — aggregation + integrity checks,
+//! * [`metrics`] — MFLOPS, DDR traffic/bandwidth, L3 miss ratio, and the
+//!   Fig. 6 instruction-mix categories,
+//! * [`csv`] — CSV emission, including the "all 512 counters" option.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod frame;
+pub mod metrics;
+pub mod report;
+
+pub use csv::{stats_csv, Csv};
+pub use frame::{EventStats, Frame};
+pub use report::render as render_report;
+pub use metrics::{
+    ddr_bandwidth_mb_s, ddr_bursts_per_node, ddr_traffic_bytes_per_node, fp_mix, l3_miss_ratio,
+    mean_core_cycles, mflops_per_chip, mflops_per_core, observed_cores, FpMix, MixCategory,
+};

@@ -1,0 +1,432 @@
+//! # bgp-upc — the Universal Performance Counter unit
+//!
+//! A software model of the UPC block of the Blue Gene/P compute chip
+//! (paper §III-A):
+//!
+//! * 256 physical **64-bit counters**,
+//! * a unit-wide **counter mode** (0–3) selecting which of the 1024
+//!   possible events each counter is wired to,
+//! * per-counter **configuration registers**: two counter-event bits
+//!   selecting level/edge sensitivity and an interrupt-enable bit,
+//! * per-counter **thresholds** that raise an interrupt when reached
+//!   ("thresholding" — the feedback feature the paper highlights for
+//!   data placement / thread assignment decisions),
+//! * all of it accessible through a **memory-mapped register file**
+//!   ([`regfile::RegFile`]), mirroring the real chip where "all counters
+//!   and all configuration registers in the UPC module are mapped into
+//!   the memory address space".
+//!
+//! Hardware blocks report activity by calling [`Upc::emit`] (occurrence
+//! events, i.e. signal edges) or [`Upc::emit_level`] (occupancy events,
+//! i.e. cycles a signal was high). Whether an emission increments a
+//! counter depends on the unit's mode, the enable bit, and the counter's
+//! sensitivity configuration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod regfile;
+
+use bgp_arch::events::{CounterMode, EventId, Sensitivity, NUM_COUNTERS};
+
+/// Configuration of one physical counter (the "4 configuration bits"
+/// of §III-A: two sensitivity bits, one interrupt-enable bit, one
+/// freeze-on-threshold bit).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterConfig {
+    /// Input-signal sensitivity (the two counter-event bits).
+    pub sensitivity: Sensitivity,
+    /// Raise an interrupt when the counter reaches its threshold.
+    pub interrupt_enable: bool,
+    /// Stop counting on this counter once the threshold fires.
+    pub freeze_on_threshold: bool,
+}
+
+impl CounterConfig {
+    /// Pack into the 4-bit hardware encoding
+    /// (`[freeze | irq | sens1 | sens0]`).
+    pub const fn to_bits(self) -> u8 {
+        self.sensitivity.to_bits()
+            | (self.interrupt_enable as u8) << 2
+            | (self.freeze_on_threshold as u8) << 3
+    }
+
+    /// Unpack from the 4-bit hardware encoding.
+    pub const fn from_bits(bits: u8) -> CounterConfig {
+        CounterConfig {
+            sensitivity: Sensitivity::from_bits(bits & 0b11),
+            interrupt_enable: bits & 0b100 != 0,
+            freeze_on_threshold: bits & 0b1000 != 0,
+        }
+    }
+}
+
+/// A threshold-crossing interrupt raised by the unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThresholdInterrupt {
+    /// Counter slot (0–255) that crossed its threshold.
+    pub slot: u8,
+    /// The event the slot was counting when it fired.
+    pub event: EventId,
+    /// Counter value at the moment the interrupt was raised.
+    pub value: u64,
+    /// The configured threshold.
+    pub threshold: u64,
+}
+
+/// The Universal Performance Counter unit of one node.
+///
+/// ```
+/// use bgp_upc::Upc;
+/// use bgp_arch::events::{CounterMode, CoreEvent};
+///
+/// let mut upc = Upc::new(CounterMode::Mode0);
+/// upc.set_enabled(true);
+/// upc.emit(CoreEvent::FpSimdFma.id(0), 42);        // core 0: mode 0 — counted
+/// upc.emit(CoreEvent::FpSimdFma.id(2), 99);        // core 2: mode 1 — not wired
+/// assert_eq!(upc.read_event(CoreEvent::FpSimdFma.id(0)), Some(42));
+/// assert_eq!(upc.read_event(CoreEvent::FpSimdFma.id(2)), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Upc {
+    mode: CounterMode,
+    enabled: bool,
+    counters: Box<[u64; NUM_COUNTERS]>,
+    configs: Box<[CounterConfig; NUM_COUNTERS]>,
+    thresholds: Box<[u64; NUM_COUNTERS]>,
+    fired: Box<[bool; NUM_COUNTERS]>,
+    pending: Vec<ThresholdInterrupt>,
+    /// Total interrupts raised over the unit's lifetime (diagnostics).
+    interrupts_raised: u64,
+}
+
+impl Default for Upc {
+    fn default() -> Self {
+        Upc::new(CounterMode::Mode0)
+    }
+}
+
+impl Upc {
+    /// A fresh unit in the given counter mode, disabled, all counters zero.
+    pub fn new(mode: CounterMode) -> Upc {
+        Upc {
+            mode,
+            enabled: false,
+            counters: Box::new([0; NUM_COUNTERS]),
+            configs: Box::new([CounterConfig::default(); NUM_COUNTERS]),
+            thresholds: Box::new([u64::MAX; NUM_COUNTERS]),
+            fired: Box::new([false; NUM_COUNTERS]),
+            pending: Vec::new(),
+            interrupts_raised: 0,
+        }
+    }
+
+    /// The unit-wide counter mode.
+    #[inline]
+    pub fn mode(&self) -> CounterMode {
+        self.mode
+    }
+
+    /// Re-program the unit's counter mode. Clears all counters (the
+    /// hardware's counts are meaningless across a mode switch).
+    pub fn set_mode(&mut self, mode: CounterMode) {
+        self.mode = mode;
+        self.clear();
+    }
+
+    /// Whether the unit is currently counting.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Globally start/stop counting (the unit-level enable).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Zero all counters and re-arm all thresholds.
+    pub fn clear(&mut self) {
+        self.counters.fill(0);
+        self.fired.fill(false);
+        self.pending.clear();
+    }
+
+    /// Configure one counter slot.
+    pub fn configure(&mut self, slot: u8, cfg: CounterConfig) {
+        self.configs[slot as usize] = cfg;
+    }
+
+    /// Read one counter slot's configuration.
+    pub fn config(&self, slot: u8) -> CounterConfig {
+        self.configs[slot as usize]
+    }
+
+    /// Set one counter slot's threshold. `u64::MAX` disarms it.
+    pub fn set_threshold(&mut self, slot: u8, threshold: u64) {
+        self.thresholds[slot as usize] = threshold;
+        self.fired[slot as usize] = false;
+    }
+
+    /// Read one counter slot's threshold.
+    pub fn threshold(&self, slot: u8) -> u64 {
+        self.thresholds[slot as usize]
+    }
+
+    /// Current value of one counter slot.
+    #[inline]
+    pub fn read(&self, slot: u8) -> u64 {
+        self.counters[slot as usize]
+    }
+
+    /// Current value of the counter wired to `event`, or `None` if the
+    /// event is not observable in the unit's current mode.
+    #[inline]
+    pub fn read_event(&self, event: EventId) -> Option<u64> {
+        (event.mode() == self.mode).then(|| self.read(event.slot().0))
+    }
+
+    /// Snapshot of all 256 counters.
+    pub fn snapshot(&self) -> [u64; NUM_COUNTERS] {
+        *self.counters
+    }
+
+    /// Report `pulses` occurrences (signal edges) of `event`.
+    ///
+    /// Ignored unless the unit is enabled **and** the event belongs to the
+    /// unit's current counter mode — exactly like the hardware, where an
+    /// event source not selected by the mode simply is not wired to any
+    /// counter. Under level-sensitive configuration an edge-event source
+    /// contributes nothing (the model cannot know the level duration;
+    /// sources with meaningful durations use [`Upc::emit_level`]).
+    #[inline]
+    pub fn emit(&mut self, event: EventId, pulses: u64) {
+        if !self.enabled || event.mode() != self.mode || pulses == 0 {
+            return;
+        }
+        let slot = event.slot().0 as usize;
+        let cfg = self.configs[slot];
+        let delta = match cfg.sensitivity {
+            // Both edge polarities see one transition per pulse.
+            Sensitivity::EdgeRise | Sensitivity::EdgeFall => pulses,
+            Sensitivity::LevelHigh | Sensitivity::LevelLow => 0,
+        };
+        self.bump(event, slot, delta);
+    }
+
+    /// Report that the signal of `event` was high for `high_cycles` out of
+    /// `window_cycles` cycles (occupancy-style event sources such as DDR
+    /// queue occupancy).
+    #[inline]
+    pub fn emit_level(&mut self, event: EventId, high_cycles: u64, window_cycles: u64) {
+        if !self.enabled || event.mode() != self.mode {
+            return;
+        }
+        debug_assert!(high_cycles <= window_cycles);
+        let slot = event.slot().0 as usize;
+        let cfg = self.configs[slot];
+        let delta = match cfg.sensitivity {
+            Sensitivity::LevelHigh => high_cycles,
+            Sensitivity::LevelLow => window_cycles - high_cycles,
+            // An edge-configured counter sees one rising and one falling
+            // edge per high period; we model one high period per report.
+            Sensitivity::EdgeRise | Sensitivity::EdgeFall => u64::from(high_cycles > 0),
+        };
+        self.bump(event, slot, delta);
+    }
+
+    #[inline]
+    fn bump(&mut self, event: EventId, slot: usize, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        let cfg = self.configs[slot];
+        if cfg.freeze_on_threshold && self.fired[slot] {
+            return;
+        }
+        let v = self.counters[slot].wrapping_add(delta);
+        self.counters[slot] = v;
+        let th = self.thresholds[slot];
+        if cfg.interrupt_enable && !self.fired[slot] && v >= th {
+            self.fired[slot] = true;
+            self.interrupts_raised += 1;
+            self.pending.push(ThresholdInterrupt {
+                slot: slot as u8,
+                event,
+                value: v,
+                threshold: th,
+            });
+        }
+    }
+
+    /// Directly set a counter's raw value — the memory-mapped store path
+    /// used by [`regfile::RegFile`] (software presetting a counter).
+    pub(crate) fn write_counter_raw(&mut self, slot: u8, value: u64) {
+        self.counters[slot as usize] = value;
+    }
+
+    /// Drain pending threshold interrupts (oldest first).
+    pub fn take_interrupts(&mut self) -> Vec<ThresholdInterrupt> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Total interrupts raised over the unit's lifetime.
+    pub fn interrupts_raised(&self) -> u64 {
+        self.interrupts_raised
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_arch::events::{CoreEvent, NetEvent, SharedEvent};
+
+    fn enabled_unit(mode: CounterMode) -> Upc {
+        let mut u = Upc::new(mode);
+        u.set_enabled(true);
+        u
+    }
+
+    #[test]
+    fn counts_only_in_matching_mode() {
+        let mut u = enabled_unit(CounterMode::Mode0);
+        let ev0 = CoreEvent::FpFma.id(0); // mode 0
+        let ev2 = CoreEvent::FpFma.id(2); // mode 1
+        u.emit(ev0, 5);
+        u.emit(ev2, 7);
+        assert_eq!(u.read_event(ev0), Some(5));
+        assert_eq!(u.read_event(ev2), None, "core 2 events invisible in mode 0");
+        // The slot it would share in mode 1 holds only the mode-0 count.
+        assert_eq!(u.read(ev2.slot().0), 5);
+    }
+
+    #[test]
+    fn disabled_unit_counts_nothing() {
+        let mut u = Upc::new(CounterMode::Mode2);
+        u.emit(SharedEvent::DdrRead0.id(), 100);
+        assert_eq!(u.read_event(SharedEvent::DdrRead0.id()), Some(0));
+        u.set_enabled(true);
+        u.emit(SharedEvent::DdrRead0.id(), 100);
+        assert_eq!(u.read_event(SharedEvent::DdrRead0.id()), Some(100));
+    }
+
+    #[test]
+    fn mode_switch_clears_counters() {
+        let mut u = enabled_unit(CounterMode::Mode2);
+        u.emit(SharedEvent::L3Hit0.id(), 3);
+        u.set_mode(CounterMode::Mode3);
+        assert_eq!(u.read(SharedEvent::L3Hit0.id().slot().0), 0);
+    }
+
+    #[test]
+    fn level_sensitivity_accumulates_cycles() {
+        let mut u = enabled_unit(CounterMode::Mode2);
+        let ev = SharedEvent::DdrConflict0.id();
+        u.configure(
+            ev.slot().0,
+            CounterConfig { sensitivity: Sensitivity::LevelHigh, ..Default::default() },
+        );
+        u.emit_level(ev, 30, 100);
+        u.emit_level(ev, 20, 50);
+        assert_eq!(u.read_event(ev), Some(50));
+
+        // Level-low counts the complement.
+        let ev2 = SharedEvent::DdrConflict1.id();
+        u.configure(
+            ev2.slot().0,
+            CounterConfig { sensitivity: Sensitivity::LevelLow, ..Default::default() },
+        );
+        u.emit_level(ev2, 30, 100);
+        assert_eq!(u.read_event(ev2), Some(70));
+    }
+
+    #[test]
+    fn edge_config_ignores_level_durations_and_vice_versa() {
+        let mut u = enabled_unit(CounterMode::Mode3);
+        let ev = NetEvent::TorusPktSent.id();
+        // Default config is edge-rise: pulse emissions count...
+        u.emit(ev, 4);
+        assert_eq!(u.read_event(ev), Some(4));
+        // ...level reports count one edge per high period.
+        u.emit_level(ev, 500, 1000);
+        assert_eq!(u.read_event(ev), Some(5));
+        // A level-configured counter ignores pulse emissions.
+        u.configure(
+            ev.slot().0,
+            CounterConfig { sensitivity: Sensitivity::LevelHigh, ..Default::default() },
+        );
+        u.emit(ev, 9);
+        assert_eq!(u.read_event(ev), Some(5));
+    }
+
+    #[test]
+    fn threshold_fires_once_per_arm() {
+        let mut u = enabled_unit(CounterMode::Mode0);
+        let ev = CoreEvent::L1dMiss.id(1);
+        u.configure(
+            ev.slot().0,
+            CounterConfig { interrupt_enable: true, ..Default::default() },
+        );
+        u.set_threshold(ev.slot().0, 10);
+        u.emit(ev, 9);
+        assert!(u.take_interrupts().is_empty());
+        u.emit(ev, 2); // crosses 10 at 11
+        let irqs = u.take_interrupts();
+        assert_eq!(irqs.len(), 1);
+        assert_eq!(irqs[0].value, 11);
+        assert_eq!(irqs[0].threshold, 10);
+        assert_eq!(irqs[0].event, ev);
+        // No retrigger while armed-fired.
+        u.emit(ev, 100);
+        assert!(u.take_interrupts().is_empty());
+        // Re-arming restores it.
+        u.set_threshold(ev.slot().0, 200);
+        u.emit(ev, 100); // 211 >= 200
+        assert_eq!(u.take_interrupts().len(), 1);
+        assert_eq!(u.interrupts_raised(), 2);
+    }
+
+    #[test]
+    fn threshold_without_interrupt_enable_is_silent() {
+        let mut u = enabled_unit(CounterMode::Mode0);
+        let ev = CoreEvent::L1dMiss.id(0);
+        u.set_threshold(ev.slot().0, 1);
+        u.emit(ev, 10);
+        assert!(u.take_interrupts().is_empty());
+    }
+
+    #[test]
+    fn freeze_on_threshold_stops_the_counter() {
+        let mut u = enabled_unit(CounterMode::Mode0);
+        let ev = CoreEvent::Load.id(0);
+        u.configure(
+            ev.slot().0,
+            CounterConfig {
+                interrupt_enable: true,
+                freeze_on_threshold: true,
+                ..Default::default()
+            },
+        );
+        u.set_threshold(ev.slot().0, 5);
+        u.emit(ev, 7);
+        assert_eq!(u.read_event(ev), Some(7));
+        u.emit(ev, 100);
+        assert_eq!(u.read_event(ev), Some(7), "frozen after firing");
+    }
+
+    #[test]
+    fn config_bits_round_trip() {
+        for bits in 0..16u8 {
+            assert_eq!(CounterConfig::from_bits(bits).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn counters_are_64_bit_and_wrap() {
+        let mut u = enabled_unit(CounterMode::Mode0);
+        let ev = CoreEvent::CycleCount.id(0);
+        u.emit(ev, u64::MAX);
+        u.emit(ev, 2);
+        assert_eq!(u.read_event(ev), Some(1), "wrapping add like hardware");
+    }
+}

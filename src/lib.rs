@@ -1,0 +1,25 @@
+//! # bgp — Blue Gene/P performance-counter workload characterization, reproduced
+//!
+//! Facade crate re-exporting the whole workspace. See the README for the
+//! architecture overview and DESIGN.md for the paper-to-module map.
+//!
+//! The short story: [`arch`] is the vocabulary, [`mem`]/[`fpu`]/[`upc`]/
+//! [`net`] are the hardware blocks, [`node`] assembles them into a compute
+//! node, [`compiler`] models the XL compiler's instruction selection,
+//! [`mpi`] runs ranks across nodes, [`counters`] is the paper's interface
+//! library, [`postproc`] mines the dumps, and [`nas`] holds the NAS
+//! parallel benchmark kernels.
+
+#![forbid(unsafe_code)]
+
+pub use bgp_arch as arch;
+pub use bgp_compiler as compiler;
+pub use bgp_core as counters;
+pub use bgp_fpu as fpu;
+pub use bgp_mem as mem;
+pub use bgp_mpi as mpi;
+pub use bgp_nas as nas;
+pub use bgp_net as net;
+pub use bgp_node as node;
+pub use bgp_postproc as postproc;
+pub use bgp_upc as upc;

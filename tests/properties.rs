@@ -1,0 +1,153 @@
+//! Property-based tests across the stack: cache behaviour under random
+//! traces, dump-codec round trips, reduction algebra, torus metrics.
+
+use bgp::arch::events::{CounterMode, NUM_COUNTERS};
+use bgp::arch::geometry::{NodeId, TorusDims};
+use bgp::arch::MachineConfig;
+use bgp::counters::dump::{decode, encode, NodeDump, SetDump};
+use bgp::mem::{Cache, MemorySystem};
+use bgp::mpi::ReduceOp;
+use bgp::upc::Upc;
+use proptest::prelude::*;
+
+proptest! {
+    /// LRU caches never hold more lines than their capacity, and a line
+    /// just filled is always resident.
+    #[test]
+    fn cache_capacity_and_residency(
+        sets in 1usize..32,
+        ways in 1usize..8,
+        lines in proptest::collection::vec(0u64..5_000, 1..400),
+    ) {
+        let mut c = Cache::new(sets, ways);
+        for &l in &lines {
+            c.fill(l, false, false);
+            prop_assert!(c.contains(l), "freshly filled line must be resident");
+            prop_assert!(c.resident_lines() <= sets * ways);
+        }
+    }
+
+    /// Replaying a trace against a larger (same-geometry-family) L3 never
+    /// increases DDR reads — the stack-distance property Fig. 11 rests on.
+    #[test]
+    fn bigger_l3_never_reads_ddr_more(
+        trace in proptest::collection::vec((0u64..200_000, any::<bool>()), 50..600),
+    ) {
+        let mut last = u64::MAX;
+        for mb in [0usize, 2, 4, 8] {
+            let cfg = MachineConfig {
+                l2_prefetch_depth: 0,
+                ..MachineConfig::default()
+            }
+            .with_l3_bytes(mb << 20);
+            let mut m = MemorySystem::new(&cfg);
+            let mut upc = Upc::new(CounterMode::Mode2);
+            for &(addr, write) in &trace {
+                m.access(0, addr * 8, write, &mut upc);
+            }
+            let reads = m.stats().ddr_reads;
+            prop_assert!(reads <= last, "{mb} MB: {reads} > {last}");
+            last = reads;
+        }
+    }
+
+    /// The dump codec round-trips arbitrary counter contents.
+    #[test]
+    fn dump_codec_round_trips(
+        node in 0u32..100_000,
+        mode in 0usize..4,
+        sets in proptest::collection::vec(
+            (0u32..1000, 0u32..50, proptest::collection::vec(any::<u64>(), NUM_COUNTERS..=NUM_COUNTERS)),
+            0..4
+        ),
+    ) {
+        let mut ids = std::collections::HashSet::new();
+        let sets: Vec<SetDump> = sets
+            .into_iter()
+            .filter(|(id, _, _)| ids.insert(*id))
+            .map(|(id, records, counts)| SetDump { id, records, counts })
+            .collect();
+        let d = NodeDump {
+            node,
+            mode: CounterMode::from_index(mode).unwrap(),
+            sets,
+        };
+        let bytes = encode(&d);
+        prop_assert_eq!(decode(&bytes).unwrap(), d);
+    }
+
+    /// Any single byte flip in a dump is detected.
+    #[test]
+    fn dump_codec_detects_any_bitflip(
+        fill in any::<u64>(),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let d = NodeDump {
+            node: 3,
+            mode: CounterMode::Mode2,
+            sets: vec![SetDump { id: 0, records: 1, counts: vec![fill; NUM_COUNTERS] }],
+        };
+        let mut bytes = encode(&d);
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(decode(&bytes).is_err() || decode(&bytes).unwrap() != d);
+    }
+
+    /// Reductions are order-independent for the exact ops (max over u64,
+    /// sum over u64 with wrapping).
+    #[test]
+    fn reduce_ops_are_commutative(
+        mut payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 4..=4),
+            2..6
+        ),
+    ) {
+        let fold = |ps: &[Vec<u64>], op: ReduceOp| {
+            let mut acc = bgp::mpi::u64s_to_bytes(&ps[0]);
+            for p in &ps[1..] {
+                op.combine(&mut acc, &bgp::mpi::u64s_to_bytes(p));
+            }
+            bgp::mpi::bytes_to_u64s(&acc)
+        };
+        for op in [ReduceOp::SumU64, ReduceOp::MaxU64] {
+            let forward = fold(&payloads, op);
+            payloads.reverse();
+            let backward = fold(&payloads, op);
+            payloads.reverse();
+            prop_assert_eq!(forward, backward);
+        }
+    }
+
+    /// Torus hop distance is a metric for arbitrary partition sizes.
+    #[test]
+    fn torus_hops_is_a_metric(n in 1usize..65, a in 0usize..64, b in 0usize..64, c in 0usize..64) {
+        let dims = TorusDims::for_nodes(n);
+        let (a, b, c) = (a % n, b % n, c % n);
+        let d = |x: usize, y: usize| dims.hops(NodeId(x), NodeId(y));
+        prop_assert_eq!(d(a, a), 0);
+        prop_assert_eq!(d(a, b), d(b, a));
+        prop_assert!(d(a, c) <= d(a, b) + d(b, c));
+    }
+
+    /// UPC counters are exact under arbitrary interleavings of emissions.
+    #[test]
+    fn upc_counts_are_exact(
+        emissions in proptest::collection::vec((0usize..4, 0u8..20, 1u64..100), 0..200),
+    ) {
+        use bgp::arch::events::EventId;
+        let mut upc = Upc::new(CounterMode::Mode1);
+        upc.set_enabled(true);
+        let mut expected = [0u64; NUM_COUNTERS];
+        for &(mode, slot, pulses) in &emissions {
+            let mode = CounterMode::from_index(mode).unwrap();
+            upc.emit(EventId::new(mode, slot), pulses);
+            if mode == CounterMode::Mode1 {
+                expected[slot as usize] += pulses;
+            }
+        }
+        for (slot, &want) in expected.iter().enumerate() {
+            prop_assert_eq!(upc.read(slot as u8), want);
+        }
+    }
+}
