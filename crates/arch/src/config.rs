@@ -112,7 +112,7 @@ impl MachineConfig {
 
     /// Validate internal consistency; returns a human-readable complaint.
     pub fn validate(&self) -> Result<(), String> {
-        if self.l1_bytes % (self.l1_ways * L1_LINE_BYTES) != 0 || self.l1_sets() == 0 {
+        if !self.l1_bytes.is_multiple_of(self.l1_ways * L1_LINE_BYTES) || self.l1_sets() == 0 {
             return Err(format!(
                 "L1 geometry invalid: {} bytes / {} ways / {} B lines",
                 self.l1_bytes, self.l1_ways, L1_LINE_BYTES
@@ -121,7 +121,7 @@ impl MachineConfig {
         if !self.l1_sets().is_power_of_two() {
             return Err("L1 set count must be a power of two".into());
         }
-        if self.l2_bytes % (self.l2_ways * LINE_BYTES) != 0 {
+        if !self.l2_bytes.is_multiple_of(self.l2_ways * LINE_BYTES) {
             return Err("L2 capacity must divide into ways × 128 B lines".into());
         }
         if self.l3_banks == 0 {
@@ -132,7 +132,7 @@ impl MachineConfig {
             // The L3 is assembled from 2 MB eDRAM macros, so capacities
             // like 6 MB yield set counts that are not powers of two; the
             // bank indexes by modulo, so we only require exact division.
-            if per_bank % (self.l3_ways * LINE_BYTES) != 0 || self.l3_sets_per_bank() == 0 {
+            if !per_bank.is_multiple_of(self.l3_ways * LINE_BYTES) || self.l3_sets_per_bank() == 0 {
                 return Err(format!(
                     "L3 geometry invalid: {} bytes over {} banks, {} ways",
                     self.l3_bytes, self.l3_banks, self.l3_ways
@@ -168,17 +168,14 @@ mod tests {
 
     #[test]
     fn invalid_geometry_is_rejected() {
-        let mut c = MachineConfig::default();
-        c.l1_bytes = 1000; // not line/way aligned
+        let c = MachineConfig { l1_bytes: 1000, ..MachineConfig::default() };
+        assert!(c.validate().is_err(), "l1 not line/way aligned");
+
+        let c = MachineConfig { l3_banks: 0, ..MachineConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut c = MachineConfig::default();
-        c.l3_banks = 0;
-        assert!(c.validate().is_err());
-
-        let mut c = MachineConfig::default();
-        c.l3_bytes = 1000; // not divisible into ways × lines per bank
-        assert!(c.validate().is_err());
+        let c = MachineConfig { l3_bytes: 1000, ..MachineConfig::default() };
+        assert!(c.validate().is_err(), "l3 not divisible into ways × lines per bank");
     }
 
     #[test]

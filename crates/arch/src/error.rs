@@ -1,6 +1,90 @@
 //! The workspace-wide error type.
+//!
+//! Besides the classic failure classes (configuration, protocol misuse,
+//! corrupt dumps, I/O), the taxonomy distinguishes the *transient*
+//! failures a resilient collection pipeline can retry — [`BgpError::Timeout`]
+//! and [`BgpError::PartialData`] — from the fatal ones it must route
+//! around, such as [`BgpError::NodeLost`]. Structured [`Context`] carries
+//! node id / set id / byte offset where the call site knows them, so a
+//! 4096-node run can say *which* dump broke and *where*.
 
 use core::fmt;
+
+/// Structured context attached to [`BgpError::Corrupt`] and
+/// [`BgpError::Protocol`]: what went wrong, and — where the call site
+/// knows — on which node, in which instrumentation set, at which byte
+/// offset of the dump file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Context {
+    /// Human-readable description of the failure.
+    pub reason: String,
+    /// Node id the failure concerns, if known.
+    pub node: Option<u32>,
+    /// Instrumentation-set id the failure concerns, if known.
+    pub set: Option<u32>,
+    /// Byte offset into the dump where decoding failed, if known.
+    pub offset: Option<u64>,
+}
+
+impl Context {
+    /// A context carrying only a reason.
+    pub fn new(reason: impl Into<String>) -> Context {
+        Context { reason: reason.into(), ..Context::default() }
+    }
+
+    /// Attach the node id.
+    pub fn at_node(mut self, node: u32) -> Context {
+        self.node = Some(node);
+        self
+    }
+
+    /// Attach the set id.
+    pub fn at_set(mut self, set: u32) -> Context {
+        self.set = Some(set);
+        self
+    }
+
+    /// Attach the byte offset.
+    pub fn at_offset(mut self, offset: u64) -> Context {
+        self.offset = Some(offset);
+        self
+    }
+}
+
+impl From<String> for Context {
+    fn from(reason: String) -> Context {
+        Context::new(reason)
+    }
+}
+
+impl From<&str> for Context {
+    fn from(reason: &str) -> Context {
+        Context::new(reason)
+    }
+}
+
+impl fmt::Display for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.reason)?;
+        let mut sep = " (";
+        if let Some(n) = self.node {
+            write!(f, "{sep}node {n}")?;
+            sep = ", ";
+        }
+        if let Some(s) = self.set {
+            write!(f, "{sep}set {s}")?;
+            sep = ", ";
+        }
+        if let Some(o) = self.offset {
+            write!(f, "{sep}offset {o}")?;
+            sep = ", ";
+        }
+        if sep == ", " {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
 
 /// Errors surfaced by the Blue Gene/P model and the counter library.
 #[derive(Debug)]
@@ -9,23 +93,96 @@ pub enum BgpError {
     Config(String),
     /// The counter interface was used out of protocol
     /// (e.g. `BGP_Start` before `BGP_Initialize`, mismatched stop).
-    Protocol(String),
-    /// A counter dump file was malformed.
-    Corrupt(String),
+    Protocol(Context),
+    /// A counter dump was malformed.
+    Corrupt(Context),
     /// An I/O error while reading or writing dump files.
     Io(std::io::Error),
     /// An MPI-level usage error (bad rank, size mismatch, deadlock).
     Mpi(String),
+    /// A per-node collection attempt exceeded its deadline (retryable).
+    Timeout {
+        /// Node whose collection timed out.
+        node: u32,
+        /// Attempts made so far (including the one that timed out).
+        attempts: u32,
+    },
+    /// A node disappeared mid-run; its data will never arrive (fatal —
+    /// degrade coverage instead of retrying).
+    NodeLost {
+        /// The lost node.
+        node: u32,
+    },
+    /// A node's dump decoded only partially; the surviving sets were
+    /// recovered and the named set quarantined.
+    PartialData {
+        /// Node whose dump was partial.
+        node: u32,
+        /// First quarantined set, if identifiable.
+        set: Option<u32>,
+    },
+}
+
+impl BgpError {
+    /// Shorthand for a [`BgpError::Corrupt`] with just a reason.
+    pub fn corrupt(reason: impl Into<String>) -> BgpError {
+        BgpError::Corrupt(Context::new(reason))
+    }
+
+    /// Shorthand for a [`BgpError::Protocol`] with just a reason.
+    pub fn protocol(reason: impl Into<String>) -> BgpError {
+        BgpError::Protocol(Context::new(reason))
+    }
+
+    /// Whether a collection pipeline should retry after this error.
+    ///
+    /// Timeouts and partial reads are transient: a later attempt can
+    /// succeed (the paper's I/O node forwarding path re-requests dumps).
+    /// Everything else — lost nodes, corrupt data, protocol and
+    /// configuration bugs — will fail identically on every retry.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            BgpError::Timeout { .. } | BgpError::PartialData { .. } | BgpError::Io(_)
+        )
+    }
+
+    /// The structured context, for the variants that carry one.
+    pub fn context(&self) -> Option<&Context> {
+        match self {
+            BgpError::Protocol(c) | BgpError::Corrupt(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The node id associated with the error, if any.
+    pub fn node(&self) -> Option<u32> {
+        match self {
+            BgpError::Protocol(c) | BgpError::Corrupt(c) => c.node,
+            BgpError::Timeout { node, .. }
+            | BgpError::NodeLost { node }
+            | BgpError::PartialData { node, .. } => Some(*node),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for BgpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BgpError::Config(m) => write!(f, "configuration error: {m}"),
-            BgpError::Protocol(m) => write!(f, "counter-interface protocol error: {m}"),
-            BgpError::Corrupt(m) => write!(f, "corrupt counter dump: {m}"),
+            BgpError::Protocol(c) => write!(f, "counter-interface protocol error: {c}"),
+            BgpError::Corrupt(c) => write!(f, "corrupt counter dump: {c}"),
             BgpError::Io(e) => write!(f, "i/o error: {e}"),
             BgpError::Mpi(m) => write!(f, "mpi error: {m}"),
+            BgpError::Timeout { node, attempts } => {
+                write!(f, "collection timeout on node {node} after {attempts} attempt(s)")
+            }
+            BgpError::NodeLost { node } => write!(f, "node {node} lost mid-run"),
+            BgpError::PartialData { node, set } => match set {
+                Some(s) => write!(f, "partial data from node {node} (set {s} quarantined)"),
+                None => write!(f, "partial data from node {node}"),
+            },
         }
     }
 }
@@ -58,5 +215,38 @@ mod tests {
         assert!(e.to_string().contains("BGP_Start"));
         let e: BgpError = std::io::Error::new(std::io::ErrorKind::NotFound, "x").into();
         assert!(matches!(e, BgpError::Io(_)));
+    }
+
+    #[test]
+    fn context_display_includes_location() {
+        let e = BgpError::Corrupt(Context::new("bad checksum").at_node(3).at_set(0).at_offset(17));
+        let s = e.to_string();
+        assert!(s.contains("bad checksum"), "{s}");
+        assert!(s.contains("node 3"), "{s}");
+        assert!(s.contains("set 0"), "{s}");
+        assert!(s.contains("offset 17"), "{s}");
+        // A bare-reason context prints no empty parens.
+        assert_eq!(BgpError::corrupt("plain").to_string(), "corrupt counter dump: plain");
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(BgpError::Timeout { node: 1, attempts: 1 }.is_retryable());
+        assert!(BgpError::PartialData { node: 1, set: Some(0) }.is_retryable());
+        assert!(BgpError::Io(std::io::Error::other("transient")).is_retryable());
+        assert!(!BgpError::NodeLost { node: 1 }.is_retryable());
+        assert!(!BgpError::corrupt("x").is_retryable());
+        assert!(!BgpError::protocol("x").is_retryable());
+        assert!(!BgpError::Config("x".into()).is_retryable());
+        assert!(!BgpError::Mpi("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn node_accessor_covers_structured_variants() {
+        assert_eq!(BgpError::NodeLost { node: 9 }.node(), Some(9));
+        assert_eq!(BgpError::Timeout { node: 2, attempts: 3 }.node(), Some(2));
+        assert_eq!(BgpError::Corrupt(Context::new("x").at_node(4)).node(), Some(4));
+        assert_eq!(BgpError::corrupt("x").node(), None);
+        assert_eq!(BgpError::Config("x".into()).node(), None);
     }
 }

@@ -467,8 +467,8 @@ mod tests {
 
     #[test]
     fn core_blocks_fit_in_a_mode() {
-        assert!(2 * CORE_BLOCK <= SLOTS_PER_MODE);
-        assert!(CoreEvent::ALL.len() <= CORE_BLOCK);
+        const { assert!(2 * CORE_BLOCK <= SLOTS_PER_MODE) };
+        const { assert!(CoreEvent::ALL.len() <= CORE_BLOCK) };
     }
 
     #[test]

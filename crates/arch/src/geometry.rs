@@ -68,12 +68,12 @@ impl TorusDims {
         let mut best = TorusDims { x: n, y: 1, z: 1 };
         let mut best_score = usize::MAX;
         for x in 1..=n {
-            if n % x != 0 {
+            if !n.is_multiple_of(x) {
                 continue;
             }
             let yz = n / x;
             for y in 1..=yz {
-                if yz % y != 0 {
+                if !yz.is_multiple_of(y) {
                     continue;
                 }
                 let z = yz / y;

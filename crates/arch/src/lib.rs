@@ -25,6 +25,8 @@ pub mod error;
 pub mod events;
 pub mod geometry;
 pub mod modes;
+pub mod rng;
+pub mod sync;
 
 pub use config::MachineConfig;
 pub use error::BgpError;

@@ -4,69 +4,65 @@
 
 use bgp_arch::events::CounterMode;
 use bgp_arch::MachineConfig;
+use bgp_bench::microbench::{bench, bench_throughput, group};
 use bgp_mem::MemorySystem;
 use bgp_upc::Upc;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const N_ACCESSES: u64 = 100_000;
 
-fn bench_patterns(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mem_access_patterns");
-    g.throughput(Throughput::Elements(N_ACCESSES));
-    for (name, stride) in [("sequential_8B", 8u64), ("line_stride_128B", 128), ("page_hostile_4165B", 4165)] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut m = MemorySystem::new(&MachineConfig::default());
-                let mut upc = Upc::new(CounterMode::Mode2);
-                upc.set_enabled(true);
-                let mut stall = 0u64;
-                for i in 0..N_ACCESSES {
-                    stall += m.access(0, (i * stride) % (16 << 20), false, &mut upc).stall;
-                }
-                stall
-            })
-        });
-    }
-    g.finish();
-}
-
-fn bench_prefetch_depth(c: &mut Criterion) {
-    let mut g = c.benchmark_group("prefetch_depth");
-    g.throughput(Throughput::Elements(N_ACCESSES));
-    for depth in [0usize, 2, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
-            let cfg = MachineConfig::default().with_l2_prefetch_depth(depth);
-            b.iter(|| {
-                let mut m = MemorySystem::new(&cfg);
-                let mut upc = Upc::new(CounterMode::Mode2);
-                upc.set_enabled(true);
-                let mut stall = 0u64;
-                for i in 0..N_ACCESSES {
-                    stall += m.access(0, i * 8, false, &mut upc).stall;
-                }
-                stall
-            })
-        });
-    }
-    g.finish();
-}
-
-fn bench_four_core_interleave(c: &mut Criterion) {
-    c.bench_function("four_core_interleaved_streams", |b| {
-        b.iter(|| {
+fn bench_patterns() {
+    group("mem_access_patterns");
+    for (name, stride) in
+        [("sequential_8B", 8u64), ("line_stride_128B", 128), ("page_hostile_4165B", 4165)]
+    {
+        bench_throughput(name, N_ACCESSES, || {
             let mut m = MemorySystem::new(&MachineConfig::default());
             let mut upc = Upc::new(CounterMode::Mode2);
             upc.set_enabled(true);
             let mut stall = 0u64;
             for i in 0..N_ACCESSES {
-                let core = (i % 4) as usize;
-                let addr = core as u64 * (512 << 20) + (i / 4) * 8;
-                stall += m.access(core, addr, i % 7 == 0, &mut upc).stall;
+                stall += m.access(0, (i * stride) % (16 << 20), false, &mut upc).stall;
             }
             stall
-        })
+        });
+    }
+}
+
+fn bench_prefetch_depth() {
+    group("prefetch_depth");
+    for depth in [0usize, 2, 8] {
+        let cfg = MachineConfig::default().with_l2_prefetch_depth(depth);
+        bench_throughput(&format!("depth_{depth}"), N_ACCESSES, || {
+            let mut m = MemorySystem::new(&cfg);
+            let mut upc = Upc::new(CounterMode::Mode2);
+            upc.set_enabled(true);
+            let mut stall = 0u64;
+            for i in 0..N_ACCESSES {
+                stall += m.access(0, i * 8, false, &mut upc).stall;
+            }
+            stall
+        });
+    }
+}
+
+fn bench_four_core_interleave() {
+    group("four_core_interleave");
+    bench("four_core_interleaved_streams", || {
+        let mut m = MemorySystem::new(&MachineConfig::default());
+        let mut upc = Upc::new(CounterMode::Mode2);
+        upc.set_enabled(true);
+        let mut stall = 0u64;
+        for i in 0..N_ACCESSES {
+            let core = (i % 4) as usize;
+            let addr = core as u64 * (512 << 20) + (i / 4) * 8;
+            stall += m.access(core, addr, i % 7 == 0, &mut upc).stall;
+        }
+        stall
     });
 }
 
-criterion_group!(benches, bench_patterns, bench_prefetch_depth, bench_four_core_interleave);
-criterion_main!(benches);
+fn main() {
+    bench_patterns();
+    bench_prefetch_depth();
+    bench_four_core_interleave();
+}

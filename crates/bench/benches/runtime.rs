@@ -4,9 +4,9 @@
 
 use bgp_arch::events::CounterMode;
 use bgp_arch::OpMode;
+use bgp_bench::microbench::{bench, group};
 use bgp_mpi::{CounterPolicy, JobSpec, Machine};
 use bgp_nas::{Class, Kernel};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn spec(ranks: usize) -> JobSpec {
     let mut s = JobSpec::new(ranks, OpMode::VirtualNode);
@@ -14,85 +14,72 @@ fn spec(ranks: usize) -> JobSpec {
     s
 }
 
-fn bench_kernels_class_s(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernel_class_s_x4");
-    g.sample_size(10);
+fn bench_kernels_class_s() {
+    group("kernel_class_s_x4");
     for kernel in Kernel::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(kernel.name()), &kernel, |b, &k| {
-            let ranks = k.clamp_ranks(4, Class::S);
-            b.iter(|| {
-                let m = Machine::new(spec(ranks));
-                m.enable_all_counters();
-                let out = m.run(|ctx| k.run(ctx, Class::S));
-                assert!(out.iter().all(|r| r.verified));
-                m.job_cycles()
-            })
+        let ranks = kernel.clamp_ranks(4, Class::S);
+        bench(kernel.name(), || {
+            let m = Machine::new(spec(ranks));
+            m.enable_all_counters();
+            let out = m.run(|ctx| kernel.run(ctx, Class::S));
+            assert!(out.iter().all(|r| r.verified));
+            m.job_cycles()
         });
     }
-    g.finish();
 }
 
-fn bench_collectives(c: &mut Criterion) {
-    let mut g = c.benchmark_group("collectives_x8");
-    g.sample_size(20);
-    g.bench_function("barrier_x100", |b| {
-        b.iter(|| {
-            let m = Machine::new(spec(8));
-            m.run(|ctx| {
-                for _ in 0..100 {
-                    ctx.barrier();
-                }
-            });
-        })
+fn bench_collectives() {
+    group("collectives_x8");
+    bench("barrier_x100", || {
+        let m = Machine::new(spec(8));
+        m.run(|ctx| {
+            for _ in 0..100 {
+                ctx.barrier();
+            }
+        });
     });
-    g.bench_function("allreduce_1k_f64_x20", |b| {
-        b.iter(|| {
-            let m = Machine::new(spec(8));
-            m.run(|ctx| {
-                let v = vec![ctx.rank() as f64; 1024];
-                for _ in 0..20 {
-                    ctx.allreduce_sum_f64(&v);
-                }
-            });
-        })
+    bench("allreduce_1k_f64_x20", || {
+        let m = Machine::new(spec(8));
+        m.run(|ctx| {
+            let v = vec![ctx.rank() as f64; 1024];
+            for _ in 0..20 {
+                ctx.allreduce_sum_f64(&v);
+            }
+        });
     });
-    g.bench_function("alltoall_4k_x10", |b| {
-        b.iter(|| {
-            let m = Machine::new(spec(8));
-            m.run(|ctx| {
-                for _ in 0..10 {
-                    let rows = vec![vec![0u8; 4096]; ctx.size()];
-                    ctx.alltoall(rows);
-                }
-            });
-        })
+    bench("alltoall_4k_x10", || {
+        let m = Machine::new(spec(8));
+        m.run(|ctx| {
+            for _ in 0..10 {
+                let rows = vec![vec![0u8; 4096]; ctx.size()];
+                ctx.alltoall(rows);
+            }
+        });
     });
-    g.finish();
 }
 
-fn bench_turnstile_quantum(c: &mut Criterion) {
+fn bench_turnstile_quantum() {
     // Ablation: the scheduler quantum trades interleaving fidelity
     // against wall-clock simulation speed.
-    let mut g = c.benchmark_group("ablation_quantum");
-    g.sample_size(10);
+    group("ablation_quantum");
     for quantum in [64u64, 512, 2048, 16384] {
-        g.bench_with_input(BenchmarkId::from_parameter(quantum), &quantum, |b, &q| {
-            b.iter(|| {
-                let mut s = spec(4);
-                s.quantum = q;
-                let m = Machine::new(s);
-                m.run(|ctx| {
-                    let mut v = ctx.alloc::<f64>(32 * 1024);
-                    for i in 0..32 * 1024 {
-                        ctx.st(&mut v, i, i as f64);
-                    }
-                });
-                m.job_cycles()
-            })
+        bench(&format!("quantum_{quantum}"), || {
+            let mut s = spec(4);
+            s.quantum = quantum;
+            let m = Machine::new(s);
+            m.run(|ctx| {
+                let mut v = ctx.alloc::<f64>(32 * 1024);
+                for i in 0..32 * 1024 {
+                    ctx.st(&mut v, i, i as f64);
+                }
+            });
+            m.job_cycles()
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_kernels_class_s, bench_collectives, bench_turnstile_quantum);
-criterion_main!(benches);
+fn main() {
+    bench_kernels_class_s();
+    bench_collectives();
+    bench_turnstile_quantum();
+}

@@ -3,69 +3,59 @@
 //! memory-mapped register file.
 
 use bgp_arch::events::{CoreEvent, CounterMode};
+use bgp_bench::microbench::{bench, bench_throughput, group};
 use bgp_upc::regfile::{RegFile, OFF_COUNTERS};
 use bgp_upc::{CounterConfig, Upc};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 const N: u64 = 1_000_000;
 
-fn bench_emit(c: &mut Criterion) {
-    let mut g = c.benchmark_group("upc_emit");
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("matching_mode", |b| {
+fn bench_emit() {
+    group("upc_emit");
+    bench_throughput("matching_mode", N, || {
         let ev = CoreEvent::L1dHit.id(0);
-        b.iter(|| {
-            let mut u = Upc::new(CounterMode::Mode0);
-            u.set_enabled(true);
-            for _ in 0..N {
-                u.emit(ev, 1);
-            }
-            u.read(ev.slot().0)
-        })
-    });
-    g.bench_function("filtered_other_mode", |b| {
-        let ev = CoreEvent::L1dHit.id(2); // mode 1 event, unit in mode 0
-        b.iter(|| {
-            let mut u = Upc::new(CounterMode::Mode0);
-            u.set_enabled(true);
-            for _ in 0..N {
-                u.emit(ev, 1);
-            }
-            u.read(ev.slot().0)
-        })
-    });
-    g.bench_function("with_armed_threshold", |b| {
-        let ev = CoreEvent::L1dHit.id(0);
-        b.iter(|| {
-            let mut u = Upc::new(CounterMode::Mode0);
-            u.set_enabled(true);
-            u.configure(
-                ev.slot().0,
-                CounterConfig { interrupt_enable: true, ..Default::default() },
-            );
-            u.set_threshold(ev.slot().0, N / 2);
-            for _ in 0..N {
-                u.emit(ev, 1);
-            }
-            u.take_interrupts().len()
-        })
-    });
-    g.finish();
-}
-
-fn bench_regfile(c: &mut Criterion) {
-    c.bench_function("regfile_scan_all_counters", |b| {
         let mut u = Upc::new(CounterMode::Mode0);
-        b.iter(|| {
-            let mut rf = RegFile::new(&mut u);
-            let mut sum = 0u64;
-            for slot in 0..256u64 {
-                sum += rf.load(OFF_COUNTERS + slot * 8).expect("mapped");
-            }
-            sum
-        })
+        u.set_enabled(true);
+        for _ in 0..N {
+            u.emit(ev, 1);
+        }
+        u.read(ev.slot().0)
+    });
+    bench_throughput("filtered_other_mode", N, || {
+        let ev = CoreEvent::L1dHit.id(2); // mode 1 event, unit in mode 0
+        let mut u = Upc::new(CounterMode::Mode0);
+        u.set_enabled(true);
+        for _ in 0..N {
+            u.emit(ev, 1);
+        }
+        u.read(ev.slot().0)
+    });
+    bench_throughput("with_armed_threshold", N, || {
+        let ev = CoreEvent::L1dHit.id(0);
+        let mut u = Upc::new(CounterMode::Mode0);
+        u.set_enabled(true);
+        u.configure(ev.slot().0, CounterConfig { interrupt_enable: true, ..Default::default() });
+        u.set_threshold(ev.slot().0, N / 2);
+        for _ in 0..N {
+            u.emit(ev, 1);
+        }
+        u.take_interrupts().len()
     });
 }
 
-criterion_group!(benches, bench_emit, bench_regfile);
-criterion_main!(benches);
+fn bench_regfile() {
+    group("upc_regfile");
+    let mut u = Upc::new(CounterMode::Mode0);
+    bench("regfile_scan_all_counters", || {
+        let mut rf = RegFile::new(&mut u);
+        let mut sum = 0u64;
+        for slot in 0..256u64 {
+            sum += rf.load(OFF_COUNTERS + slot * 8).expect("mapped");
+        }
+        sum
+    });
+}
+
+fn main() {
+    bench_emit();
+    bench_regfile();
+}

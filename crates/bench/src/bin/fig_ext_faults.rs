@@ -1,0 +1,8 @@
+//! Extension: fault-rate sweep — collection coverage and degraded-mode
+//! metric drift on MG under seeded fault injection.
+
+use bgp_bench::{figures, Scale};
+
+fn main() {
+    bgp_bench::emit("fig_ext_faults", &figures::fig_ext_faults(Scale::from_args()));
+}

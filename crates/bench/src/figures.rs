@@ -351,3 +351,82 @@ pub fn fig_ext_512events(scale: Scale) -> Csv {
     csv.row(["two fixed-mode runs".into(), "2".into(), fixed_events.to_string()]);
     csv
 }
+
+/// Extension (robustness): sweep fault-injection rates on an MG run and
+/// watch collection coverage and the degraded-mode DDR-traffic metric
+/// drift against the fault-free baseline. Every row uses the same seed,
+/// so the sweep is reproducible bit-for-bit.
+pub fn fig_ext_faults(scale: Scale) -> Csv {
+    use bgp_core::collect::{collect_dumps, RetryPolicy};
+    use bgp_core::{run_instrumented, WHOLE_PROGRAM_SET};
+    use bgp_faults::{FaultPlan, FaultSpec};
+    use bgp_postproc::{AggregateOptions, DegradedFrame};
+    use std::sync::Arc;
+
+    let kernel = Kernel::Mg;
+    let class = scale.class();
+    let ranks = kernel.clamp_ranks(scale.ranks(), class);
+    let mut csv = Csv::new([
+        "node_loss_rate",
+        "nodes",
+        "nodes_delivered",
+        "collection_coverage",
+        "frame_coverage",
+        "retry_backoff_cycles",
+        "ddr_traffic_bytes_per_node",
+        "deviation_pct_vs_clean",
+        "sanity_flags",
+    ]);
+    let mut clean_metric: Option<f64> = None;
+    for loss in [0.0, 0.05, 0.10, 0.20] {
+        // Dump corruption, counter damage, and collection timeouts all
+        // scale with the node-loss level; the first row is fault-free.
+        let fspec = if loss == 0.0 {
+            FaultSpec::none()
+        } else {
+            FaultSpec {
+                node_loss_rate: loss,
+                straggler_rate: loss,
+                straggler_penalty_cycles: 2_000,
+                collection_timeout_rate: 0.15,
+                counter_bitflip_rate: loss / 2.0,
+                counter_saturate_rate: loss / 4.0,
+                dump_truncate_rate: loss / 4.0,
+                dump_byteflip_rate: loss / 4.0,
+                dump_missing_rate: loss / 8.0,
+                ..FaultSpec::none()
+            }
+        };
+        let mut spec = bgp_mpi::JobSpec::new(ranks, OpMode::VirtualNode);
+        spec.counter_policy = CounterPolicy::Fixed(CounterMode::Mode2);
+        let nodes = spec.nodes();
+        let plan = Arc::new(FaultPlan::new(fspec, 0xFA17_5EED, nodes));
+        spec.faults = Some(Arc::clone(&plan));
+        let machine = bgp_mpi::Machine::new(spec);
+        let (_, lib) = run_instrumented(&machine, move |ctx| kernel.run(ctx, class));
+        let coll = collect_dumps(&lib, &plan, &RetryPolicy::default());
+        let frame = DegradedFrame::from_dumps(
+            &coll.dumps,
+            WHOLE_PROGRAM_SET,
+            AggregateOptions::fixed(CounterMode::Mode2, nodes),
+        );
+        let metric = frame
+            .reliable_frame()
+            .map_or(f64::NAN, |f| ddr_traffic_bytes_per_node(&f));
+        let clean = *clean_metric.get_or_insert(metric);
+        let deviation =
+            if clean > 0.0 { (metric - clean) / clean * 100.0 } else { 0.0 };
+        csv.row([
+            format!("{loss:.2}"),
+            nodes.to_string(),
+            coll.dumps.len().to_string(),
+            format!("{:.3}", coll.coverage()),
+            format!("{:.3}", frame.coverage()),
+            coll.total_backoff_cycles().to_string(),
+            format!("{metric:.0}"),
+            format!("{deviation:.2}"),
+            frame.sanity().len().to_string(),
+        ]);
+    }
+    csv
+}

@@ -1,7 +1,7 @@
 //! # bgp-bench — the experiment harness
 //!
 //! One binary per table/figure of the paper (`src/bin/fig*.rs`), plus the
-//! Criterion micro-benchmarks in `benches/`. This library holds the
+//! dependency-free micro-benchmarks in `benches/`. This library holds the
 //! shared machinery: run a NAS kernel job under whole-program
 //! instrumentation, post-process the dumps into a [`Frame`], and extract
 //! the metrics the figures plot.
@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod microbench;
 
 use bgp_arch::events::CounterMode;
 use bgp_arch::{MachineConfig, OpMode};

@@ -1,0 +1,101 @@
+//! A tiny dependency-free micro-benchmark harness for the
+//! `crates/bench/benches/*` targets (which use `harness = false`).
+//!
+//! Each measurement runs the closure once to warm up, then takes a
+//! fixed number of timed samples and reports min / mean / max
+//! nanoseconds per sample. A black-box sink keeps the optimizer from
+//! deleting the measured work. Honors `BGP_BENCH_SAMPLES` to rescale
+//! runs (e.g. `BGP_BENCH_SAMPLES=1` in CI smoke runs).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Number of timed samples per benchmark (before `BGP_BENCH_SAMPLES`).
+pub const DEFAULT_SAMPLES: usize = 10;
+
+fn samples() -> usize {
+    std::env::var("BGP_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_SAMPLES)
+}
+
+/// Run `f` repeatedly and print a one-line timing summary.
+///
+/// Returns the mean nanoseconds per sample so callers can assert on or
+/// post-process the result if they want to.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> f64 {
+    let n = samples();
+    black_box(f()); // warm-up, also primes caches/allocator
+    let mut times = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t0 = Instant::now();
+        black_box(f());
+        times.push(t0.elapsed().as_nanos() as f64);
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0f64, f64::max);
+    let mean = times.iter().sum::<f64>() / n as f64;
+    println!(
+        "{name:<44} {:>12} ns/iter (min {:>12}, max {:>12}, {n} samples)",
+        human(mean),
+        human(min),
+        human(max)
+    );
+    mean
+}
+
+/// Like [`bench`], but also reports per-element throughput for
+/// benchmarks that process `elements` items per sample.
+pub fn bench_throughput<R>(name: &str, elements: u64, f: impl FnMut() -> R) -> f64 {
+    let mean = bench(name, f);
+    if elements > 0 && mean > 0.0 {
+        let per = mean / elements as f64;
+        let rate = 1e9 / per / 1e6;
+        println!("{:<44} {per:>12.2} ns/elem ({rate:.1} Melem/s)", format!("  ↳ {elements} elems"));
+    }
+    mean
+}
+
+/// Print a section header (group of related benchmarks).
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_returns_positive_mean() {
+        let mean = bench("spin", || {
+            let mut s = 0u64;
+            for i in 0..1000u64 {
+                s = s.wrapping_add(i);
+            }
+            s
+        });
+        assert!(mean >= 0.0);
+    }
+
+    #[test]
+    fn human_formats_scale() {
+        assert!(human(12.0).ends_with("ns"));
+        assert!(human(12_000.0).ends_with("us"));
+        assert!(human(12_000_000.0).ends_with("ms"));
+        assert!(human(2e9).ends_with('s'));
+    }
+}

@@ -38,6 +38,9 @@ impl FractionSelector {
     }
 
     /// Next decision in the deterministic sequence.
+    // Not an Iterator: the sequence is infinite and yields bare bools,
+    // so `Option<bool>` would only add an unreachable `None` arm.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn next(&mut self) -> bool {
         self.acc += self.num;

@@ -32,14 +32,16 @@
 #![warn(missing_docs)]
 
 pub mod bglperfctr;
+pub mod collect;
 pub mod dump;
 
 use bgp_arch::error::Result;
 use bgp_arch::events::NUM_COUNTERS;
 use bgp_arch::BgpError;
+use bgp_arch::sync::Mutex;
+use bgp_faults::{CounterFault, FaultPlan};
 use bgp_mpi::{Machine, RankCtx};
-use dump::{NodeDump, SetDump};
-use parking_lot::Mutex;
+use dump::{NodeDump, RecoveredDump, SetDump};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -128,11 +130,19 @@ impl CounterLibrary {
             let st = &mut nodes[node];
             if st.init_arrivals == 0 {
                 let mode = self.machine.spec().counter_policy.mode_for(ctx.node_id());
+                // A planned saturation fault manifests as the unit
+                // clamping at u64::MAX instead of wrapping.
+                let saturate = self.machine.spec().faults.as_ref().is_some_and(|p| {
+                    p.counter_faults(node as u32)
+                        .iter()
+                        .any(|f| matches!(f, CounterFault::Saturate { .. }))
+                });
                 ctx.with_own_node(|n| {
                     let upc = n.upc_mut();
                     upc.set_mode(mode);
                     upc.set_enabled(false);
                     upc.clear();
+                    upc.set_saturating(saturate);
                 });
                 st.initialized = true;
             }
@@ -174,13 +184,13 @@ impl CounterLibrary {
                 Some(active) if active == set => {
                     st.start_arrivals += 1;
                     if st.start_arrivals > self.ranks_per_node[node] {
-                        return Err(BgpError::Protocol(format!(
+                        return Err(BgpError::protocol(format!(
                             "set {set} started more times than ranks on node {node}"
                         )));
                     }
                 }
                 Some(active) => {
-                    return Err(BgpError::Protocol(format!(
+                    return Err(BgpError::protocol(format!(
                         "BGP_Start({set}) while set {active} is active (sets must not nest)"
                     )));
                 }
@@ -209,6 +219,22 @@ impl CounterLibrary {
                 // closes when every resident rank has stopped (SPMD
                 // programs instrument the same regions on every rank).
                 if st.stop_arrivals == self.ranks_per_node[node] {
+                    // Fault injection: planned counter faults strike as
+                    // the window closes — a bit flip in the counter
+                    // SRAM, or a counter pegged at the saturation
+                    // ceiling — so they land in the final snapshot.
+                    if let Some(plan) = &self.machine.spec().faults {
+                        for f in plan.counter_faults(node as u32) {
+                            ctx.with_own_node(|n| match f {
+                                CounterFault::BitFlip { slot, bit } => {
+                                    n.upc_mut().flip_bit(slot, bit);
+                                }
+                                CounterFault::Saturate { slot } => {
+                                    n.upc_mut().preset(slot, u64::MAX);
+                                }
+                            });
+                        }
+                    }
                     let snap = ctx.with_own_node(|n| {
                         let snap = n.upc().snapshot();
                         n.upc_mut().set_enabled(false);
@@ -224,10 +250,10 @@ impl CounterLibrary {
                 }
                 Ok(())
             }
-            Some(active) => Err(BgpError::Protocol(format!(
+            Some(active) => Err(BgpError::protocol(format!(
                 "BGP_Stop({set}) while set {active} is active"
             ))),
-            None => Err(BgpError::Protocol(format!(
+            None => Err(BgpError::protocol(format!(
                 "BGP_Stop({set}) without a matching BGP_Start"
             ))),
         }
@@ -246,11 +272,10 @@ impl CounterLibrary {
                 // Ranks finalize in their own time; only the last one can
                 // check the window (its own stop preceded this call, and
                 // SPMD order means everyone else's did too).
-                if st.active_set.is_some() {
+                if let Some(active) = st.active_set {
                     st.finalize_arrivals -= 1;
-                    return Err(BgpError::Protocol(format!(
-                        "BGP_Finalize with set {} still active",
-                        st.active_set.expect("just checked")
+                    return Err(BgpError::protocol(format!(
+                        "BGP_Finalize with set {active} still active"
                     )));
                 }
                 let mode = ctx.with_own_node(|n| n.upc().mode());
@@ -279,7 +304,7 @@ impl CounterLibrary {
             .enumerate()
             .map(|(i, st)| {
                 let bytes = st.dump.as_ref().ok_or_else(|| {
-                    BgpError::Protocol(format!("node {i} never finalized"))
+                    BgpError::protocol(format!("node {i} never finalized"))
                 })?;
                 dump::decode(bytes)
             })
@@ -296,12 +321,53 @@ impl CounterLibrary {
             let bytes = st
                 .dump
                 .as_ref()
-                .ok_or_else(|| BgpError::Protocol(format!("node {i} never finalized")))?;
+                .ok_or_else(|| BgpError::protocol(format!("node {i} never finalized")))?;
             let p = dir.join(format!("node_{i:05}.bgpc"));
             std::fs::write(&p, bytes)?;
             paths.push(p);
         }
         Ok(paths)
+    }
+
+    /// Like [`CounterLibrary::write_dumps`], but filtered through a
+    /// fault plan: lost nodes and planned-missing files are skipped,
+    /// truncation and byte flips are applied to the written bytes.
+    /// Returns the paths actually written.
+    pub fn write_dumps_with_faults(
+        &self,
+        dir: &Path,
+        plan: &FaultPlan,
+    ) -> Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let nodes = self.nodes.lock();
+        let mut paths = Vec::with_capacity(nodes.len());
+        for (i, st) in nodes.iter().enumerate() {
+            if plan.node_lost(i as u32) {
+                continue; // died before flushing anything
+            }
+            let bytes = st
+                .dump
+                .as_ref()
+                .ok_or_else(|| BgpError::protocol(format!("node {i} never finalized")))?;
+            let bytes = match plan.dump_fault(i as u32) {
+                Some(f) => match f.apply(bytes.clone()) {
+                    Some(b) => b,
+                    None => continue, // planned-missing file
+                },
+                None => bytes.clone(),
+            };
+            let p = dir.join(format!("node_{i:05}.bgpc"));
+            std::fs::write(&p, &bytes)?;
+            paths.push(p);
+        }
+        Ok(paths)
+    }
+
+    /// The encoded dump bytes of one node, if it finalized (the raw
+    /// material the collection pipeline fetches and decodes).
+    pub fn encoded_dump(&self, node: usize) -> Option<Vec<u8>> {
+        let nodes = self.nodes.lock();
+        nodes.get(node).and_then(|st| st.dump.clone())
     }
 }
 
@@ -316,6 +382,51 @@ pub fn read_dumps(dir: &Path) -> Result<Vec<NodeDump>> {
         .iter()
         .map(|p| dump::decode(&std::fs::read(p)?))
         .collect()
+}
+
+/// Outcome of [`read_dumps_lenient`]: everything salvageable from a
+/// directory of possibly-damaged dump files.
+#[derive(Debug)]
+pub struct LenientRead {
+    /// Per-file recovery results (one per readable file, sorted by
+    /// file name). Partially damaged files appear here with their
+    /// surviving sets; check [`RecoveredDump::is_intact`].
+    pub recovered: Vec<RecoveredDump>,
+    /// Files whose header was unusable, with the decode error.
+    pub unreadable: Vec<(PathBuf, BgpError)>,
+}
+
+impl LenientRead {
+    /// The surviving per-node dumps (damaged sets already dropped).
+    pub fn dumps(&self) -> Vec<NodeDump> {
+        self.recovered.iter().cloned().map(RecoveredDump::into_dump).collect()
+    }
+}
+
+/// Read every `*.bgpc` file in `dir` (sorted by name), salvaging what
+/// each file's per-set checksums allow. Only an unreadable *directory*
+/// is an error; unusable files are reported, not fatal.
+pub fn read_dumps_lenient(dir: &Path) -> Result<LenientRead> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "bgpc"))
+        .collect();
+    paths.sort();
+    let mut out = LenientRead { recovered: Vec::new(), unreadable: Vec::new() };
+    for p in paths {
+        let bytes = match std::fs::read(&p) {
+            Ok(b) => b,
+            Err(e) => {
+                out.unreadable.push((p, e.into()));
+                continue;
+            }
+        };
+        match dump::decode_lenient(&bytes) {
+            Ok(r) => out.recovered.push(r),
+            Err(e) => out.unreadable.push((p, e)),
+        }
+    }
+    Ok(out)
 }
 
 /// Run `kernel` under whole-program instrumentation, the way linking the

@@ -388,7 +388,7 @@ impl MemorySystem {
 fn shared_pair(bank: usize, ev0: SharedEvent, ev1: SharedEvent) -> bgp_arch::EventId {
     // Configurations with more than two banks fold onto the two
     // architected event lines.
-    if bank % 2 == 0 {
+    if bank.is_multiple_of(2) {
         ev0.id()
     } else {
         ev1.id()
@@ -589,9 +589,7 @@ mod tests {
 
     #[test]
     fn ddr_traffic_metric_counts_both_directions() {
-        let mut s = MemStats::default();
-        s.ddr_reads = 10;
-        s.ddr_writes = 5;
+        let s = MemStats { ddr_reads: 10, ddr_writes: 5, ..MemStats::default() };
         assert_eq!(s.ddr_traffic_bytes(), 15 * 128);
     }
 }

@@ -55,6 +55,9 @@ pub struct RankCtx {
     tick: u64,
     quantum: u64,
     coll_count: u64,
+    /// Extra cycles charged at every scheduling boundary when this
+    /// rank's node is a planned straggler (0 otherwise).
+    straggler_penalty: u64,
 }
 
 impl RankCtx {
@@ -66,6 +69,10 @@ impl RankCtx {
         let alloc_limit =
             spec.machine.memory_bytes / spec.mode.processes_per_node() as u64;
         let threads = spec.mode.threads_per_process();
+        let straggler_penalty = spec
+            .faults
+            .as_ref()
+            .map_or(0, |p| p.straggler_penalty(place.node.0 as u32));
         RankCtx {
             machine,
             rank,
@@ -79,6 +86,7 @@ impl RankCtx {
             tick: 0,
             quantum,
             coll_count: 0,
+            straggler_penalty,
         }
         .with_size()
     }
@@ -195,6 +203,15 @@ impl RankCtx {
 
     /// Yield the turn now (MPI boundary).
     fn yield_now(&mut self) {
+        // Straggler injection: a sick node pays extra latency at every
+        // messaging boundary — OS noise, a flaky DIMM retraining, a
+        // thermally throttled chip. Charged here so the slowdown shows
+        // up in cycle counters and in everyone who waits on this rank.
+        if self.straggler_penalty > 0 {
+            let core = self.core();
+            let penalty = self.straggler_penalty;
+            self.with_node(|node| node.charge_cycles(core, penalty));
+        }
         self.tick = 0;
         self.machine.sched.yield_turn(self.rank);
     }
@@ -441,7 +458,7 @@ impl RankCtx {
                 let mb = &mut comm.mailboxes[self.rank];
                 let idx = mb
                     .iter()
-                    .position(|m| m.tag == tag && src.map_or(true, |s| s == m.src));
+                    .position(|m| m.tag == tag && src.is_none_or(|s| s == m.src));
                 idx.and_then(|i| mb.remove(i))
             };
             if let Some(msg) = msg {

@@ -8,9 +8,10 @@ use bgp_arch::events::CounterMode;
 use bgp_arch::geometry::{NodeId, TorusDims};
 use bgp_arch::{MachineConfig, OpMode};
 use bgp_compiler::CompileOpts;
+use bgp_arch::sync::Mutex;
+use bgp_faults::FaultPlan;
 use bgp_net::{BarrierNetwork, CollectiveNetwork, NetConfig, TorusNetwork};
 use bgp_node::Node;
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -54,7 +55,7 @@ impl CounterPolicy {
         match *self {
             CounterPolicy::Fixed(m) => m,
             CounterPolicy::EvenOdd { even, odd } => {
-                if node.0 % 2 == 0 {
+                if node.0.is_multiple_of(2) {
                     even
                 } else {
                     odd
@@ -83,6 +84,9 @@ pub struct JobSpec {
     pub quantum: u64,
     /// Messaging software overheads.
     pub mpi: MpiCosts,
+    /// Optional deterministic fault plan: stragglers, degraded torus
+    /// routers, node loss, counter and dump corruption.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl JobSpec {
@@ -102,6 +106,7 @@ impl JobSpec {
             compile: CompileOpts::o5(),
             quantum: 2048,
             mpi: MpiCosts::default(),
+            faults: None,
         }
     }
 
@@ -182,8 +187,12 @@ impl Machine {
                 ))
             })
             .collect();
+        let mut torus = TorusNetwork::new(dims, spec.net.clone());
+        if let Some(plan) = &spec.faults {
+            torus.set_fault_plan(Arc::clone(plan));
+        }
         Arc::new(Machine {
-            torus: TorusNetwork::new(dims, spec.net.clone()),
+            torus,
             coll_net: CollectiveNetwork::new(n_nodes, spec.net.clone()),
             barrier_net: BarrierNetwork::new(spec.net.clone()),
             sched: Turnstile::new(spec.ranks),

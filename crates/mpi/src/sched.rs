@@ -13,7 +13,7 @@
 //! If every live rank is parked the job has deadlocked and the scheduler
 //! panics with a per-rank diagnostic rather than hanging the test suite.
 
-use parking_lot::{Condvar, Mutex};
+use bgp_arch::sync::{Condvar, Mutex};
 
 /// Run state of one rank thread.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -83,7 +83,7 @@ impl Turnstile {
         let mut s = self.m.lock();
         while s.current != rank {
             assert!(!s.aborted, "job aborted: a peer rank panicked");
-            self.cv.wait(&mut s);
+            s = self.cv.wait(s);
         }
         assert!(!s.aborted, "job aborted: a peer rank panicked");
     }
@@ -108,7 +108,7 @@ impl Turnstile {
         self.cv.notify_all();
         while s.current != rank {
             assert!(!s.aborted, "job aborted: a peer rank panicked");
-            self.cv.wait(&mut s);
+            s = self.cv.wait(s);
         }
         assert!(!s.aborted, "job aborted: a peer rank panicked");
     }
@@ -123,7 +123,7 @@ impl Turnstile {
         self.cv.notify_all();
         while !(s.status[rank] == Status::Ready && s.current == rank) {
             assert!(!s.aborted, "job aborted: a peer rank panicked");
-            self.cv.wait(&mut s);
+            s = self.cv.wait(s);
         }
         assert!(!s.aborted, "job aborted: a peer rank panicked");
     }

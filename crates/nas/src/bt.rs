@@ -10,8 +10,7 @@
 
 use crate::common::{Class, Kernel, KernelResult};
 use bgp_mpi::{bytes_to_f64s, f64s_to_bytes, RankCtx, SemOp, SimVec};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bgp_arch::rng::SimRng;
 
 /// Unknowns per grid point.
 pub const NB: usize = 3;
@@ -130,9 +129,9 @@ fn factor(ctx: &mut RankCtx, len: usize) -> BlockElim {
 impl BlockElim {
     fn dinv_at(&self, ctx: &mut RankCtx, k: usize) -> Mat {
         let mut m = [[0.0; NB]; NB];
-        for i in 0..NB {
-            for j in 0..NB {
-                m[i][j] = ctx.ld(&self.dinv, (k * NB + i) * NB + j);
+        for (i, row) in m.iter_mut().enumerate() {
+            for (j, el) in row.iter_mut().enumerate() {
+                *el = ctx.ld(&self.dinv, (k * NB + i) * NB + j);
             }
         }
         m
@@ -140,9 +139,9 @@ impl BlockElim {
 
     fn e_at(&self, ctx: &mut RankCtx, k: usize) -> Mat {
         let mut m = [[0.0; NB]; NB];
-        for i in 0..NB {
-            for j in 0..NB {
-                m[i][j] = ctx.ld(&self.e, (k * NB + i) * NB + j);
+        for (i, row) in m.iter_mut().enumerate() {
+            for (j, el) in row.iter_mut().enumerate() {
+                *el = ctx.ld(&self.e, (k * NB + i) * NB + j);
             }
         }
         m
@@ -386,7 +385,7 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     let size = ctx.size();
     let n = nx * ny * nz * NB;
     let mut b = Block { nx, ny, nz, u: ctx.alloc(n) };
-    let mut rng = StdRng::seed_from_u64(0x4254 ^ (ctx.rank() as u64) << 6);
+    let mut rng = SimRng::seed_from_u64(0x4254 ^ (ctx.rank() as u64) << 6);
     let mut exact = Vec::with_capacity(n);
     for i in 0..n {
         let v: f64 = rng.gen_range(-1.0..1.0);
@@ -498,9 +497,11 @@ mod tests {
                 .unwrap();
             m.swap(col, piv);
             for r in col + 1..n {
-                let f = m[r][col] / m[col][col];
+                let (head, tail) = m.split_at_mut(r);
+                let (pivot_row, row) = (&head[col], &mut tail[0]);
+                let f = row[col] / pivot_row[col];
                 for c in col..=n {
-                    m[r][c] -= f * m[col][c];
+                    row[c] -= f * pivot_row[c];
                 }
             }
         }

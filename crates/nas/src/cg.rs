@@ -171,7 +171,7 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     let rows = rows_per_rank(class);
     let part = Partition { rank: ctx.rank(), size: ctx.size(), rows };
     assert!(
-        part.size == 1 || part.size % 2 == 0,
+        part.size == 1 || part.size.is_multiple_of(2),
         "CG needs an even rank count for the antipodal exchange"
     );
 

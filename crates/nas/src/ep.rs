@@ -7,8 +7,7 @@
 
 use crate::common::{Class, Kernel, KernelResult};
 use bgp_mpi::{RankCtx, ReduceOp, SemOp};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bgp_arch::rng::SimRng;
 
 /// Gaussian pairs attempted per rank.
 pub fn samples_per_rank(class: Class) -> usize {
@@ -29,7 +28,7 @@ fn seed(rank: usize) -> u64 {
 
 /// One rank's EP computation, uninstrumented — the verification oracle.
 fn oracle(rank: usize, n: usize) -> (f64, f64, [u64; ANNULI], u64) {
-    let mut rng = StdRng::seed_from_u64(seed(rank));
+    let mut rng = SimRng::seed_from_u64(seed(rank));
     let (mut sx, mut sy) = (0.0f64, 0.0f64);
     let mut q = [0u64; ANNULI];
     let mut accepted = 0u64;
@@ -53,7 +52,7 @@ fn oracle(rank: usize, n: usize) -> (f64, f64, [u64; ANNULI], u64) {
 /// Run EP on this rank.
 pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     let n = samples_per_rank(class);
-    let mut rng = StdRng::seed_from_u64(seed(ctx.rank()));
+    let mut rng = SimRng::seed_from_u64(seed(ctx.rank()));
     let mut q = ctx.alloc::<u64>(ANNULI);
     let (mut sx, mut sy) = (0.0f64, 0.0f64);
     let mut accepted_total = 0u64;

@@ -8,8 +8,7 @@
 
 use crate::common::{Class, Kernel, KernelResult};
 use bgp_mpi::{bytes_to_f64s, f64s_to_bytes, RankCtx, SemOp, SimVec};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bgp_arch::rng::SimRng;
 
 /// (NX = NY, local z planes) per class. The global NZ is `lz × ranks`.
 pub fn dims(class: Class) -> (usize, usize) {
@@ -245,7 +244,7 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     // Initial condition: seeded pseudo-random complex field.
     let mut data = ctx.alloc::<f64>(2 * elems);
     let mut work = ctx.alloc::<f64>(2 * elems);
-    let mut rng = StdRng::seed_from_u64(0xf7 ^ (ctx.rank() as u64) << 24);
+    let mut rng = SimRng::seed_from_u64(0xf7 ^ (ctx.rank() as u64) << 24);
     let mut original = Vec::with_capacity(2 * elems);
     for c in 0..elems {
         let re: f64 = rng.gen_range(-1.0..1.0);
@@ -290,11 +289,11 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
             for z in 0..nzg {
                 let c = (xl * n + y) * nzg + z;
                 let factor = 1.0 - 0.25 * ((z % 7) as f64) / 7.0;
-                let (re, im) = ldc(ctx, &mut work, c);
+                let (re, im) = ldc(ctx, &work, c);
                 ctx.fp1(SemOp::Mul);
                 ctx.fp1(SemOp::Mul);
                 stc(ctx, &mut work, c, (re * factor, im * factor));
-                if (c + xl) % 1031 == 0 {
+                if (c + xl).is_multiple_of(1031) {
                     checksum.0 += re * factor;
                     checksum.1 += im * factor;
                     ctx.fp_scalar_n(SemOp::Add, 2);
@@ -321,7 +320,7 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
             for z in 0..nzg {
                 let c = (xl * n + y) * nzg + z;
                 let inv = ctx.ld(&inv_factors, z);
-                let (re, im) = ldc(ctx, &mut work, c);
+                let (re, im) = ldc(ctx, &work, c);
                 ctx.fp1(SemOp::Mul);
                 ctx.fp1(SemOp::Mul);
                 stc(ctx, &mut work, c, (re * inv, im * inv));
@@ -348,7 +347,7 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     // Scale by 1/(NX·NY·NZG).
     let scale = 1.0 / (n as f64 * n as f64 * nzg as f64);
     for c in 0..elems {
-        let (re, im) = ldc(ctx, &mut data, c);
+        let (re, im) = ldc(ctx, &data, c);
         ctx.fp1(SemOp::Mul);
         ctx.fp1(SemOp::Mul);
         stc(ctx, &mut data, c, (re * scale, im * scale));

@@ -8,8 +8,7 @@
 
 use crate::common::{Class, Kernel, KernelResult};
 use bgp_mpi::{bytes_to_u64s, u64s_to_bytes, RankCtx, ReduceOp, SemOp};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bgp_arch::rng::SimRng;
 
 /// Keys generated per rank.
 pub fn keys_per_rank(class: Class) -> usize {
@@ -31,7 +30,7 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     let n = keys_per_rank(class);
     let size = ctx.size();
     let rank = ctx.rank();
-    let mut rng = StdRng::seed_from_u64(0xc0ffee ^ (rank as u64) << 17);
+    let mut rng = SimRng::seed_from_u64(0xc0ffee ^ (rank as u64) << 17);
 
     // Key generation (linear writes).
     let mut keys = ctx.alloc::<u32>(n);

@@ -8,8 +8,7 @@
 
 use crate::common::{Class, Kernel, KernelResult};
 use bgp_mpi::{bytes_to_f64s, f64s_to_bytes, RankCtx, SemOp, SimVec};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bgp_arch::rng::SimRng;
 
 /// Per-rank grid (nx, ny, local nz).
 pub fn dims(class: Class) -> (usize, usize, usize) {
@@ -164,7 +163,7 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     let (nx, ny, nz) = dims(class);
     let n = nx * ny * (nz + 2);
     let mut b = Block { nx, ny, nz, u: ctx.alloc(n), rhs: ctx.alloc(n) };
-    let mut rng = StdRng::seed_from_u64(0x4c55 ^ (ctx.rank() as u64) << 8);
+    let mut rng = SimRng::seed_from_u64(0x4c55 ^ (ctx.rank() as u64) << 8);
     for i in 0..n {
         ctx.st(&mut b.u, i, 0.0);
     }

@@ -7,8 +7,7 @@
 
 use crate::common::{Class, Kernel, KernelResult};
 use bgp_mpi::{bytes_to_f64s, f64s_to_bytes, RankCtx, SemOp, SimVec};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bgp_arch::rng::SimRng;
 
 /// Per-rank finest-grid dimensions (nx, ny, local nz).
 pub fn dims(class: Class) -> (usize, usize, usize) {
@@ -316,7 +315,7 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     let depth = levels.len();
 
     // NAS-MG-style ±1 point sources scattered through the fine grid.
-    let mut rng = StdRng::seed_from_u64(0x4d47 ^ ctx.rank() as u64);
+    let mut rng = SimRng::seed_from_u64(0x4d47 ^ ctx.rank() as u64);
     {
         let lv = &mut levels[0];
         let n = lv.nx * lv.ny * (lv.nz + 2);

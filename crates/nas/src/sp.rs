@@ -12,8 +12,7 @@
 
 use crate::common::{Class, Kernel, KernelResult};
 use bgp_mpi::{bytes_to_f64s, f64s_to_bytes, RankCtx, SemOp, SimVec};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bgp_arch::rng::SimRng;
 
 /// Per-rank grid (nx, ny, local nz).
 pub fn dims(class: Class) -> (usize, usize, usize) {
@@ -324,7 +323,7 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     let mut b = Block { nx, ny, nz, u: ctx.alloc(n) };
 
     // Manufactured solution u*.
-    let mut rng = StdRng::seed_from_u64(0x5350 ^ (ctx.rank() as u64) << 4);
+    let mut rng = SimRng::seed_from_u64(0x5350 ^ (ctx.rank() as u64) << 4);
     let mut exact = Vec::with_capacity(n);
     for i in 0..n {
         let v: f64 = rng.gen_range(-1.0..1.0);
@@ -410,9 +409,11 @@ mod tests {
                 .unwrap();
             a.swap(col, piv);
             for r in col + 1..len {
-                let m = a[r][col] / a[col][col];
+                let (head, tail) = a.split_at_mut(r);
+                let (pivot_row, row) = (&head[col], &mut tail[0]);
+                let m = row[col] / pivot_row[col];
                 for c in col..=len {
-                    a[r][c] -= m * a[col][c];
+                    row[c] -= m * pivot_row[c];
                 }
             }
         }

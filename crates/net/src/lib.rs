@@ -22,6 +22,8 @@
 #![warn(missing_docs)]
 
 use bgp_arch::geometry::{NodeId, TorusDims};
+use bgp_faults::FaultPlan;
+use std::sync::Arc;
 
 /// Timing/bandwidth parameters of the interconnects (cycles at 850 MHz).
 #[derive(Clone, Debug, PartialEq)]
@@ -72,12 +74,19 @@ pub struct TransferCost {
 pub struct TorusNetwork {
     dims: TorusDims,
     cfg: NetConfig,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl TorusNetwork {
     /// A torus over `dims` with timing `cfg`.
     pub fn new(dims: TorusDims, cfg: NetConfig) -> TorusNetwork {
-        TorusNetwork { dims, cfg }
+        TorusNetwork { dims, cfg, faults: None }
+    }
+
+    /// Attach a fault plan: hops through a degraded endpoint router pay
+    /// the plan's latency multiplier.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
     }
 
     /// The partition shape.
@@ -100,7 +109,19 @@ impl TorusNetwork {
         } else {
             hops * self.cfg.torus_hop_cycles
         };
-        TransferCost { cycles: latency + serialization, packets, bytes, hops: hops * packets }
+        // A degraded router at either endpoint slows the whole
+        // transfer: both the hop traversal and serialization are paced
+        // by the sick router.
+        let slow = match &self.faults {
+            Some(plan) => plan.link_slowdown(src.0 as u32, dst.0 as u32),
+            None => 1,
+        };
+        TransferCost {
+            cycles: (latency + serialization) * slow,
+            packets,
+            bytes,
+            hops: hops * packets,
+        }
     }
 }
 
@@ -228,6 +249,26 @@ mod tests {
         let tree = c.broadcast(bytes).cycles;
         let p2p: u64 = (1..512).map(|d| t.transfer(NodeId(0), NodeId(d), bytes).cycles).sum();
         assert!(tree * 100 < p2p);
+    }
+
+    #[test]
+    fn degraded_router_slows_both_endpoints() {
+        use bgp_faults::{FaultPlan, FaultSpec};
+        let mut t = torus(8);
+        let clean = t.transfer(NodeId(0), NodeId(1), 1024).cycles;
+        // Every router degraded, 4x slowdown.
+        let spec = FaultSpec { link_degrade_rate: 1.0, link_slowdown: 4, ..FaultSpec::none() };
+        t.set_fault_plan(Arc::new(FaultPlan::new(spec, 1, 8)));
+        assert_eq!(t.transfer(NodeId(0), NodeId(1), 1024).cycles, clean * 4);
+    }
+
+    #[test]
+    fn inert_plan_changes_nothing() {
+        use bgp_faults::FaultPlan;
+        let mut t = torus(8);
+        let clean = t.transfer(NodeId(0), NodeId(5), 4096);
+        t.set_fault_plan(Arc::new(FaultPlan::inert(8)));
+        assert_eq!(t.transfer(NodeId(0), NodeId(5), 4096), clean);
     }
 
     #[test]

@@ -46,10 +46,10 @@ impl Frame {
         let mut records: Option<u32> = None;
         for d in dumps {
             let s = d.set(set).ok_or_else(|| {
-                BgpError::Corrupt(format!("node {} is missing set {set}", d.node))
+                BgpError::corrupt(format!("node {} is missing set {set}", d.node))
             })?;
             if s.counts.len() != NUM_COUNTERS {
-                return Err(BgpError::Corrupt(format!(
+                return Err(BgpError::corrupt(format!(
                     "node {}: set {set} has {} counters (want {NUM_COUNTERS})",
                     d.node,
                     s.counts.len()
@@ -59,7 +59,7 @@ impl Frame {
                 None => records = Some(s.records),
                 Some(r) if r == s.records => {}
                 Some(r) => {
-                    return Err(BgpError::Corrupt(format!(
+                    return Err(BgpError::corrupt(format!(
                         "node {}: set {set} has {} records, others have {r}",
                         d.node, s.records
                     )));
@@ -88,6 +88,18 @@ impl Frame {
             nodes_by_mode,
             records: records.expect("dumps is non-empty"),
         })
+    }
+
+    /// Assemble a frame directly from precomputed parts — the degraded
+    /// aggregation path reconstructing a reliable frame out of the
+    /// events that met their coverage floor.
+    pub(crate) fn from_parts(
+        set: u32,
+        per_event: HashMap<EventId, EventStats>,
+        nodes_by_mode: [usize; 4],
+        records: u32,
+    ) -> Frame {
+        Frame { set, per_event, nodes_by_mode, records }
     }
 
     /// The set this frame aggregates.

@@ -8,6 +8,8 @@
 //! is those tools:
 //!
 //! * [`frame::Frame`] — aggregation + integrity checks,
+//! * [`degraded::DegradedFrame`] — degraded-mode aggregation over the
+//!   nodes that survived a faulted run, with per-event coverage,
 //! * [`metrics`] — MFLOPS, DDR traffic/bandwidth, L3 miss ratio, and the
 //!   Fig. 6 instruction-mix categories,
 //! * [`csv`] — CSV emission, including the "all 512 counters" option.
@@ -16,11 +18,13 @@
 #![warn(missing_docs)]
 
 pub mod csv;
+pub mod degraded;
 pub mod frame;
 pub mod metrics;
 pub mod report;
 
 pub use csv::{stats_csv, Csv};
+pub use degraded::{AggregateOptions, DegradedEventStats, DegradedFrame};
 pub use frame::{EventStats, Frame};
 pub use report::render as render_report;
 pub use metrics::{

@@ -91,6 +91,10 @@ pub struct ThresholdInterrupt {
 pub struct Upc {
     mode: CounterMode,
     enabled: bool,
+    /// When set, counters clamp at `u64::MAX` instead of wrapping —
+    /// the overflow behavior injected by fault plans to model stuck
+    /// saturated counters.
+    saturating: bool,
     counters: Box<[u64; NUM_COUNTERS]>,
     configs: Box<[CounterConfig; NUM_COUNTERS]>,
     thresholds: Box<[u64; NUM_COUNTERS]>,
@@ -112,6 +116,7 @@ impl Upc {
         Upc {
             mode,
             enabled: false,
+            saturating: false,
             counters: Box::new([0; NUM_COUNTERS]),
             configs: Box::new([CounterConfig::default(); NUM_COUNTERS]),
             thresholds: Box::new([u64::MAX; NUM_COUNTERS]),
@@ -244,7 +249,11 @@ impl Upc {
         if cfg.freeze_on_threshold && self.fired[slot] {
             return;
         }
-        let v = self.counters[slot].wrapping_add(delta);
+        let v = if self.saturating {
+            self.counters[slot].saturating_add(delta)
+        } else {
+            self.counters[slot].wrapping_add(delta)
+        };
         self.counters[slot] = v;
         let th = self.thresholds[slot];
         if cfg.interrupt_enable && !self.fired[slot] && v >= th {
@@ -263,6 +272,32 @@ impl Upc {
     /// used by [`regfile::RegFile`] (software presetting a counter).
     pub(crate) fn write_counter_raw(&mut self, slot: u8, value: u64) {
         self.counters[slot as usize] = value;
+    }
+
+    /// Switch overflow behavior: `true` clamps counters at `u64::MAX`,
+    /// `false` (the hardware default) wraps. Fault plans use saturating
+    /// mode plus a near-`MAX` preset to model stuck counters.
+    pub fn set_saturating(&mut self, on: bool) {
+        self.saturating = on;
+    }
+
+    /// Whether counters clamp at `u64::MAX` instead of wrapping.
+    pub fn saturating(&self) -> bool {
+        self.saturating
+    }
+
+    /// Flip one bit of one counter in place — a fault-injection hook
+    /// modeling a single-event upset in the counter SRAM. No-op checks,
+    /// no interrupt side effects: the corruption is silent, exactly like
+    /// the real thing.
+    pub fn flip_bit(&mut self, slot: usize, bit: u32) {
+        self.counters[slot % NUM_COUNTERS] ^= 1u64 << (bit % 64);
+    }
+
+    /// Preset a counter's raw value — the fault-injection companion to
+    /// the memory-mapped store path (software presetting a counter).
+    pub fn preset(&mut self, slot: usize, value: u64) {
+        self.counters[slot % NUM_COUNTERS] = value;
     }
 
     /// Drain pending threshold interrupts (oldest first).
@@ -428,5 +463,36 @@ mod tests {
         u.emit(ev, u64::MAX);
         u.emit(ev, 2);
         assert_eq!(u.read_event(ev), Some(1), "wrapping add like hardware");
+    }
+
+    #[test]
+    fn saturating_mode_clamps_at_max() {
+        let mut u = enabled_unit(CounterMode::Mode0);
+        u.set_saturating(true);
+        let ev = CoreEvent::CycleCount.id(0);
+        u.emit(ev, u64::MAX);
+        u.emit(ev, 2);
+        assert_eq!(u.read_event(ev), Some(u64::MAX), "clamped, not wrapped");
+    }
+
+    #[test]
+    fn flip_bit_corrupts_exactly_one_bit() {
+        let mut u = enabled_unit(CounterMode::Mode0);
+        let ev = CoreEvent::CycleCount.id(0);
+        u.emit(ev, 0b1000);
+        u.flip_bit(ev.slot().0 as usize, 1);
+        assert_eq!(u.read_event(ev), Some(0b1010));
+        u.flip_bit(ev.slot().0 as usize, 1);
+        assert_eq!(u.read_event(ev), Some(0b1000), "second flip restores");
+    }
+
+    #[test]
+    fn preset_overwrites_raw_value() {
+        let mut u = enabled_unit(CounterMode::Mode0);
+        let ev = CoreEvent::CycleCount.id(0);
+        u.preset(ev.slot().0 as usize, u64::MAX - 10);
+        u.set_saturating(true);
+        u.emit(ev, 100);
+        assert_eq!(u.read_event(ev), Some(u64::MAX));
     }
 }

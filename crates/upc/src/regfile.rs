@@ -50,7 +50,7 @@ impl<'a> RegFile<'a> {
     /// 64-bit load from `offset`. Returns `None` for unmapped or
     /// misaligned offsets (the real bus would machine-check).
     pub fn load(&mut self, offset: u64) -> Option<u64> {
-        if offset % 8 != 0 || offset >= MAP_SIZE {
+        if !offset.is_multiple_of(8) || offset >= MAP_SIZE {
             return None;
         }
         Some(match offset {
@@ -73,7 +73,7 @@ impl<'a> RegFile<'a> {
     /// 64-bit store to `offset`. Returns `false` for unmapped or
     /// misaligned offsets.
     pub fn store(&mut self, offset: u64, value: u64) -> bool {
-        if offset % 8 != 0 || offset >= MAP_SIZE {
+        if !offset.is_multiple_of(8) || offset >= MAP_SIZE {
             return false;
         }
         match offset {
@@ -123,7 +123,6 @@ mod tests {
         let mut rf = RegFile::new(&mut upc);
         rf.store(OFF_CONTROL, 0b101); // enable, mode 2
         assert_eq!(rf.load(OFF_CONTROL), Some(0b101));
-        drop(rf);
         assert!(upc.enabled());
         assert_eq!(upc.mode(), CounterMode::Mode2);
     }
@@ -150,7 +149,6 @@ mod tests {
         let mut rf = RegFile::new(&mut upc);
         rf.store(OFF_CONFIGS + 5 * 8, 0xffff_fff3);
         assert_eq!(rf.load(OFF_CONFIGS + 5 * 8), Some(0x3));
-        drop(rf);
         assert_eq!(upc.config(5).sensitivity, Sensitivity::LevelLow);
     }
 

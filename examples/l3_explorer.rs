@@ -48,7 +48,7 @@ fn main() {
         spec.machine = MachineConfig::default().with_l3_bytes(mb << 20);
         spec.counter_policy = CounterPolicy::Fixed(CounterMode::Mode2);
         let machine = Machine::new(spec);
-        let (_, lib) = run_instrumented(&machine, |ctx| transpose_workload(ctx));
+        let (_, lib) = run_instrumented(&machine, transpose_workload);
         let frame = Frame::from_dumps(&lib.dumps().expect("dumps"), WHOLE_PROGRAM_SET)
             .expect("aggregate");
         println!(

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, clippy-clean with all
+# warnings denied. Run from the repository root. Network-dependent
+# dev-tooling stays behind the (empty by default) `net-dev-deps` cargo
+# feature, so this script works fully offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all green"

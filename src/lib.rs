@@ -7,14 +7,16 @@
 //! [`net`] are the hardware blocks, [`node`] assembles them into a compute
 //! node, [`compiler`] models the XL compiler's instruction selection,
 //! [`mpi`] runs ranks across nodes, [`counters`] is the paper's interface
-//! library, [`postproc`] mines the dumps, and [`nas`] holds the NAS
-//! parallel benchmark kernels.
+//! library, [`postproc`] mines the dumps, [`nas`] holds the NAS parallel
+//! benchmark kernels, and [`faults`] injects deterministic, seeded
+//! failures so collection and aggregation can be tested under fire.
 
 #![forbid(unsafe_code)]
 
 pub use bgp_arch as arch;
 pub use bgp_compiler as compiler;
 pub use bgp_core as counters;
+pub use bgp_faults as faults;
 pub use bgp_fpu as fpu;
 pub use bgp_mem as mem;
 pub use bgp_mpi as mpi;

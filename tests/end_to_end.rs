@@ -81,7 +81,7 @@ fn instrumentation_perturbation_is_negligible() {
     // fixed ~4.4k-cycle init+dump cost can reach a few percent here; on
     // any real application length it vanishes, as the paper observes.
     assert!(
-        overhead >= 0.0 && overhead < 0.05,
+        (0.0..0.05).contains(&overhead),
         "instrumentation perturbed execution by {:.3}% (paper: negligible)",
         overhead * 100.0
     );
