@@ -4,9 +4,9 @@
 //! A rank thread that panics (a deliberately aborted job, a test
 //! asserting a deadlock diagnostic) would poison a plain
 //! `std::sync::Mutex` and turn every later `lock().unwrap()` into a
-//! cascade of secondary panics. The turnstile scheduler already
-//! guarantees loud failure through its abort flag; these wrappers simply
-//! hand out the inner data either way.
+//! cascade of secondary panics. The phase engine already guarantees
+//! loud failure through its abort flag; these wrappers simply hand out
+//! the inner data either way.
 
 use std::sync::{self, MutexGuard};
 

@@ -1,0 +1,63 @@
+//! Extension: wall-clock scaling of the deterministic parallel engine —
+//! one MG job per simulation-thread count, dumps verified byte-identical
+//! to the serial engine. Also records the sweep (plus host context) in
+//! `BENCH_parallel.json` at the repo root.
+
+use bgp_bench::{figures, Scale};
+use std::path::Path;
+
+fn main() {
+    let scale = Scale::from_args();
+    let samples = figures::scaling_sweep(scale);
+
+    let mut csv = bgp_postproc::Csv::new([
+        "sim_threads",
+        "wall_ms",
+        "speedup_vs_serial",
+        "job_cycles",
+        "dumps_identical_to_serial",
+    ]);
+    let base_ms = samples[0].wall_ms;
+    for s in &samples {
+        csv.row([
+            s.threads.to_string(),
+            format!("{:.1}", s.wall_ms),
+            format!("{:.2}", base_ms / s.wall_ms),
+            s.job_cycles.to_string(),
+            s.dumps_identical.to_string(),
+        ]);
+    }
+    bgp_bench::emit("fig_ext_scaling", &csv);
+
+    assert!(
+        samples.iter().all(|s| s.dumps_identical),
+        "parallel dumps diverged from serial"
+    );
+
+    // Machine context matters for interpreting the sweep: with fewer
+    // host CPUs than simulation threads the engine can only pipeline
+    // blocked ranks, not overlap compute.
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"sim_threads\": {}, \"wall_ms\": {:.1}, \"speedup_vs_serial\": {:.2}, \"job_cycles\": {}, \"dumps_identical_to_serial\": {}}}",
+                s.threads,
+                s.wall_ms,
+                base_ms / s.wall_ms,
+                s.job_cycles,
+                s.dumps_identical
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"fig_ext_scaling (MG, SMP/1, phase-based parallel engine)\",\n  \"scale\": \"{:?}\",\n  \"host_cpus\": {},\n  \"serial_baseline_prev_engine_ms\": 19900,\n  \"serial_baseline_prev_engine_commit\": \"beab573\",\n  \"note\": \"speedup requires host_cpus >= sim_threads; on a 1-CPU host the sweep verifies determinism and overhead, not parallel speedup\",\n  \"sweep\": [\n{}\n  ]\n}}\n",
+        scale,
+        host_cpus,
+        rows.join(",\n")
+    );
+    let path = Path::new("BENCH_parallel.json");
+    std::fs::write(path, json).expect("write BENCH_parallel.json");
+    println!("==== BENCH_parallel.json -> {} ====", path.display());
+}

@@ -37,5 +37,6 @@ fn main() {
     emit("fig_ext_modes_all4", &figures::fig_ext_modes(scale));
     emit("fig_ext_512events", &figures::fig_ext_512events(scale));
     emit("fig_ext_faults", &figures::fig_ext_faults(scale));
+    emit("fig_ext_scaling", &figures::fig_ext_scaling(scale));
     eprintln!("[repro_all] extensions done");
 }

@@ -5,7 +5,7 @@ use crate::{measure_cores, measure_memory, RunConfig, Scale};
 use bgp_arch::events::{CoreEvent, CounterMode};
 use bgp_arch::{modes::OpMode, CORE_CLOCK_HZ};
 use bgp_compiler::{CompileOpts, QArch};
-use bgp_core::{INIT_CYCLES, START_CYCLES, STOP_CYCLES, TOTAL_OVERHEAD_CYCLES};
+use bgp_core::{Session, INIT_CYCLES, START_CYCLES, STOP_CYCLES, TOTAL_OVERHEAD_CYCLES};
 use bgp_mpi::CounterPolicy;
 use bgp_nas::Kernel;
 use bgp_postproc::{
@@ -33,20 +33,18 @@ pub fn tab_overhead() -> Csv {
     let mut spec = bgp_mpi::JobSpec::new(1, OpMode::Smp1);
     spec.counter_policy = CounterPolicy::Fixed(CounterMode::Mode0);
     let machine = bgp_mpi::Machine::new(spec);
-    let lib = bgp_core::CounterLibrary::new(std::sync::Arc::clone(&machine));
-    let lib2 = std::sync::Arc::clone(&lib);
-    let measured = machine.run(move |ctx| {
+    let measured = machine.run(|ctx| {
         let t0 = ctx.cycles();
-        lib2.bgp_initialize(ctx).expect("init");
-        lib2.bgp_start(ctx, 0).expect("start");
-        lib2.bgp_stop(ctx, 0).expect("stop");
-        let t_total = ctx.cycles() - t0;
+        let s = Session::builder(ctx).build().expect("init");
+        let s = s.start(0).expect("start");
+        let s = s.stop().expect("stop");
+        let t_total = s.cycles() - t0;
         // Marginal start/stop pair for an already-initialized unit.
-        let t1 = ctx.cycles();
-        lib2.bgp_start(ctx, 1).expect("start");
-        lib2.bgp_stop(ctx, 1).expect("stop");
-        let t_pair = ctx.cycles() - t1;
-        lib2.bgp_finalize(ctx).expect("finalize");
+        let t1 = s.cycles();
+        let s = s.start(1).expect("start");
+        let s = s.stop().expect("stop");
+        let t_pair = s.cycles() - t1;
+        s.finalize().expect("finalize");
         (t_total, t_pair)
     })[0];
     let mut csv = Csv::new(["quantity", "cycles"]);
@@ -426,6 +424,80 @@ pub fn fig_ext_faults(scale: Scale) -> Csv {
             format!("{metric:.0}"),
             format!("{deviation:.2}"),
             frame.sanity().len().to_string(),
+        ]);
+    }
+    csv
+}
+
+/// One row of the parallel-engine thread sweep (feeds
+/// [`fig_ext_scaling`] and `BENCH_parallel.json`).
+pub struct ScalingSample {
+    /// Simulation threads requested (`JobSpec::sim_threads`).
+    pub threads: usize,
+    /// Host wall-clock milliseconds for `Machine::run`.
+    pub wall_ms: f64,
+    /// Simulated job cycles (must not vary with `threads`).
+    pub job_cycles: u64,
+    /// Encoded dumps byte-identical to the serial run.
+    pub dumps_identical: bool,
+}
+
+/// Run the sweep behind Fig. ext-scaling: one MG job per thread count,
+/// timed on the host, with every run's per-node dumps compared
+/// byte-for-byte against the serial engine's.
+pub fn scaling_sweep(scale: Scale) -> Vec<ScalingSample> {
+    use bgp_core::run_instrumented;
+    use std::time::Instant;
+
+    let kernel = Kernel::Mg;
+    let class = scale.class();
+    // SMP/1: one rank per node, so Default scale is the issue's
+    // 16-node MG and every frontier rank is a parallelism opportunity.
+    let ranks = kernel.clamp_ranks(scale.ranks(), class);
+    let mut serial: Option<(Vec<Vec<u8>>, u64)> = None;
+    let mut samples = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let mut spec = bgp_mpi::JobSpec::new(ranks, OpMode::Smp1);
+        spec.sim_threads = Some(threads);
+        let machine = bgp_mpi::Machine::new(spec);
+        let t0 = Instant::now();
+        let (_, lib) = run_instrumented(&machine, move |ctx| kernel.run(ctx, class));
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let dumps: Vec<Vec<u8>> = (0..machine.num_nodes())
+            .map(|n| lib.encoded_dump(n).expect("node finalized"))
+            .collect();
+        let job_cycles = machine.job_cycles();
+        let (base_dumps, base_cycles) = serial.get_or_insert((dumps.clone(), job_cycles));
+        samples.push(ScalingSample {
+            threads,
+            wall_ms,
+            job_cycles,
+            dumps_identical: dumps == *base_dumps && job_cycles == *base_cycles,
+        });
+    }
+    samples
+}
+
+/// Extension (parallel engine): wall-clock scaling of the phase-based
+/// deterministic scheduler on an MG job, threads ∈ {1,2,4,8}, with a
+/// byte-identity column proving results never depend on thread count.
+pub fn fig_ext_scaling(scale: Scale) -> Csv {
+    let samples = scaling_sweep(scale);
+    let base_ms = samples[0].wall_ms;
+    let mut csv = Csv::new([
+        "sim_threads",
+        "wall_ms",
+        "speedup_vs_serial",
+        "job_cycles",
+        "dumps_identical_to_serial",
+    ]);
+    for s in &samples {
+        csv.row([
+            s.threads.to_string(),
+            format!("{:.1}", s.wall_ms),
+            format!("{:.2}", base_ms / s.wall_ms),
+            s.job_cycles.to_string(),
+            s.dumps_identical.to_string(),
         ]);
     }
     csv

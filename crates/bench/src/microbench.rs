@@ -46,7 +46,7 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> f64 {
     mean
 }
 
-/// Like [`bench`], but also reports per-element throughput for
+/// Like [`fn@bench`], but also reports per-element throughput for
 /// benchmarks that process `elements` items per sample.
 pub fn bench_throughput<R>(name: &str, elements: u64, f: impl FnMut() -> R) -> f64 {
     let mean = bench(name, f);

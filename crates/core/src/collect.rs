@@ -128,16 +128,42 @@ impl Collection {
 ///
 /// Never panics; a machine-wide disaster yields a `Collection` whose
 /// `coverage()` is 0.
+///
+/// Nodes are fetched concurrently — like the I/O nodes gathering their
+/// processing sets in parallel — and the results assembled in node-id
+/// order, so the `Collection` is identical to a serial gather.
 pub fn collect_dumps(
     lib: &CounterLibrary,
     plan: &FaultPlan,
     policy: &RetryPolicy,
 ) -> Collection {
     let n_nodes = plan.nodes();
+    // One scoped worker per chunk of nodes, bounded by the host's
+    // parallelism; each writes only its own result slots.
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(n_nodes.max(1));
+    let chunk = n_nodes.div_ceil(workers.max(1)).max(1);
+    let mut results: Vec<Option<(NodeReport, Option<NodeDump>)>> = Vec::new();
+    results.resize_with(n_nodes, || None);
+    std::thread::scope(|s| {
+        let mut rest = results.as_mut_slice();
+        let mut node0 = 0u32;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let start = node0;
+            s.spawn(move || {
+                for (i, slot) in head.iter_mut().enumerate() {
+                    *slot = Some(collect_node(lib, plan, policy, start + i as u32));
+                }
+            });
+            rest = tail;
+            node0 += take as u32;
+        }
+    });
     let mut dumps = Vec::new();
     let mut reports = Vec::with_capacity(n_nodes);
-    for node in 0..n_nodes as u32 {
-        let (report, dump) = collect_node(lib, plan, policy, node);
+    for slot in results {
+        let (report, dump) = slot.expect("every node slot filled");
         if let Some(d) = dump {
             dumps.push(d);
         }

@@ -1,7 +1,12 @@
 //! # bgp-core — the UPC performance-counter **interface library**
 //!
 //! This is the paper's contribution (§IV): a thin library over the UPC
-//! unit that lets applications instrument themselves with four calls —
+//! unit that lets applications instrument themselves. The primary
+//! surface is the typestate [`Session`] API ([`session`] module), which
+//! makes the protocol — initialize, then bracket code regions in
+//! start/stop *sets*, then finalize into a per-node binary dump — a
+//! compile-time property. The paper's original four C-style calls
+//! remain as thin deprecated wrappers:
 //!
 //! * [`CounterLibrary::bgp_initialize`] — program the node's UPC unit
 //!   into its counter mode and zero the counters,
@@ -34,17 +39,20 @@
 pub mod bglperfctr;
 pub mod collect;
 pub mod dump;
+pub mod session;
 
 use bgp_arch::error::Result;
 use bgp_arch::events::NUM_COUNTERS;
 use bgp_arch::BgpError;
 use bgp_arch::sync::Mutex;
 use bgp_faults::{CounterFault, FaultPlan};
-use bgp_mpi::{Machine, RankCtx};
+use bgp_mpi::{CounterPolicy, JobSpec, Machine, RankCtx};
 use dump::{NodeDump, RecoveredDump, SetDump};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, Weak};
+
+pub use session::{Counting, Initialized, JobDump, Session, SessionBuilder};
 
 /// Cycles charged by `BGP_Initialize` (UPC programming via the memory
 /// map).
@@ -100,10 +108,21 @@ struct NodeState {
 /// assert_eq!(set.counts[CoreEvent::FpFma.id(0).slot().0 as usize], 1);
 /// ```
 pub struct CounterLibrary {
-    machine: Arc<Machine>,
-    nodes: Mutex<Vec<NodeState>>,
+    spec: JobSpec,
+    pub(crate) nodes: Mutex<Vec<NodeState>>,
     ranks_per_node: Vec<usize>,
+    /// Session-supplied counter policy taking precedence over the
+    /// job's (see [`SessionBuilder::counter_policy`]).
+    pub(crate) policy_override: Mutex<Option<CounterPolicy>>,
 }
+
+/// Process-wide map from live machines to their shared counter library,
+/// so every rank's [`Session`] resolves to the same instance — the way
+/// one linked copy of the interface library serves a whole job. Entries
+/// die with their machine (the library holds no machine reference, so
+/// there is no cycle).
+type LibraryRegistry = Mutex<Vec<(Weak<Machine>, Arc<CounterLibrary>)>>;
+static REGISTRY: OnceLock<LibraryRegistry> = OnceLock::new();
 
 impl CounterLibrary {
     /// Bind the library to a machine (one instance per job).
@@ -114,25 +133,50 @@ impl CounterLibrary {
             ranks_per_node[bgp_mpi::place(machine.spec(), r).node.0] += 1;
         }
         Arc::new(CounterLibrary {
-            machine,
+            spec: machine.spec().clone(),
             nodes: Mutex::new((0..n_nodes).map(|_| NodeState::default()).collect()),
             ranks_per_node,
+            policy_override: Mutex::new(None),
         })
+    }
+
+    /// The shared library of `machine`, created on first use. All
+    /// [`Session`]s of a job meet here; concurrently-arriving ranks get
+    /// the same instance.
+    pub fn for_machine(machine: &Arc<Machine>) -> Arc<CounterLibrary> {
+        let reg = REGISTRY.get_or_init(|| Mutex::new(Vec::new()));
+        let mut reg = reg.lock();
+        reg.retain(|(m, _)| m.strong_count() > 0);
+        for (m, lib) in reg.iter() {
+            if m.upgrade().is_some_and(|m| Arc::ptr_eq(&m, machine)) {
+                return Arc::clone(lib);
+            }
+        }
+        let lib = CounterLibrary::new(Arc::clone(machine));
+        reg.push((Arc::downgrade(machine), Arc::clone(&lib)));
+        lib
     }
 
     /// `BGP_Initialize()`: program the node's UPC unit (counter mode per
     /// the job's [`bgp_mpi::CounterPolicy`]), zero all counters, leave
     /// counting disabled until the first `BGP_Start`.
+    #[deprecated(since = "0.2.0", note = "use `Session::builder(ctx).build()` instead")]
     pub fn bgp_initialize(&self, ctx: &mut RankCtx) -> Result<()> {
+        self.initialize_impl(ctx)
+    }
+
+    pub(crate) fn initialize_impl(&self, ctx: &mut RankCtx) -> Result<()> {
         let node = ctx.node_id().0;
         {
             let mut nodes = self.nodes.lock();
             let st = &mut nodes[node];
             if st.init_arrivals == 0 {
-                let mode = self.machine.spec().counter_policy.mode_for(ctx.node_id());
+                let policy =
+                    (*self.policy_override.lock()).unwrap_or(self.spec.counter_policy);
+                let mode = policy.mode_for(ctx.node_id());
                 // A planned saturation fault manifests as the unit
                 // clamping at u64::MAX instead of wrapping.
-                let saturate = self.machine.spec().faults.as_ref().is_some_and(|p| {
+                let saturate = self.spec.faults.as_ref().is_some_and(|p| {
                     p.counter_faults(node as u32)
                         .iter()
                         .any(|f| matches!(f, CounterFault::Saturate { .. }))
@@ -155,7 +199,12 @@ impl CounterLibrary {
     /// `BGP_Start(set)`: open a counting window for `set` on this rank's
     /// node. The first arriving rank snapshots the counters and enables
     /// the unit; peers on the same node join the same window.
+    #[deprecated(since = "0.2.0", note = "use `Session::start` instead")]
     pub fn bgp_start(&self, ctx: &mut RankCtx, set: u32) -> Result<()> {
+        self.start_impl(ctx, set)
+    }
+
+    pub(crate) fn start_impl(&self, ctx: &mut RankCtx, set: u32) -> Result<()> {
         let node = ctx.node_id().0;
         {
             let mut nodes = self.nodes.lock();
@@ -204,7 +253,12 @@ impl CounterLibrary {
     /// node to stop takes the snapshot, accumulates the delta into the
     /// set, and disables the unit ("monitoring of counters is stopped
     /// after the BGP_Stop()").
+    #[deprecated(since = "0.2.0", note = "use `Session::stop` instead")]
     pub fn bgp_stop(&self, ctx: &mut RankCtx, set: u32) -> Result<()> {
+        self.stop_impl(ctx, set)
+    }
+
+    pub(crate) fn stop_impl(&self, ctx: &mut RankCtx, set: u32) -> Result<()> {
         // Charge before the snapshot so the call's own cost is visible to
         // the counters exactly once (the paper includes start/stop cost in
         // its 196-cycle figure).
@@ -223,7 +277,7 @@ impl CounterLibrary {
                     // the window closes — a bit flip in the counter
                     // SRAM, or a counter pegged at the saturation
                     // ceiling — so they land in the final snapshot.
-                    if let Some(plan) = &self.machine.spec().faults {
+                    if let Some(plan) = &self.spec.faults {
                         for f in plan.counter_faults(node as u32) {
                             ctx.with_own_node(|n| match f {
                                 CounterFault::BitFlip { slot, bit } => {
@@ -262,7 +316,12 @@ impl CounterLibrary {
     /// `BGP_Finalize()`: after the last rank of a node arrives, assemble
     /// the node's binary dump. Charged after counting is disabled, so the
     /// "printing" cost never pollutes the data.
+    #[deprecated(since = "0.2.0", note = "use `Session::finalize` instead")]
     pub fn bgp_finalize(&self, ctx: &mut RankCtx) -> Result<()> {
+        self.finalize_impl(ctx)
+    }
+
+    pub(crate) fn finalize_impl(&self, ctx: &mut RankCtx) -> Result<()> {
         let node = ctx.node_id().0;
         {
             let mut nodes = self.nodes.lock();
@@ -443,14 +502,13 @@ where
     R: Send,
     F: Fn(&mut RankCtx) -> R + Sync,
 {
-    let lib = CounterLibrary::new(Arc::clone(machine));
-    let lib2 = Arc::clone(&lib);
+    let lib = CounterLibrary::for_machine(machine);
     let out = machine.run(move |ctx| {
-        lib2.bgp_initialize(ctx).expect("BGP_Initialize");
-        lib2.bgp_start(ctx, WHOLE_PROGRAM_SET).expect("BGP_Start");
-        let r = kernel(ctx);
-        lib2.bgp_stop(ctx, WHOLE_PROGRAM_SET).expect("BGP_Stop");
-        lib2.bgp_finalize(ctx).expect("BGP_Finalize");
+        let session = Session::builder(ctx).build().expect("BGP_Initialize");
+        let mut session = session.start(WHOLE_PROGRAM_SET).expect("BGP_Start");
+        let r = kernel(session.ctx());
+        let session = session.stop().expect("BGP_Stop");
+        session.finalize().expect("BGP_Finalize");
         r
     });
     (out, lib)
@@ -524,19 +582,17 @@ mod tests {
     #[test]
     fn work_outside_the_window_is_not_counted() {
         let m = machine(1, OpMode::Smp1, CounterPolicy::Fixed(CounterMode::Mode0));
-        let lib = CounterLibrary::new(Arc::clone(&m));
-        let lib2 = Arc::clone(&lib);
-        m.run(move |ctx| {
-            lib2.bgp_initialize(ctx).unwrap();
-            ctx.fp1(SemOp::Add); // before start: invisible
-            lib2.bgp_start(ctx, 1).unwrap();
-            ctx.fp1(SemOp::Add);
-            ctx.fp1(SemOp::Add);
-            lib2.bgp_stop(ctx, 1).unwrap();
-            ctx.fp1(SemOp::Add); // after stop: invisible
-            lib2.bgp_finalize(ctx).unwrap();
+        let out = m.run(|ctx| {
+            let mut s = Session::builder(ctx).build().unwrap();
+            s.fp1(SemOp::Add); // before start: invisible
+            let mut s = s.start(1).unwrap();
+            s.fp1(SemOp::Add);
+            s.fp1(SemOp::Add);
+            let mut s = s.stop().unwrap();
+            s.fp1(SemOp::Add); // after stop: invisible
+            s.finalize().unwrap()
         });
-        let dumps = lib.dumps().unwrap();
+        let dumps = out[0].dumps().unwrap();
         let s = dumps[0].set(1).unwrap();
         assert_eq!(s.counts[CoreEvent::FpAddSub.id(0).slot().0 as usize], 2);
     }
@@ -544,23 +600,26 @@ mod tests {
     #[test]
     fn multiple_start_stop_pairs_accumulate_records() {
         let m = machine(1, OpMode::Smp1, CounterPolicy::Fixed(CounterMode::Mode0));
-        let lib = CounterLibrary::new(Arc::clone(&m));
-        let lib2 = Arc::clone(&lib);
-        m.run(move |ctx| {
-            lib2.bgp_initialize(ctx).unwrap();
+        let out = m.run(|ctx| {
+            let mut s = Session::builder(ctx).build().unwrap();
             for _ in 0..3 {
-                lib2.bgp_start(ctx, 7).unwrap();
-                ctx.fp1(SemOp::Mul);
-                lib2.bgp_stop(ctx, 7).unwrap();
+                let mut counting = s.start(7).unwrap();
+                counting.fp1(SemOp::Mul);
+                s = counting.stop().unwrap();
             }
-            lib2.bgp_finalize(ctx).unwrap();
+            s.finalize().unwrap()
         });
-        let s = lib.dumps().unwrap()[0].set(7).cloned().unwrap();
+        let s = out[0].dumps().unwrap()[0].set(7).cloned().unwrap();
         assert_eq!(s.records, 3);
         assert_eq!(s.counts[CoreEvent::FpMult.id(0).slot().0 as usize], 3);
     }
 
+    /// The deprecated four-call wrappers must keep detecting protocol
+    /// violations at runtime — they are the compatibility surface for
+    /// code not yet migrated to [`Session`] (where these states don't
+    /// compile at all).
     #[test]
+    #[allow(deprecated)]
     fn protocol_violations_are_reported() {
         let m = machine(1, OpMode::Smp1, CounterPolicy::Fixed(CounterMode::Mode0));
         let lib = CounterLibrary::new(Arc::clone(&m));
@@ -590,15 +649,13 @@ mod tests {
         // Measure exactly like §IV: instrument an empty snippet and check
         // the core clock advanced by the library-call costs alone.
         let m = machine(1, OpMode::Smp1, CounterPolicy::Fixed(CounterMode::Mode0));
-        let lib = CounterLibrary::new(Arc::clone(&m));
-        let lib2 = Arc::clone(&lib);
-        let out = m.run(move |ctx| {
+        let out = m.run(|ctx| {
             let t0 = ctx.cycles();
-            lib2.bgp_initialize(ctx).unwrap();
-            lib2.bgp_start(ctx, 0).unwrap();
-            lib2.bgp_stop(ctx, 0).unwrap();
-            let t1 = ctx.cycles();
-            lib2.bgp_finalize(ctx).unwrap();
+            let s = Session::builder(ctx).build().unwrap();
+            let s = s.start(0).unwrap();
+            let s = s.stop().unwrap();
+            let t1 = s.cycles();
+            s.finalize().unwrap();
             t1 - t0
         });
         assert_eq!(out[0], TOTAL_OVERHEAD_CYCLES);

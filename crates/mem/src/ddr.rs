@@ -6,9 +6,9 @@
 //! blow-up of FT and IS in Virtual Node Mode partly to this "memory port
 //! contention" (§VIII, Fig. 12).
 //!
-//! The simulator serializes rank execution for determinism (turnstile
-//! scheduling with multi-thousand-access quanta), so literal temporal
-//! overlap never exists. Contention is therefore modeled on *activity
+//! The simulator serializes the ranks *of one node* for determinism
+//! (the phase engine rotates them in multi-thousand-access quanta), so
+//! literal temporal overlap never exists. Contention is therefore modeled on *activity
 //! rates*: the controller remembers when each core last accessed it (in
 //! units of the node's global memory-access clock) and charges each
 //! request a queueing penalty per **other** core active within

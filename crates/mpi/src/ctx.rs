@@ -10,14 +10,15 @@
 //! * *messaging*: point-to-point sends/receives over the torus and the
 //!   collective operations over the tree/barrier networks.
 //!
-//! Every memory access ticks the turnstile quantum and every MPI call is
-//! a scheduling point, so ranks of one node interleave finely enough to
-//! contend for the shared L3 and DDR ports.
+//! Every memory access ticks the node-local scheduling quantum and every
+//! MPI call is a scheduling point, so ranks of one node interleave finely
+//! enough to contend for the shared L3 and DDR ports — while ranks on
+//! *different* nodes run concurrently between phase boundaries (see
+//! [`crate::sched`]).
 
-use crate::comm::{
-    bytes_to_f64s, f64s_to_bytes, CollKind, Message, Payload, ReduceOp,
-};
-use crate::machine::{place, Machine, Placement};
+use crate::comm::{bytes_to_f64s, f64s_to_bytes, CollKind, Payload, ReduceOp};
+use crate::machine::{place, Machine, OutMsg, Placement};
+use crate::sched::{ParkOutcome, Wait};
 use crate::simvec::{SimElem, SimVec};
 use bgp_arch::events::NetEvent;
 use bgp_compiler::{CodeGen, PairPlan};
@@ -109,6 +110,12 @@ impl RankCtx {
     /// Hosting node id.
     pub fn node_id(&self) -> bgp_arch::NodeId {
         self.place.node
+    }
+
+    /// The machine this rank runs on (for runtime libraries layered over
+    /// the context, e.g. the counter session in `bgp-core`).
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
     }
 
     /// Core the **active thread** computes on.
@@ -223,6 +230,18 @@ impl RankCtx {
             self.tick = 0;
             self.machine.sched.yield_turn(self.rank);
         }
+    }
+
+    /// Park until a phase resolution satisfies `wait`. If this rank is
+    /// the one that empties the frontier, it performs the resolution
+    /// itself before re-entering the engine.
+    fn park_on(&mut self, wait: Wait) {
+        if self.machine.sched.park(self.rank, wait) == ParkOutcome::Resolve {
+            let wake = self.machine.resolve_phase();
+            self.machine.sched.commit_phase(&wake);
+        }
+        self.machine.sched.acquire(self.rank);
+        self.tick = 0;
     }
 
     // ------------------------------------------------------------------
@@ -427,6 +446,10 @@ impl RankCtx {
     // ------------------------------------------------------------------
 
     /// Send `data` to `dst` with `tag`. Non-overtaking per (src, dst).
+    ///
+    /// Sends never block: the message buffers in this rank's outbox and
+    /// is delivered — with per-phase torus link contention added to its
+    /// arrival time — when the current phase resolves.
     pub fn send(&mut self, dst: usize, tag: u32, data: Payload) {
         assert!(dst < self.size, "send to invalid rank {dst}");
         let bytes = data.len() as u64;
@@ -434,18 +457,21 @@ impl RankCtx {
         let cost = self.machine.torus.transfer(self.place.node, dst_node, bytes);
         let overhead = self.machine.spec().mpi.send_overhead;
         let core = self.core();
-        let ready_at = self.with_node(|n| {
+        let sent_at = self.with_node(|n| {
             n.charge_cycles(core, overhead + cost.cycles);
             n.emit_event(NetEvent::TorusPktSent.id(), cost.packets);
             n.emit_event(NetEvent::TorusBytesSent.id(), bytes);
             n.emit_event(NetEvent::TorusHops.id(), cost.hops);
             n.timebase(core)
         });
-        {
-            let mut comm = self.machine.comm.lock();
-            comm.mailboxes[dst].push_back(Message { src: self.rank, tag, data, ready_at });
-        }
-        self.machine.sched.unblock(dst);
+        self.machine.comm.lock().outboxes[self.rank].push_back(OutMsg {
+            dst,
+            tag,
+            data,
+            sent_at,
+            src_node: self.place.node,
+            dst_node,
+        });
         self.yield_now();
     }
 
@@ -475,7 +501,7 @@ impl RankCtx {
                 });
                 return msg.data;
             }
-            self.machine.sched.block(self.rank);
+            self.park_on(Wait::Recv { src, tag });
         }
     }
 
@@ -547,7 +573,6 @@ impl RankCtx {
         self.coll_count += 1;
         let n = self.size;
         let my_cycles = self.cycles();
-        let mut completed_now = false;
         {
             let mut comm = self.machine.comm.lock();
             let slot = &mut comm.slots[slot_idx];
@@ -567,44 +592,15 @@ impl RankCtx {
             }
             slot.arrived += 1;
             slot.t_max = slot.t_max.max(my_cycles);
-            if slot.arrived == n {
-                let cost = collective_cost(&self.machine, kind, slot, n);
-                slot.ready_at = slot.t_max + self.machine.spec().mpi.coll_overhead + cost;
-                match kind {
-                    CollKind::Reduce { op, .. } | CollKind::Allreduce { op } => {
-                        let mut acc =
-                            slot.contrib[0].clone().expect("rank 0 contribution missing");
-                        for r in 1..n {
-                            op.combine(
-                                &mut acc,
-                                slot.contrib[r].as_ref().expect("contribution missing"),
-                            );
-                        }
-                        slot.result = acc;
-                    }
-                    CollKind::Bcast { root } => {
-                        slot.result =
-                            slot.contrib[root].clone().expect("root contribution missing");
-                    }
-                    CollKind::Barrier | CollKind::Alltoall => {}
-                }
-                slot.complete = true;
-                completed_now = true;
-            }
         }
-        if completed_now {
-            for r in 0..n {
-                if r != self.rank {
-                    self.machine.sched.unblock(r);
-                }
+        // Completion (combine + pricing) happens at phase resolution once
+        // every rank has arrived — even the last arriver parks, so the
+        // merge always runs over a quiescent machine.
+        loop {
+            if self.machine.comm.lock().slots[slot_idx].complete {
+                break;
             }
-        } else {
-            loop {
-                if self.machine.comm.lock().slots[slot_idx].complete {
-                    break;
-                }
-                self.machine.sched.block(self.rank);
-            }
+            self.park_on(Wait::Collective { slot: slot_idx });
         }
 
         // Consume: read my share, then free the slot.
@@ -713,47 +709,4 @@ enum CollResult {
     None,
     Bytes(Payload),
     Column(Vec<Payload>),
-}
-
-/// Completion cost (cycles) of a collective once all ranks have arrived.
-fn collective_cost(
-    machine: &Machine,
-    kind: CollKind,
-    slot: &crate::comm::CollSlot,
-    n: usize,
-) -> u64 {
-    let net = &machine.spec().net;
-    match kind {
-        CollKind::Barrier => machine.barrier_net.barrier_cycles(),
-        CollKind::Bcast { root } => {
-            let bytes = slot.contrib[root].as_ref().map_or(0, |p| p.len() as u64);
-            machine.coll_net.broadcast(bytes).cycles
-        }
-        CollKind::Reduce { .. } => {
-            let bytes = slot.contrib[0].as_ref().map_or(0, |p| p.len() as u64);
-            machine.coll_net.reduce(bytes).cycles
-        }
-        CollKind::Allreduce { .. } => {
-            let bytes = slot.contrib[0].as_ref().map_or(0, |p| p.len() as u64);
-            machine.coll_net.reduce(bytes).cycles + machine.coll_net.broadcast(bytes).cycles
-        }
-        CollKind::Alltoall => {
-            // Each rank injects (n-1) chunks serially; the last byte also
-            // crosses up to the torus diameter.
-            let max_out = (0..n)
-                .map(|src| {
-                    slot.matrix[src]
-                        .iter()
-                        .enumerate()
-                        .filter(|&(d, _)| d != src)
-                        .map(|(_, p)| p.len() as u64)
-                        .sum::<u64>()
-                })
-                .max()
-                .unwrap_or(0);
-            let dims = machine.torus.dims();
-            let diameter = (dims.x / 2 + dims.y / 2 + dims.z / 2).max(1) as u64;
-            max_out.div_ceil(net.torus_bytes_per_cycle) + diameter * net.torus_hop_cycles
-        }
-    }
 }

@@ -9,9 +9,11 @@
 //! * [`machine::JobSpec`] / [`machine::place`] — rank placement per
 //!   operating mode (VNM packs 4 ranks per node, SMP/1 gives each rank a
 //!   whole node, …),
-//! * [`sched::Turnstile`] — the deterministic cooperative scheduler: one
-//!   OS thread per rank, exactly one running at a time, rotating at
-//!   memory-access quanta and MPI calls,
+//! * [`sched::PhaseEngine`] — the deterministic *parallel* scheduler:
+//!   one OS thread per rank; ranks on different nodes run concurrently
+//!   between MPI synchronization points, ranks sharing a node rotate at
+//!   memory-access quanta, and cross-node effects merge in canonical
+//!   rank order at phase boundaries,
 //! * [`ctx::RankCtx`] — the API kernels program against: simulated
 //!   arrays, compiled arithmetic, sends/receives, collectives,
 //! * [`comm`] — payload codecs, reduce operators, rendezvous slots.

@@ -1,16 +1,17 @@
 //! The simulated **machine**: a partition of compute nodes, the three
-//! interconnects, rank placement, and the job runner.
+//! interconnects, rank placement, the phase-resolution merge, and the
+//! job runner.
 
-use crate::comm::{CollSlot, Message};
+use crate::comm::{CollKind, CollSlot, Message, Payload};
 use crate::ctx::RankCtx;
-use crate::sched::Turnstile;
+use crate::sched::{ParkOutcome, PhaseEngine, Wait};
 use bgp_arch::events::CounterMode;
 use bgp_arch::geometry::{NodeId, TorusDims};
+use bgp_arch::sync::Mutex;
 use bgp_arch::{MachineConfig, OpMode};
 use bgp_compiler::CompileOpts;
-use bgp_arch::sync::Mutex;
 use bgp_faults::FaultPlan;
-use bgp_net::{BarrierNetwork, CollectiveNetwork, NetConfig, TorusNetwork};
+use bgp_net::{BarrierNetwork, CollectiveNetwork, NetConfig, PhaseTraffic, TorusNetwork};
 use bgp_node::Node;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -87,6 +88,11 @@ pub struct JobSpec {
     /// Optional deterministic fault plan: stragglers, degraded torus
     /// routers, node loss, counter and dump corruption.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Worker cap: how many simulated nodes execute concurrently.
+    /// `None` reads `BGP_SIM_THREADS`, falling back to the host's
+    /// available parallelism. Affects wall-clock only — counter dumps
+    /// are byte-identical for every value, including 1.
+    pub sim_threads: Option<usize>,
 }
 
 impl JobSpec {
@@ -107,12 +113,28 @@ impl JobSpec {
             quantum: 2048,
             mpi: MpiCosts::default(),
             faults: None,
+            sim_threads: None,
         }
     }
 
     /// Number of nodes the job occupies.
     pub fn nodes(&self) -> usize {
         self.ranks.div_ceil(self.mode.processes_per_node())
+    }
+
+    /// The effective worker cap: `sim_threads`, else the
+    /// `BGP_SIM_THREADS` environment variable, else the host's available
+    /// parallelism (min 1).
+    pub fn resolved_sim_threads(&self) -> usize {
+        if let Some(t) = self.sim_threads {
+            return t.max(1);
+        }
+        if let Ok(v) = std::env::var("BGP_SIM_THREADS") {
+            if let Ok(t) = v.trim().parse::<usize>() {
+                return t.max(1);
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
     }
 }
 
@@ -140,9 +162,27 @@ pub fn place(spec: &JobSpec, rank: usize) -> Placement {
     }
 }
 
+/// A point-to-point message buffered in its sender's outbox until the
+/// phase boundary delivers it.
+pub(crate) struct OutMsg {
+    pub dst: usize,
+    pub tag: u32,
+    pub data: Payload,
+    /// Sender core clock when the send completed (injection done).
+    pub sent_at: u64,
+    pub src_node: NodeId,
+    pub dst_node: NodeId,
+}
+
 pub(crate) struct CommInner {
     pub mailboxes: Vec<VecDeque<Message>>,
+    /// Per-rank send buffers, drained at phase resolution in (sender
+    /// rank, send order) — the canonical order that makes delivery and
+    /// link contention independent of thread scheduling.
+    pub outboxes: Vec<VecDeque<OutMsg>>,
     pub slots: [CollSlot; 2],
+    /// Per-phase directed-link byte loads for torus queuing delays.
+    pub traffic: PhaseTraffic,
 }
 
 /// The simulated partition.
@@ -165,7 +205,7 @@ pub struct Machine {
     pub(crate) torus: TorusNetwork,
     pub(crate) coll_net: CollectiveNetwork,
     pub(crate) barrier_net: BarrierNetwork,
-    pub(crate) sched: Turnstile,
+    pub(crate) sched: PhaseEngine,
     pub(crate) comm: Mutex<CommInner>,
     ran: AtomicBool,
 }
@@ -176,7 +216,7 @@ impl Machine {
         spec.machine.validate().expect("invalid machine configuration");
         let n_nodes = spec.nodes();
         let dims = TorusDims::for_nodes(n_nodes);
-        let nodes = (0..n_nodes)
+        let nodes: Vec<_> = (0..n_nodes)
             .map(|i| {
                 let id = NodeId(i);
                 Mutex::new(Node::new(
@@ -191,14 +231,17 @@ impl Machine {
         if let Some(plan) = &spec.faults {
             torus.set_fault_plan(Arc::clone(plan));
         }
+        let node_of = (0..spec.ranks).map(|r| place(&spec, r).node.0).collect();
         Arc::new(Machine {
             torus,
             coll_net: CollectiveNetwork::new(n_nodes, spec.net.clone()),
             barrier_net: BarrierNetwork::new(spec.net.clone()),
-            sched: Turnstile::new(spec.ranks),
+            sched: PhaseEngine::new(node_of, n_nodes, spec.resolved_sim_threads()),
             comm: Mutex::new(CommInner {
                 mailboxes: (0..spec.ranks).map(|_| VecDeque::new()).collect(),
+                outboxes: (0..spec.ranks).map(|_| VecDeque::new()).collect(),
                 slots: [CollSlot::default(), CollSlot::default()],
+                traffic: PhaseTraffic::new(&spec.net),
             }),
             nodes,
             spec,
@@ -235,11 +278,96 @@ impl Machine {
         self.nodes.iter().map(|n| n.lock().node_cycles()).max().unwrap_or(0)
     }
 
+    /// Completed scheduling phases (diagnostics).
+    pub fn phases(&self) -> u64 {
+        self.sched.phases()
+    }
+
+    /// Merge the phase's buffered effects and compute which parked ranks
+    /// become runnable. Called by the rank that emptied the frontier,
+    /// with every other rank parked — the merge iterates in canonical
+    /// rank order over state that no longer changes, so its outcome is
+    /// independent of the thread interleaving that led here.
+    pub(crate) fn resolve_phase(&self) -> Vec<usize> {
+        let mut guard = self.comm.lock();
+        let comm = &mut *guard;
+
+        // 1. Deliver outboxes in (sender rank, send order). Queuing
+        //    delay on shared torus links accrues in this order too.
+        comm.traffic.reset();
+        for src in 0..self.spec.ranks {
+            while let Some(m) = comm.outboxes[src].pop_front() {
+                let route = self.torus.route(m.src_node, m.dst_node);
+                let queue = comm.traffic.enqueue(&route, m.data.len() as u64);
+                comm.mailboxes[m.dst].push_back(Message {
+                    src,
+                    tag: m.tag,
+                    data: m.data,
+                    ready_at: m.sent_at + queue,
+                });
+            }
+        }
+
+        // 2. Complete collectives whose every rank has arrived.
+        for slot in &mut comm.slots {
+            let fully_arrived = slot.kind.is_some()
+                && !slot.complete
+                && slot.arrived == self.spec.ranks;
+            if fully_arrived {
+                self.complete_slot(slot);
+            }
+        }
+
+        // 3. Wake every parked rank whose wait is now satisfied.
+        let mut wake = Vec::new();
+        for (rank, wait) in self.sched.parked() {
+            let satisfied = match wait {
+                Wait::Recv { src, tag } => comm.mailboxes[rank]
+                    .iter()
+                    .any(|m| m.tag == tag && src.is_none_or(|s| s == m.src)),
+                Wait::Collective { slot } => comm.slots[slot].complete,
+            };
+            if satisfied {
+                wake.push(rank);
+            }
+        }
+        wake
+    }
+
+    /// Finish one collective: combine contributions, price the network
+    /// operation, and stamp the availability time.
+    fn complete_slot(&self, slot: &mut CollSlot) {
+        let kind = slot.kind.expect("completing an idle slot");
+        let n = self.spec.ranks;
+        let cost = collective_cost(self, kind, slot, n);
+        slot.ready_at = slot.t_max + self.spec.mpi.coll_overhead + cost;
+        match kind {
+            CollKind::Reduce { op, .. } | CollKind::Allreduce { op } => {
+                let mut acc = slot.contrib[0].clone().expect("rank 0 contribution missing");
+                for r in 1..n {
+                    op.combine(
+                        &mut acc,
+                        slot.contrib[r].as_ref().expect("contribution missing"),
+                    );
+                }
+                slot.result = acc;
+            }
+            CollKind::Bcast { root } => {
+                slot.result = slot.contrib[root].clone().expect("root contribution missing");
+            }
+            CollKind::Barrier | CollKind::Alltoall => {}
+        }
+        slot.complete = true;
+    }
+
     /// Execute the SPMD `kernel` on every rank.
     ///
-    /// One OS thread per rank, serialized by the turnstile: the run is
-    /// deterministic and may be executed exactly once per machine.
-    /// Returns the per-rank kernel results in rank order.
+    /// One OS thread per rank; up to [`JobSpec::resolved_sim_threads`]
+    /// nodes execute concurrently between synchronization points, with
+    /// cross-node effects merged deterministically at phase boundaries.
+    /// The run may be executed exactly once per machine and its counter
+    /// results are byte-identical for every worker-cap value. Returns
+    /// the per-rank kernel results in rank order.
     pub fn run<R, F>(self: &Arc<Self>, kernel: F) -> Vec<R>
     where
         R: Send,
@@ -256,8 +384,8 @@ impl Machine {
                     let mach = Arc::clone(self);
                     s.spawn(move || {
                         mach.sched.acquire(rank);
-                        // A panicking rank must abort the whole turnstile,
-                        // otherwise its peers wait for a turn that never
+                        // A panicking rank must abort the whole engine,
+                        // otherwise its peers wait for a wakeup that never
                         // comes and the job hangs instead of failing.
                         let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             let mut ctx = RankCtx::new(Arc::clone(&mach), rank);
@@ -265,7 +393,10 @@ impl Machine {
                         }));
                         match out {
                             Ok(r) => {
-                                mach.sched.done(rank);
+                                if mach.sched.done(rank) == ParkOutcome::Resolve {
+                                    let wake = mach.resolve_phase();
+                                    mach.sched.commit_phase(&wake);
+                                }
                                 r
                             }
                             Err(e) => {
@@ -281,6 +412,44 @@ impl Machine {
                 .map(|h| h.join().expect("rank thread panicked"))
                 .collect()
         })
+    }
+}
+
+/// Completion cost (cycles) of a collective once all ranks have arrived.
+fn collective_cost(machine: &Machine, kind: CollKind, slot: &CollSlot, n: usize) -> u64 {
+    let net = &machine.spec().net;
+    match kind {
+        CollKind::Barrier => machine.barrier_net.barrier_cycles(),
+        CollKind::Bcast { root } => {
+            let bytes = slot.contrib[root].as_ref().map_or(0, |p| p.len() as u64);
+            machine.coll_net.broadcast(bytes).cycles
+        }
+        CollKind::Reduce { .. } => {
+            let bytes = slot.contrib[0].as_ref().map_or(0, |p| p.len() as u64);
+            machine.coll_net.reduce(bytes).cycles
+        }
+        CollKind::Allreduce { .. } => {
+            let bytes = slot.contrib[0].as_ref().map_or(0, |p| p.len() as u64);
+            machine.coll_net.reduce(bytes).cycles + machine.coll_net.broadcast(bytes).cycles
+        }
+        CollKind::Alltoall => {
+            // Each rank injects (n-1) chunks serially; the last byte also
+            // crosses up to the torus diameter.
+            let max_out = (0..n)
+                .map(|src| {
+                    slot.matrix[src]
+                        .iter()
+                        .enumerate()
+                        .filter(|&(d, _)| d != src)
+                        .map(|(_, p)| p.len() as u64)
+                        .sum::<u64>()
+                })
+                .max()
+                .unwrap_or(0);
+            let dims = machine.torus.dims();
+            let diameter = (dims.x / 2 + dims.y / 2 + dims.z / 2).max(1) as u64;
+            max_out.div_ceil(net.torus_bytes_per_cycle) + diameter * net.torus_hop_cycles
+        }
     }
 }
 
@@ -340,5 +509,14 @@ mod tests {
             m.run(|ctx| ctx.rank());
         }));
         assert!(res.is_err(), "second run must be rejected");
+    }
+
+    #[test]
+    fn explicit_sim_threads_overrides_env() {
+        let mut spec = JobSpec::new(2, OpMode::Smp1);
+        spec.sim_threads = Some(3);
+        assert_eq!(spec.resolved_sim_threads(), 3);
+        spec.sim_threads = Some(0);
+        assert_eq!(spec.resolved_sim_threads(), 1, "cap is clamped to at least one");
     }
 }

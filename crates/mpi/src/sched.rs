@@ -1,179 +1,432 @@
-//! The **turnstile scheduler**: deterministic cooperative round-robin
-//! execution of rank threads.
+//! The **phase engine**: deterministic parallel execution of rank
+//! threads between MPI synchronization points.
 //!
-//! Exactly one rank thread runs at any instant; the turn rotates in rank
-//! order at *yield points* (every memory-access quantum and every MPI
-//! call). This serialization is what makes whole-machine simulation
-//! deterministic — identical runs produce bit-identical counter values —
-//! while still interleaving the ranks of one node finely enough to model
-//! shared-L3 interference and DDR port contention.
+//! The engine replaces the old global turnstile (which rotated a single
+//! run token across *all* ranks every memory quantum, serializing the
+//! whole machine through one thundering-herd condvar). Execution is now
+//! organized in **phases**:
 //!
-//! Blocking (a receive with no matching message, a collective waiting for
-//! peers) parks the rank; another rank's delivery marks it ready again.
-//! If every live rank is parked the job has deadlocked and the scheduler
-//! panics with a per-rank diagnostic rather than hanging the test suite.
+//! * Within a phase, the *frontier* — every rank that is neither parked
+//!   on a communication nor finished — runs. Ranks hosted on different
+//!   nodes run genuinely concurrently (their state is disjoint: each
+//!   node's cores, caches and UPC unit sit behind the node's own lock);
+//!   ranks sharing a node take turns on a node-local rotation that
+//!   yields every memory quantum, preserving the fine-grained shared-L3
+//!   and DDR interleaving the simulation models.
+//! * A rank leaves the frontier by **parking** (a receive with no
+//!   matching delivered message, a collective not yet complete) or by
+//!   finishing its kernel. Point-to-point sends never block: they buffer
+//!   into per-rank outboxes held by the machine.
+//! * When the frontier empties, the last rank to park becomes the
+//!   **resolver**: the machine merges the phase's buffered effects in
+//!   canonical (sender rank, send sequence) order — delivering messages
+//!   with per-phase torus link contention, completing collectives —
+//!   and reports which parked ranks are now runnable. The engine wakes
+//!   them and the next phase begins.
+//!
+//! Because per-rank effects only meet at phase boundaries, and boundary
+//! resolution iterates in rank order over deterministic state, the
+//! counter dumps are **byte-identical for any worker thread count**,
+//! including 1. The `BGP_SIM_THREADS` environment variable (or
+//! [`crate::JobSpec::sim_threads`]) caps how many nodes execute
+//! concurrently; it affects wall-clock only, never results.
+//!
+//! If a resolution wakes nobody while unfinished ranks remain, the job
+//! has deadlocked and the resolver panics with a per-rank wait
+//! diagnostic rather than hanging the suite.
 
 use bgp_arch::sync::{Condvar, Mutex};
+use std::fmt;
+
+/// Why a parked rank is waiting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Wait {
+    /// Blocked in a receive for a message with `tag` from `src`
+    /// (`None` = any source).
+    Recv {
+        /// Source filter.
+        src: Option<usize>,
+        /// Tag filter.
+        tag: u32,
+    },
+    /// Blocked on the collective using rendezvous slot `slot`.
+    Collective {
+        /// Double-buffer slot index (0 or 1).
+        slot: usize,
+    },
+}
+
+impl fmt::Display for Wait {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Wait::Recv { src: Some(s), tag } => write!(f, "recv(src={s}, tag={tag})"),
+            Wait::Recv { src: None, tag } => write!(f, "recv(any, tag={tag})"),
+            Wait::Collective { slot } => write!(f, "collective(slot {slot})"),
+        }
+    }
+}
 
 /// Run state of one rank thread.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Status {
-    /// May run when the turn reaches it.
+    /// In the current frontier.
     Ready,
-    /// Parked on a receive or collective.
-    Blocked,
+    /// Parked until a phase resolution satisfies the wait.
+    Parked(Wait),
     /// Returned from its kernel.
     Done,
 }
 
-struct Sched {
-    current: usize,
+/// What the caller of [`PhaseEngine::park`] / [`PhaseEngine::done`]
+/// must do next.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[must_use = "a Resolve outcome obliges the caller to run phase resolution"]
+pub enum ParkOutcome {
+    /// Other frontier ranks are still running; just wait.
+    Wait,
+    /// The frontier emptied: the caller must resolve the phase (merge
+    /// buffered effects, then [`PhaseEngine::commit_phase`]).
+    Resolve,
+}
+
+struct Engine {
     status: Vec<Status>,
+    /// Hosting node of each rank.
+    node_of: Vec<usize>,
+    /// Ranks hosted per node, ascending.
+    node_ranks: Vec<Vec<usize>>,
+    /// Per node: index into `node_ranks[n]` of the rank holding the
+    /// node's turn.
+    cursor: Vec<usize>,
+    /// Per node: whether the node currently holds a run permit.
+    active: Vec<bool>,
+    /// Run permits in use (bounded by `max_active`).
+    permits: usize,
+    /// Ready ranks remaining in the frontier.
+    runnable: usize,
+    phase: u64,
     aborted: bool,
 }
 
-impl Sched {
-    /// Move the turn to the next ready rank after `from` (wrapping).
-    /// Panics on deadlock (live ranks exist but none ready).
-    fn advance(&mut self, from: usize) {
-        let n = self.status.len();
+impl Engine {
+    /// The rank currently holding `node`'s turn, if any rank of the node
+    /// is ready.
+    fn current_of(&self, node: usize) -> Option<usize> {
+        let ranks = &self.node_ranks[node];
+        if ranks.is_empty() {
+            return None;
+        }
+        let r = ranks[self.cursor[node]];
+        (self.status[r] == Status::Ready).then_some(r)
+    }
+
+    /// Rotate `node`'s turn to the next ready rank after the cursor
+    /// (wrapping). Returns the new holder, or `None` if the node has no
+    /// ready ranks left this phase.
+    fn rotate(&mut self, node: usize) -> Option<usize> {
+        let ranks = &self.node_ranks[node];
+        let n = ranks.len();
         for off in 1..=n {
-            let cand = (from + off) % n;
-            if self.status[cand] == Status::Ready {
-                self.current = cand;
-                return;
+            let pos = (self.cursor[node] + off) % n;
+            if self.status[ranks[pos]] == Status::Ready {
+                self.cursor[node] = pos;
+                return Some(ranks[pos]);
             }
         }
-        if self.status.iter().all(|&s| s == Status::Done) {
-            self.current = n; // sentinel: nobody left
+        None
+    }
+
+    fn node_has_ready(&self, node: usize) -> bool {
+        self.node_ranks[node].iter().any(|&r| self.status[r] == Status::Ready)
+    }
+}
+
+/// The shared phase scheduler. One per [`crate::Machine`].
+pub struct PhaseEngine {
+    m: Mutex<Engine>,
+    /// One condvar per rank: wakeups are targeted, so a 64-rank job
+    /// never pays a 64-thread thundering herd per quantum.
+    cvs: Vec<Condvar>,
+    max_active: usize,
+}
+
+impl PhaseEngine {
+    /// An engine for ranks placed by `node_of` (rank → hosting node over
+    /// `n_nodes` nodes), running at most `max_active` nodes concurrently.
+    pub fn new(node_of: Vec<usize>, n_nodes: usize, max_active: usize) -> PhaseEngine {
+        assert!(!node_of.is_empty());
+        let n_ranks = node_of.len();
+        let mut node_ranks = vec![Vec::new(); n_nodes];
+        for (rank, &node) in node_of.iter().enumerate() {
+            node_ranks[node].push(rank);
+        }
+        let mut eng = Engine {
+            status: vec![Status::Ready; n_ranks],
+            node_of,
+            node_ranks,
+            cursor: vec![0; n_nodes],
+            active: vec![false; n_nodes],
+            permits: 0,
+            runnable: n_ranks,
+            phase: 0,
+            aborted: false,
+        };
+        let max_active = max_active.max(1);
+        Self::grant_permits(&mut eng, max_active);
+        PhaseEngine {
+            m: Mutex::new(eng),
+            cvs: (0..n_ranks).map(|_| Condvar::new()).collect(),
+            max_active,
+        }
+    }
+
+    /// Worker cap this engine was built with.
+    pub fn max_active_nodes(&self) -> usize {
+        self.max_active
+    }
+
+    /// Completed phases so far (for diagnostics and tests).
+    pub fn phases(&self) -> u64 {
+        self.m.lock().phase
+    }
+
+    /// Hand run permits to nodes that have ready ranks, lowest node id
+    /// first, until the cap is reached.
+    fn grant_permits(s: &mut Engine, max_active: usize) {
+        if s.permits >= max_active {
             return;
         }
-        let blocked: Vec<usize> = self
-            .status
-            .iter()
-            .enumerate()
-            .filter(|(_, &s)| s == Status::Blocked)
-            .map(|(r, _)| r)
-            .collect();
-        panic!(
-            "MPI deadlock: no runnable rank; blocked ranks = {blocked:?} \
-             (mismatched send/recv or collective?)"
-        );
-    }
-}
-
-/// The shared turnstile.
-pub struct Turnstile {
-    m: Mutex<Sched>,
-    cv: Condvar,
-}
-
-impl Turnstile {
-    /// A turnstile for `n` ranks; rank 0 holds the first turn.
-    pub fn new(n: usize) -> Turnstile {
-        assert!(n > 0);
-        Turnstile {
-            m: Mutex::new(Sched { current: 0, status: vec![Status::Ready; n], aborted: false }),
-            cv: Condvar::new(),
+        for node in 0..s.node_ranks.len() {
+            if s.permits >= max_active {
+                break;
+            }
+            if !s.active[node] && s.node_has_ready(node) {
+                s.active[node] = true;
+                s.permits += 1;
+            }
         }
     }
 
-    /// Wait until it is `rank`'s turn (thread start-up).
+    /// Notify the rank holding `node`'s turn (if the node is active).
+    fn notify_current(&self, s: &Engine, node: usize) {
+        if s.active[node] {
+            if let Some(r) = s.current_of(node) {
+                self.cvs[r].notify_one();
+            }
+        }
+    }
+
+    /// Release `node`'s permit if it has no ready ranks, and pass it to
+    /// the next node waiting for one.
+    fn release_if_idle(&self, s: &mut Engine, node: usize) {
+        if s.active[node] && !s.node_has_ready(node) {
+            s.active[node] = false;
+            s.permits -= 1;
+            Self::grant_permits(s, self.max_active);
+            for n in 0..s.node_ranks.len() {
+                if s.active[n] && n != node {
+                    self.notify_current(s, n);
+                }
+            }
+        }
+    }
+
+    /// Block until `rank` may execute: it is ready, holds its node's
+    /// turn, and the node holds a run permit.
     pub fn acquire(&self, rank: usize) {
         let mut s = self.m.lock();
-        while s.current != rank {
+        loop {
             assert!(!s.aborted, "job aborted: a peer rank panicked");
-            s = self.cv.wait(s);
+            let node = s.node_of[rank];
+            if s.status[rank] == Status::Ready && s.active[node] && s.current_of(node) == Some(rank)
+            {
+                return;
+            }
+            s = self.cvs[rank].wait(s);
         }
-        assert!(!s.aborted, "job aborted: a peer rank panicked");
     }
 
-    /// Abort the job: every rank waiting in the turnstile panics instead
-    /// of waiting forever. Called when a rank thread panics so the whole
+    /// Abort the job: every rank waiting in the engine panics instead of
+    /// waiting forever. Called when a rank thread panics so the whole
     /// job fails loudly rather than hanging.
     pub fn abort(&self) {
         let mut s = self.m.lock();
         s.aborted = true;
-        self.cv.notify_all();
+        for cv in &self.cvs {
+            cv.notify_one();
+        }
     }
 
-    /// Give up the turn and wait for the next one.
+    /// Give up the node-local turn and wait for the next one (memory
+    /// quantum boundary). Ranks on other nodes are unaffected.
     pub fn yield_turn(&self, rank: usize) {
         let mut s = self.m.lock();
-        debug_assert_eq!(s.current, rank, "yield by a rank not holding the turn");
-        s.advance(rank);
-        if s.current == rank {
-            return; // sole runnable rank: keep going
+        debug_assert_eq!(s.status[rank], Status::Ready, "yield by a non-ready rank");
+        let node = s.node_of[rank];
+        debug_assert_eq!(s.current_of(node), Some(rank), "yield by a rank not holding the turn");
+        match s.rotate(node) {
+            Some(next) if next == rank => return, // sole ready rank on the node
+            Some(next) => self.cvs[next].notify_one(),
+            None => unreachable!("the yielding rank itself is ready"),
         }
-        self.cv.notify_all();
-        while s.current != rank {
+        loop {
             assert!(!s.aborted, "job aborted: a peer rank panicked");
-            s = self.cv.wait(s);
+            if s.active[node] && s.current_of(node) == Some(rank) {
+                return;
+            }
+            s = self.cvs[rank].wait(s);
         }
-        assert!(!s.aborted, "job aborted: a peer rank panicked");
     }
 
-    /// Park `rank` until another rank calls [`Turnstile::unblock`] for it,
-    /// then wait for its turn.
-    pub fn block(&self, rank: usize) {
+    /// Leave the frontier, waiting on `wait`. If this empties the
+    /// frontier the caller becomes the phase resolver: it must merge the
+    /// machine's buffered effects and call [`PhaseEngine::commit_phase`],
+    /// then (like every parked rank) [`PhaseEngine::acquire`] its next
+    /// turn.
+    pub fn park(&self, rank: usize, wait: Wait) -> ParkOutcome {
         let mut s = self.m.lock();
-        debug_assert_eq!(s.current, rank);
-        s.status[rank] = Status::Blocked;
-        s.advance(rank);
-        self.cv.notify_all();
-        while !(s.status[rank] == Status::Ready && s.current == rank) {
-            assert!(!s.aborted, "job aborted: a peer rank panicked");
-            s = self.cv.wait(s);
-        }
         assert!(!s.aborted, "job aborted: a peer rank panicked");
+        debug_assert_eq!(s.status[rank], Status::Ready);
+        self.leave_frontier(&mut s, rank, Status::Parked(wait))
     }
 
-    /// Mark `rank` ready (message delivered / collective completed).
-    /// The caller keeps the turn; the unblocked rank runs when the
-    /// rotation reaches it.
-    pub fn unblock(&self, rank: usize) {
-        let mut s = self.m.lock();
-        if s.status[rank] == Status::Blocked {
-            s.status[rank] = Status::Ready;
-        }
-    }
-
-    /// Mark `rank` finished and pass the turn on.
-    pub fn done(&self, rank: usize) {
+    /// Leave the frontier permanently (kernel returned). Same resolver
+    /// obligation as [`PhaseEngine::park`].
+    pub fn done(&self, rank: usize) -> ParkOutcome {
         let mut s = self.m.lock();
         if s.aborted {
-            return;
+            return ParkOutcome::Wait;
         }
-        s.status[rank] = Status::Done;
-        if s.current == rank {
-            s.advance(rank);
+        debug_assert_eq!(s.status[rank], Status::Ready);
+        self.leave_frontier(&mut s, rank, Status::Done)
+    }
+
+    fn leave_frontier(&self, s: &mut Engine, rank: usize, to: Status) -> ParkOutcome {
+        let node = s.node_of[rank];
+        debug_assert_eq!(s.current_of(node), Some(rank), "must hold the node turn to leave");
+        s.status[rank] = to;
+        s.runnable -= 1;
+        if s.runnable == 0 {
+            return ParkOutcome::Resolve;
         }
-        self.cv.notify_all();
+        if let Some(next) = s.rotate(node) {
+            self.cvs[next].notify_one();
+        } else {
+            self.release_if_idle(s, node);
+        }
+        ParkOutcome::Wait
+    }
+
+    /// Snapshot of every parked rank and its wait (valid only while the
+    /// frontier is empty, i.e. inside phase resolution).
+    pub fn parked(&self) -> Vec<(usize, Wait)> {
+        let s = self.m.lock();
+        debug_assert_eq!(s.runnable, 0, "parked() is a resolution-time call");
+        s.status
+            .iter()
+            .enumerate()
+            .filter_map(|(r, st)| match st {
+                Status::Parked(w) => Some((r, *w)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Open the next phase with `wake` as its frontier (resolution-time
+    /// call; `wake` holds ranks whose waits were just satisfied).
+    ///
+    /// # Panics
+    /// Panics with a per-rank diagnostic if `wake` is empty while
+    /// unfinished ranks remain — the job has deadlocked.
+    pub fn commit_phase(&self, wake: &[usize]) {
+        let mut s = self.m.lock();
+        debug_assert_eq!(s.runnable, 0, "commit_phase() is a resolution-time call");
+        s.phase += 1;
+        if wake.is_empty() {
+            if s.status.iter().all(|&st| st == Status::Done) {
+                return; // job complete
+            }
+            let blocked: Vec<String> = s
+                .status
+                .iter()
+                .enumerate()
+                .filter_map(|(r, st)| match st {
+                    Status::Parked(w) => Some(format!("rank {r}: {w}")),
+                    _ => None,
+                })
+                .collect();
+            s.aborted = true;
+            for cv in &self.cvs {
+                cv.notify_one();
+            }
+            panic!(
+                "MPI deadlock after {} phase(s): no deliverable progress; waiting: [{}] \
+                 (mismatched send/recv or collective?)",
+                s.phase,
+                blocked.join(", ")
+            );
+        }
+        for &r in wake {
+            debug_assert!(
+                matches!(s.status[r], Status::Parked(_)),
+                "waking rank {r} that was not parked"
+            );
+            s.status[r] = Status::Ready;
+            s.runnable += 1;
+        }
+        // Every node's rotation restarts at its lowest-ranked ready rank
+        // so the next phase's intra-node interleaving is canonical.
+        for node in 0..s.node_ranks.len() {
+            let pos = s.node_ranks[node]
+                .iter()
+                .position(|&r| s.status[r] == Status::Ready);
+            if let Some(p) = pos {
+                s.cursor[node] = p;
+            }
+        }
+        // Reclaim permits from nodes the resolver path left active with
+        // no ready ranks, then re-grant to nodes that can use them.
+        for node in 0..s.node_ranks.len() {
+            if s.active[node] && !s.node_has_ready(node) {
+                s.active[node] = false;
+                s.permits -= 1;
+            }
+        }
+        Self::grant_permits(&mut s, self.max_active);
+        for node in 0..s.node_ranks.len() {
+            self.notify_current(&s, node);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
+    /// Engine over `n` SMP/1 nodes (one rank each).
+    fn smp(n: usize, cap: usize) -> PhaseEngine {
+        PhaseEngine::new((0..n).collect(), n, cap)
+    }
+
     #[test]
-    fn round_robin_order_is_deterministic() {
-        let n = 4;
-        let ts = Arc::new(Turnstile::new(n));
+    fn same_node_ranks_rotate_in_rank_order() {
+        // 4 ranks on one node, like VNM.
+        let eng = Arc::new(PhaseEngine::new(vec![0; 4], 1, 8));
         let log = Arc::new(Mutex::new(Vec::new()));
         let mut handles = Vec::new();
-        for r in 0..n {
-            let ts = ts.clone();
-            let log = log.clone();
+        for r in 0..4 {
+            let eng = Arc::clone(&eng);
+            let log = Arc::clone(&log);
             handles.push(std::thread::spawn(move || {
-                ts.acquire(r);
+                eng.acquire(r);
                 for _ in 0..3 {
                     log.lock().push(r);
-                    ts.yield_turn(r);
+                    eng.yield_turn(r);
                 }
-                ts.done(r);
+                if eng.done(r) == ParkOutcome::Resolve {
+                    eng.commit_phase(&[]);
+                }
             }));
         }
         for h in handles {
@@ -184,65 +437,95 @@ mod tests {
     }
 
     #[test]
-    fn sole_runnable_rank_keeps_running() {
-        let ts = Turnstile::new(1);
-        ts.acquire(0);
+    fn sole_ready_rank_keeps_running() {
+        let eng = smp(1, 1);
+        eng.acquire(0);
         for _ in 0..10 {
-            ts.yield_turn(0);
+            eng.yield_turn(0);
         }
-        ts.done(0);
+        assert_eq!(eng.done(0), ParkOutcome::Resolve);
+        eng.commit_phase(&[]);
     }
 
     #[test]
-    fn block_and_unblock_handshake() {
-        let ts = Arc::new(Turnstile::new(2));
-        let stage = Arc::new(AtomicUsize::new(0));
+    fn last_parker_becomes_resolver_and_wake_reenters() {
+        let eng = Arc::new(smp(2, 2));
+        let w = Wait::Recv { src: None, tag: 0 };
         let t0 = {
-            let (ts, stage) = (ts.clone(), stage.clone());
+            let eng = Arc::clone(&eng);
             std::thread::spawn(move || {
-                ts.acquire(0);
-                stage.store(1, Ordering::SeqCst);
-                ts.block(0); // parked until rank 1 unblocks us
-                assert_eq!(stage.load(Ordering::SeqCst), 2);
-                ts.done(0);
+                eng.acquire(0);
+                let out = eng.park(0, w);
+                if out == ParkOutcome::Resolve {
+                    eng.commit_phase(&[0, 1]);
+                }
+                eng.acquire(0);
+                let _ = eng.done(0) == ParkOutcome::Resolve && {
+                    eng.commit_phase(&[]);
+                    true
+                };
             })
         };
         let t1 = {
-            let (ts, stage) = (ts.clone(), stage.clone());
+            let eng = Arc::clone(&eng);
             std::thread::spawn(move || {
-                ts.acquire(1);
-                assert_eq!(stage.load(Ordering::SeqCst), 1);
-                stage.store(2, Ordering::SeqCst);
-                ts.unblock(0);
-                ts.yield_turn(1); // rank 0 runs here
-                ts.done(1);
+                eng.acquire(1);
+                let out = eng.park(1, w);
+                if out == ParkOutcome::Resolve {
+                    assert_eq!(eng.parked().len(), 2, "both ranks parked at resolution");
+                    eng.commit_phase(&[0, 1]);
+                }
+                eng.acquire(1);
+                let _ = eng.done(1) == ParkOutcome::Resolve && {
+                    eng.commit_phase(&[]);
+                    true
+                };
             })
         };
         t0.join().unwrap();
         t1.join().unwrap();
+        assert!(eng.phases() >= 1);
     }
 
     #[test]
-    fn deadlock_panics_with_diagnostic() {
-        let ts = Arc::new(Turnstile::new(2));
-        let t0 = {
-            let ts = ts.clone();
-            std::thread::spawn(move || {
-                ts.acquire(0);
-                ts.block(0); // nobody will ever unblock us
+    fn thread_cap_one_still_completes_multi_node_jobs() {
+        let n = 4;
+        let eng = Arc::new(smp(n, 1));
+        let mut handles = Vec::new();
+        for r in 0..n {
+            let eng = Arc::clone(&eng);
+            handles.push(std::thread::spawn(move || {
+                eng.acquire(r);
+                for _ in 0..5 {
+                    eng.yield_turn(r);
+                }
+                if eng.done(r) == ParkOutcome::Resolve {
+                    eng.commit_phase(&[]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_wake_with_parked_ranks_panics_with_diagnostic() {
+        let eng = Arc::new(smp(2, 2));
+        let handles: Vec<_> = (0..2)
+            .map(|r| {
+                let eng = Arc::clone(&eng);
+                std::thread::spawn(move || {
+                    eng.acquire(r);
+                    let out = eng.park(r, Wait::Recv { src: Some(1 - r), tag: 9 });
+                    if out == ParkOutcome::Resolve {
+                        eng.commit_phase(&[]); // nobody deliverable: deadlock
+                    }
+                    eng.acquire(r);
+                })
             })
-        };
-        let t1 = {
-            let ts = ts.clone();
-            std::thread::spawn(move || {
-                ts.acquire(1);
-                ts.block(1); // second blocker: detects the deadlock
-            })
-        };
-        // Rank 1 blocks last, finds no runnable rank, and panics with the
-        // diagnostic; rank 0 stays parked (its handle is dropped, which
-        // detaches the thread).
-        assert!(t1.join().is_err(), "the last blocker must panic");
-        drop(t0);
+            .collect();
+        let errs = handles.into_iter().map(|h| h.join()).filter(Result::is_err).count();
+        assert_eq!(errs, 2, "resolver panics with the diagnostic; peer aborts");
     }
 }

@@ -21,8 +21,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use bgp_arch::geometry::{NodeId, TorusDims};
+use bgp_arch::geometry::{NodeId, TorusCoord, TorusDims};
 use bgp_faults::FaultPlan;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Timing/bandwidth parameters of the interconnects (cycles at 850 MHz).
@@ -122,6 +123,116 @@ impl TorusNetwork {
             bytes,
             hops: hops * packets,
         }
+    }
+}
+
+/// One directed torus link: the cable leaving `from` along `axis` in
+/// `positive` (or negative) direction. Dimension-ordered (XYZ) routing
+/// makes the link sequence of a transfer a pure function of the
+/// endpoints, which is what lets phase-based contention resolution stay
+/// deterministic regardless of execution order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId {
+    /// Node the link leaves.
+    pub from: NodeId,
+    /// Torus axis: 0 = X, 1 = Y, 2 = Z.
+    pub axis: u8,
+    /// Whether the link points in the increasing-coordinate direction.
+    pub positive: bool,
+}
+
+impl TorusNetwork {
+    /// The dimension-ordered (X, then Y, then Z) shortest route from
+    /// `src` to `dst`, as the sequence of directed links traversed. Ties
+    /// between the two ring directions break toward increasing
+    /// coordinates. On-node transfers take no links.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        let dims = self.dims;
+        let mut cur = dims.coord(src);
+        let to = dims.coord(dst);
+        let mut links = Vec::new();
+        for axis in 0u8..3 {
+            let (extent, a, b) = match axis {
+                0 => (dims.x, cur.x, to.x),
+                1 => (dims.y, cur.y, to.y),
+                _ => (dims.z, cur.z, to.z),
+            };
+            if extent == 1 {
+                continue;
+            }
+            // Ring distance forward (increasing coordinate) vs backward.
+            let fwd = (b + extent - a) % extent;
+            let bwd = (a + extent - b) % extent;
+            let positive = fwd <= bwd;
+            let steps = fwd.min(bwd);
+            for _ in 0..steps {
+                links.push(LinkId { from: dims.node(cur), axis, positive });
+                let c = match axis {
+                    0 => &mut cur.x,
+                    1 => &mut cur.y,
+                    _ => &mut cur.z,
+                };
+                *c = if positive { (*c + 1) % extent } else { (*c + extent - 1) % extent };
+            }
+        }
+        debug_assert_eq!(dims.node(cur), dst, "route must terminate at dst");
+        links
+    }
+
+    /// The torus coordinate of `node` (convenience re-export).
+    pub fn coord(&self, node: NodeId) -> TorusCoord {
+        self.dims.coord(node)
+    }
+}
+
+/// Per-phase torus link contention.
+///
+/// The phase-based execution engine buffers every point-to-point send of
+/// a phase and resolves them at the phase boundary in canonical
+/// (sender-rank, send-sequence) order. `PhaseTraffic` accumulates the
+/// bytes already committed to each directed link during that resolution;
+/// a transfer whose route crosses loaded links is delayed by the
+/// serialization backlog of its most-loaded link — a deterministic
+/// store-and-forward queuing model. [`PhaseTraffic::reset`] clears the
+/// loads for the next phase.
+#[derive(Clone, Debug)]
+pub struct PhaseTraffic {
+    load: BTreeMap<LinkId, u64>,
+    bytes_per_cycle: u64,
+}
+
+impl PhaseTraffic {
+    /// A contention tracker paced by `cfg`'s torus link bandwidth.
+    pub fn new(cfg: &NetConfig) -> PhaseTraffic {
+        PhaseTraffic {
+            load: BTreeMap::new(),
+            bytes_per_cycle: cfg.torus_bytes_per_cycle.max(1),
+        }
+    }
+
+    /// Commit a transfer of `bytes` over `route`; returns the queuing
+    /// delay (cycles) it suffers behind traffic enqueued earlier in the
+    /// same phase. Empty routes (on-node copies) never queue.
+    pub fn enqueue(&mut self, route: &[LinkId], bytes: u64) -> u64 {
+        let backlog = route
+            .iter()
+            .map(|l| self.load.get(l).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        for l in route {
+            *self.load.entry(*l).or_insert(0) += bytes;
+        }
+        backlog.div_ceil(self.bytes_per_cycle)
+    }
+
+    /// Total bytes committed to the busiest link this phase.
+    pub fn peak_link_bytes(&self) -> u64 {
+        self.load.values().copied().max().unwrap_or(0)
+    }
+
+    /// Forget all link loads (phase boundary crossed).
+    pub fn reset(&mut self) {
+        self.load.clear();
     }
 }
 
@@ -269,6 +380,53 @@ mod tests {
         let clean = t.transfer(NodeId(0), NodeId(5), 4096);
         t.set_fault_plan(Arc::new(FaultPlan::inert(8)));
         assert_eq!(t.transfer(NodeId(0), NodeId(5), 4096), clean);
+    }
+
+    #[test]
+    fn route_length_matches_hop_metric() {
+        let t = torus(64);
+        for a in [0usize, 7, 21, 63] {
+            for b in [0usize, 1, 32, 63] {
+                let r = t.route(NodeId(a), NodeId(b));
+                assert_eq!(r.len(), t.dims().hops(NodeId(a), NodeId(b)), "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_dimension_ordered_and_contiguous() {
+        let t = torus(64);
+        let r = t.route(NodeId(0), NodeId(21));
+        // Axis indices never decrease along a dimension-ordered route.
+        for w in r.windows(2) {
+            assert!(w[0].axis <= w[1].axis, "route not dimension-ordered: {r:?}");
+        }
+        assert_eq!(r.first().unwrap().from, NodeId(0));
+    }
+
+    #[test]
+    fn on_node_route_is_empty() {
+        let t = torus(8);
+        assert!(t.route(NodeId(5), NodeId(5)).is_empty());
+    }
+
+    #[test]
+    fn phase_traffic_delays_shared_links_only() {
+        let t = torus(8);
+        let mut pt = PhaseTraffic::new(&NetConfig::default());
+        let r01 = t.route(NodeId(0), NodeId(1));
+        // First transfer finds quiet links.
+        assert_eq!(pt.enqueue(&r01, 4096), 0);
+        // Same route again: queues behind the 4096 bytes at 2 B/cycle.
+        assert_eq!(pt.enqueue(&r01, 64), 2048);
+        // A disjoint route is unaffected. Node 0's +X link is 0->1; the
+        // reverse direction 1->0 is a different cable.
+        let r10 = t.route(NodeId(1), NodeId(0));
+        assert!(r10.iter().all(|l| !r01.contains(l)), "directions must not share links");
+        assert_eq!(pt.enqueue(&r10, 64), 0);
+        assert_eq!(pt.peak_link_bytes(), 4096 + 64);
+        pt.reset();
+        assert_eq!(pt.enqueue(&r01, 64), 0, "reset clears the phase's backlog");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! **Degraded-mode aggregation**: counter statistics over whatever
 //! nodes survived.
 //!
-//! The strict [`Frame`](crate::Frame) refuses to aggregate anything
+//! The strict [`Frame`] refuses to aggregate anything
 //! suspicious — a missing set, a record-count mismatch — because on a
 //! healthy machine those are integrity bugs. After faults, they are
 //! Tuesday. [`DegradedFrame`] aggregates what actually arrived:
@@ -18,7 +18,7 @@
 //!   quarantine-level coverage, and dropped outliers in prose.
 //!
 //! [`DegradedFrame::reliable_frame`] then re-packages the events that
-//! met the floor as an ordinary [`Frame`](crate::Frame), so every
+//! met the floor as an ordinary [`Frame`], so every
 //! downstream metric (MFLOPS, DDR traffic, instruction mix) works
 //! unchanged on degraded data.
 

@@ -1,61 +1,70 @@
-//! Quickstart: instrument a code snippet with the four library calls —
-//! the paper's Fig. 4 usage pattern.
+//! Quickstart: instrument a code snippet with the typestate session —
+//! the paper's Fig. 4 usage pattern, with the protocol enforced by the
+//! type system.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
 //! Builds a single simulated Blue Gene/P node, brackets a small DAXPY
-//! loop with `BGP_Initialize` / `BGP_Start` / `BGP_Stop` / `BGP_Finalize`,
-//! and prints the interesting counters of the monitored set.
+//! loop with a `Session` (`build` ≙ `BGP_Initialize`, `start`/`stop`
+//! ≙ `BGP_Start`/`BGP_Stop`, `finalize` ≙ `BGP_Finalize`), and prints
+//! the interesting counters of the monitored set.
 
 use bgp::arch::events::{CoreEvent, CounterMode};
 use bgp::arch::OpMode;
-use bgp::counters::{CounterLibrary, WHOLE_PROGRAM_SET};
-use bgp::mpi::{CounterPolicy, JobSpec, Machine, SemOp};
+use bgp::counters::WHOLE_PROGRAM_SET;
+use bgp::mpi::SemOp;
+use bgp::{JobSpec, Machine, Session};
 
 fn main() {
     // One node, one process (SMP/1), UPC in counter mode 0 so we can see
     // core 0's pipeline, FPU and L1/L2 events.
-    let mut spec = JobSpec::new(1, OpMode::Smp1);
-    spec.counter_policy = CounterPolicy::Fixed(CounterMode::Mode0);
-    let machine = Machine::new(spec);
-    let lib = CounterLibrary::new(machine.clone());
+    let machine = Machine::new(JobSpec::new(1, OpMode::Smp1));
 
-    let lib2 = lib.clone();
-    machine.run(move |ctx| {
-        lib2.bgp_initialize(ctx).expect("BGP_Initialize");
+    let job = machine.run(|ctx| {
+        // BGP_Initialize — the builder programs the UPC. The counter
+        // mode is a per-job choice, so it rides on the builder instead
+        // of the JobSpec.
+        let session = Session::builder(ctx)
+            .counter_mode(CounterMode::Mode0)
+            .build()
+            .expect("BGP_Initialize");
+
+        // BGP_Start — opens the counting window; only now does a
+        // `stop()` method exist, and it remembers the set id for us.
+        let mut s = session.start(WHOLE_PROGRAM_SET).expect("BGP_Start");
 
         // --- the monitored snippet: y[i] += a * x[i] over 4096 doubles ---
-        lib2.bgp_start(ctx, WHOLE_PROGRAM_SET).expect("BGP_Start");
         let a = 1.5;
         let n = 4096;
-        let mut x = ctx.alloc::<f64>(n);
-        let mut y = ctx.alloc::<f64>(n);
+        let mut x = s.alloc::<f64>(n);
+        let mut y = s.alloc::<f64>(n);
         for i in 0..n {
-            ctx.st(&mut x, i, i as f64);
-            ctx.st(&mut y, i, 1.0);
+            s.st(&mut x, i, i as f64);
+            s.st(&mut y, i, 1.0);
         }
         let mut i = 0;
         while i + 1 < n {
             // The modeled compiler decides whether this pair becomes one
             // SIMD FMA + quadword loads or two scalar FMAs.
-            let plan = ctx.plan_pair(true);
-            let (x0, x1) = ctx.ld2(&x, i, plan);
-            let (y0, y1) = ctx.ld2(&y, i, plan);
-            ctx.fp_pair(plan, SemOp::MulAdd);
-            ctx.st2(&mut y, i, (a * x0 + y0, a * x1 + y1), plan);
+            let plan = s.plan_pair(true);
+            let (x0, x1) = s.ld2(&x, i, plan);
+            let (y0, y1) = s.ld2(&y, i, plan);
+            s.fp_pair(plan, SemOp::MulAdd);
+            s.st2(&mut y, i, (a * x0 + y0, a * x1 + y1), plan);
             i += 2;
         }
-        ctx.overhead(n as u64);
-        lib2.bgp_stop(ctx, WHOLE_PROGRAM_SET).expect("BGP_Stop");
+        s.overhead(n as u64);
         // ------------------------------------------------------------------
 
-        lib2.bgp_finalize(ctx).expect("BGP_Finalize");
+        // BGP_Stop + BGP_Finalize — consuming the session closes the
+        // window and hands back the job-wide dump handle.
+        s.stop().expect("BGP_Stop").finalize().expect("BGP_Finalize")
     });
 
     // Post-process the per-node dump exactly like the paper's tools.
-    let dumps = lib.dumps().expect("dumps ready");
+    let dumps = job[0].dumps().expect("dumps ready");
     let set = dumps[0].set(WHOLE_PROGRAM_SET).expect("whole-program set");
     println!("per-node dump: {} set(s), {} records", dumps[0].sets.len(), set.records);
     println!("\ncounter                       value");

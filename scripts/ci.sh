@@ -12,6 +12,22 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+# The phase engine must produce identical results at every thread
+# count; exercise the whole suite serialized and parallelized.
+for threads in 1 4; do
+    echo "==> cargo test (BGP_SIM_THREADS=$threads)"
+    BGP_SIM_THREADS=$threads cargo test -q --workspace
+done
+
+echo "==> determinism full matrix"
+cargo test -q --release --test determinism -- --ignored
+
+echo "==> cargo bench smoke"
+BGP_BENCH_SAMPLES=1 cargo bench --workspace 2>&1 | tail -n 20
+
+echo "==> cargo doc (-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "==> cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -10,6 +10,51 @@
 //! library, [`postproc`] mines the dumps, [`nas`] holds the NAS parallel
 //! benchmark kernels, and [`faults`] injects deterministic, seeded
 //! failures so collection and aggregation can be tested under fire.
+//!
+//! ## The Session API
+//!
+//! Instrumentation goes through the typestate [`Session`]: the
+//! initialize → start → stop → finalize protocol of the paper's
+//! interface library is enforced by the type system, so out-of-order
+//! calls do not compile. One unified [`Error`]/[`Result`] covers the
+//! whole workspace (every crate already reports through it).
+//!
+//! ```
+//! use bgp::{JobSpec, Machine, Session};
+//! use bgp::arch::OpMode;
+//! use bgp::mpi::SemOp;
+//!
+//! let machine = Machine::new(JobSpec::new(2, OpMode::VirtualNode));
+//! let dumps = machine.run(|ctx| -> bgp::Result<_> {
+//!     let mut session = Session::builder(ctx).build()?.start(0)?;
+//!     session.fp1(SemOp::MulAdd); // the measured region
+//!     session.stop()?.finalize()
+//! });
+//! let job = dumps.into_iter().next().unwrap().unwrap();
+//! assert_eq!(job.dumps().unwrap().len(), 1);
+//! ```
+//!
+//! ## Migrating from the four-call API
+//!
+//! The free-standing `bgp_initialize` / `bgp_start` / `bgp_stop` /
+//! `bgp_finalize` quadruple on [`counters::CounterLibrary`] is
+//! deprecated; each call maps onto one session transition:
+//!
+//! | Before (deprecated)            | After                                   |
+//! |--------------------------------|-----------------------------------------|
+//! | `CounterLibrary::new(machine)` | *(implicit — sessions share the per-machine library)* |
+//! | `lib.bgp_initialize(ctx)?`     | `let s = Session::builder(ctx).build()?` |
+//! | `lib.bgp_start(ctx, set)?`     | `let s = s.start(set)?`                  |
+//! | *(run the measured kernel)*    | run it on `s` (derefs to `RankCtx`) or `s.ctx()` |
+//! | `lib.bgp_stop(ctx, set)?`      | `let s = s.stop()?` *(set id from the typestate)* |
+//! | `lib.bgp_finalize(ctx)?`       | `let dump = s.finalize()?`               |
+//! | `lib.dumps()?`                 | `dump.dumps()?`                          |
+//!
+//! What used to be runtime protocol errors — start before initialize,
+//! nested sets, mismatched stop, finalize with an open set — are now
+//! compile errors: the methods simply do not exist on the wrong state.
+//! Runtime errors remain only where the type system cannot see them
+//! (divergent SPMD usage across ranks of one node).
 
 #![forbid(unsafe_code)]
 
@@ -25,3 +70,12 @@ pub use bgp_net as net;
 pub use bgp_node as node;
 pub use bgp_postproc as postproc;
 pub use bgp_upc as upc;
+
+/// The workspace-wide error type (every crate reports through it).
+pub use bgp_arch::BgpError as Error;
+
+/// Workspace-wide result alias over [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub use bgp_core::{Counting, Initialized, JobDump, Session, SessionBuilder};
+pub use bgp_mpi::{JobSpec, Machine, RankCtx};

@@ -1,0 +1,109 @@
+//! Determinism suite for the phase-based parallel execution engine.
+//!
+//! The engine's contract: per-node binary dumps are **byte-identical**
+//! to a serial run for every seed and thread count, because all
+//! cross-node effects (message delivery, link contention, collective
+//! completion) are resolved at phase boundaries in canonical rank
+//! order. These tests compare `encoded_dump` bytes — not decoded
+//! counters — so even an encoding-order wobble fails.
+//!
+//! A modest matrix runs on every `cargo test`; the full sweep the
+//! issue calls for (threads {1,2,4,8} × 5 seeds × {MG, CG, IS}) is
+//! `#[ignore]`d so CI can opt in with `-- --ignored`.
+
+use bgp::arch::OpMode;
+use bgp::counters::run_instrumented;
+use bgp::faults::{FaultPlan, FaultSpec};
+use bgp::nas::{Class, Kernel};
+use bgp::{JobSpec, Machine};
+use std::sync::Arc;
+
+/// Fault plan that perturbs *timing* (stragglers, slow links) without
+/// corrupting counters — the adversarial case for phase merging: rank
+/// finish order varies wildly, dumps must not.
+fn timing_faults(seed: u64, nodes: usize) -> Arc<FaultPlan> {
+    Arc::new(FaultPlan::new(
+        FaultSpec {
+            straggler_rate: 0.5,
+            straggler_penalty_cycles: 5_000,
+            link_degrade_rate: 0.5,
+            link_slowdown: 3,
+            ..Default::default()
+        },
+        seed,
+        nodes,
+    ))
+}
+
+/// Run `kernel` on `ranks` VNM ranks with `threads` simulation threads
+/// and return every node's encoded dump plus the simulated job cycles.
+fn run(kernel: Kernel, ranks: usize, threads: usize, seed: u64) -> (Vec<Vec<u8>>, u64) {
+    let mut spec = JobSpec::new(ranks, OpMode::VirtualNode);
+    spec.sim_threads = Some(threads);
+    spec.faults = Some(timing_faults(seed, spec.nodes()));
+    let machine = Machine::new(spec);
+    let (out, lib) = run_instrumented(&machine, move |ctx| kernel.run(ctx, Class::S));
+    assert!(out.iter().all(|r| r.verified), "{kernel} failed verification");
+    let dumps = (0..machine.num_nodes())
+        .map(|n| lib.encoded_dump(n).expect("node finalized"))
+        .collect();
+    (dumps, machine.job_cycles())
+}
+
+fn assert_thread_invariant(kernel: Kernel, ranks: usize, threads: &[usize], seeds: &[u64]) {
+    for &seed in seeds {
+        let (serial, serial_cycles) = run(kernel, ranks, 1, seed);
+        for &t in threads {
+            let (par, par_cycles) = run(kernel, ranks, t, seed);
+            assert_eq!(
+                serial_cycles, par_cycles,
+                "{kernel} seed {seed}: job cycles differ at {t} threads"
+            );
+            assert_eq!(
+                serial, par,
+                "{kernel} seed {seed}: dumps not byte-identical at {t} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn mg_dumps_are_thread_count_invariant() {
+    assert_thread_invariant(Kernel::Mg, 8, &[4], &[1, 42]);
+}
+
+#[test]
+fn cg_dumps_are_thread_count_invariant() {
+    assert_thread_invariant(Kernel::Cg, 8, &[4], &[1, 42]);
+}
+
+#[test]
+fn is_dumps_are_thread_count_invariant() {
+    assert_thread_invariant(Kernel::Is, 8, &[4], &[1, 42]);
+}
+
+/// The issue's full acceptance matrix: {1,2,4,8} threads × 5 seeds ×
+/// {MG, CG, IS}. Run with `cargo test --test determinism -- --ignored`.
+#[test]
+#[ignore = "full sweep is slow; CI opts in with -- --ignored"]
+fn full_matrix_dumps_are_thread_count_invariant() {
+    for kernel in [Kernel::Mg, Kernel::Cg, Kernel::Is] {
+        assert_thread_invariant(kernel, 8, &[2, 4, 8], &[1, 7, 42, 1234, 987654321]);
+    }
+}
+
+/// Stress test for the phase-merge path (loom is not available in this
+/// workspace, so we substitute repetition): the same faulted job runs
+/// many times at the maximum thread count, where OS scheduling shuffles
+/// the frontier's completion order every time. Any racy merge —
+/// delivery order, link-queue accounting, collective reduction order —
+/// shows up as a dump mismatch across repetitions.
+#[test]
+fn phase_merge_is_schedule_invariant_under_faults() {
+    let (reference, ref_cycles) = run(Kernel::Cg, 8, 1, 42);
+    for rep in 0..8 {
+        let (par, cycles) = run(Kernel::Cg, 8, 8, 42);
+        assert_eq!(ref_cycles, cycles, "rep {rep}: job cycles diverged");
+        assert_eq!(reference, par, "rep {rep}: phase merge was schedule-dependent");
+    }
+}

@@ -4,8 +4,9 @@
 
 use bgp::arch::events::{CoreEvent, CounterMode};
 use bgp::arch::OpMode;
-use bgp::counters::{run_instrumented, CounterLibrary, WHOLE_PROGRAM_SET};
+use bgp::counters::{run_instrumented, WHOLE_PROGRAM_SET};
 use bgp::mpi::{CounterPolicy, JobSpec, Machine};
+use bgp::Session;
 use bgp::nas::{Class, Kernel};
 use bgp::postproc::{fp_mix, mflops_per_core, stats_csv, Frame};
 
@@ -94,26 +95,23 @@ fn per_region_sets_isolate_phases() {
     let mut spec = JobSpec::new(1, OpMode::Smp1);
     spec.counter_policy = CounterPolicy::Fixed(CounterMode::Mode0);
     let machine = Machine::new(spec);
-    let lib = CounterLibrary::new(machine.clone());
-    let lib2 = lib.clone();
-    machine.run(move |ctx| {
-        lib2.bgp_initialize(ctx).unwrap();
+    let job = machine.run(|ctx| {
+        let s = Session::builder(ctx).build().unwrap();
         // Phase 1: pure FP.
-        lib2.bgp_start(ctx, 1).unwrap();
+        let mut s1 = s.start(1).unwrap();
         for _ in 0..100 {
-            ctx.fp1(bgp::mpi::SemOp::MulAdd);
+            s1.fp1(bgp::mpi::SemOp::MulAdd);
         }
-        lib2.bgp_stop(ctx, 1).unwrap();
+        let s = s1.stop().unwrap();
         // Phase 2: pure memory.
-        lib2.bgp_start(ctx, 2).unwrap();
-        let mut v = ctx.alloc::<f64>(256);
+        let mut s2 = s.start(2).unwrap();
+        let mut v = s2.alloc::<f64>(256);
         for i in 0..256 {
-            ctx.st(&mut v, i, 0.0);
+            s2.st(&mut v, i, 0.0);
         }
-        lib2.bgp_stop(ctx, 2).unwrap();
-        lib2.bgp_finalize(ctx).unwrap();
+        s2.stop().unwrap().finalize().unwrap()
     });
-    let dumps = lib.dumps().unwrap();
+    let dumps = job[0].dumps().unwrap();
     let fma_slot = CoreEvent::FpFma.id(0).slot().0 as usize;
     let store_slot = CoreEvent::Store.id(0).slot().0 as usize;
     let s1 = dumps[0].set(1).unwrap();
