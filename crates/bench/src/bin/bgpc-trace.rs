@@ -1,0 +1,183 @@
+//! `bgpc-trace` — run a NAS kernel job with the deterministic tracing
+//! layer enabled and export the cycle timeline.
+//!
+//! ```text
+//! bgpc-trace --out DIR [--kernel mg] [--class s] [--ranks 8] [--mode vnm]
+//!            [--threads N] [--sample-every N] [--slots 0,1,2] [--capacity N]
+//! ```
+//!
+//! Writes into `DIR`:
+//!
+//! * `trace.json` — Chrome-trace/Perfetto timeline (load via
+//!   `chrome://tracing` or <https://ui.perfetto.dev>); timestamps are
+//!   simulated cycles, so the file is byte-identical for every
+//!   `BGP_SIM_THREADS`,
+//! * `phases.csv` — per-phase scheduler metrics (delivered messages and
+//!   bytes, woken ranks, collectives, peak torus-link occupancy),
+//! * the per-node `.bgpc` counter dumps, so `bgpc-dump --json` can mine
+//!   the same run.
+
+use bgp_arch::OpMode;
+use bgp_bench::RunConfig;
+use bgp_core::run_instrumented;
+use bgp_mpi::Machine;
+use bgp_nas::{Class, Kernel};
+use bgp_trace::TraceConfig;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    out: PathBuf,
+    kernel: Kernel,
+    class: Class,
+    ranks: usize,
+    mode: OpMode,
+    threads: Option<usize>,
+    config: TraceConfig,
+}
+
+const USAGE: &str = "usage: bgpc-trace --out DIR [--kernel mg|ft|ep|cg|is|lu|sp|bt] \
+[--class s|w|a] [--ranks N] [--mode smp1|smp4|dual|vnm] [--threads N] \
+[--sample-every N] [--slots 0,1,2] [--capacity N]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = None;
+    let mut kernel = Kernel::Mg;
+    let mut class = Class::S;
+    let mut ranks = 8;
+    let mut mode = OpMode::VirtualNode;
+    let mut threads = None;
+    let mut config = TraceConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match a.as_str() {
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--kernel" => {
+                kernel = match value("--kernel")?.to_lowercase().as_str() {
+                    "mg" => Kernel::Mg,
+                    "ft" => Kernel::Ft,
+                    "ep" => Kernel::Ep,
+                    "cg" => Kernel::Cg,
+                    "is" => Kernel::Is,
+                    "lu" => Kernel::Lu,
+                    "sp" => Kernel::Sp,
+                    "bt" => Kernel::Bt,
+                    other => return Err(format!("unknown kernel {other}")),
+                };
+            }
+            "--class" => {
+                class = match value("--class")?.to_lowercase().as_str() {
+                    "s" => Class::S,
+                    "w" => Class::W,
+                    "a" => Class::A,
+                    other => return Err(format!("unknown class {other}")),
+                };
+            }
+            "--ranks" => {
+                ranks = value("--ranks")?.parse().map_err(|e| format!("--ranks: {e}"))?;
+            }
+            "--mode" => {
+                mode = match value("--mode")?.to_lowercase().as_str() {
+                    "smp1" => OpMode::Smp1,
+                    "smp4" => OpMode::Smp4,
+                    "dual" => OpMode::Dual,
+                    "vnm" | "vn" => OpMode::VirtualNode,
+                    other => return Err(format!("unknown mode {other}")),
+                };
+            }
+            "--threads" => {
+                threads =
+                    Some(value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?);
+            }
+            "--sample-every" => {
+                config.sample_every =
+                    value("--sample-every")?.parse().map_err(|e| format!("--sample-every: {e}"))?;
+            }
+            "--slots" => {
+                config.sample_slots = value("--slots")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().parse().map_err(|e| format!("--slots: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--capacity" => {
+                config.capacity =
+                    value("--capacity")?.parse().map_err(|e| format!("--capacity: {e}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unexpected argument {other}\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        out: out.ok_or(format!("missing --out DIR\n{USAGE}"))?,
+        kernel,
+        class,
+        ranks,
+        mode,
+        threads,
+        config,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("bgpc-trace: creating {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut cfg = RunConfig::new(args.kernel, args.class, args.ranks);
+    cfg.mode = args.mode;
+    let mut spec = bgp_mpi::JobSpec::new(cfg.ranks, cfg.mode);
+    spec.machine = cfg.machine.clone();
+    spec.compile = cfg.compile;
+    spec.sim_threads = args.threads;
+    spec.trace = Some(args.config);
+    let machine = Machine::new(spec);
+    let (kernel, class) = (cfg.kernel, cfg.class);
+    let (results, lib) = run_instrumented(&machine, move |ctx| kernel.run(ctx, class));
+    if !results.iter().all(|r| r.verified) {
+        eprintln!("bgpc-trace: kernel verification failed");
+        return ExitCode::FAILURE;
+    }
+
+    let trace = machine.job_trace().expect("tracing was enabled on the spec");
+    let trace_path = args.out.join("trace.json");
+    let phases_path = args.out.join("phases.csv");
+    if let Err(e) = std::fs::write(&trace_path, trace.chrome_json()) {
+        eprintln!("bgpc-trace: writing {}: {e}", trace_path.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&phases_path, trace.phase_metrics_csv()) {
+        eprintln!("bgpc-trace: writing {}: {e}", phases_path.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = lib.write_dumps(&args.out) {
+        eprintln!("bgpc-trace: writing dumps: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let phases = trace.sched.iter().filter(|e| e.kind.name() == "phase_resolve").count();
+    println!(
+        "{} class {} on {} ranks ({}): {} events across {} rank streams ({} dropped), {} phases",
+        cfg.kernel,
+        cfg.class,
+        cfg.ranks,
+        cfg.mode,
+        trace.total_events(),
+        trace.ranks.len(),
+        trace.total_dropped(),
+        phases
+    );
+    println!("timeline -> {}", trace_path.display());
+    println!("metrics  -> {}", phases_path.display());
+    println!("dumps    -> {}", args.out.display());
+    ExitCode::SUCCESS
+}

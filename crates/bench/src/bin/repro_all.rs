@@ -38,5 +38,6 @@ fn main() {
     emit("fig_ext_512events", &figures::fig_ext_512events(scale));
     emit("fig_ext_faults", &figures::fig_ext_faults(scale));
     emit("fig_ext_scaling", &figures::fig_ext_scaling(scale));
+    emit("fig_ext_trace_overhead", &figures::fig_ext_trace_overhead(scale));
     eprintln!("[repro_all] extensions done");
 }

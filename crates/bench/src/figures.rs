@@ -502,3 +502,103 @@ pub fn fig_ext_scaling(scale: Scale) -> Csv {
     }
     csv
 }
+
+/// One row of the tracing-overhead comparison (feeds
+/// [`fig_ext_trace_overhead`] and `BENCH_trace.json`).
+pub struct TraceOverheadSample {
+    /// Configuration label: `off` (no `TraceConfig` on the spec),
+    /// `disabled` (config installed, `enabled: false`), or `enabled`.
+    pub config: &'static str,
+    /// Best-of-reps host wall-clock milliseconds for the job.
+    pub wall_ms: f64,
+    /// Slowdown relative to the `off` baseline, percent, clamped at 0
+    /// (host timing noise can make an instrumented run *faster*).
+    pub overhead_pct: f64,
+    /// Trace events retained across every ring buffer after the job.
+    pub events: u64,
+    /// Events evicted from full ring buffers.
+    pub dropped: u64,
+}
+
+/// Run the tracing-overhead comparison behind Fig. ext-trace-overhead:
+/// the same MG job with tracing absent, installed-but-disabled, and
+/// fully enabled (counter sampling every 16 windows on slots 0–2).
+/// Wall-clock is min-of-reps to cut host noise; the `disabled` row is
+/// the one the <1 % acceptance gate watches, because that is the cost
+/// every untraced run pays for the instrumentation hooks.
+pub fn trace_overhead_sweep(scale: Scale) -> Vec<TraceOverheadSample> {
+    use bgp_core::run_instrumented;
+    use bgp_trace::TraceConfig;
+    use std::time::Instant;
+
+    let kernel = Kernel::Mg;
+    let class = scale.class();
+    let ranks = kernel.clamp_ranks(scale.ranks(), class);
+    let reps = match scale {
+        Scale::Quick => 5,
+        Scale::Default => 3,
+        Scale::Paper => 1,
+    };
+    let configs: [(&'static str, Option<TraceConfig>); 3] = [
+        ("off", None),
+        ("disabled", Some(TraceConfig { enabled: false, ..TraceConfig::default() })),
+        (
+            "enabled",
+            Some(TraceConfig { sample_slots: vec![0, 1, 2], ..TraceConfig::default() }),
+        ),
+    ];
+    let run_once = |trace: &Option<TraceConfig>| {
+        let mut spec = bgp_mpi::JobSpec::new(ranks, OpMode::VirtualNode);
+        spec.trace = trace.clone();
+        let machine = bgp_mpi::Machine::new(spec);
+        let t0 = Instant::now();
+        let (_, _lib) = run_instrumented(&machine, move |ctx| kernel.run(ctx, class));
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let counts =
+            machine.job_trace().map_or((0, 0), |t| (t.total_events() as u64, t.total_dropped()));
+        (wall_ms, counts)
+    };
+    // One untimed warm-up job so the first timed rep does not pay for
+    // cold caches / allocator growth, then the reps interleave the
+    // configurations round-robin so host drift hits all three equally.
+    run_once(&configs[0].1);
+    let mut best = [f64::INFINITY; 3];
+    let mut counts = [(0u64, 0u64); 3];
+    for _ in 0..reps {
+        for (i, (_, trace)) in configs.iter().enumerate() {
+            let (wall_ms, c) = run_once(trace);
+            best[i] = best[i].min(wall_ms);
+            counts[i] = c;
+        }
+    }
+    let base_ms = best[0];
+    configs
+        .iter()
+        .enumerate()
+        .map(|(i, (label, _))| TraceOverheadSample {
+            config: label,
+            wall_ms: best[i],
+            overhead_pct: ((best[i] - base_ms) / base_ms * 100.0).max(0.0),
+            events: counts[i].0,
+            dropped: counts[i].1,
+        })
+        .collect()
+}
+
+/// Extension (tracing): cost of the deterministic trace layer on an MG
+/// job — off vs. installed-but-disabled vs. fully enabled.
+pub fn fig_ext_trace_overhead(scale: Scale) -> Csv {
+    let samples = trace_overhead_sweep(scale);
+    let mut csv =
+        Csv::new(["trace_config", "wall_ms", "overhead_pct", "events_recorded", "events_dropped"]);
+    for s in &samples {
+        csv.row([
+            s.config.to_string(),
+            format!("{:.1}", s.wall_ms),
+            format!("{:.2}", s.overhead_pct),
+            s.events.to_string(),
+            s.dropped.to_string(),
+        ]);
+    }
+    csv
+}

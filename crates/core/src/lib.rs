@@ -47,6 +47,7 @@ use bgp_arch::BgpError;
 use bgp_arch::sync::Mutex;
 use bgp_faults::{CounterFault, FaultPlan};
 use bgp_mpi::{CounterPolicy, JobSpec, Machine, RankCtx};
+use bgp_trace::{EventKind, FaultEvent};
 use dump::{NodeDump, RecoveredDump, SetDump};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -193,6 +194,7 @@ impl CounterLibrary {
             st.init_arrivals += 1;
         }
         ctx.charge_cycles(INIT_CYCLES);
+        ctx.trace_event(EventKind::SessionInit);
         Ok(())
     }
 
@@ -246,6 +248,7 @@ impl CounterLibrary {
             }
         }
         ctx.charge_cycles(START_CYCLES);
+        ctx.trace_event(EventKind::SessionStart { set });
         Ok(())
     }
 
@@ -287,6 +290,14 @@ impl CounterLibrary {
                                     n.upc_mut().preset(slot, u64::MAX);
                                 }
                             });
+                            ctx.trace_event(EventKind::Fault(match f {
+                                CounterFault::BitFlip { slot, bit } => {
+                                    FaultEvent::CounterBitFlip { slot: slot as u16, bit }
+                                }
+                                CounterFault::Saturate { slot } => {
+                                    FaultEvent::CounterSaturate { slot: slot as u16 }
+                                }
+                            }));
                         }
                     }
                     let snap = ctx.with_own_node(|n| {
@@ -302,6 +313,7 @@ impl CounterLibrary {
                     s.records += 1;
                     st.active_set = None;
                 }
+                ctx.trace_event(EventKind::SessionStop { set });
                 Ok(())
             }
             Some(active) => Err(BgpError::protocol(format!(
@@ -348,10 +360,13 @@ impl CounterLibrary {
                     })
                     .collect();
                 let d = NodeDump { node: node as u32, mode, sets };
-                st.dump = Some(dump::encode(&d));
+                let encoded = dump::encode(&d);
+                ctx.trace_event(EventKind::CounterDump { bytes: encoded.len() as u64 });
+                st.dump = Some(encoded);
             }
         }
         ctx.charge_cycles(FINALIZE_CYCLES);
+        ctx.trace_event(EventKind::SessionFinalize);
         Ok(())
     }
 

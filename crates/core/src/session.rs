@@ -61,6 +61,7 @@ use bgp_arch::error::Result;
 use bgp_arch::events::CounterMode;
 use bgp_arch::BgpError;
 use bgp_mpi::{CounterPolicy, RankCtx};
+use bgp_trace::TraceConfig;
 use std::ops::{Deref, DerefMut};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -121,6 +122,7 @@ impl<S> DerefMut for Session<'_, S> {
 pub struct SessionBuilder<'a> {
     ctx: &'a mut RankCtx,
     policy: Option<CounterPolicy>,
+    trace: Option<TraceConfig>,
 }
 
 impl<'a> SessionBuilder<'a> {
@@ -138,6 +140,16 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
+    /// Arm the rank's deterministic flight recorder with `cfg` (and, if
+    /// `cfg.enabled`, start recording at build time). All ranks of a
+    /// job must supply equal configurations; divergence fails at
+    /// [`SessionBuilder::build`]. Whole-job tracing from cycle 0 is
+    /// configured via `JobSpec::trace` instead.
+    pub fn trace(mut self, cfg: TraceConfig) -> Self {
+        self.trace = Some(cfg);
+        self
+    }
+
     /// `BGP_Initialize`: program this rank's node per the policy, zero
     /// the counters, leave counting disabled.
     ///
@@ -149,6 +161,9 @@ impl<'a> SessionBuilder<'a> {
         if let Some(p) = self.policy {
             lib.set_policy_override(p)?;
         }
+        if let Some(cfg) = &self.trace {
+            self.ctx.enable_tracing(cfg).map_err(BgpError::protocol)?;
+        }
         lib.initialize_impl(self.ctx)?;
         Ok(Session { ctx: self.ctx, lib, state: Initialized(()) })
     }
@@ -157,7 +172,7 @@ impl<'a> SessionBuilder<'a> {
 impl<'a> Session<'a, Initialized> {
     /// Begin building a session for `ctx`'s rank.
     pub fn builder(ctx: &'a mut RankCtx) -> SessionBuilder<'a> {
-        SessionBuilder { ctx, policy: None }
+        SessionBuilder { ctx, policy: None, trace: None }
     }
 
     /// `BGP_Start(set)`: open a counting window. The returned

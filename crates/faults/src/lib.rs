@@ -318,6 +318,40 @@ impl FaultPlan {
         (0..self.nodes as u32).filter(|&n| self.node_lost(n)).collect()
     }
 
+    /// Human-readable summary of every fault scheduled against `node`
+    /// (empty when the node is clean). Used by deadlock forensics and
+    /// trace reports.
+    pub fn node_fault_summary(&self, node: u32) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.node_lost(node) {
+            out.push("node lost".to_string());
+        }
+        let penalty = self.straggler_penalty(node);
+        if penalty > 0 {
+            out.push(format!("straggler (+{penalty} cycles/boundary)"));
+        }
+        if self.router_degraded(node) {
+            out.push(format!("router degraded (x{} hop latency)", self.spec.link_slowdown.max(1)));
+        }
+        for f in self.counter_faults(node) {
+            match f {
+                CounterFault::BitFlip { slot, bit } => {
+                    out.push(format!("counter bit-flip (slot {slot}, bit {bit})"));
+                }
+                CounterFault::Saturate { slot } => {
+                    out.push(format!("counter saturation (slot {slot})"));
+                }
+            }
+        }
+        match self.dump_fault(node) {
+            Some(DumpFault::Missing) => out.push("dump missing".to_string()),
+            Some(DumpFault::Truncate { .. }) => out.push("dump truncated".to_string()),
+            Some(DumpFault::ByteFlip { .. }) => out.push("dump byte-flip".to_string()),
+            None => {}
+        }
+        out
+    }
+
     /// Canonical byte encoding of the entire fault schedule.
     ///
     /// Two plans with the same `(spec, seed, nodes)` produce identical

@@ -94,6 +94,30 @@ impl MemStats {
     pub fn total_accesses(&self) -> u64 {
         self.l1d_hits + self.l1d_misses
     }
+
+    /// Field-wise difference `self - since` (wrapping), for windowed
+    /// sampling over the monotonically growing totals.
+    pub fn delta(&self, since: &MemStats) -> MemStats {
+        MemStats {
+            l1d_hits: self.l1d_hits.wrapping_sub(since.l1d_hits),
+            l1d_misses: self.l1d_misses.wrapping_sub(since.l1d_misses),
+            l1d_writebacks: self.l1d_writebacks.wrapping_sub(since.l1d_writebacks),
+            l2_hits: self.l2_hits.wrapping_sub(since.l2_hits),
+            l2_prefetch_hits: self.l2_prefetch_hits.wrapping_sub(since.l2_prefetch_hits),
+            l2_misses: self.l2_misses.wrapping_sub(since.l2_misses),
+            l2_prefetches_issued: self
+                .l2_prefetches_issued
+                .wrapping_sub(since.l2_prefetches_issued),
+            l3_hits: self.l3_hits.wrapping_sub(since.l3_hits),
+            l3_misses: self.l3_misses.wrapping_sub(since.l3_misses),
+            l3_writebacks: self.l3_writebacks.wrapping_sub(since.l3_writebacks),
+            ddr_reads: self.ddr_reads.wrapping_sub(since.ddr_reads),
+            ddr_writes: self.ddr_writes.wrapping_sub(since.ddr_writes),
+            ddr_conflicts: self.ddr_conflicts.wrapping_sub(since.ddr_conflicts),
+            l1i_hits: self.l1i_hits.wrapping_sub(since.l1i_hits),
+            l1i_misses: self.l1i_misses.wrapping_sub(since.l1i_misses),
+        }
+    }
 }
 
 /// The complete memory system of one node.

@@ -23,7 +23,9 @@ use crate::simvec::{SimElem, SimVec};
 use bgp_arch::events::NetEvent;
 use bgp_compiler::{CodeGen, PairPlan};
 use bgp_fpu::FpOp;
+use bgp_mem::MemStats;
 use bgp_node::{MemWidth, Node};
+use bgp_trace::{EventKind, FaultEvent, TraceConfig, WaitKind};
 use std::sync::Arc;
 
 /// A semantic floating-point element operation, before instruction
@@ -59,6 +61,19 @@ pub struct RankCtx {
     /// Extra cycles charged at every scheduling boundary when this
     /// rank's node is a planned straggler (0 otherwise).
     straggler_penalty: u64,
+    /// Whether this rank records trace events. Rank-local, so the check
+    /// is a plain branch — the disabled path costs nothing measurable
+    /// (validated by `fig_ext_trace_overhead`).
+    tracing: bool,
+    /// Sample live counters / memory windows every this many quantum
+    /// windows (0 = never).
+    trace_sample_every: u64,
+    /// UPC slots sampled at each interval.
+    trace_slots: Vec<u8>,
+    /// Quantum windows completed while tracing.
+    windows: u64,
+    /// Node memory statistics at the last sample (for window deltas).
+    last_mem: MemStats,
 }
 
 impl RankCtx {
@@ -74,7 +89,7 @@ impl RankCtx {
             .faults
             .as_ref()
             .map_or(0, |p| p.straggler_penalty(place.node.0 as u32));
-        RankCtx {
+        let mut ctx = RankCtx {
             machine,
             rank,
             size: 0, // fixed up below
@@ -88,8 +103,21 @@ impl RankCtx {
             quantum,
             coll_count: 0,
             straggler_penalty,
+            tracing: false,
+            trace_sample_every: 0,
+            trace_slots: Vec::new(),
+            windows: 0,
+            last_mem: MemStats::default(),
         }
-        .with_size()
+        .with_size();
+        // Whole-job tracing (JobSpec::trace) starts at cycle 0; the
+        // machine installed the shared configuration already.
+        if let Some(cfg) = ctx.machine.spec().trace.clone() {
+            if cfg.enabled {
+                ctx.arm_tracing(&cfg);
+            }
+        }
+        ctx
     }
 
     fn with_size(mut self) -> Self {
@@ -208,6 +236,134 @@ impl RankCtx {
         f(&mut self.machine.nodes[self.place.node.0].lock())
     }
 
+    // ------------------------------------------------------------------
+    // Tracing
+    // ------------------------------------------------------------------
+
+    /// Whether this rank currently records trace events.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Configure and (if `cfg.enabled`) start tracing on this rank.
+    /// All ranks of a job must supply equal configurations.
+    ///
+    /// # Errors
+    /// Returns a description if `cfg` diverges from a configuration
+    /// another rank already installed.
+    pub fn enable_tracing(&mut self, cfg: &TraceConfig) -> Result<(), String> {
+        self.machine.trace.configure(cfg)?;
+        if cfg.enabled {
+            self.arm_tracing(cfg);
+        }
+        Ok(())
+    }
+
+    /// Runtime toggle: start or stop recording on this rank. Starting
+    /// uses the job's installed [`TraceConfig`] (or the default if none
+    /// was ever supplied). Toggles take effect at event granularity on
+    /// this rank and at phase granularity on the scheduler stream.
+    pub fn set_tracing(&mut self, on: bool) {
+        if on == self.tracing {
+            return;
+        }
+        if on {
+            let cfg = self.machine.trace.config().unwrap_or_else(|| {
+                let d = TraceConfig::default();
+                self.machine
+                    .trace
+                    .configure(&d)
+                    .expect("default config cannot diverge from nothing");
+                d
+            });
+            self.arm_tracing(&cfg);
+        } else {
+            self.tracing = false;
+            self.machine.trace.rank_leave();
+        }
+    }
+
+    /// Start recording with `cfg` (idempotent).
+    fn arm_tracing(&mut self, cfg: &TraceConfig) {
+        if self.tracing {
+            return;
+        }
+        self.trace_sample_every = cfg.sample_every;
+        self.trace_slots = cfg.sample_slots.clone();
+        self.last_mem = self.with_node(|n| *n.mem_stats());
+        self.tracing = true;
+        self.machine.trace.rank_enter();
+        // Surface this node's scheduled faults at the head of the
+        // stream, so a perturbed timeline is self-explaining.
+        if let Some(plan) = &self.machine.spec().faults {
+            let node = self.place.node.0 as u32;
+            let penalty = plan.straggler_penalty(node);
+            let degraded = plan.router_degraded(node);
+            if penalty > 0 {
+                self.trace_event(EventKind::Fault(FaultEvent::Straggler {
+                    penalty_cycles: penalty,
+                }));
+            }
+            if degraded {
+                self.trace_event(EventKind::Fault(FaultEvent::RouterDegraded));
+            }
+        }
+    }
+
+    /// Record `kind` into this rank's stream, timestamped with the
+    /// rank's core clock. A no-op unless tracing is on.
+    pub fn trace_event(&self, kind: EventKind) {
+        if self.tracing {
+            let cycle = self.cycles();
+            self.machine.trace.record_rank(self.rank, cycle, kind);
+        }
+    }
+
+    /// A quantum window closed while tracing: periodically sample live
+    /// UPC counters and the node's memory-traffic window.
+    fn trace_window_end(&mut self) {
+        self.windows += 1;
+        if self.trace_sample_every == 0
+            || !self.windows.is_multiple_of(self.trace_sample_every)
+        {
+            return;
+        }
+        let core = self.core();
+        // Node-level memory stats are sampled by process 0 only, so a
+        // VNM node doesn't report the same window four times.
+        let sample_mem = self.place.process == 0;
+        let slots = &self.trace_slots;
+        let (cycle, mem_now, values) = self.with_node(|n| {
+            (
+                n.timebase(core),
+                sample_mem.then(|| *n.mem_stats()),
+                n.upc().read_slots(slots),
+            )
+        });
+        if let Some(now) = mem_now {
+            let d = now.delta(&self.last_mem);
+            self.last_mem = now;
+            self.machine.trace.record_rank(
+                self.rank,
+                cycle,
+                EventKind::MemWindow {
+                    window: self.windows,
+                    l3_hits: d.l3_hits,
+                    l3_misses: d.l3_misses,
+                    ddr_reads: d.ddr_reads,
+                    ddr_writes: d.ddr_writes,
+                },
+            );
+        }
+        for (&slot, value) in self.trace_slots.iter().zip(values) {
+            self.machine.trace.record_rank(
+                self.rank,
+                cycle,
+                EventKind::CounterSample { slot, value },
+            );
+        }
+    }
+
     /// Yield the turn now (MPI boundary).
     fn yield_now(&mut self) {
         // Straggler injection: a sick node pays extra latency at every
@@ -228,6 +384,9 @@ impl RankCtx {
         self.tick += 1;
         if self.tick >= self.quantum {
             self.tick = 0;
+            if self.tracing {
+                self.trace_window_end();
+            }
             self.machine.sched.yield_turn(self.rank);
         }
     }
@@ -236,12 +395,14 @@ impl RankCtx {
     /// the one that empties the frontier, it performs the resolution
     /// itself before re-entering the engine.
     fn park_on(&mut self, wait: Wait) {
+        self.trace_event(EventKind::RankPark { wait: wait_kind(wait) });
         if self.machine.sched.park(self.rank, wait) == ParkOutcome::Resolve {
             let wake = self.machine.resolve_phase();
             self.machine.sched.commit_phase(&wake);
         }
         self.machine.sched.acquire(self.rank);
         self.tick = 0;
+        self.trace_event(EventKind::RankWake);
     }
 
     // ------------------------------------------------------------------
@@ -472,6 +633,13 @@ impl RankCtx {
             src_node: self.place.node,
             dst_node,
         });
+        if self.tracing {
+            self.machine.trace.record_rank(
+                self.rank,
+                sent_at,
+                EventKind::MsgSend { dst: dst as u32, tag, bytes },
+            );
+        }
         self.yield_now();
     }
 
@@ -696,6 +864,15 @@ impl RankCtx {
         });
         self.yield_now();
         result
+    }
+}
+
+/// Mirror the scheduler's wait state into the trace-local vocabulary
+/// (`bgp-trace` stays independent of the MPI runtime).
+fn wait_kind(w: Wait) -> WaitKind {
+    match w {
+        Wait::Recv { src, tag } => WaitKind::Recv { src: src.map(|s| s as u32), tag },
+        Wait::Collective { slot } => WaitKind::Collective { slot: slot as u8 },
     }
 }
 

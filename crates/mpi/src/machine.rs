@@ -13,6 +13,7 @@ use bgp_compiler::CompileOpts;
 use bgp_faults::FaultPlan;
 use bgp_net::{BarrierNetwork, CollectiveNetwork, NetConfig, PhaseTraffic, TorusNetwork};
 use bgp_node::Node;
+use bgp_trace::{EventKind, JobTrace, TraceConfig, TraceEvent, TraceState};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -93,6 +94,13 @@ pub struct JobSpec {
     /// available parallelism. Affects wall-clock only — counter dumps
     /// are byte-identical for every value, including 1.
     pub sim_threads: Option<usize>,
+    /// Whole-job tracing: arm every rank's flight recorder from cycle 0
+    /// with this configuration. `None` leaves tracing off (ranks can
+    /// still opt in later via `SessionBuilder::trace` /
+    /// `RankCtx::set_tracing`). Traces are deterministic: timestamped in
+    /// simulated cycles and byte-identical for every `sim_threads`
+    /// value.
+    pub trace: Option<TraceConfig>,
 }
 
 impl JobSpec {
@@ -114,6 +122,7 @@ impl JobSpec {
             mpi: MpiCosts::default(),
             faults: None,
             sim_threads: None,
+            trace: None,
         }
     }
 
@@ -207,6 +216,7 @@ pub struct Machine {
     pub(crate) barrier_net: BarrierNetwork,
     pub(crate) sched: PhaseEngine,
     pub(crate) comm: Mutex<CommInner>,
+    pub(crate) trace: Arc<TraceState>,
     ran: AtomicBool,
 }
 
@@ -231,12 +241,29 @@ impl Machine {
         if let Some(plan) = &spec.faults {
             torus.set_fault_plan(Arc::clone(plan));
         }
-        let node_of = (0..spec.ranks).map(|r| place(&spec, r).node.0).collect();
+        let node_of: Vec<usize> = (0..spec.ranks).map(|r| place(&spec, r).node.0).collect();
+        let trace = Arc::new(TraceState::new(node_of.clone()));
+        if let Some(cfg) = &spec.trace {
+            trace.configure(cfg).expect("first configure cannot diverge");
+        }
+        let sched = PhaseEngine::new(node_of.clone(), n_nodes, spec.resolved_sim_threads());
+        // Deadlock forensics: append the scheduler-trace tail and any
+        // scheduled faults to the panic, and drop a sidecar report.
+        {
+            let trace = Arc::clone(&trace);
+            let faults = spec.faults.clone();
+            sched.set_deadlock_reporter(Box::new(move |parked| {
+                let report =
+                    deadlock_report(&trace, &node_of, faults.as_deref(), parked);
+                let sidecar = write_deadlock_sidecar(&report);
+                format!("\n{report}{sidecar}")
+            }));
+        }
         Arc::new(Machine {
             torus,
             coll_net: CollectiveNetwork::new(n_nodes, spec.net.clone()),
             barrier_net: BarrierNetwork::new(spec.net.clone()),
-            sched: PhaseEngine::new(node_of, n_nodes, spec.resolved_sim_threads()),
+            sched,
             comm: Mutex::new(CommInner {
                 mailboxes: (0..spec.ranks).map(|_| VecDeque::new()).collect(),
                 outboxes: (0..spec.ranks).map(|_| VecDeque::new()).collect(),
@@ -245,6 +272,7 @@ impl Machine {
             }),
             nodes,
             spec,
+            trace,
             ran: AtomicBool::new(false),
         })
     }
@@ -283,6 +311,18 @@ impl Machine {
         self.sched.phases()
     }
 
+    /// The job's shared trace state (recorder configuration and raw
+    /// stream access; most callers want [`Machine::job_trace`]).
+    pub fn trace_state(&self) -> &Arc<TraceState> {
+        &self.trace
+    }
+
+    /// Snapshot the recorded trace for export, or `None` if tracing was
+    /// never configured for this job.
+    pub fn job_trace(&self) -> Option<JobTrace> {
+        self.trace.snapshot()
+    }
+
     /// Merge the phase's buffered effects and compute which parked ranks
     /// become runnable. Called by the rank that emptied the frontier,
     /// with every other rank parked — the merge iterates in canonical
@@ -291,6 +331,14 @@ impl Machine {
     pub(crate) fn resolve_phase(&self) -> Vec<usize> {
         let mut guard = self.comm.lock();
         let comm = &mut *guard;
+        // Tracing check: read once per phase, while the machine is
+        // quiescent (every rank parked), so the answer is deterministic
+        // at phase granularity for any thread count.
+        let tracing = self.trace.sched_active();
+        let mut events: Vec<TraceEvent> = Vec::new();
+        let mut delivered = 0u64;
+        let mut delivered_bytes = 0u64;
+        let mut collectives = 0u64;
 
         // 1. Deliver outboxes in (sender rank, send order). Queuing
         //    delay on shared torus links accrues in this order too.
@@ -298,23 +346,46 @@ impl Machine {
         for src in 0..self.spec.ranks {
             while let Some(m) = comm.outboxes[src].pop_front() {
                 let route = self.torus.route(m.src_node, m.dst_node);
-                let queue = comm.traffic.enqueue(&route, m.data.len() as u64);
+                let bytes = m.data.len() as u64;
+                let queue = comm.traffic.enqueue(&route, bytes);
+                let ready_at = m.sent_at + queue;
+                if tracing {
+                    delivered += 1;
+                    delivered_bytes += bytes;
+                    events.push(TraceEvent {
+                        cycle: ready_at,
+                        kind: EventKind::MsgDeliver {
+                            src: src as u32,
+                            dst: m.dst as u32,
+                            tag: m.tag,
+                            bytes,
+                            queue_cycles: queue,
+                        },
+                    });
+                }
                 comm.mailboxes[m.dst].push_back(Message {
                     src,
                     tag: m.tag,
                     data: m.data,
-                    ready_at: m.sent_at + queue,
+                    ready_at,
                 });
             }
         }
 
         // 2. Complete collectives whose every rank has arrived.
-        for slot in &mut comm.slots {
+        for (idx, slot) in comm.slots.iter_mut().enumerate() {
             let fully_arrived = slot.kind.is_some()
                 && !slot.complete
                 && slot.arrived == self.spec.ranks;
             if fully_arrived {
                 self.complete_slot(slot);
+                if tracing {
+                    collectives += 1;
+                    events.push(TraceEvent {
+                        cycle: slot.ready_at,
+                        kind: EventKind::CollComplete { slot: idx as u8 },
+                    });
+                }
             }
         }
 
@@ -330,6 +401,21 @@ impl Machine {
             if satisfied {
                 wake.push(rank);
             }
+        }
+        if tracing {
+            events.push(TraceEvent {
+                cycle: self.job_cycles(),
+                kind: EventKind::PhaseResolve {
+                    phase: self.sched.phases(),
+                    delivered,
+                    delivered_bytes,
+                    woken: wake.len() as u64,
+                    collectives,
+                    peak_link_bytes: comm.traffic.peak_link_bytes(),
+                    links_loaded: comm.traffic.links_loaded() as u64,
+                },
+            });
+            self.trace.extend_sched(events);
         }
         wake
     }
@@ -453,6 +539,71 @@ fn collective_cost(machine: &Machine, kind: CollKind, slot: &CollSlot, n: usize)
     }
 }
 
+/// Scheduler events included in a deadlock report.
+const DEADLOCK_TRACE_TAIL: usize = 32;
+
+/// Assemble the deadlock forensics report: per-rank wait states (with
+/// hosting nodes), the tail of the scheduler trace, and any faults
+/// scheduled against the involved nodes.
+fn deadlock_report(
+    trace: &TraceState,
+    node_of: &[usize],
+    faults: Option<&FaultPlan>,
+    parked: &[(usize, Wait)],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("--- deadlock forensics ---\n");
+    out.push_str("per-rank wait states:\n");
+    for (rank, wait) in parked {
+        let _ = writeln!(out, "  rank {rank} (node {}): {wait}", node_of[*rank]);
+    }
+    let recent = trace.recent_sched(DEADLOCK_TRACE_TAIL);
+    if recent.is_empty() {
+        out.push_str(
+            "scheduler trace: empty (enable tracing via JobSpec::trace or \
+             SessionBuilder::trace to capture phase timelines)\n",
+        );
+    } else {
+        let _ = writeln!(out, "last {} scheduler events (newest last):", recent.len());
+        for e in &recent {
+            let _ = writeln!(out, "  {e}");
+        }
+    }
+    if let Some(plan) = faults {
+        let mut nodes: Vec<usize> = parked.iter().map(|(r, _)| node_of[*r]).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let mut any = false;
+        for node in nodes {
+            let summary = plan.node_fault_summary(node as u32);
+            if !summary.is_empty() {
+                if !any {
+                    out.push_str("scheduled faults on involved nodes:\n");
+                    any = true;
+                }
+                let _ = writeln!(out, "  node {node}: {}", summary.join(", "));
+            }
+        }
+        if !any {
+            out.push_str("scheduled faults on involved nodes: none\n");
+        }
+    }
+    out
+}
+
+/// Best-effort sidecar write of the deadlock report, to `$BGP_TRACE_DIR`
+/// or the system temp directory. Returns a note for the panic message.
+fn write_deadlock_sidecar(report: &str) -> String {
+    let dir = std::env::var_os("BGP_TRACE_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    let path = dir.join(format!("bgp-deadlock-{}.txt", std::process::id()));
+    match std::fs::write(&path, report) {
+        Ok(()) => format!("sidecar report: {}", path.display()),
+        Err(e) => format!("(sidecar write to {} failed: {e})", path.display()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,6 +660,31 @@ mod tests {
             m.run(|ctx| ctx.rank());
         }));
         assert!(res.is_err(), "second run must be rejected");
+    }
+
+    #[test]
+    fn deadlock_panic_carries_trace_forensics() {
+        let mut spec = JobSpec::new(2, OpMode::Smp1);
+        spec.trace = Some(TraceConfig::default());
+        let m = Machine::new(spec);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.run(|ctx| {
+                if ctx.rank() == 0 {
+                    ctx.recv(Some(1), 99); // rank 1 never sends: deadlock
+                }
+            });
+        }));
+        assert!(res.is_err(), "deadlocked job must panic");
+        let sidecar =
+            std::env::temp_dir().join(format!("bgp-deadlock-{}.txt", std::process::id()));
+        let report = std::fs::read_to_string(&sidecar).expect("sidecar report written");
+        let _ = std::fs::remove_file(&sidecar);
+        assert!(report.contains("deadlock forensics"), "missing header:\n{report}");
+        assert!(
+            report.contains("rank 0 (node 0): recv(src=1, tag=99)"),
+            "missing wait state:\n{report}"
+        );
+        assert!(report.contains("phase_resolve"), "missing scheduler trace tail:\n{report}");
     }
 
     #[test]

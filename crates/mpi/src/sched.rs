@@ -141,6 +141,13 @@ impl Engine {
     }
 }
 
+/// Forensics callback invoked when the engine detects a deadlock,
+/// handed the `(rank, wait)` list of every still-parked rank. Whatever
+/// it returns is appended to the deadlock panic message — the machine
+/// installs one that dumps the tail of the scheduler trace and writes a
+/// sidecar report (see `Machine::new`).
+pub type DeadlockReporter = Box<dyn Fn(&[(usize, Wait)]) -> String + Send + Sync>;
+
 /// The shared phase scheduler. One per [`crate::Machine`].
 pub struct PhaseEngine {
     m: Mutex<Engine>,
@@ -148,6 +155,8 @@ pub struct PhaseEngine {
     /// never pays a 64-thread thundering herd per quantum.
     cvs: Vec<Condvar>,
     max_active: usize,
+    /// Optional deadlock forensics hook.
+    reporter: Mutex<Option<DeadlockReporter>>,
 }
 
 impl PhaseEngine {
@@ -177,7 +186,13 @@ impl PhaseEngine {
             m: Mutex::new(eng),
             cvs: (0..n_ranks).map(|_| Condvar::new()).collect(),
             max_active,
+            reporter: Mutex::new(None),
         }
+    }
+
+    /// Install the deadlock forensics hook (replaces any previous one).
+    pub fn set_deadlock_reporter(&self, reporter: DeadlockReporter) {
+        *self.reporter.lock() = Some(reporter);
     }
 
     /// Worker cap this engine was built with.
@@ -346,24 +361,35 @@ impl PhaseEngine {
             if s.status.iter().all(|&st| st == Status::Done) {
                 return; // job complete
             }
-            let blocked: Vec<String> = s
+            let parked: Vec<(usize, Wait)> = s
                 .status
                 .iter()
                 .enumerate()
                 .filter_map(|(r, st)| match st {
-                    Status::Parked(w) => Some(format!("rank {r}: {w}")),
+                    Status::Parked(w) => Some((r, *w)),
                     _ => None,
                 })
                 .collect();
+            let blocked: Vec<String> =
+                parked.iter().map(|(r, w)| format!("rank {r}: {w}")).collect();
             s.aborted = true;
             for cv in &self.cvs {
                 cv.notify_one();
             }
+            // Forensics before unwinding: the machine-installed reporter
+            // dumps the scheduler trace tail and writes a sidecar file.
+            let forensics = self
+                .reporter
+                .lock()
+                .as_ref()
+                .map(|rep| rep(&parked))
+                .unwrap_or_default();
             panic!(
                 "MPI deadlock after {} phase(s): no deliverable progress; waiting: [{}] \
-                 (mismatched send/recv or collective?)",
+                 (mismatched send/recv or collective?){}",
                 s.phase,
-                blocked.join(", ")
+                blocked.join(", "),
+                forensics
             );
         }
         for &r in wake {

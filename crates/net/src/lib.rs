@@ -230,6 +230,17 @@ impl PhaseTraffic {
         self.load.values().copied().max().unwrap_or(0)
     }
 
+    /// Distinct directed links that carried traffic this phase.
+    pub fn links_loaded(&self) -> usize {
+        self.load.len()
+    }
+
+    /// Total bytes committed across all links this phase (a transfer
+    /// crossing `h` links contributes `h × bytes`).
+    pub fn total_bytes(&self) -> u64 {
+        self.load.values().sum()
+    }
+
     /// Forget all link loads (phase boundary crossed).
     pub fn reset(&mut self) {
         self.load.clear();

@@ -3,7 +3,7 @@
 //! tools).
 //!
 //! ```text
-//! bgpc-dump <dir-or-file> [--set N] [--csv out.csv] [--all] [--top K]
+//! bgpc-dump <dir-or-file> [--set N] [--csv out.csv] [--all] [--top K] [--json]
 //! ```
 //!
 //! * default: summary per node + across-node statistics of the set's
@@ -14,10 +14,15 @@
 //! * `--top K`: how many counters the summary shows (default 20),
 //! * `--csv PATH`: also write the statistics as CSV,
 //! * `--report`: print the one-page human-readable report instead of the
-//!   raw counter table.
+//!   raw counter table,
+//! * `--json`: emit the node summaries, warnings, and statistics as one
+//!   JSON document on stdout (machine-readable, shares the toolchain
+//!   with `bgpc-trace` timelines).
 
+use bgp_arch::events::EventId;
 use bgp_core::dump::NodeDump;
-use bgp_postproc::{stats_csv, Frame};
+use bgp_postproc::{stats_csv, EventStats, Frame};
+use bgp_trace::json::escape;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -27,6 +32,7 @@ struct Args {
     csv: Option<PathBuf>,
     all: bool,
     report: bool,
+    json: bool,
     top: usize,
 }
 
@@ -36,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
     let mut csv = None;
     let mut all = false;
     let mut report = false;
+    let mut json = false;
     let mut top = 20;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -50,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
             "--csv" => csv = Some(PathBuf::from(it.next().ok_or("--csv needs a path")?)),
             "--all" => all = true,
             "--report" => report = true,
+            "--json" => json = true,
             "--top" => {
                 top = it
                     .next()
@@ -58,7 +66,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--top: {e}"))?;
             }
             "--help" | "-h" => {
-                return Err("usage: bgpc-dump <dir-or-file> [--set N] [--csv out.csv] [--all] [--top K]"
+                return Err("usage: bgpc-dump <dir-or-file> [--set N] [--csv out.csv] [--all] [--top K] [--json]"
                     .into());
             }
             other if input.is_none() => input = Some(PathBuf::from(other)),
@@ -71,8 +79,56 @@ fn parse_args() -> Result<Args, String> {
         csv,
         all,
         report,
+        json,
         top,
     })
+}
+
+/// Render dumps + statistics as one JSON document (stable key order).
+fn render_json(
+    dumps: &[NodeDump],
+    frame: &Frame,
+    set: u32,
+    stats: &[(EventId, EventStats)],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"set\": {set},");
+    out.push_str("  \"nodes\": [\n");
+    for (i, d) in dumps.iter().enumerate() {
+        let sets: Vec<String> = d
+            .sets
+            .iter()
+            .map(|s| format!("{{\"id\": {}, \"records\": {}}}", s.id, s.records))
+            .collect();
+        let _ = write!(
+            out,
+            "    {{\"node\": {}, \"mode\": {}, \"sets\": [{}]}}",
+            d.node,
+            escape(&d.mode.to_string()),
+            sets.join(", ")
+        );
+        out.push_str(if i + 1 < dumps.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"warnings\": [");
+    let warnings: Vec<String> =
+        frame.anomalies().iter().map(|a| escape(&a.to_string())).collect();
+    out.push_str(&warnings.join(", "));
+    out.push_str("],\n  \"counters\": [\n");
+    for (i, (ev, s)) in stats.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"event\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"nodes\": {}}}",
+            escape(&ev.name()),
+            s.min,
+            s.max,
+            s.mean,
+            s.nodes
+        );
+        out.push_str(if i + 1 < stats.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn load(input: &Path) -> Result<Vec<NodeDump>, String> {
@@ -100,6 +156,30 @@ fn main() -> ExitCode {
         }
     };
 
+    let frame = match Frame::from_dumps(&dumps, args.set) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bgpc-dump: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.json {
+        let mut stats = frame.all_stats();
+        if !args.all {
+            stats.sort_by_key(|(_, s)| std::cmp::Reverse(s.sum));
+            stats.truncate(args.top);
+        }
+        print!("{}", render_json(&dumps, &frame, args.set, &stats));
+        if let Some(path) = args.csv {
+            if let Err(e) = stats_csv(&frame).write(&path) {
+                eprintln!("bgpc-dump: writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
     println!("{} node dump(s)", dumps.len());
     for d in &dumps {
         let sets: Vec<String> = d
@@ -109,14 +189,6 @@ fn main() -> ExitCode {
             .collect();
         println!("  node {:>5}  {}  sets: [{}]", d.node, d.mode, sets.join(", "));
     }
-
-    let frame = match Frame::from_dumps(&dumps, args.set) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("bgpc-dump: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
     for a in frame.anomalies() {
         println!("warning: {a}");
     }

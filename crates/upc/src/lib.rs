@@ -196,6 +196,12 @@ impl Upc {
         *self.counters
     }
 
+    /// Current values of a selection of counter slots, in `slots` order
+    /// (live interval sampling for the tracing layer).
+    pub fn read_slots(&self, slots: &[u8]) -> Vec<u64> {
+        slots.iter().map(|&s| self.read(s)).collect()
+    }
+
     /// Report `pulses` occurrences (signal edges) of `event`.
     ///
     /// Ignored unless the unit is enabled **and** the event belongs to the

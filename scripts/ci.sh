@@ -22,6 +22,19 @@ done
 echo "==> determinism full matrix"
 cargo test -q --release --test determinism -- --ignored
 
+echo "==> trace smoke (bgpc-trace over a 4-node job + bgpc-dump --json)"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+target/release/bgpc-trace --out "$trace_dir" --kernel mg --class s --ranks 16 \
+    --mode vnm --slots 0,1,2
+test -s "$trace_dir/trace.json" || { echo "trace smoke: empty trace.json"; exit 1; }
+test -s "$trace_dir/phases.csv" || { echo "trace smoke: empty phases.csv"; exit 1; }
+target/release/bgpc-dump "$trace_dir" --json > "$trace_dir/stats.json"
+test -s "$trace_dir/stats.json" || { echo "trace smoke: empty stats.json"; exit 1; }
+
+echo "==> trace overhead gate (disabled tracing < 1%)"
+BGP_RESULTS_DIR="$trace_dir" target/release/fig_ext_trace_overhead --quick --gate
+
 echo "==> cargo bench smoke"
 BGP_BENCH_SAMPLES=1 cargo bench --workspace 2>&1 | tail -n 20
 

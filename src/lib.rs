@@ -8,8 +8,12 @@
 //! node, [`compiler`] models the XL compiler's instruction selection,
 //! [`mpi`] runs ranks across nodes, [`counters`] is the paper's interface
 //! library, [`postproc`] mines the dumps, [`nas`] holds the NAS parallel
-//! benchmark kernels, and [`faults`] injects deterministic, seeded
-//! failures so collection and aggregation can be tested under fire.
+//! benchmark kernels, [`faults`] injects deterministic, seeded
+//! failures so collection and aggregation can be tested under fire, and
+//! [`trace`] is the deterministic flight recorder: per-rank ring-buffer
+//! timelines in simulated cycles, exported as Chrome-trace JSON and
+//! per-phase metrics CSV (enable via [`JobSpec`]`::trace` or
+//! `Session::builder(ctx).trace(..)`).
 //!
 //! ## The Session API
 //!
@@ -69,6 +73,7 @@ pub use bgp_nas as nas;
 pub use bgp_net as net;
 pub use bgp_node as node;
 pub use bgp_postproc as postproc;
+pub use bgp_trace as trace;
 pub use bgp_upc as upc;
 
 /// The workspace-wide error type (every crate reports through it).
