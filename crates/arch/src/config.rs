@@ -124,6 +124,12 @@ impl MachineConfig {
         if !self.l2_bytes.is_multiple_of(self.l2_ways * LINE_BYTES) {
             return Err("L2 capacity must divide into ways × 128 B lines".into());
         }
+        // The L1 and L2 sit on the per-access hot path, so the cache core
+        // indexes them with a mask; only the L3 (assembled from 2 MB eDRAM
+        // macros, see below) may have a non-power-of-two set count.
+        if !self.l2_sets().is_power_of_two() {
+            return Err("L2 set count must be a power of two".into());
+        }
         if self.l3_banks == 0 {
             return Err("need at least one L3 bank / DDR controller".into());
         }
@@ -176,6 +182,31 @@ mod tests {
 
         let c = MachineConfig { l3_bytes: 1000, ..MachineConfig::default() };
         assert!(c.validate().is_err(), "l3 not divisible into ways × lines per bank");
+    }
+
+    #[test]
+    fn non_power_of_two_l1_or_l2_sets_are_rejected() {
+        // 24 KB / 16 ways / 32 B lines = 48 L1 sets: aligned but not pow2.
+        let c = MachineConfig { l1_bytes: 24 << 10, ..MachineConfig::default() };
+        assert!(c.validate().is_err(), "48 L1 sets must be rejected");
+
+        // 6 KB / 16 ways / 128 B lines = 3 L2 sets: aligned but not pow2,
+        // which would force the modulo path on every L2 probe.
+        let c = MachineConfig { l2_bytes: 6 << 10, ..MachineConfig::default() };
+        assert!(c.validate().is_err(), "3 L2 sets must be rejected");
+
+        // Doubling the default L2 stays a power of two and validates.
+        let c = MachineConfig { l2_bytes: 4 << 10, ..MachineConfig::default() };
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn l3_keeps_the_modulo_fallback_for_edram_macro_sizes() {
+        // 6 MB = three 2 MB macros: 3072 sets per bank, not a power of
+        // two, and deliberately still valid (Fig. 11's sweep needs it).
+        let c = MachineConfig::default().with_l3_bytes(6 << 20);
+        c.validate().unwrap();
+        assert!(!c.l3_sets_per_bank().is_power_of_two());
     }
 
     #[test]

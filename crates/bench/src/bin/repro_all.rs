@@ -39,5 +39,6 @@ fn main() {
     emit("fig_ext_faults", &figures::fig_ext_faults(scale));
     emit("fig_ext_scaling", &figures::fig_ext_scaling(scale));
     emit("fig_ext_trace_overhead", &figures::fig_ext_trace_overhead(scale));
+    emit("fig_ext_memthroughput", &figures::fig_ext_memthroughput(scale));
     eprintln!("[repro_all] extensions done");
 }

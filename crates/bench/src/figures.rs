@@ -7,7 +7,7 @@ use bgp_arch::{modes::OpMode, CORE_CLOCK_HZ};
 use bgp_compiler::{CompileOpts, QArch};
 use bgp_core::{Session, INIT_CYCLES, START_CYCLES, STOP_CYCLES, TOTAL_OVERHEAD_CYCLES};
 use bgp_mpi::CounterPolicy;
-use bgp_nas::Kernel;
+use bgp_nas::{Class, Kernel};
 use bgp_postproc::{
     ddr_traffic_bytes_per_node, fp_mix, l3_miss_ratio, mflops_per_chip, Csv, MixCategory,
 };
@@ -583,6 +583,161 @@ pub fn trace_overhead_sweep(scale: Scale) -> Vec<TraceOverheadSample> {
             dropped: counts[i].1,
         })
         .collect()
+}
+
+/// Memory-engine throughput comparison (feeds [`fig_ext_memthroughput`]
+/// and `BENCH_mem.json`): the same access stream driven through the
+/// per-op [`bgp_node::Node::mem_op`] path — icache probe, hierarchy
+/// walk, retirement and counter sync per access — and through
+/// [`bgp_node::Node::mem_ops`] in quantum-sized slices, plus the
+/// end-to-end MG job that rides the batched engine.
+pub struct MemThroughputReport {
+    /// Simulated accesses per host second, per-op `mem_op` loop.
+    pub scalar_maps: f64,
+    /// Simulated accesses per host second, `mem_ops` slices.
+    pub batched_maps: f64,
+    /// `batched_maps / scalar_maps`.
+    pub speedup: f64,
+    /// Best-of-reps wall time for the end-to-end MG job below.
+    pub mg_wall_ms: f64,
+    /// MG problem class at this scale.
+    pub mg_class: Class,
+    /// MG rank count at this scale.
+    pub mg_ranks: usize,
+}
+
+/// Run the memory-engine throughput comparison. The microbench stream
+/// mirrors the NAS mix — three unit-stride double sweeps for every
+/// random-footprint burst — so the same-line run memoization is
+/// exercised at its real duty cycle, not a best case. Both engines see
+/// identical streams on fresh [`bgp_mem::MemorySystem`]s; wall time is
+/// min-of-reps after one warm-up, like the tracing sweep.
+pub fn mem_throughput_sweep(scale: Scale) -> MemThroughputReport {
+    use bgp_arch::events::CounterMode as CMode;
+    use bgp_arch::{MachineConfig, NodeId};
+    use bgp_core::run_instrumented;
+    use bgp_node::{MemOp, MemWidth, Node};
+    use std::time::Instant;
+
+    let (n_accesses, reps) = match scale {
+        Scale::Quick => (1usize << 20, 5),
+        Scale::Default => (1 << 22, 3),
+        Scale::Paper => (1 << 22, 1),
+    };
+    // The kernels' dominant pattern: a 5-point stencil sweeping three
+    // fields (u read with spatial reuse, rhs streamed, res written) —
+    // mostly L1 hits with unit-stride runs, as in the MG/LU/SP inner
+    // loops — broken up by scattered accesses (index vectors,
+    // histograms) at roughly their NAS duty cycle.
+    let mut stream = Vec::with_capacity(n_accesses + 8);
+    let mut x = 0x1234_5678_9ABC_DEF0u64;
+    const NX: u64 = 512;
+    const U: u64 = 0;
+    const RHS: u64 = 16 << 20;
+    const RES: u64 = 32 << 20;
+    let mut idx = NX + 1;
+    while stream.len() < n_accesses {
+        for _ in 0..16 {
+            let p = (idx % (1 << 20)) * 8;
+            for off in [p - NX * 8, p - 8, p, p + 8, p + NX * 8] {
+                stream.push(MemOp { vaddr: U + off, width: MemWidth::Double, write: false });
+            }
+            stream.push(MemOp { vaddr: RHS + p, width: MemWidth::Double, write: false });
+            stream.push(MemOp { vaddr: RES + p, width: MemWidth::Double, write: true });
+            idx += 1;
+        }
+        for _ in 0..14 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            stream.push(MemOp {
+                vaddr: ((x >> 9) % (8 << 20)) & !7,
+                width: MemWidth::Double,
+                write: x & 7 == 0,
+            });
+        }
+    }
+    stream.truncate(n_accesses);
+
+    let fresh_node = || {
+        let mut n =
+            Node::new(NodeId(0), &MachineConfig::default(), OpMode::VirtualNode, CMode::Mode2);
+        n.upc_mut().set_enabled(true);
+        n
+    };
+    let scalar_once = || {
+        let mut node = fresh_node();
+        let t0 = Instant::now();
+        for op in &stream {
+            node.mem_op(0, 0, op.vaddr, op.width, op.write);
+        }
+        std::hint::black_box(node.core(0).cycles());
+        t0.elapsed().as_secs_f64()
+    };
+    let batched_once = || {
+        let mut node = fresh_node();
+        let t0 = Instant::now();
+        for c in stream.chunks(2048) {
+            node.mem_ops(0, 0, c);
+        }
+        std::hint::black_box(node.core(0).cycles());
+        t0.elapsed().as_secs_f64()
+    };
+    scalar_once();
+    batched_once();
+    let (mut scalar_s, mut batched_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        scalar_s = scalar_s.min(scalar_once());
+        batched_s = batched_s.min(batched_once());
+    }
+    let scalar_maps = n_accesses as f64 / scalar_s / 1e6;
+    let batched_maps = n_accesses as f64 / batched_s / 1e6;
+
+    // End-to-end: the acceptance job (MG class A on 16 VNM ranks at
+    // Default scale) on the batched engine.
+    let kernel = Kernel::Mg;
+    let class = scale.class();
+    let ranks = kernel.clamp_ranks(scale.ranks(), class);
+    let mg_once = || {
+        let spec = bgp_mpi::JobSpec::new(ranks, OpMode::VirtualNode);
+        let machine = bgp_mpi::Machine::new(spec);
+        let t0 = Instant::now();
+        let (out, _lib) = run_instrumented(&machine, move |ctx| kernel.run(ctx, class));
+        assert!(out.iter().all(|r| r.verified), "MG failed verification");
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    let mg_reps = match scale {
+        Scale::Quick => 3,
+        _ => 2,
+    };
+    let mut mg_wall_ms = f64::INFINITY;
+    for _ in 0..mg_reps {
+        mg_wall_ms = mg_wall_ms.min(mg_once());
+    }
+
+    MemThroughputReport {
+        scalar_maps,
+        batched_maps,
+        speedup: batched_maps / scalar_maps,
+        mg_wall_ms,
+        mg_class: class,
+        mg_ranks: ranks,
+    }
+}
+
+/// Extension (performance): simulator throughput of the batched memory
+/// engine vs. the per-op scalar walk, plus the end-to-end MG wall time.
+pub fn fig_ext_memthroughput(scale: Scale) -> Csv {
+    let r = mem_throughput_sweep(scale);
+    let mut csv = Csv::new(["measure", "value"]);
+    csv.row(["scalar_maccesses_per_s".into(), format!("{:.1}", r.scalar_maps)]);
+    csv.row(["batched_maccesses_per_s".into(), format!("{:.1}", r.batched_maps)]);
+    csv.row(["batch_speedup".into(), format!("{:.2}", r.speedup)]);
+    csv.row([
+        format!("mg_{:?}_{}_wall_ms", r.mg_class, r.mg_ranks),
+        format!("{:.0}", r.mg_wall_ms),
+    ]);
+    csv
 }
 
 /// Extension (tracing): cost of the deterministic trace layer on an MG

@@ -5,14 +5,50 @@
 //! callers shift byte addresses down before lookup, so one `Cache` never
 //! needs to know its line size.
 //!
-//! The implementation is flat-array based (no per-set allocation, no
-//! hashing): `sets × ways` tag and metadata slots, with a monotonically
-//! increasing stamp providing exact LRU. Set selection is `line % sets`,
-//! reduced to a mask when `sets` is a power of two — the L3 is built from
-//! 2 MB eDRAM macros and legitimately has non-power-of-two set counts
-//! (e.g. the 6 MB point of the paper's Fig. 11 sweep).
+//! The implementation is built for the batch engine's probe rate: each
+//! way is one packed `u64` — the line tag shifted left with the
+//! dirty/prefetched bits in the low bits — and every set keeps its ways
+//! ordered **most- to least-recently-used**. Recency ordering makes the
+//! position encode exact LRU: a hit rotates the way to the front, the
+//! eviction victim is always the last way, and no per-way timestamp
+//! array exists at all. Under the temporal locality the simulated
+//! kernels exhibit, the hit fast path is a single load and compare of
+//! way 0. Set selection is `line % sets`, reduced to a mask when `sets`
+//! is a power of two — [`MachineConfig::validate`] guarantees the L1 and
+//! L2 set counts are powers of two so their probes never take the `%`
+//! branch, while the L3 is built from 2 MB eDRAM macros and legitimately
+//! has non-power-of-two set counts (e.g. the 6 MB point of the paper's
+//! Fig. 11 sweep).
+//!
+//! Alongside the way entries the cache maintains a **counting membership
+//! filter** (one `u16` bucket per hashed line, kept exact by
+//! incrementing on install and decrementing on eviction/invalidation).
+//! A zero bucket proves a line absent without touching the set, which
+//! turns the probe-heavy *usually-absent* paths — coherence snoops into
+//! peer caches, prefetch-duplicate checks, write-back `mark_dirty`
+//! probes — into a single hash and load. A non-zero bucket falls back to
+//! the exact tag scan, so results never change; only the cost does.
+//!
+//! Way order is an implementation detail: no production consumer
+//! observes it (the differential and golden tests pin that), so the
+//! recency ordering is behaviorally identical to a timestamped LRU.
+//!
+//! [`MachineConfig::validate`]: bgp_arch::MachineConfig::validate
 
-/// Sentinel tag meaning "invalid way".
+/// Packed-entry flag bit: line has been modified (write-back needed on
+/// eviction).
+const FLAG_DIRTY: u64 = 1 << 0;
+/// Packed-entry flag bit: line was speculatively fetched and not yet
+/// demand-touched.
+const FLAG_PREFETCHED: u64 = 1 << 1;
+/// Mask of the flag bits within a packed entry.
+const FLAG_MASK: u64 = FLAG_DIRTY | FLAG_PREFETCHED;
+/// Left shift turning a line address into its packed-entry tag.
+const ENT_SHIFT: u32 = 2;
+/// Sentinel entry meaning "invalid way". Cannot collide with a real
+/// entry: a real tag has bit 1 << 63 clear (lines are byte addresses
+/// shifted *down* by at least the 32-byte line shift, then up by
+/// [`ENT_SHIFT`]).
 const INVALID: u64 = u64::MAX;
 
 /// A line evicted by a fill.
@@ -34,18 +70,6 @@ pub struct Hit {
     pub first_prefetch_use: bool,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Way {
-    tag: u64,
-    stamp: u64,
-    dirty: bool,
-    prefetched: bool,
-}
-
-impl Way {
-    const EMPTY: Way = Way { tag: INVALID, stamp: 0, dirty: false, prefetched: false };
-}
-
 /// A set-associative LRU cache addressed at line granularity.
 ///
 /// ```
@@ -59,12 +83,21 @@ impl Way {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Cache {
-    ways: Vec<Way>,
+    /// Packed way entries (`line << ENT_SHIFT | flags`), `sets × ways`,
+    /// set-major, each set ordered most- to least-recently-used.
+    ents: Vec<u64>,
+    /// Counting membership filter: `filt[hash(line)]` is the number of
+    /// resident lines hashing to that bucket. Zero proves absence.
+    filt: Vec<u16>,
+    /// Right-shift applied to the hashed line to index `filt`.
+    filt_shift: u32,
     num_sets: usize,
     assoc: usize,
     set_mask: Option<u64>,
-    clock: u64,
 }
+
+/// Multiplier of the Fibonacci line hash feeding the membership filter.
+const FILT_HASH: u64 = 0x9E37_79B9_7F4A_7C15;
 
 impl Cache {
     /// Build a cache with `sets` sets of `assoc` ways.
@@ -72,14 +105,66 @@ impl Cache {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn new(sets: usize, assoc: usize) -> Cache {
+        // Two filter buckets per line keeps bucket occupancy (and thus
+        // the false-maybe rate of the absence test) low.
+        Cache::build(sets, assoc, true)
+    }
+
+    /// Build a cache without the membership filter. Right for caches
+    /// whose probe mix rarely benefits from absence proofs (the L3:
+    /// write-backs it receives usually find their line resident, so a
+    /// filter is maintenance cost without payoff).
+    pub fn unfiltered(sets: usize, assoc: usize) -> Cache {
+        Cache::build(sets, assoc, false)
+    }
+
+    fn build(sets: usize, assoc: usize, filtered: bool) -> Cache {
         assert!(sets > 0 && assoc > 0, "cache must have sets and ways");
+        let filt_len = if filtered {
+            (sets * assoc * 2).next_power_of_two().max(64)
+        } else {
+            0
+        };
         Cache {
-            ways: vec![Way::EMPTY; sets * assoc],
+            ents: vec![INVALID; sets * assoc],
+            filt: vec![0; filt_len],
+            filt_shift: 64 - filt_len.trailing_zeros().min(63),
             num_sets: sets,
             assoc,
             set_mask: sets.is_power_of_two().then(|| sets as u64 - 1),
-            clock: 0,
         }
+    }
+
+    #[inline]
+    fn filt_idx(&self, line: u64) -> usize {
+        (line.wrapping_mul(FILT_HASH) >> self.filt_shift) as usize
+    }
+
+    /// Membership-filter check: `false` proves `line` is absent; `true`
+    /// means "maybe resident" and callers fall back to the tag scan.
+    #[inline]
+    fn maybe_resident(&self, line: u64) -> bool {
+        self.filt.is_empty() || self.filt[self.filt_idx(line)] != 0
+    }
+
+    #[inline]
+    fn filt_add(&mut self, line: u64) {
+        if self.filt.is_empty() {
+            return;
+        }
+        let i = self.filt_idx(line);
+        debug_assert!(self.filt[i] < u16::MAX, "membership filter bucket overflow");
+        self.filt[i] += 1;
+    }
+
+    #[inline]
+    fn filt_remove(&mut self, line: u64) {
+        if self.filt.is_empty() {
+            return;
+        }
+        let i = self.filt_idx(line);
+        debug_assert!(self.filt[i] > 0, "membership filter underflow");
+        self.filt[i] -= 1;
     }
 
     /// Number of sets.
@@ -105,38 +190,49 @@ impl Cache {
         }
     }
 
-    #[inline]
-    fn set_slice(&mut self, set: usize) -> &mut [Way] {
-        let base = set * self.assoc;
-        &mut self.ways[base..base + self.assoc]
-    }
-
     /// Demand access: returns hit/miss, refreshes LRU, optionally marks
     /// the line dirty (write hit).
     #[inline]
     pub fn access(&mut self, line: u64, write: bool) -> Hit {
-        self.clock += 1;
-        let clock = self.clock;
-        let set = self.set_of(line);
-        for w in self.set_slice(set) {
-            if w.tag == line {
-                w.stamp = clock;
-                let first_prefetch_use = w.prefetched;
-                w.prefetched = false;
-                if write {
-                    w.dirty = true;
+        let base = self.set_of(line) * self.assoc;
+        let target = line << ENT_SHIFT;
+        let wflag = if write { FLAG_DIRTY } else { 0 };
+        let set = &mut self.ents[base..base + self.assoc];
+        // Fast path: the MRU way answers most hits, with no reordering.
+        let e0 = set[0];
+        if e0 & !FLAG_MASK == target {
+            set[0] = target | ((e0 & FLAG_DIRTY) | wflag);
+            return Hit { hit: true, first_prefetch_use: e0 & FLAG_PREFETCHED != 0 };
+        }
+        for i in 1..set.len() {
+            let e = set[i];
+            if e & !FLAG_MASK == target {
+                // Rotate the hit way to the MRU position. Shifted by
+                // hand: the rotation distance is usually 1-3 ways, where
+                // an explicit loop beats a generic `copy_within` memmove.
+                let mut k = i;
+                while k > 0 {
+                    set[k] = set[k - 1];
+                    k -= 1;
                 }
-                return Hit { hit: true, first_prefetch_use };
+                set[0] = target | ((e & FLAG_DIRTY) | wflag);
+                return Hit { hit: true, first_prefetch_use: e & FLAG_PREFETCHED != 0 };
             }
         }
         Hit { hit: false, first_prefetch_use: false }
     }
 
     /// Probe without disturbing LRU or prefetch state (snoop path).
+    /// The membership filter answers the common absent case without
+    /// touching the set.
+    #[inline]
     pub fn contains(&self, line: u64) -> bool {
-        let set = self.set_of(line);
-        let base = set * self.assoc;
-        self.ways[base..base + self.assoc].iter().any(|w| w.tag == line)
+        if !self.maybe_resident(line) {
+            return false;
+        }
+        let base = self.set_of(line) * self.assoc;
+        let target = line << ENT_SHIFT;
+        self.ents[base..base + self.assoc].iter().any(|&e| e & !FLAG_MASK == target)
     }
 
     /// Install `line`, evicting the LRU way if the set is full.
@@ -147,41 +243,76 @@ impl Cache {
     /// to the prefetcher.
     #[inline]
     pub fn fill(&mut self, line: u64, dirty: bool, prefetched: bool) -> Option<Evicted> {
-        self.clock += 1;
-        let clock = self.clock;
-        let set = self.set_of(line);
-        let mut victim = 0usize;
-        let mut victim_stamp = u64::MAX;
-        let slice = self.set_slice(set);
-        for (i, w) in slice.iter_mut().enumerate() {
-            if w.tag == line {
+        let base = self.set_of(line) * self.assoc;
+        let target = line << ENT_SHIFT;
+        let dflag = if dirty { FLAG_DIRTY } else { 0 };
+        let set = &mut self.ents[base..base + self.assoc];
+        let mut invalid_at = None;
+        for i in 0..set.len() {
+            let e = set[i];
+            if e & !FLAG_MASK == target {
                 // Already present (e.g. a racing prefetch): refresh.
-                w.stamp = clock;
-                w.dirty |= dirty;
-                w.prefetched &= prefetched;
+                let mut f = (e & FLAG_MASK) | dflag;
+                if !prefetched {
+                    f &= !FLAG_PREFETCHED;
+                }
+                let mut k = i;
+                while k > 0 {
+                    set[k] = set[k - 1];
+                    k -= 1;
+                }
+                set[0] = target | f;
                 return None;
             }
-            if w.tag == INVALID {
-                *w = Way { tag: line, stamp: clock, dirty, prefetched };
-                return None;
-            }
-            if w.stamp < victim_stamp {
-                victim_stamp = w.stamp;
-                victim = i;
+            if e == INVALID && invalid_at.is_none() {
+                invalid_at = Some(i);
             }
         }
-        let w = &mut slice[victim];
-        let evicted = Evicted { line: w.tag, dirty: w.dirty };
-        *w = Way { tag: line, stamp: clock, dirty, prefetched };
-        Some(evicted)
+        let pflag = if prefetched { FLAG_PREFETCHED } else { 0 };
+        let new_ent = target | dflag | pflag;
+        match invalid_at {
+            Some(i) => {
+                let mut k = i;
+                while k > 0 {
+                    set[k] = set[k - 1];
+                    k -= 1;
+                }
+                set[0] = new_ent;
+                self.filt_add(line);
+                None
+            }
+            None => {
+                let victim = set[set.len() - 1];
+                let evicted = Evicted {
+                    line: victim >> ENT_SHIFT,
+                    dirty: victim & FLAG_DIRTY != 0,
+                };
+                let mut k = set.len() - 1;
+                while k > 0 {
+                    set[k] = set[k - 1];
+                    k -= 1;
+                }
+                set[0] = new_ent;
+                self.filt_remove(evicted.line);
+                self.filt_add(line);
+                Some(evicted)
+            }
+        }
     }
 
-    /// Mark an already-present line dirty; returns whether it was present.
+    /// Mark an already-present line dirty; returns whether it was
+    /// present. Does not refresh LRU (write-backs arriving from above are
+    /// not demand touches).
+    #[inline]
     pub fn mark_dirty(&mut self, line: u64) -> bool {
-        let set = self.set_of(line);
-        for w in self.set_slice(set) {
-            if w.tag == line {
-                w.dirty = true;
+        if !self.maybe_resident(line) {
+            return false;
+        }
+        let base = self.set_of(line) * self.assoc;
+        let target = line << ENT_SHIFT;
+        for e in &mut self.ents[base..base + self.assoc] {
+            if *e & !FLAG_MASK == target {
+                *e |= FLAG_DIRTY;
                 return true;
             }
         }
@@ -191,11 +322,16 @@ impl Cache {
     /// Remove a line (snoop invalidation); returns its dirtiness if it
     /// was present.
     pub fn invalidate(&mut self, line: u64) -> Option<bool> {
-        let set = self.set_of(line);
-        for w in self.set_slice(set) {
-            if w.tag == line {
-                let dirty = w.dirty;
-                *w = Way::EMPTY;
+        if !self.maybe_resident(line) {
+            return None;
+        }
+        let base = self.set_of(line) * self.assoc;
+        let target = line << ENT_SHIFT;
+        for e in &mut self.ents[base..base + self.assoc] {
+            if *e & !FLAG_MASK == target {
+                let dirty = *e & FLAG_DIRTY != 0;
+                *e = INVALID;
+                self.filt_remove(line);
                 return Some(dirty);
             }
         }
@@ -204,18 +340,19 @@ impl Cache {
 
     /// Number of valid lines currently resident (O(capacity); tests only).
     pub fn resident_lines(&self) -> usize {
-        self.ways.iter().filter(|w| w.tag != INVALID).count()
+        self.ents.iter().filter(|&&e| e != INVALID).count()
     }
 
     /// Drop every line, returning the dirty ones (cache flush).
     pub fn flush(&mut self) -> Vec<u64> {
         let mut dirty = Vec::new();
-        for w in &mut self.ways {
-            if w.tag != INVALID && w.dirty {
-                dirty.push(w.tag);
+        for e in &mut self.ents {
+            if *e != INVALID && *e & FLAG_DIRTY != 0 {
+                dirty.push(*e >> ENT_SHIFT);
             }
-            *w = Way::EMPTY;
+            *e = INVALID;
         }
+        self.filt.fill(0);
         dirty
     }
 }
@@ -314,5 +451,30 @@ mod tests {
         c.fill(4, false, false); // same set (0), evicts 0
         assert!(!c.contains(0));
         assert!(c.contains(4));
+    }
+
+    #[test]
+    fn prefetched_flag_clears_on_duplicate_demand_fill() {
+        // A duplicate fill with prefetched=false must clear the
+        // speculative tag (prefetched &= prefetched semantics).
+        let mut c = Cache::new(1, 2);
+        c.fill(5, false, true);
+        c.fill(5, false, false);
+        let h = c.access(5, false);
+        assert!(h.hit && !h.first_prefetch_use);
+    }
+
+    #[test]
+    fn invalidated_way_is_refilled_before_any_eviction() {
+        let mut c = Cache::new(1, 3);
+        for line in [1u64, 2, 3] {
+            c.fill(line, false, false);
+        }
+        c.invalidate(2);
+        // The freed way absorbs the next fill; nothing is evicted.
+        assert!(c.fill(9, false, false).is_none());
+        assert_eq!(c.resident_lines(), 3);
+        // The set is full again: the next fill evicts true-LRU line 1.
+        assert_eq!(c.fill(10, false, false).unwrap().line, 1);
     }
 }

@@ -2,14 +2,21 @@
 //! four private prefetching L2s, the shared banked L3, the snoop filters,
 //! and the two DDR2 controllers.
 //!
-//! Every data access of a core funnels through [`MemorySystem::access`],
-//! which walks the hierarchy, keeps all cache state coherent, reports
+//! Every data access of a core funnels through
+//! [`MemorySystem::access_batch`], which walks the hierarchy for a whole
+//! slice of accesses at once, keeps all cache state coherent, reports
 //! every microarchitectural event to the node's UPC unit, and returns the
-//! stall cycles the core must charge.
+//! stall cycles the core must charge. The batch walk collapses runs of
+//! accesses to the same L1 line (the common stride-1 case) into one
+//! hierarchy walk plus `k` guaranteed L1 hits, and coalesces *all* UPC
+//! counter traffic of the batch into one `emit(n)` per event kind (see
+//! `WalkCounts`). The scalar
+//! [`MemorySystem::access`] survives as a one-element batch for callers
+//! that genuinely have one access.
 
 use crate::cache::Cache;
 use crate::ddr::DdrController;
-use crate::prefetch::StreamPrefetcher;
+use crate::prefetch::{PrefetchDecision, StreamPrefetcher};
 use bgp_arch::events::{CoreEvent, SharedEvent};
 use bgp_arch::{MachineConfig, CORES_PER_NODE, L1_LINE_BYTES, LINE_BYTES};
 use bgp_upc::Upc;
@@ -41,6 +48,17 @@ pub struct Outcome {
     pub stall: u64,
     /// Satisfying level.
     pub level: HitLevel,
+}
+
+/// One element of an access batch: a demand **data** access of ≤ 32
+/// bytes at a node-physical address. Accesses must not straddle an L1
+/// line; the execution layer splits larger transfers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Node-physical byte address.
+    pub addr: u64,
+    /// Store (`true`) or load (`false`).
+    pub write: bool,
 }
 
 /// Ground-truth counters kept alongside the UPC unit.
@@ -134,6 +152,92 @@ pub struct MemorySystem {
     /// Monotonic demand-access counter: the time base of the DDR
     /// contention model's activity horizon.
     access_clock: u64,
+    /// Reusable prefetch-decision buffer so the L2 hit/miss paths never
+    /// heap-allocate.
+    pf_scratch: PrefetchDecision,
+}
+
+/// Per-batch accumulator of every UPC-visible event a batch walk
+/// produces. Events are counted here as the walk runs and emitted once,
+/// at the end of the batch, in a fixed canonical order.
+///
+/// This is exact, not approximate: [`Upc::bump`] is linear in the delta
+/// (a wrapping/saturating add per observing counter), so `emit(ev, n)`
+/// leaves every final counter value identical to `n` separate
+/// `emit(ev, 1)` calls, and within-batch emission *order* is
+/// unobservable because counter windows are sampled only at quantum
+/// boundaries — which are always batch boundaries.
+#[derive(Default)]
+struct WalkCounts {
+    l1d_hit: u64,
+    l1d_miss: u64,
+    l1d_writeback: u64,
+    l2_hit: u64,
+    l2_prefetch_hit: u64,
+    l2_miss: u64,
+    l2_stream_alloc: u64,
+    l2_prefetch_issued: u64,
+    /// Shared events, folded onto the two architected event lines by
+    /// bank parity (index `bank & 1`): configurations with more than two
+    /// banks fold even banks onto line 0 and odd banks onto line 1.
+    l3_hit: [u64; 2],
+    l3_miss: [u64; 2],
+    l3_alloc: [u64; 2],
+    l3_writeback: [u64; 2],
+    ddr_read: [u64; 2],
+    ddr_write: [u64; 2],
+    ddr_conflict: [u64; 2],
+    snoop_req: u64,
+    snoop_inval: u64,
+    snoop_filtered: u64,
+}
+
+impl WalkCounts {
+    /// Emit every non-zero count to the UPC, core events first, then the
+    /// shared (node-wide) events.
+    fn flush(&self, core: usize, upc: &mut Upc) {
+        let core_events = [
+            (CoreEvent::L1dHit, self.l1d_hit),
+            (CoreEvent::L1dMiss, self.l1d_miss),
+            (CoreEvent::L1dWriteback, self.l1d_writeback),
+            (CoreEvent::L2Hit, self.l2_hit),
+            (CoreEvent::L2PrefetchHit, self.l2_prefetch_hit),
+            (CoreEvent::L2Miss, self.l2_miss),
+            (CoreEvent::L2StreamAlloc, self.l2_stream_alloc),
+            (CoreEvent::L2PrefetchIssued, self.l2_prefetch_issued),
+        ];
+        for (ev, n) in core_events {
+            if n > 0 {
+                upc.emit(ev.id(core), n);
+            }
+        }
+        let shared_events = [
+            (SharedEvent::L3Hit0, SharedEvent::L3Hit1, self.l3_hit),
+            (SharedEvent::L3Miss0, SharedEvent::L3Miss1, self.l3_miss),
+            (SharedEvent::L3Alloc0, SharedEvent::L3Alloc1, self.l3_alloc),
+            (SharedEvent::L3Writeback0, SharedEvent::L3Writeback1, self.l3_writeback),
+            (SharedEvent::DdrRead0, SharedEvent::DdrRead1, self.ddr_read),
+            (SharedEvent::DdrWrite0, SharedEvent::DdrWrite1, self.ddr_write),
+            (SharedEvent::DdrConflict0, SharedEvent::DdrConflict1, self.ddr_conflict),
+        ];
+        for (ev0, ev1, n) in shared_events {
+            if n[0] > 0 {
+                upc.emit(ev0.id(), n[0]);
+            }
+            if n[1] > 0 {
+                upc.emit(ev1.id(), n[1]);
+            }
+        }
+        for (ev, n) in [
+            (SharedEvent::SnoopReq, self.snoop_req),
+            (SharedEvent::SnoopInval, self.snoop_inval),
+            (SharedEvent::SnoopFiltered, self.snoop_filtered),
+        ] {
+            if n > 0 {
+                upc.emit(ev.id(), n);
+            }
+        }
+    }
 }
 
 impl MemorySystem {
@@ -147,7 +251,7 @@ impl MemorySystem {
             Vec::new()
         } else {
             (0..cfg.l3_banks)
-                .map(|_| Cache::new(cfg.l3_sets_per_bank(), cfg.l3_ways))
+                .map(|_| Cache::unfiltered(cfg.l3_sets_per_bank(), cfg.l3_ways))
                 .collect()
         };
         MemorySystem {
@@ -170,6 +274,7 @@ impl MemorySystem {
             cfg: cfg.clone(),
             stats: MemStats::default(),
             access_clock: 0,
+            pf_scratch: PrefetchDecision::default(),
         }
     }
 
@@ -184,36 +289,125 @@ impl MemorySystem {
     }
 
     /// One demand **data** access of `size` ≤ 32 bytes at `addr`
-    /// (node-physical) by `core`. Accesses must not straddle an L1 line;
-    /// the execution layer splits larger transfers.
+    /// (node-physical) by `core` — a one-element [`MemAccess`] batch.
+    /// Callers with more than one access in hand should prefer
+    /// [`MemorySystem::access_batch`], which amortizes the walk.
     pub fn access(&mut self, core: usize, addr: u64, write: bool, upc: &mut Upc) -> Outcome {
-        self.access_clock += 1;
-        let l1_line = addr >> L1_SHIFT;
-        let h = self.l1d[core].access(l1_line, write);
-        if h.hit {
-            self.stats.l1d_hits += 1;
-            upc.emit(CoreEvent::L1dHit.id(core), 1);
-            return Outcome { stall: 0, level: HitLevel::L1 };
-        }
-        self.stats.l1d_misses += 1;
-        upc.emit(CoreEvent::L1dMiss.id(core), 1);
+        let mut outcome = Outcome { stall: 0, level: HitLevel::L1 };
+        self.batch_walk(core, &[MemAccess { addr, write }], upc, &mut |o| outcome = o);
+        outcome
+    }
 
-        let l2_line = addr >> L2_SHIFT;
-        let (stall, level) = self.fetch_l2(core, l2_line, write, upc);
+    /// Walk the hierarchy for a whole slice of accesses by `core`,
+    /// in order, and return the total stall cycles of the batch.
+    ///
+    /// Equivalent to calling [`MemorySystem::access`] per element and
+    /// summing the stalls — the differential tests pin that equivalence —
+    /// but runs of consecutive accesses to the same L1 line take one
+    /// hierarchy walk plus `k` guaranteed L1 hits, and the L1-hit counter
+    /// is emitted once per batch instead of once per hit.
+    pub fn access_batch(&mut self, core: usize, batch: &[MemAccess], upc: &mut Upc) -> u64 {
+        self.batch_walk(core, batch, upc, &mut |_| {})
+    }
 
-        // Refill the L1; a dirty victim is pushed down the hierarchy
-        // through the write-back buffer (uncharged).
-        if let Some(ev) = self.l1d[core].fill(l1_line, write, false) {
-            if ev.dirty {
-                self.stats.l1d_writebacks += 1;
-                upc.emit(CoreEvent::L1dWriteback.id(core), 1);
-                let victim_l2_line = ev.line / SUBLINES;
-                if !self.l2[core].mark_dirty(victim_l2_line) {
-                    self.l3_write(core, victim_l2_line, upc);
+    /// [`MemorySystem::access_batch`], additionally pushing every
+    /// access's [`Outcome`] (in batch order) into `out` — the validation
+    /// surface of the differential tests.
+    pub fn access_batch_outcomes(
+        &mut self,
+        core: usize,
+        batch: &[MemAccess],
+        upc: &mut Upc,
+        out: &mut Vec<Outcome>,
+    ) -> u64 {
+        self.batch_walk(core, batch, upc, &mut |o| out.push(o))
+    }
+
+    /// The batch engine behind all demand-access entry points.
+    ///
+    /// Invariant maintained for the DDR contention model: before the
+    /// access at batch index `i` reaches any controller, `access_clock`
+    /// equals its pre-batch value plus `i + 1` — exactly the clock the
+    /// scalar walk would present.
+    fn batch_walk(
+        &mut self,
+        core: usize,
+        batch: &[MemAccess],
+        upc: &mut Upc,
+        sink: &mut impl FnMut(Outcome),
+    ) -> u64 {
+        let mut total_stall = 0u64;
+        let mut wc = WalkCounts::default();
+        let mut i = 0;
+        while i < batch.len() {
+            let a = batch[i];
+            let l1_line = a.addr >> L1_SHIFT;
+            // Lookahead: an uninterrupted run of accesses to the same L1
+            // line. After the head access the line is resident and cannot
+            // be evicted before the run ends (only this core touches the
+            // caches within a batch), so the tail accesses are L1 hits by
+            // construction and skip the probe entirely. Skipping their
+            // LRU stamp refreshes is behavior-preserving: consecutive
+            // touches of one line leave every relative stamp order, and
+            // therefore every future victim choice, unchanged.
+            let mut run = 0usize;
+            let mut tail_write = false;
+            for b in &batch[i + 1..] {
+                if b.addr >> L1_SHIFT != l1_line {
+                    break;
+                }
+                tail_write |= b.write;
+                run += 1;
+            }
+            let j = i + 1 + run;
+
+            // Head access: the full walk.
+            self.access_clock += 1;
+            let h = self.l1d[core].access(l1_line, a.write);
+            if h.hit {
+                self.stats.l1d_hits += 1;
+                wc.l1d_hit += 1;
+                sink(Outcome { stall: 0, level: HitLevel::L1 });
+            } else {
+                self.stats.l1d_misses += 1;
+                wc.l1d_miss += 1;
+
+                let l2_line = a.addr >> L2_SHIFT;
+                let (stall, level) = self.fetch_l2(core, l2_line, a.write, &mut wc);
+
+                // Refill the L1; a dirty victim is pushed down the
+                // hierarchy through the write-back buffer (uncharged).
+                if let Some(ev) = self.l1d[core].fill(l1_line, a.write, false) {
+                    if ev.dirty {
+                        self.stats.l1d_writebacks += 1;
+                        wc.l1d_writeback += 1;
+                        let victim_l2_line = ev.line / SUBLINES;
+                        if !self.l2[core].mark_dirty(victim_l2_line) {
+                            self.l3_write(core, victim_l2_line, &mut wc);
+                        }
+                    }
+                }
+                total_stall += stall;
+                sink(Outcome { stall, level });
+            }
+
+            // Tail of the run: guaranteed L1 hits, memoized.
+            if j > i + 1 {
+                let k = (j - i - 1) as u64;
+                self.access_clock += k;
+                self.stats.l1d_hits += k;
+                wc.l1d_hit += k;
+                if tail_write {
+                    self.l1d[core].mark_dirty(l1_line);
+                }
+                for _ in 0..k {
+                    sink(Outcome { stall: 0, level: HitLevel::L1 });
                 }
             }
+            i = j;
         }
-        Outcome { stall, level }
+        wc.flush(core, upc);
+        total_stall
     }
 
     /// One instruction fetch by `core` at instruction address `iaddr`.
@@ -235,84 +429,108 @@ impl MemorySystem {
         }
     }
 
-    fn fetch_l2(&mut self, core: usize, line: u64, write_intent: bool, upc: &mut Upc) -> (u64, HitLevel) {
+    /// Record `n` guaranteed L1-I hits in bulk, without touching cache
+    /// state. The node uses this once its loop-resident code footprint is
+    /// fully resident in an L1-I large enough to hold it: from then on
+    /// every fetch hits regardless of LRU order (nothing else ever
+    /// allocates into the L1-I), so per-fetch probes and stamp refreshes
+    /// are pure overhead.
+    pub fn ifetch_hits(&mut self, core: usize, n: u64, upc: &mut Upc) {
+        if n == 0 {
+            return;
+        }
+        self.stats.l1i_hits += n;
+        upc.emit(CoreEvent::L1iHit.id(core), n);
+    }
+
+    fn fetch_l2(
+        &mut self,
+        core: usize,
+        line: u64,
+        write_intent: bool,
+        wc: &mut WalkCounts,
+    ) -> (u64, HitLevel) {
         let h = self.l2[core].access(line, false);
         if h.hit {
             self.stats.l2_hits += 1;
-            upc.emit(CoreEvent::L2Hit.id(core), 1);
+            wc.l2_hit += 1;
             let level = if h.first_prefetch_use {
                 self.stats.l2_prefetch_hits += 1;
-                upc.emit(CoreEvent::L2PrefetchHit.id(core), 1);
+                wc.l2_prefetch_hit += 1;
                 HitLevel::L2Prefetch
             } else {
                 HitLevel::L2
             };
-            let d = self.pf[core].on_hit(line);
-            self.issue_prefetches(core, &d.prefetch_lines, upc);
+            let mut d = std::mem::take(&mut self.pf_scratch);
+            self.pf[core].on_hit_into(line, &mut d);
+            self.issue_prefetches(core, &d.prefetch_lines, wc);
+            self.pf_scratch = d;
             return (self.cfg.lat_l2, level);
         }
         self.stats.l2_misses += 1;
-        upc.emit(CoreEvent::L2Miss.id(core), 1);
-        self.snoop(core, line, write_intent, upc);
+        wc.l2_miss += 1;
+        self.snoop(core, line, write_intent, wc);
 
-        let d = self.pf[core].on_miss(line);
+        let mut d = std::mem::take(&mut self.pf_scratch);
+        self.pf[core].on_miss_into(line, &mut d);
         if d.allocated_stream {
-            upc.emit(CoreEvent::L2StreamAlloc.id(core), 1);
+            wc.l2_stream_alloc += 1;
         }
 
-        let (stall, from_ddr) = self.l3_fetch(core, line, upc);
-        self.fill_l2(core, line, false, upc);
-        self.issue_prefetches(core, &d.prefetch_lines, upc);
+        let (stall, from_ddr) = self.l3_fetch(core, line, wc);
+        self.fill_l2(core, line, false, wc);
+        self.issue_prefetches(core, &d.prefetch_lines, wc);
+        self.pf_scratch = d;
         (stall, if from_ddr { HitLevel::Ddr } else { HitLevel::L3 })
     }
 
-    fn issue_prefetches(&mut self, core: usize, lines: &[u64], upc: &mut Upc) {
+    fn issue_prefetches(&mut self, core: usize, lines: &[u64], wc: &mut WalkCounts) {
         for &pl in lines {
             if self.l2[core].contains(pl) {
                 continue;
             }
             self.stats.l2_prefetches_issued += 1;
-            upc.emit(CoreEvent::L2PrefetchIssued.id(core), 1);
+            wc.l2_prefetch_issued += 1;
             // Prefetch latency is asynchronous: traffic counts, no stall.
-            let _ = self.l3_fetch(core, pl, upc);
-            self.fill_l2(core, pl, true, upc);
+            let _ = self.l3_fetch(core, pl, wc);
+            self.fill_l2(core, pl, true, wc);
         }
     }
 
-    fn fill_l2(&mut self, core: usize, line: u64, prefetched: bool, upc: &mut Upc) {
+    fn fill_l2(&mut self, core: usize, line: u64, prefetched: bool, wc: &mut WalkCounts) {
         if let Some(ev) = self.l2[core].fill(line, false, prefetched) {
             if ev.dirty {
-                self.l3_write(core, ev.line, upc);
+                self.l3_write(core, ev.line, wc);
             }
         }
     }
 
     /// Fetch a 128-byte line toward the L2; returns (stall, came-from-DDR).
-    fn l3_fetch(&mut self, core: usize, line: u64, upc: &mut Upc) -> (u64, bool) {
+    fn l3_fetch(&mut self, core: usize, line: u64, wc: &mut WalkCounts) -> (u64, bool) {
         if self.l3.is_empty() {
             let bank = (line % self.ddr.len() as u64) as usize;
-            return (self.ddr_read(core, bank, upc), true);
+            return (self.ddr_read(core, bank, wc), true);
         }
         let banks = self.l3.len() as u64;
         let bank = (line % banks) as usize;
         let bline = line / banks;
         if self.l3[bank].access(bline, false).hit {
             self.stats.l3_hits += 1;
-            upc.emit(shared_pair(bank, SharedEvent::L3Hit0, SharedEvent::L3Hit1), 1);
+            wc.l3_hit[bank & 1] += 1;
             return (self.cfg.lat_l3, false);
         }
         self.stats.l3_misses += 1;
-        upc.emit(shared_pair(bank, SharedEvent::L3Miss0, SharedEvent::L3Miss1), 1);
-        let stall = self.ddr_read(core, bank, upc);
-        self.l3_install(core, bank, bline, false, upc);
+        wc.l3_miss[bank & 1] += 1;
+        let stall = self.ddr_read(core, bank, wc);
+        self.l3_install(core, bank, bline, false, wc);
         (stall, true)
     }
 
     /// A full-line write-back arriving at the L3 from a private cache.
-    fn l3_write(&mut self, core: usize, line: u64, upc: &mut Upc) {
+    fn l3_write(&mut self, core: usize, line: u64, wc: &mut WalkCounts) {
         if self.l3.is_empty() {
             let bank = (line % self.ddr.len() as u64) as usize;
-            self.ddr_write(core, bank, upc);
+            self.ddr_write(core, bank, wc);
             return;
         }
         let banks = self.l3.len() as u64;
@@ -322,47 +540,38 @@ impl MemorySystem {
             return;
         }
         // Write-allocate; a full-line write needs no DDR fetch.
-        self.l3_install(core, bank, bline, true, upc);
+        self.l3_install(core, bank, bline, true, wc);
     }
 
-    fn l3_install(&mut self, core: usize, bank: usize, bline: u64, dirty: bool, upc: &mut Upc) {
-        upc.emit(shared_pair(bank, SharedEvent::L3Alloc0, SharedEvent::L3Alloc1), 1);
+    fn l3_install(&mut self, core: usize, bank: usize, bline: u64, dirty: bool, wc: &mut WalkCounts) {
+        wc.l3_alloc[bank & 1] += 1;
         if let Some(ev) = self.l3[bank].fill(bline, dirty, false) {
             if ev.dirty {
                 self.stats.l3_writebacks += 1;
-                upc.emit(
-                    shared_pair(bank, SharedEvent::L3Writeback0, SharedEvent::L3Writeback1),
-                    1,
-                );
-                self.ddr_write(core, bank, upc);
+                wc.l3_writeback[bank & 1] += 1;
+                self.ddr_write(core, bank, wc);
             }
         }
     }
 
-    fn ddr_read(&mut self, core: usize, bank: usize, upc: &mut Upc) -> u64 {
+    fn ddr_read(&mut self, core: usize, bank: usize, wc: &mut WalkCounts) -> u64 {
         let a = self.ddr[bank].access(core, false, self.access_clock);
         self.stats.ddr_reads += 1;
-        upc.emit(shared_pair(bank, SharedEvent::DdrRead0, SharedEvent::DdrRead1), 1);
+        wc.ddr_read[bank & 1] += 1;
         if a.conflicts > 0 {
             self.stats.ddr_conflicts += a.conflicts;
-            upc.emit(
-                shared_pair(bank, SharedEvent::DdrConflict0, SharedEvent::DdrConflict1),
-                a.conflicts,
-            );
+            wc.ddr_conflict[bank & 1] += a.conflicts;
         }
         a.latency
     }
 
-    fn ddr_write(&mut self, core: usize, bank: usize, upc: &mut Upc) {
+    fn ddr_write(&mut self, core: usize, bank: usize, wc: &mut WalkCounts) {
         let a = self.ddr[bank].access(core, true, self.access_clock);
         self.stats.ddr_writes += 1;
-        upc.emit(shared_pair(bank, SharedEvent::DdrWrite0, SharedEvent::DdrWrite1), 1);
+        wc.ddr_write[bank & 1] += 1;
         if a.conflicts > 0 {
             self.stats.ddr_conflicts += a.conflicts;
-            upc.emit(
-                shared_pair(bank, SharedEvent::DdrConflict0, SharedEvent::DdrConflict1),
-                a.conflicts,
-            );
+            wc.ddr_conflict[bank & 1] += a.conflicts;
         }
     }
 
@@ -375,8 +584,8 @@ impl MemorySystem {
     /// disjoint address partitions in every studied configuration, so
     /// cross-core write sharing never occurs in practice. The coherence
     /// property tests pin exactly these semantics.
-    fn snoop(&mut self, core: usize, l2_line: u64, write_intent: bool, upc: &mut Upc) {
-        upc.emit(SharedEvent::SnoopReq.id(), 1);
+    fn snoop(&mut self, core: usize, l2_line: u64, write_intent: bool, wc: &mut WalkCounts) {
+        wc.snoop_req += 1;
         let mut found = false;
         for oc in 0..CORES_PER_NODE {
             if oc == core {
@@ -391,33 +600,23 @@ impl MemorySystem {
                     if self.l2[oc].invalidate(l2_line) == Some(true) {
                         // Another core's dirty L2 copy drains to L3 before
                         // ownership transfers.
-                        self.l3_write(oc, l2_line, upc);
+                        self.l3_write(oc, l2_line, wc);
                     }
                     for s in 0..SUBLINES {
                         if self.l1d[oc].invalidate(first_sub + s) == Some(true) {
-                            self.l3_write(oc, l2_line, upc);
+                            self.l3_write(oc, l2_line, wc);
                         }
                     }
-                    upc.emit(SharedEvent::SnoopInval.id(), 1);
+                    wc.snoop_inval += 1;
                 }
             }
         }
         if !found {
-            upc.emit(SharedEvent::SnoopFiltered.id(), 1);
+            wc.snoop_filtered += 1;
         }
     }
 }
 
-#[inline]
-fn shared_pair(bank: usize, ev0: SharedEvent, ev1: SharedEvent) -> bgp_arch::EventId {
-    // Configurations with more than two banks fold onto the two
-    // architected event lines.
-    if bank.is_multiple_of(2) {
-        ev0.id()
-    } else {
-        ev1.id()
-    }
-}
 
 #[cfg(test)]
 mod tests {

@@ -23,5 +23,5 @@ pub mod prefetch;
 
 pub use cache::{Cache, Evicted, Hit};
 pub use ddr::{DdrAccess, DdrController};
-pub use hierarchy::{HitLevel, MemStats, MemorySystem, Outcome};
+pub use hierarchy::{HitLevel, MemAccess, MemStats, MemorySystem, Outcome};
 pub use prefetch::{PrefetchDecision, StreamPrefetcher};

@@ -65,11 +65,22 @@ impl StreamPrefetcher {
 
     /// Feed one L2 **demand miss** at `line`; returns what to prefetch.
     pub fn on_miss(&mut self, line: u64) -> PrefetchDecision {
+        let mut out = PrefetchDecision::default();
+        self.on_miss_into(line, &mut out);
+        out
+    }
+
+    /// Allocation-free [`StreamPrefetcher::on_miss`]: clears `out` and
+    /// refills it in place, reusing its line buffer. The batch engine
+    /// keeps one scratch decision per memory system so the miss path
+    /// never heap-allocates.
+    pub fn on_miss_into(&mut self, line: u64, out: &mut PrefetchDecision) {
+        out.prefetch_lines.clear();
+        out.allocated_stream = false;
         self.clock += 1;
         let clock = self.clock;
-        let mut out = PrefetchDecision::default();
         if self.depth == 0 {
-            return out;
+            return;
         }
 
         // An existing stream predicted this line (the prefetch may have
@@ -84,7 +95,7 @@ impl StreamPrefetcher {
                 out.prefetch_lines.push(s.prefetched_to.max(line + 1));
                 s.prefetched_to = out.prefetch_lines.last().unwrap() + 1;
             }
-            return out;
+            return;
         }
 
         // New stream if the predecessor line missed recently.
@@ -109,17 +120,25 @@ impl StreamPrefetcher {
 
         self.recent_misses[self.recent_head] = line;
         self.recent_head = (self.recent_head + 1) % Self::HISTORY;
-        out
     }
 
     /// Feed a demand **hit** on a line the prefetcher may be tracking so
     /// established streams keep running ahead of the demand stream.
     pub fn on_hit(&mut self, line: u64) -> PrefetchDecision {
+        let mut out = PrefetchDecision::default();
+        self.on_hit_into(line, &mut out);
+        out
+    }
+
+    /// Allocation-free [`StreamPrefetcher::on_hit`]; see
+    /// [`StreamPrefetcher::on_miss_into`].
+    pub fn on_hit_into(&mut self, line: u64, out: &mut PrefetchDecision) {
+        out.prefetch_lines.clear();
+        out.allocated_stream = false;
         self.clock += 1;
         let clock = self.clock;
-        let mut out = PrefetchDecision::default();
         if self.depth == 0 {
-            return out;
+            return;
         }
         if let Some(s) = self.streams.iter_mut().find(|s| s.expect == line) {
             s.expect = line + 1;
@@ -130,7 +149,6 @@ impl StreamPrefetcher {
                 s.prefetched_to += 1;
             }
         }
-        out
     }
 
     /// Number of active stream engines.

@@ -15,6 +15,20 @@
 //! enough to contend for the shared L3 and DDR ports — while ranks on
 //! *different* nodes run concurrently between phase boundaries (see
 //! [`crate::sched`]).
+//!
+//! ## Batched retirement
+//!
+//! Accesses and arithmetic are not applied to the node one at a time:
+//! they queue in a rank-local `Pending` buffer and are retired as one
+//! slice — one node-lock acquisition, one `Node::mem_ops` hierarchy
+//! batch walk, one aggregated UPC update — at the next *flush point*.
+//! Flush points are exactly the places another party could observe node
+//! state: the scheduling-quantum boundary, thread switches, clock reads,
+//! tracing samples, and every messaging call. Because same-node ranks
+//! only interleave at those boundaries (the phase engine guarantees it),
+//! the batched timeline is observationally identical to per-op
+//! retirement; `tests/determinism.rs` and the differential suites in
+//! `bgp-mem`/`bgp-node` pin this.
 
 use crate::comm::{bytes_to_f64s, f64s_to_bytes, CollKind, Payload, ReduceOp};
 use crate::machine::{place, Machine, OutMsg, Placement};
@@ -24,8 +38,9 @@ use bgp_arch::events::NetEvent;
 use bgp_compiler::{CodeGen, PairPlan};
 use bgp_fpu::FpOp;
 use bgp_mem::MemStats;
-use bgp_node::{MemWidth, Node};
+use bgp_node::{MemOp, MemWidth, Node};
 use bgp_trace::{EventKind, FaultEvent, TraceConfig, WaitKind};
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// A semantic floating-point element operation, before instruction
@@ -41,6 +56,27 @@ pub enum SemOp {
     /// `a * b + c` — fuses to FMA when the build allows.
     MulAdd,
 }
+
+/// A queued core-local arithmetic retirement. Adjacent same-class ops
+/// coalesce (every retirement is linear in its count, so `k` queued ops
+/// of one class retire as a single count-`k` call).
+enum CpuOp {
+    Fp { op: FpOp, n: u64 },
+    Int { n: u64 },
+    Branch { n: u64, mispredicted: u64 },
+}
+
+/// Ops queued by the active thread since the last flush point.
+#[derive(Default)]
+struct Pending {
+    mem: Vec<MemOp>,
+    cpu: Vec<CpuOp>,
+}
+
+/// Flush the CPU queue when it reaches this many (coalesced) entries, so
+/// long arithmetic-only stretches cannot grow it without bound. The
+/// mem queue needs no cap: every access ticks the quantum, which flushes.
+const CPU_PENDING_CAP: usize = 4096;
 
 /// Execution context of one rank.
 pub struct RankCtx {
@@ -74,6 +110,10 @@ pub struct RankCtx {
     windows: u64,
     /// Node memory statistics at the last sample (for window deltas).
     last_mem: MemStats,
+    /// Ops queued since the last flush point. In a `RefCell` so the
+    /// `&self` observation paths ([`RankCtx::cycles`],
+    /// [`RankCtx::with_own_node`]) can drain it before reading.
+    pending: RefCell<Pending>,
 }
 
 impl RankCtx {
@@ -108,6 +148,7 @@ impl RankCtx {
             trace_slots: Vec::new(),
             windows: 0,
             last_mem: MemStats::default(),
+            pending: RefCell::new(Pending::default()),
         }
         .with_size();
         // Whole-job tracing (JobSpec::trace) starts at cycle 0; the
@@ -169,7 +210,11 @@ impl RankCtx {
             "thread {t} out of range: mode allows {} threads/process",
             self.threads
         );
-        self.active_thread = t;
+        if t != self.active_thread {
+            // Queued ops belong to the *outgoing* thread's core.
+            self.flush_pending();
+            self.active_thread = t;
+        }
     }
 
     /// Run `body` once per thread with a static contiguous split of
@@ -190,6 +235,9 @@ impl RankCtx {
             body(self, lo..hi);
         }
         self.set_thread(0);
+        // The join below reads timebases directly, so nothing may be
+        // left queued (set_thread already flushed unless threads == 1).
+        self.flush_pending();
         // Fork/join barrier: the master resumes only after the slowest
         // thread finished.
         let cores: Vec<usize> = (0..threads).map(|t| self.place.core + t).collect();
@@ -208,6 +256,7 @@ impl RankCtx {
 
     /// This rank's core clock (cycles).
     pub fn cycles(&self) -> u64 {
+        self.flush_pending();
         let core = self.core();
         self.with_node(|n| n.timebase(core))
     }
@@ -220,6 +269,7 @@ impl RankCtx {
     /// Charge raw cycles to this rank's core (runtime-library overheads —
     /// used by the counter interface library to model its call costs).
     pub fn charge_cycles(&mut self, n: u64) {
+        self.flush_pending();
         let core = self.core();
         self.with_node(|node| node.charge_cycles(core, n));
     }
@@ -228,12 +278,98 @@ impl RankCtx {
     /// runtime libraries layered over the context (the counter library's
     /// snapshot path); kernels should not need it.
     pub fn with_own_node<T>(&self, f: impl FnOnce(&mut Node) -> T) -> T {
+        self.flush_pending();
         self.with_node(f)
     }
 
     #[inline]
     fn with_node<T>(&self, f: impl FnOnce(&mut Node) -> T) -> T {
         f(&mut self.machine.nodes[self.place.node.0].lock())
+    }
+
+    // ------------------------------------------------------------------
+    // Batched retirement
+    // ------------------------------------------------------------------
+
+    /// Retire everything queued since the last flush as one node visit:
+    /// the memory slice first (one hierarchy batch walk), then the
+    /// arithmetic in queue order. Reordering arithmetic after memory
+    /// within one flush epoch is exact: the two touch disjoint machine
+    /// state (cache/DDR vs FPU/issue counters), every charge is additive,
+    /// and no observation can occur mid-epoch — observers flush first.
+    pub(crate) fn flush_pending(&self) {
+        let mut p = self.pending.borrow_mut();
+        if p.mem.is_empty() && p.cpu.is_empty() {
+            return;
+        }
+        let (core, process) = (self.core(), self.place.process);
+        self.with_node(|node| {
+            node.mem_ops(core, process, &p.mem);
+            for op in &p.cpu {
+                match *op {
+                    CpuOp::Fp { op, n } => node.fp_op(core, op, n),
+                    CpuOp::Int { n } => node.int_op(core, n),
+                    CpuOp::Branch { n, mispredicted } => {
+                        node.branch_op(core, n, mispredicted)
+                    }
+                }
+            }
+        });
+        p.mem.clear();
+        p.cpu.clear();
+    }
+
+    #[inline]
+    fn push_cpu(&mut self, op: CpuOp) {
+        let p = self.pending.get_mut();
+        if let Some(last) = p.cpu.last_mut() {
+            match (last, &op) {
+                (CpuOp::Fp { op: a, n }, CpuOp::Fp { op: b, n: m }) if a == b => {
+                    *n += m;
+                    return;
+                }
+                (CpuOp::Int { n }, CpuOp::Int { n: m }) => {
+                    *n += m;
+                    return;
+                }
+                (
+                    CpuOp::Branch { n, mispredicted },
+                    CpuOp::Branch { n: m, mispredicted: mm },
+                ) => {
+                    *n += m;
+                    *mispredicted += mm;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        p.cpu.push(op);
+        if p.cpu.len() >= CPU_PENDING_CAP {
+            self.flush_pending();
+        }
+    }
+
+    /// Queue `n` FP retirements (no-op for `n == 0`, exactly like the
+    /// eager path: every retirement routine early-returns on zero).
+    #[inline]
+    fn push_fp(&mut self, op: FpOp, n: u64) {
+        if n > 0 {
+            self.push_cpu(CpuOp::Fp { op, n });
+        }
+    }
+
+    #[inline]
+    fn push_int(&mut self, n: u64) {
+        if n > 0 {
+            self.push_cpu(CpuOp::Int { n });
+        }
+    }
+
+    #[inline]
+    fn push_branch(&mut self, n: u64, mispredicted: u64) {
+        if n > 0 {
+            self.push_cpu(CpuOp::Branch { n, mispredicted });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -288,6 +424,8 @@ impl RankCtx {
         if self.tracing {
             return;
         }
+        // The baseline memory snapshot must include everything queued.
+        self.flush_pending();
         self.trace_sample_every = cfg.sample_every;
         self.trace_slots = cfg.sample_slots.clone();
         self.last_mem = self.with_node(|n| *n.mem_stats());
@@ -366,6 +504,7 @@ impl RankCtx {
 
     /// Yield the turn now (MPI boundary).
     fn yield_now(&mut self) {
+        self.flush_pending();
         // Straggler injection: a sick node pays extra latency at every
         // messaging boundary — OS noise, a flaky DIMM retraining, a
         // thermally throttled chip. Charged here so the slowdown shows
@@ -384,6 +523,9 @@ impl RankCtx {
         self.tick += 1;
         if self.tick >= self.quantum {
             self.tick = 0;
+            // Retire the closing window's slice before it can be sampled
+            // or another rank of this node takes its turn.
+            self.flush_pending();
             if self.tracing {
                 self.trace_window_end();
             }
@@ -395,6 +537,13 @@ impl RankCtx {
     /// the one that empties the frontier, it performs the resolution
     /// itself before re-entering the engine.
     fn park_on(&mut self, wait: Wait) {
+        debug_assert!(
+            {
+                let p = self.pending.borrow();
+                p.mem.is_empty() && p.cpu.is_empty()
+            },
+            "rank parked with unretired pending ops"
+        );
         self.trace_event(EventKind::RankPark { wait: wait_kind(wait) });
         if self.machine.sched.park(self.rank, wait) == ParkOutcome::Resolve {
             let wake = self.machine.resolve_phase();
@@ -431,17 +580,17 @@ impl RankCtx {
 
     #[inline]
     fn mem(&mut self, vaddr: u64, width: MemWidth, write: bool) {
+        // Tick first so a boundary-crossing access lands in the window it
+        // opens (the per-op path retired after the boundary too).
         self.quantum_tick();
         let redundant = self.cg.redundant_mem();
-        let (core, process) = (self.core(), self.place.process);
-        self.with_node(|n| {
-            n.mem_op(core, process, vaddr, width, write);
-            if redundant {
-                // Spill/reload pair of a register-starved build: reload
-                // the same datum (an extra issued load, usually L1-hot).
-                n.mem_op(core, process, vaddr, MemWidth::Double, false);
-            }
-        });
+        let p = self.pending.get_mut();
+        p.mem.push(MemOp { vaddr, width, write });
+        if redundant {
+            // Spill/reload pair of a register-starved build: reload
+            // the same datum (an extra issued load, usually L1-hot).
+            p.mem.push(MemOp { vaddr, width: MemWidth::Double, write: false });
+        }
     }
 
     /// Simulated element load.
@@ -456,6 +605,48 @@ impl RankCtx {
     pub fn st<T: SimElem>(&mut self, v: &mut SimVec<T>, i: usize, x: T) {
         self.mem(v.addr(i), T::WIDTH, true);
         *v.raw_mut(i) = x;
+    }
+
+    // ------------------------------------------------------------------
+    // Streaming access (contiguous runs)
+    // ------------------------------------------------------------------
+    //
+    // The NAS kernels spend most of their access budget in unit-stride
+    // loops (halo packing, field initialization, vector sweeps). These
+    // helpers charge a whole contiguous run with one call; the run lands
+    // in the pending buffer and retires slice-at-a-time through
+    // `Node::mem_ops`, where same-line accesses collapse to one
+    // hierarchy walk. Each is op-for-op identical to the equivalent
+    // `ld`/`st` loop.
+
+    /// Charge sequential loads of `v[r]`; read the values back with
+    /// [`SimVec::raw`] (free of simulated cost, like all host reads).
+    pub fn ld_range<T: SimElem>(&mut self, v: &SimVec<T>, r: core::ops::Range<usize>) {
+        for i in r {
+            self.mem(v.addr(i), T::WIDTH, false);
+        }
+    }
+
+    /// Charge sequential stores to `v[r]`; the caller writes the values
+    /// through [`SimVec::raw_mut`] (or already has).
+    pub fn st_range<T: SimElem>(&mut self, v: &mut SimVec<T>, r: core::ops::Range<usize>) {
+        for i in r {
+            self.mem(v.addr(i), T::WIDTH, true);
+        }
+    }
+
+    /// Store `x` to every element of `v[r]` — the memset-shaped pattern
+    /// of field zeroing loops.
+    pub fn st_fill<T: SimElem>(
+        &mut self,
+        v: &mut SimVec<T>,
+        r: core::ops::Range<usize>,
+        x: T,
+    ) {
+        for i in r {
+            self.mem(v.addr(i), T::WIDTH, true);
+            *v.raw_mut(i) = x;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -501,42 +692,30 @@ impl RankCtx {
     /// **pair** under `plan`.
     pub fn fp_pair(&mut self, plan: PairPlan, sem: SemOp) {
         let fma = self.cg.fma();
-        let core = self.core();
-        self.with_node(|n| match (plan, sem) {
-            (PairPlan::Simd, SemOp::MulAdd) if fma => n.fp_op(core, FpOp::SimdFma, 1),
+        match (plan, sem) {
+            (PairPlan::Simd, SemOp::MulAdd) if fma => self.push_fp(FpOp::SimdFma, 1),
             (PairPlan::Simd, SemOp::MulAdd) => {
-                n.fp_op(core, FpOp::SimdMult, 1);
-                n.fp_op(core, FpOp::SimdAddSub, 1);
+                self.push_fp(FpOp::SimdMult, 1);
+                self.push_fp(FpOp::SimdAddSub, 1);
             }
-            (PairPlan::Simd, SemOp::Add) => n.fp_op(core, FpOp::SimdAddSub, 1),
-            (PairPlan::Simd, SemOp::Mul) => n.fp_op(core, FpOp::SimdMult, 1),
-            (PairPlan::Simd, SemOp::Div) => n.fp_op(core, FpOp::SimdDiv, 1),
-            (PairPlan::Scalar, SemOp::MulAdd) if fma => n.fp_op(core, FpOp::Fma, 2),
+            (PairPlan::Simd, SemOp::Add) => self.push_fp(FpOp::SimdAddSub, 1),
+            (PairPlan::Simd, SemOp::Mul) => self.push_fp(FpOp::SimdMult, 1),
+            (PairPlan::Simd, SemOp::Div) => self.push_fp(FpOp::SimdDiv, 1),
+            (PairPlan::Scalar, SemOp::MulAdd) if fma => self.push_fp(FpOp::Fma, 2),
             (PairPlan::Scalar, SemOp::MulAdd) => {
-                n.fp_op(core, FpOp::Mult, 2);
-                n.fp_op(core, FpOp::AddSub, 2);
+                self.push_fp(FpOp::Mult, 2);
+                self.push_fp(FpOp::AddSub, 2);
             }
-            (PairPlan::Scalar, SemOp::Add) => n.fp_op(core, FpOp::AddSub, 2),
-            (PairPlan::Scalar, SemOp::Mul) => n.fp_op(core, FpOp::Mult, 2),
-            (PairPlan::Scalar, SemOp::Div) => n.fp_op(core, FpOp::Div, 2),
-        });
+            (PairPlan::Scalar, SemOp::Add) => self.push_fp(FpOp::AddSub, 2),
+            (PairPlan::Scalar, SemOp::Mul) => self.push_fp(FpOp::Mult, 2),
+            (PairPlan::Scalar, SemOp::Div) => self.push_fp(FpOp::Div, 2),
+        }
     }
 
     /// Retire the instructions of one semantic op on a **single** element
     /// (loop remainders, genuinely scalar code).
     pub fn fp1(&mut self, sem: SemOp) {
-        let fma = self.cg.fma();
-        let core = self.core();
-        self.with_node(|n| match sem {
-            SemOp::MulAdd if fma => n.fp_op(core, FpOp::Fma, 1),
-            SemOp::MulAdd => {
-                n.fp_op(core, FpOp::Mult, 1);
-                n.fp_op(core, FpOp::AddSub, 1);
-            }
-            SemOp::Add => n.fp_op(core, FpOp::AddSub, 1),
-            SemOp::Mul => n.fp_op(core, FpOp::Mult, 1),
-            SemOp::Div => n.fp_op(core, FpOp::Div, 1),
-        });
+        self.fp_scalar_n(sem, 1);
     }
 
     /// Retire `n` scalar instructions of one semantic class in a single
@@ -547,17 +726,16 @@ impl RankCtx {
             return;
         }
         let fma = self.cg.fma();
-        let core = self.core();
-        self.with_node(|node| match sem {
-            SemOp::MulAdd if fma => node.fp_op(core, FpOp::Fma, n),
+        match sem {
+            SemOp::MulAdd if fma => self.push_fp(FpOp::Fma, n),
             SemOp::MulAdd => {
-                node.fp_op(core, FpOp::Mult, n);
-                node.fp_op(core, FpOp::AddSub, n);
+                self.push_fp(FpOp::Mult, n);
+                self.push_fp(FpOp::AddSub, n);
             }
-            SemOp::Add => node.fp_op(core, FpOp::AddSub, n),
-            SemOp::Mul => node.fp_op(core, FpOp::Mult, n),
-            SemOp::Div => node.fp_op(core, FpOp::Div, n),
-        });
+            SemOp::Add => self.push_fp(FpOp::AddSub, n),
+            SemOp::Mul => self.push_fp(FpOp::Mult, n),
+            SemOp::Div => self.push_fp(FpOp::Div, n),
+        }
     }
 
     /// Retire the instructions of `n` scalar math-library evaluations
@@ -569,18 +747,15 @@ impl RankCtx {
         }
         let p = self.cg.libm();
         let fma = self.cg.fma();
-        let core = self.core();
-        self.with_node(|node| {
-            if fma {
-                node.fp_op(core, FpOp::Fma, p.fma * n);
-            } else {
-                node.fp_op(core, FpOp::Mult, p.fma * n);
-                node.fp_op(core, FpOp::AddSub, p.fma * n);
-            }
-            node.fp_op(core, FpOp::Mult, p.mul * n);
-            node.fp_op(core, FpOp::Div, p.div * n);
-            node.int_op(core, p.int_ops * n);
-        });
+        if fma {
+            self.push_fp(FpOp::Fma, p.fma * n);
+        } else {
+            self.push_fp(FpOp::Mult, p.fma * n);
+            self.push_fp(FpOp::AddSub, p.fma * n);
+        }
+        self.push_fp(FpOp::Mult, p.mul * n);
+        self.push_fp(FpOp::Div, p.div * n);
+        self.push_int(p.int_ops * n);
     }
 
     /// Retire the loop-overhead instructions accompanying `elements` of
@@ -588,18 +763,14 @@ impl RankCtx {
     /// amount depends on the build's optimization level).
     pub fn overhead(&mut self, elements: u64) {
         let o = self.cg.overhead(elements);
-        let core = self.core();
-        self.with_node(|n| {
-            n.int_op(core, o.int_ops);
-            n.branch_op(core, o.branches, o.mispredicts);
-        });
+        self.push_int(o.int_ops);
+        self.push_branch(o.branches, o.mispredicts);
     }
 
     /// Retire raw integer instructions (index computation, key handling —
     /// used by the integer-sort kernel).
     pub fn int_ops(&mut self, n: u64) {
-        let core = self.core();
-        self.with_node(|node| node.int_op(core, n));
+        self.push_int(n);
     }
 
     // ------------------------------------------------------------------
@@ -613,6 +784,8 @@ impl RankCtx {
     /// arrival time — when the current phase resolves.
     pub fn send(&mut self, dst: usize, tag: u32, data: Payload) {
         assert!(dst < self.size, "send to invalid rank {dst}");
+        // `sent_at` must see every queued op's stall.
+        self.flush_pending();
         let bytes = data.len() as u64;
         let dst_node = place(self.machine.spec(), dst).node;
         let cost = self.machine.torus.transfer(self.place.node, dst_node, bytes);
@@ -646,6 +819,9 @@ impl RankCtx {
     /// Receive a message from `src` (or any source) with `tag`. Blocks
     /// until a matching message arrives.
     pub fn recv(&mut self, src: Option<usize>, tag: u32) -> Payload {
+        // `advance_to(ready_at)` is a clock *max*, not additive: every
+        // queued op must retire before it.
+        self.flush_pending();
         loop {
             let msg = {
                 let mut comm = self.machine.comm.lock();

@@ -475,7 +475,11 @@ impl Machine {
                         // comes and the job hangs instead of failing.
                         let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             let mut ctx = RankCtx::new(Arc::clone(&mach), rank);
-                            kernel(&mut ctx)
+                            let r = kernel(&mut ctx);
+                            // Kernel epilogue: retire ops queued past the
+                            // last scheduling point before counters dump.
+                            ctx.flush_pending();
+                            r
                         }));
                         match out {
                             Ok(r) => {

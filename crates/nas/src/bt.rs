@@ -247,7 +247,8 @@ fn apply_z(ctx: &mut RankCtx, b: &mut Block) {
     let (nx, ny, nz) = (b.nx, b.ny, b.nz);
     let plane = nx * ny * NB;
     let pack = |ctx: &mut RankCtx, b: &Block, z: usize| -> Vec<f64> {
-        (0..plane).map(|i| ctx.ld(&b.u, z * plane + i)).collect()
+        ctx.ld_range(&b.u, z * plane..(z + 1) * plane);
+        b.u.as_slice()[z * plane..(z + 1) * plane].to_vec()
     };
     let mut below = vec![0.0; plane];
     let mut above = vec![0.0; plane];
@@ -267,7 +268,8 @@ fn apply_z(ctx: &mut RankCtx, b: &mut Block) {
     let bm = mat_b();
     let mut planes: Vec<Vec<f64>> = Vec::with_capacity(nz);
     for z in 0..nz {
-        planes.push((0..plane).map(|i| ctx.ld(&b.u, z * plane + i)).collect());
+        ctx.ld_range(&b.u, z * plane..(z + 1) * plane);
+        planes.push(b.u.as_slice()[z * plane..(z + 1) * plane].to_vec());
     }
     let vec_at = |src: &[f64], x: usize, y: usize| -> Vec3 {
         let base = (y * nx + x) * NB;

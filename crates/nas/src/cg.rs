@@ -97,7 +97,8 @@ fn exchange_halo(
     let right = bytes_to_f64s(&ctx.recv(Some(right_rank), 11));
     // Antipodal block swap.
     let opp_rank = (part.rank + size / 2) % size;
-    let mine: Vec<f64> = (0..rows).map(|i| ctx.ld(x, i)).collect();
+    ctx.ld_range(x, 0..rows);
+    let mine = x.as_slice()[..rows].to_vec();
     let opposite = if opp_rank == part.rank {
         mine
     } else {

@@ -55,16 +55,16 @@ fn recv_plane(ctx: &mut RankCtx, b: &mut Block, from: usize, tag: u32, z: usize)
     let data = bytes_to_f64s(&ctx.recv(Some(from), tag));
     let plane = b.nx * b.ny;
     let base = z * plane;
-    for (i, &v) in data.iter().enumerate() {
-        ctx.st(&mut b.u, base + i, v);
-    }
+    b.u.as_mut_slice()[base..base + data.len()].copy_from_slice(&data);
+    ctx.st_range(&mut b.u, base..base + data.len());
 }
 
 /// Send the interior z plane `z` of `u` to `to`.
 fn send_plane(ctx: &mut RankCtx, b: &Block, to: usize, tag: u32, z: usize) {
     let plane = b.nx * b.ny;
     let base = z * plane;
-    let data: Vec<f64> = (0..plane).map(|i| ctx.ld(&b.u, base + i)).collect();
+    ctx.ld_range(&b.u, base..base + plane);
+    let data = b.u.as_slice()[base..base + plane].to_vec();
     ctx.send(to, tag, f64s_to_bytes(&data));
 }
 

@@ -68,16 +68,17 @@ fn exchange_halo(ctx: &mut RankCtx, lv: &mut Level, field: usize, tag: u32) {
             _ => &lv.res,
         };
         let base = z * plane;
-        (0..plane).map(|i| ctx.ld(v, base + i)).collect()
+        ctx.ld_range(v, base..base + plane);
+        v.as_slice()[base..base + plane].to_vec()
     };
     let unpack = |ctx: &mut RankCtx, lv: &mut Level, z: usize, data: &[f64]| {
         let base = z * plane;
-        for (i, &val) in data.iter().enumerate() {
-            match field {
-                0 => ctx.st(&mut lv.u, base + i, val),
-                _ => ctx.st(&mut lv.res, base + i, val),
-            }
-        }
+        let v = match field {
+            0 => &mut lv.u,
+            _ => &mut lv.res,
+        };
+        v.as_mut_slice()[base..base + data.len()].copy_from_slice(data);
+        ctx.st_range(v, base..base + data.len());
     };
     // Upward: send top interior plane to rank+1, receive bottom halo.
     if rank + 1 < size {
@@ -291,9 +292,7 @@ fn prolongate(ctx: &mut RankCtx, coarse: &mut Level, fine: &mut Level) {
 
 fn zero_field(ctx: &mut RankCtx, lv: &mut Level) {
     let n = lv.nx * lv.ny * (lv.nz + 2);
-    for i in 0..n {
-        ctx.st(&mut lv.u, i, 0.0);
-    }
+    ctx.st_fill(&mut lv.u, 0..n, 0.0);
     ctx.overhead(n as u64);
 }
 
@@ -319,9 +318,7 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     {
         let lv = &mut levels[0];
         let n = lv.nx * lv.ny * (lv.nz + 2);
-        for i in 0..n {
-            ctx.st(&mut lv.rhs, i, 0.0);
-        }
+        ctx.st_fill(&mut lv.rhs, 0..n, 0.0);
         for s in 0..20 {
             let x = rng.gen_range(0..lv.nx);
             let y = rng.gen_range(0..lv.ny);

@@ -175,9 +175,10 @@ fn apply_z(ctx: &mut RankCtx, b: &mut Block) {
     let (nx, ny, nz) = (b.nx, b.ny, b.nz);
     let plane = nx * ny;
     let pack2 = |ctx: &mut RankCtx, b: &Block, z0: usize| -> Vec<f64> {
-        (0..2 * plane)
-            .map(|i| ctx.ld(&b.u, b.idx(i % nx, (i / nx) % ny, z0 + i / plane)))
-            .collect()
+        // Two full planes starting at z0: row-major, so a unit-stride run.
+        let base = z0 * plane;
+        ctx.ld_range(&b.u, base..base + 2 * plane);
+        b.u.as_slice()[base..base + 2 * plane].to_vec()
     };
     // Exchange two planes down-edge and up-edge.
     let mut below = vec![0.0; 2 * plane];
@@ -218,7 +219,8 @@ fn apply_z(ctx: &mut RankCtx, b: &mut Block) {
     // Snapshot the local planes (operator application needs the originals).
     let mut vals: Vec<Vec<f64>> = Vec::with_capacity(nz);
     for z in 0..nz {
-        vals.push((0..plane).map(|i| ctx.ld(&b.u, z * plane + i)).collect());
+        ctx.ld_range(&b.u, z * plane..(z + 1) * plane);
+        vals.push(b.u.as_slice()[z * plane..(z + 1) * plane].to_vec());
     }
     let z0 = rank as i64 * nz as i64;
     let nzg = size as i64 * nz as i64;

@@ -48,6 +48,32 @@ impl InstrCounts {
     }
 }
 
+/// Aggregated per-class counts of one retired memory batch, as consumed
+/// by [`Core::retire_mem_batch`]. The node builds this while translating
+/// a batch so the core can retire the whole slice with a constant number
+/// of counter updates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemRetire {
+    /// Load instructions of all widths.
+    pub loads: u64,
+    /// Store instructions of all widths.
+    pub stores: u64,
+    /// 4-byte loads (the scalar path reports these on the `Load` event a
+    /// second time, as the width event).
+    pub word_loads: u64,
+    /// 4-byte stores (reported on `Store` a second time, as the width
+    /// event).
+    pub word_stores: u64,
+    /// 8-byte FP loads.
+    pub load_double: u64,
+    /// 8-byte FP stores.
+    pub store_double: u64,
+    /// 16-byte quadloads.
+    pub quadload: u64,
+    /// 16-byte quadstores.
+    pub quadstore: u64,
+}
+
 /// Execution state of one core.
 #[derive(Clone, Debug)]
 pub struct Core {
@@ -193,6 +219,44 @@ impl Core {
         }
         upc.emit(width_event.id(self.id), 1);
         upc.emit(CoreEvent::InstrCompleted.id(self.id), 1);
+        if stall > 0 {
+            self.stall_mem += stall;
+            upc.emit(CoreEvent::StallMem.id(self.id), stall);
+        }
+    }
+
+    /// Account a whole batch of retired memory instructions with the
+    /// batch's summed stall. Emits exactly the counter totals `n`
+    /// successive [`Core::retire_mem`] calls would emit — including the
+    /// scalar path's double-count of 4-byte accesses on the `Load`/
+    /// `Store` events (`MemWidth::Word` has no dedicated width event) —
+    /// but with a constant number of UPC updates.
+    pub fn retire_mem_batch(&mut self, r: &MemRetire, stall: u64, upc: &mut Upc) {
+        let n = r.loads + r.stores;
+        if n == 0 {
+            return;
+        }
+        self.issued += n;
+        self.instr.loads += r.loads;
+        self.instr.stores += r.stores;
+        self.instr.load_double += r.load_double;
+        self.instr.store_double += r.store_double;
+        self.instr.quadload += r.quadload;
+        self.instr.quadstore += r.quadstore;
+        let emits = [
+            (CoreEvent::Load, r.loads + r.word_loads),
+            (CoreEvent::Store, r.stores + r.word_stores),
+            (CoreEvent::LoadDouble, r.load_double),
+            (CoreEvent::StoreDouble, r.store_double),
+            (CoreEvent::Quadload, r.quadload),
+            (CoreEvent::Quadstore, r.quadstore),
+            (CoreEvent::InstrCompleted, n),
+        ];
+        for (ev, count) in emits {
+            if count > 0 {
+                upc.emit(ev.id(self.id), count);
+            }
+        }
         if stall > 0 {
             self.stall_mem += stall;
             upc.emit(CoreEvent::StallMem.id(self.id), stall);

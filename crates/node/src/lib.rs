@@ -13,7 +13,7 @@
 
 pub mod core;
 
-pub use crate::core::{Core, InstrCounts, ISSUE_WIDTH, MISPREDICT_PENALTY};
+pub use crate::core::{Core, InstrCounts, MemRetire, ISSUE_WIDTH, MISPREDICT_PENALTY};
 
 use bgp_arch::events::{CoreEvent, CounterMode};
 use bgp_arch::geometry::{AddressLayout, NodeId};
@@ -54,6 +54,25 @@ impl MemWidth {
     }
 }
 
+/// One queued memory operation of a process, at a process-virtual
+/// address — the unit of [`Node::mem_ops`] batches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemOp {
+    /// Process-virtual byte address.
+    pub vaddr: u64,
+    /// Transfer width.
+    pub width: MemWidth,
+    /// Store (`true`) or load (`false`).
+    pub write: bool,
+}
+
+/// Loop-resident code footprint rotated through by the synthetic
+/// instruction-fetch stream (16 KB in a reserved high region that never
+/// aliases workload data lines).
+const CODE_FOOTPRINT: u64 = 16 << 10;
+/// L1-I lines the footprint occupies.
+const CODE_LINES: u64 = CODE_FOOTPRINT / bgp_arch::L1_LINE_BYTES as u64;
+
 /// One compute node.
 pub struct Node {
     id: NodeId,
@@ -64,6 +83,14 @@ pub struct Node {
     upc: Upc,
     /// Synthetic instruction-address cursor per core (loop-resident code).
     icursor: [u64; CORES_PER_NODE],
+    /// Instruction fetches retired per core (drives the warm-stream
+    /// fast path of [`Node::mem_ops`]).
+    ifetches: [u64; CORES_PER_NODE],
+    /// Whether the L1-I geometry holds the whole code footprint — the
+    /// precondition for skipping per-fetch probes once it is resident.
+    icache_fits: bool,
+    /// Translated-address scratch buffer reused across batches.
+    batch: Vec<bgp_mem::MemAccess>,
 }
 
 impl Node {
@@ -80,6 +107,9 @@ impl Node {
             mem: MemorySystem::new(cfg),
             upc: Upc::new(counter_mode),
             icursor: [0; CORES_PER_NODE],
+            ifetches: [0; CORES_PER_NODE],
+            icache_fits: (CODE_LINES as usize).div_ceil(cfg.l1_sets()) <= cfg.l1_ways,
+            batch: Vec::new(),
         }
     }
 
@@ -163,6 +193,43 @@ impl Node {
         outcome.level
     }
 
+    /// Retire a whole slice of loads/stores by `core` as one batch:
+    /// exactly equivalent to calling [`Node::mem_op`] per element (the
+    /// node differential tests pin this), but with one instruction-fetch
+    /// bulk probe, one hierarchy batch walk, one aggregated retirement,
+    /// and one cycle-counter sync for the entire slice.
+    pub fn mem_ops(&mut self, core: usize, process: usize, ops: &[MemOp]) {
+        if ops.is_empty() {
+            return;
+        }
+        self.touch_icache_batch(core, ops.len() as u64);
+        self.batch.clear();
+        self.batch.reserve(ops.len());
+        let mut retire = MemRetire::default();
+        for o in ops {
+            self.batch.push(bgp_mem::MemAccess {
+                addr: self.layout.physical(process, o.vaddr),
+                write: o.write,
+            });
+            match (o.width, o.write) {
+                (MemWidth::Word, false) => retire.word_loads += 1,
+                (MemWidth::Word, true) => retire.word_stores += 1,
+                (MemWidth::Double, false) => retire.load_double += 1,
+                (MemWidth::Double, true) => retire.store_double += 1,
+                (MemWidth::Quad, false) => retire.quadload += 1,
+                (MemWidth::Quad, true) => retire.quadstore += 1,
+            }
+            if o.write {
+                retire.stores += 1;
+            } else {
+                retire.loads += 1;
+            }
+        }
+        let stall = self.mem.access_batch(core, &self.batch, &mut self.upc);
+        self.cores[core].retire_mem_batch(&retire, stall, &mut self.upc);
+        self.cores[core].sync_cycle_counter(&mut self.upc);
+    }
+
     /// Retire `n` FP instructions of class `op` on `core`.
     pub fn fp_op(&mut self, core: usize, op: bgp_fpu::FpOp, n: u64) {
         self.cores[core].retire_fp(op, n, &mut self.upc);
@@ -204,15 +271,32 @@ impl Node {
     }
 
     fn touch_icache(&mut self, core: usize) {
-        // Rotate through a 16 KB loop-resident code footprint placed in a
+        // Rotate through the loop-resident code footprint placed in a
         // reserved high region so it never aliases workload data lines.
-        const CODE_FOOTPRINT: u64 = 16 << 10;
         let cur = self.icursor[core];
         self.icursor[core] = (cur + 32) % CODE_FOOTPRINT;
+        self.ifetches[core] += 1;
         let iaddr = u64::MAX - CODE_FOOTPRINT + cur;
         let stall = self.mem.ifetch(core, iaddr, &mut self.upc);
         if stall > 0 {
             self.cores[core].add_cycles(stall);
+        }
+    }
+
+    /// `n` instruction fetches for a retirement batch. Once the footprint
+    /// has rotated through completely (`CODE_LINES` fetches) and the L1-I
+    /// is big enough to hold all of it, every future fetch is a hit —
+    /// nothing else ever allocates into or invalidates the L1-I — so the
+    /// warm stream is recorded in bulk without per-fetch cache probes.
+    fn touch_icache_batch(&mut self, core: usize, n: u64) {
+        if self.icache_fits && self.ifetches[core] >= CODE_LINES {
+            self.ifetches[core] += n;
+            self.icursor[core] = (self.icursor[core] + 32 * n) % CODE_FOOTPRINT;
+            self.mem.ifetch_hits(core, n, &mut self.upc);
+        } else {
+            for _ in 0..n {
+                self.touch_icache(core);
+            }
         }
     }
 }
@@ -298,6 +382,53 @@ mod tests {
         // 32 KB L1-I holds it entirely.
         assert!(s.l1i_misses <= 512 + 8, "l1i misses: {}", s.l1i_misses);
         assert!(s.l1i_hits > 9_000);
+    }
+
+    #[test]
+    fn batched_mem_ops_match_the_scalar_path() {
+        // Differential: the same op stream through per-op `mem_op` and
+        // through `mem_ops` slices must leave both nodes byte-identical —
+        // memory stats, every core clock, and the full UPC snapshot.
+        for mode in [CounterMode::Mode0, CounterMode::Mode2] {
+            let mut scalar = node(mode);
+            let mut batched = node(mode);
+            let mut x = 0x9E3779B97F4A7C15u64;
+            let slices: Vec<(usize, usize, Vec<MemOp>)> = (0..120)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let core = (x >> 33) as usize % CORES_PER_NODE;
+                    let ops = (0..48)
+                        .map(|_| {
+                            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            let width = match x >> 62 {
+                                0 => MemWidth::Word,
+                                1 | 2 => MemWidth::Double,
+                                _ => MemWidth::Quad,
+                            };
+                            // Mixed strided/random over 256 KB per process.
+                            MemOp {
+                                vaddr: ((x >> 13) % (256 << 10)) & !7,
+                                width,
+                                write: x & 3 == 0,
+                            }
+                        })
+                        .collect();
+                    (core, core, ops)
+                })
+                .collect();
+            for (core, process, ops) in &slices {
+                for o in ops {
+                    scalar.mem_op(*core, *process, o.vaddr, o.width, o.write);
+                }
+                batched.mem_ops(*core, *process, ops);
+            }
+            assert_eq!(scalar.mem_stats(), batched.mem_stats());
+            for c in 0..CORES_PER_NODE {
+                assert_eq!(scalar.core(c).cycles(), batched.core(c).cycles());
+                assert_eq!(scalar.core(c).instr_counts(), batched.core(c).instr_counts());
+            }
+            assert_eq!(scalar.upc().snapshot(), batched.upc().snapshot());
+        }
     }
 
     #[test]

@@ -35,6 +35,9 @@ test -s "$trace_dir/stats.json" || { echo "trace smoke: empty stats.json"; exit 
 echo "==> trace overhead gate (disabled tracing < 1%)"
 BGP_RESULTS_DIR="$trace_dir" target/release/fig_ext_trace_overhead --quick --gate
 
+echo "==> batched memory engine gate (mem_ops >= 1.5x mem_op)"
+BGP_RESULTS_DIR="$trace_dir" target/release/fig_ext_memthroughput --quick --gate
+
 echo "==> cargo bench smoke"
 BGP_BENCH_SAMPLES=1 cargo bench --workspace 2>&1 | tail -n 20
 

@@ -1,0 +1,84 @@
+//! Cross-version golden export (not a CI test): dump every observable
+//! surface of a fixed job matrix to `$GOLDEN_DIR` so two builds of the
+//! simulator can be diffed byte-for-byte. Used to prove the batched
+//! memory engine reproduces the per-op scalar engine exactly.
+//!
+//! Run as: `GOLDEN_DIR=/tmp/x cargo test --test golden_export -- --ignored`
+
+use bgp::arch::OpMode;
+use bgp::counters::run_instrumented;
+use bgp::faults::{FaultPlan, FaultSpec};
+use bgp::nas::{Class, Kernel};
+use bgp::trace::TraceConfig;
+use bgp::{JobSpec, Machine};
+use std::sync::Arc;
+
+#[test]
+#[ignore = "manual cross-version diff harness, needs GOLDEN_DIR"]
+fn export_golden_surfaces() {
+    let dir = std::env::var("GOLDEN_DIR").expect("set GOLDEN_DIR");
+    std::fs::create_dir_all(&dir).unwrap();
+    let kernels = [
+        Kernel::Mg,
+        Kernel::Ft,
+        Kernel::Ep,
+        Kernel::Cg,
+        Kernel::Is,
+        Kernel::Lu,
+        Kernel::Sp,
+        Kernel::Bt,
+    ];
+    for kernel in kernels {
+        for (faulted, traced) in [(false, false), (true, false), (false, true)] {
+            let mut spec = JobSpec::new(8, OpMode::VirtualNode);
+            spec.sim_threads = Some(1);
+            if faulted {
+                let nodes = spec.nodes();
+                spec.faults = Some(Arc::new(FaultPlan::new(
+                    FaultSpec {
+                        straggler_rate: 0.5,
+                        straggler_penalty_cycles: 5_000,
+                        link_degrade_rate: 0.5,
+                        link_slowdown: 3,
+                        ..Default::default()
+                    },
+                    42,
+                    nodes,
+                )));
+            }
+            if traced {
+                spec.trace = Some(TraceConfig {
+                    sample_every: 8,
+                    sample_slots: vec![0, 1, 2],
+                    ..Default::default()
+                });
+            }
+            let machine = Machine::new(spec);
+            let (out, lib) =
+                run_instrumented(&machine, move |ctx| kernel.run(ctx, Class::S));
+            assert!(out.iter().all(|r| r.verified), "{kernel} failed verification");
+            let tag = format!(
+                "{kernel}_{}{}",
+                if faulted { "faulted" } else { "clean" },
+                if traced { "_traced" } else { "" }
+            );
+            let mut dump = Vec::new();
+            for n in 0..machine.num_nodes() {
+                dump.extend(lib.encoded_dump(n).expect("node finalized"));
+            }
+            std::fs::write(format!("{dir}/{tag}.dump"), dump).unwrap();
+            std::fs::write(
+                format!("{dir}/{tag}.cycles"),
+                machine.job_cycles().to_string(),
+            )
+            .unwrap();
+            if traced {
+                let trace = machine.job_trace().expect("tracing enabled");
+                std::fs::write(format!("{dir}/{tag}.chrome.json"), trace.chrome_json())
+                    .unwrap();
+                std::fs::write(format!("{dir}/{tag}.phases.csv"), trace.phase_metrics_csv())
+                    .unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Manual timing probe (not a CI test): wall-clock of the acceptance
+//! job, MG class A on 16 VNM ranks. Used to compare engine versions;
+//! run with `cargo test --release --test time_mg -- --ignored --nocapture`.
+
+use bgp::arch::OpMode;
+use bgp::counters::run_instrumented;
+use bgp::nas::{Class, Kernel};
+use bgp::{JobSpec, Machine};
+use std::time::Instant;
+
+#[test]
+#[ignore = "manual timing probe"]
+fn time_mg_class_a_16() {
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let machine = Machine::new(JobSpec::new(16, OpMode::VirtualNode));
+        let t0 = Instant::now();
+        let (out, _lib) = run_instrumented(&machine, |ctx| Kernel::Mg.run(ctx, Class::A));
+        assert!(out.iter().all(|r| r.verified));
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    println!("MG A 16 ranks: {best:.2} s");
+}
