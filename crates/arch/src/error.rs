@@ -249,4 +249,113 @@ mod tests {
         assert_eq!(BgpError::corrupt("x").node(), None);
         assert_eq!(BgpError::Config("x".into()).node(), None);
     }
+
+    /// One instance of every variant. The match inside forces a compile
+    /// error when a variant is added, so the classification tests below
+    /// can never silently go stale.
+    fn all_variants() -> Vec<BgpError> {
+        let all = vec![
+            BgpError::Config("bad l3 size".into()),
+            BgpError::Protocol(Context::new("stop without start").at_node(1).at_set(2)),
+            BgpError::Corrupt(Context::new("bad checksum").at_offset(17)),
+            BgpError::Io(std::io::Error::other("disk")),
+            BgpError::Mpi("rank out of range".into()),
+            BgpError::Timeout { node: 3, attempts: 2 },
+            BgpError::NodeLost { node: 4 },
+            BgpError::PartialData { node: 5, set: Some(6) },
+        ];
+        for e in &all {
+            match e {
+                BgpError::Config(_)
+                | BgpError::Protocol(_)
+                | BgpError::Corrupt(_)
+                | BgpError::Io(_)
+                | BgpError::Mpi(_)
+                | BgpError::Timeout { .. }
+                | BgpError::NodeLost { .. }
+                | BgpError::PartialData { .. } => {}
+            }
+        }
+        all
+    }
+
+    /// Every variant has exactly one classification, and the retryable
+    /// set is precisely {Timeout, PartialData, Io}: transient collection
+    /// failures. Everything else reproduces identically on retry.
+    #[test]
+    fn every_variant_is_classified() {
+        for e in all_variants() {
+            let expect = matches!(
+                e,
+                BgpError::Timeout { .. } | BgpError::PartialData { .. } | BgpError::Io(_)
+            );
+            assert_eq!(e.is_retryable(), expect, "misclassified: {e}");
+        }
+    }
+
+    /// `context()` yields the structured context for exactly the
+    /// variants that carry one, and the builder chain round-trips every
+    /// field.
+    #[test]
+    fn context_accessor_covers_every_variant() {
+        for e in all_variants() {
+            match &e {
+                BgpError::Protocol(c) | BgpError::Corrupt(c) => {
+                    assert_eq!(e.context(), Some(c), "{e}");
+                }
+                _ => assert_eq!(e.context(), None, "{e}"),
+            }
+        }
+        let c = Context::new("why").at_node(7).at_set(8).at_offset(9);
+        assert_eq!(
+            c,
+            Context {
+                reason: "why".into(),
+                node: Some(7),
+                set: Some(8),
+                offset: Some(9)
+            }
+        );
+        // From impls used by the `?`-adjacent call sites.
+        assert_eq!(Context::from("s").reason, "s");
+        assert_eq!(Context::from(String::from("t")).reason, "t");
+        assert_eq!(Context::from("s").node, None);
+    }
+
+    /// Display of every variant names its key facts, and only `Io`
+    /// exposes a `source()`.
+    #[test]
+    fn display_and_source_cover_every_variant() {
+        use std::error::Error;
+        for e in all_variants() {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            match &e {
+                BgpError::Config(_) => assert!(s.contains("configuration"), "{s}"),
+                BgpError::Protocol(_) => {
+                    assert!(s.contains("protocol") && s.contains("node 1"), "{s}");
+                }
+                BgpError::Corrupt(_) => {
+                    assert!(s.contains("corrupt") && s.contains("offset 17"), "{s}");
+                }
+                BgpError::Io(_) => {
+                    assert!(s.contains("i/o"), "{s}");
+                    assert!(e.source().is_some(), "Io must chain its source");
+                    continue;
+                }
+                BgpError::Mpi(_) => assert!(s.contains("mpi"), "{s}"),
+                BgpError::Timeout { .. } => {
+                    assert!(s.contains("node 3") && s.contains("2 attempt"), "{s}");
+                }
+                BgpError::NodeLost { .. } => assert!(s.contains("node 4"), "{s}"),
+                BgpError::PartialData { .. } => {
+                    assert!(s.contains("node 5") && s.contains("set 6"), "{s}");
+                }
+            }
+            assert!(e.source().is_none(), "{e} should not chain a source");
+        }
+        // PartialData without an identified set prints no set clause.
+        let s = BgpError::PartialData { node: 5, set: None }.to_string();
+        assert!(!s.contains("set"), "{s}");
+    }
 }

@@ -27,6 +27,7 @@ pub mod geometry;
 pub mod modes;
 pub mod rng;
 pub mod sync;
+pub mod wire;
 
 pub use config::MachineConfig;
 pub use error::BgpError;

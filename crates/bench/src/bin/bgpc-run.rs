@@ -1,0 +1,326 @@
+//! `bgpc-run` — supervised NAS kernel jobs with checkpoint/restart.
+//!
+//! ```text
+//! bgpc-run --out DIR [--kernel mg] [--class s] [--ranks 8] [--mode vnm]
+//!          [--threads N] [--trace]
+//!          [--checkpoint-every N] [--checkpoint-dir DIR] [--retain N]
+//!          [--resume DIR] [--crash-at-phase N]
+//!          [--wall-budget-ms N] [--cycle-budget N] [--max-retries N]
+//! ```
+//!
+//! The job runs under [`bgp_core::supervisor::supervise`]: wall-clock
+//! and simulated-cycle budgets, watchdog kills, and bounded
+//! resume-from-checkpoint retries. `--crash-at-phase N` is the crash
+//! drill used by `scripts/ci.sh`: the first attempt dies
+//! deterministically at phase `N`; with `--max-retries 0` the process
+//! exits non-zero, leaving the snapshot directory behind for a later
+//! `--resume DIR` invocation to continue byte-identically.
+//!
+//! Writes into `--out DIR`: the per-node `.bgpc` counter dumps,
+//! `run.json` (simulated clocks — identical for an uninterrupted and a
+//! killed-and-resumed job), and with `--trace` the `trace.json` /
+//! `phases.csv` timeline exports.
+
+use bgp_arch::OpMode;
+use bgp_bench::RunConfig;
+use bgp_core::supervisor::{supervise, AttemptOutcome, SupervisorConfig};
+use bgp_mpi::machine::CheckpointConfig;
+use bgp_nas::{Class, Kernel};
+use bgp_trace::TraceConfig;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    out: PathBuf,
+    kernel: Kernel,
+    class: Class,
+    ranks: usize,
+    mode: OpMode,
+    threads: Option<usize>,
+    trace: bool,
+    checkpoint_every: Option<u64>,
+    checkpoint_dir: Option<PathBuf>,
+    retain: usize,
+    resume: Option<PathBuf>,
+    crash_at_phase: Option<u64>,
+    wall_budget_ms: Option<u64>,
+    cycle_budget: Option<u64>,
+    max_retries: u32,
+}
+
+const USAGE: &str = "usage: bgpc-run --out DIR [--kernel mg|ft|ep|cg|is|lu|sp|bt] \
+[--class s|w|a] [--ranks N] [--mode smp1|smp4|dual|vnm] [--threads N] [--trace] \
+[--checkpoint-every N] [--checkpoint-dir DIR] [--retain N] [--resume DIR] \
+[--crash-at-phase N] [--wall-budget-ms N] [--cycle-budget N] [--max-retries N]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: PathBuf::new(),
+        kernel: Kernel::Mg,
+        class: Class::S,
+        ranks: 8,
+        mode: OpMode::VirtualNode,
+        threads: None,
+        trace: false,
+        checkpoint_every: None,
+        checkpoint_dir: None,
+        retain: 3,
+        resume: None,
+        crash_at_phase: None,
+        wall_budget_ms: None,
+        cycle_budget: None,
+        max_retries: 0,
+    };
+    let mut out = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        let parsed = |flag: &str, v: String| {
+            v.parse::<u64>().map_err(|e| format!("{flag}: {e}"))
+        };
+        match a.as_str() {
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--kernel" => {
+                args.kernel = match value("--kernel")?.to_lowercase().as_str() {
+                    "mg" => Kernel::Mg,
+                    "ft" => Kernel::Ft,
+                    "ep" => Kernel::Ep,
+                    "cg" => Kernel::Cg,
+                    "is" => Kernel::Is,
+                    "lu" => Kernel::Lu,
+                    "sp" => Kernel::Sp,
+                    "bt" => Kernel::Bt,
+                    other => return Err(format!("unknown kernel {other}")),
+                };
+            }
+            "--class" => {
+                args.class = match value("--class")?.to_lowercase().as_str() {
+                    "s" => Class::S,
+                    "w" => Class::W,
+                    "a" => Class::A,
+                    other => return Err(format!("unknown class {other}")),
+                };
+            }
+            "--ranks" => {
+                args.ranks =
+                    value("--ranks")?.parse().map_err(|e| format!("--ranks: {e}"))?;
+            }
+            "--mode" => {
+                args.mode = match value("--mode")?.to_lowercase().as_str() {
+                    "smp1" => OpMode::Smp1,
+                    "smp4" => OpMode::Smp4,
+                    "dual" => OpMode::Dual,
+                    "vnm" | "vn" => OpMode::VirtualNode,
+                    other => return Err(format!("unknown mode {other}")),
+                };
+            }
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?,
+                );
+            }
+            "--trace" => args.trace = true,
+            "--checkpoint-every" => {
+                args.checkpoint_every = Some(parsed(&a, value("--checkpoint-every")?)?);
+            }
+            "--checkpoint-dir" => {
+                args.checkpoint_dir = Some(PathBuf::from(value("--checkpoint-dir")?));
+            }
+            "--retain" => {
+                args.retain =
+                    value("--retain")?.parse().map_err(|e| format!("--retain: {e}"))?;
+            }
+            "--resume" => args.resume = Some(PathBuf::from(value("--resume")?)),
+            "--crash-at-phase" => {
+                args.crash_at_phase = Some(parsed(&a, value("--crash-at-phase")?)?);
+            }
+            "--wall-budget-ms" => {
+                args.wall_budget_ms = Some(parsed(&a, value("--wall-budget-ms")?)?);
+            }
+            "--cycle-budget" => {
+                args.cycle_budget = Some(parsed(&a, value("--cycle-budget")?)?);
+            }
+            "--max-retries" => {
+                args.max_retries = value("--max-retries")?
+                    .parse()
+                    .map_err(|e| format!("--max-retries: {e}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unexpected argument {other}\n{USAGE}")),
+        }
+    }
+    args.out = out.ok_or(format!("missing --out DIR\n{USAGE}"))?;
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("bgpc-run: creating {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+
+    // Rank panics inside a supervised run are expected control flow
+    // (watchdog kills, crash drills, budget violations): keep stderr to
+    // one line each and drop the peer-abort echoes entirely. Anything
+    // unrecognized still gets the default hook (it is a real bug).
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| info.payload().downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("");
+        if msg.contains(bgp_mpi::machine::ABORT_ECHO) {
+            return;
+        }
+        if msg.contains("supervisor watchdog")
+            || msg.contains("MPI deadlock")
+            || msg.contains("simulated-cycle budget exceeded")
+        {
+            eprintln!("bgpc-run: rank died: {msg}");
+            return;
+        }
+        default_hook(info);
+    }));
+
+    // Checkpoint placement: `--resume DIR` implies that directory;
+    // otherwise `--checkpoint-dir` (default `<out>/checkpoints`). A
+    // non-empty directory without `--resume` is refused rather than
+    // silently ignored — stale snapshots of the same experiment would
+    // otherwise be resumable by the *next* invocation only, which makes
+    // runs order-dependent.
+    let cp_dir = args
+        .resume
+        .clone()
+        .or_else(|| args.checkpoint_dir.clone())
+        .unwrap_or_else(|| args.out.join("checkpoints"));
+    let checkpointing = args.checkpoint_every.is_some() || args.resume.is_some();
+    if args.resume.is_none() && checkpointing {
+        let stale = std::fs::read_dir(&cp_dir)
+            .map(|d| d.filter_map(|e| e.ok()).count())
+            .unwrap_or(0);
+        if stale != 0 {
+            eprintln!(
+                "bgpc-run: checkpoint dir {} is not empty; pass --resume {} to \
+                 continue from it, or clean it for a cold start",
+                cp_dir.display(),
+                cp_dir.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut run_cfg = RunConfig::new(args.kernel, args.class, args.ranks);
+    run_cfg.mode = args.mode;
+    let mut spec = bgp_mpi::JobSpec::new(run_cfg.ranks, run_cfg.mode);
+    spec.machine = run_cfg.machine.clone();
+    spec.compile = run_cfg.compile;
+    spec.sim_threads = args.threads;
+    spec.cycle_budget = args.cycle_budget;
+    if args.trace {
+        spec.trace = Some(TraceConfig::default());
+    }
+    if checkpointing {
+        spec.checkpoint = Some(CheckpointConfig {
+            every: args.checkpoint_every.unwrap_or(64).max(1),
+            dir: cp_dir.clone(),
+            retain: args.retain.max(1),
+        });
+    }
+
+    let sup = SupervisorConfig {
+        wall_budget: args.wall_budget_ms.map(Duration::from_millis),
+        max_retries: args.max_retries,
+        backoff_base: Duration::from_millis(50),
+        backoff_cap: Duration::from_secs(2),
+        inject_kill_at_phase: args.crash_at_phase,
+    };
+    let (kernel, class) = (run_cfg.kernel, run_cfg.class);
+    let run = match supervise(&spec, &sup, move |ctx| kernel.run(ctx, class)) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("bgpc-run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (i, a) in run.attempts.iter().enumerate() {
+        let from = match a.resumed_from {
+            Some(p) => format!("resumed from phase {p}"),
+            None => "cold start".to_string(),
+        };
+        match &a.outcome {
+            AttemptOutcome::Completed => println!("attempt {}: {from}, completed", i + 1),
+            AttemptOutcome::Failed { message, .. } => {
+                println!("attempt {}: {from}, died: {message}", i + 1);
+            }
+        }
+    }
+    if !run.results.iter().all(|r| r.verified) {
+        eprintln!("bgpc-run: kernel verification failed");
+        return ExitCode::FAILURE;
+    }
+
+    if let Err(e) = run.library.write_dumps(&args.out) {
+        eprintln!("bgpc-run: writing dumps: {e}");
+        return ExitCode::FAILURE;
+    }
+    // Simulated clocks only: byte-identical across kill/resume, so the
+    // ci.sh crash drill can diff this file against an uninterrupted run.
+    let run_json = format!(
+        "{{\n  \"kernel\": \"{}\",\n  \"class\": \"{}\",\n  \"ranks\": {},\n  \
+         \"mode\": \"{}\",\n  \"job_cycles\": {},\n  \"phases\": {}\n}}\n",
+        run_cfg.kernel,
+        run_cfg.class,
+        run_cfg.ranks,
+        run_cfg.mode,
+        run.machine.job_cycles(),
+        run.machine.phases()
+    );
+    if let Err(e) = std::fs::write(args.out.join("run.json"), run_json) {
+        eprintln!("bgpc-run: writing run.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    if args.trace {
+        let trace = run.machine.job_trace().expect("tracing was enabled");
+        for (name, body) in
+            [("trace.json", trace.chrome_json()), ("phases.csv", trace.phase_metrics_csv())]
+        {
+            if let Err(e) = std::fs::write(args.out.join(name), body) {
+                eprintln!("bgpc-run: writing {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let stats = run.machine.snapshot_stats();
+    println!(
+        "{} class {} on {} ranks ({}): {} cycles, {} phases, {} attempt(s)",
+        run_cfg.kernel,
+        run_cfg.class,
+        run_cfg.ranks,
+        run_cfg.mode,
+        run.machine.job_cycles(),
+        run.machine.phases(),
+        run.attempts.len()
+    );
+    if stats.written > 0 {
+        println!(
+            "snapshots: {} written ({} bytes, {:.1} ms total save time) -> {}",
+            stats.written,
+            stats.bytes,
+            stats.save_nanos as f64 / 1e6,
+            cp_dir.display()
+        );
+    }
+    println!("outputs  -> {}", args.out.display());
+    ExitCode::SUCCESS
+}

@@ -2,24 +2,68 @@
 //! MG job — tracing absent (`off`), hooks compiled in but switched off
 //! (`disabled`), and fully enabled with live counter sampling
 //! (`enabled`). Records the comparison (plus host context) in
-//! `BENCH_trace.json` at the repo root when run at Default/Paper scale.
+//! `BENCH_trace.json` (repo root, or `$BGP_BENCH_DIR`) after *every*
+//! measurement attempt, so a gate retry never hides what was actually
+//! measured.
 //!
 //! `--gate` turns the acceptance criterion into an exit code: fail if
 //! the `disabled` configuration costs >= 1 % over the `off` baseline
 //! (that is the tax every untraced run pays for the instrumentation).
+//! Host timing noise can exceed the threshold on a loaded box, so the
+//! gate re-measures at most [`MAX_RETRIES`] times (logged, and every
+//! attempt lands in the JSON) before failing.
 
 use bgp_bench::{figures, Scale};
-use std::path::Path;
 use std::process::ExitCode;
 
 /// Acceptance threshold: installed-but-disabled tracing must stay under
 /// this slowdown (percent) relative to no tracing at all.
 const GATE_PCT: f64 = 1.0;
 
+/// Bound on gate re-measurements after the first one.
+const MAX_RETRIES: usize = 2;
+
+fn disabled_pct(samples: &[figures::TraceOverheadSample]) -> f64 {
+    samples
+        .iter()
+        .find(|s| s.config == "disabled")
+        .expect("sweep always has a disabled row")
+        .overhead_pct
+}
+
+fn write_bench(scale: Scale, attempts: &[Vec<figures::TraceOverheadSample>]) {
+    let latest = attempts.last().expect("at least one attempt");
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let rows: Vec<String> = latest
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"trace_config\": \"{}\", \"wall_ms\": {:.1}, \"overhead_pct\": {:.2}, \"events_recorded\": {}, \"events_dropped\": {}}}",
+                s.config, s.wall_ms, s.overhead_pct, s.events, s.dropped
+            )
+        })
+        .collect();
+    let attempt_rows: Vec<String> = attempts
+        .iter()
+        .map(|a| format!("{:.2}", disabled_pct(a)))
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"fig_ext_trace_overhead (MG, VNM, min-of-reps)\",\n  \"scale\": \"{:?}\",\n  \"host_cpus\": {},\n  \"gate\": \"disabled overhead_pct < {GATE_PCT}\",\n  \"attempt_overhead_pcts\": [{}],\n  \"note\": \"timestamps are simulated cycles, so the trace itself is deterministic; only host wall-clock varies between reps\",\n  \"configs\": [\n{}\n  ]\n}}\n",
+        scale,
+        host_cpus,
+        attempt_rows.join(", "),
+        rows.join(",\n")
+    );
+    let path = bgp_bench::bench_json_path("BENCH_trace.json");
+    std::fs::write(&path, json).expect("write BENCH_trace.json");
+    println!("==== BENCH_trace.json -> {} ====", path.display());
+}
+
 fn main() -> ExitCode {
     let scale = Scale::from_args();
     let gate = std::env::args().any(|a| a == "--gate");
-    let samples = figures::trace_overhead_sweep(scale);
+    let mut attempts = vec![figures::trace_overhead_sweep(scale)];
+    write_bench(scale, &attempts);
 
     let mut csv = bgp_postproc::Csv::new([
         "trace_config",
@@ -28,7 +72,7 @@ fn main() -> ExitCode {
         "events_recorded",
         "events_dropped",
     ]);
-    for s in &samples {
+    for s in &attempts[0] {
         csv.row([
             s.config.to_string(),
             format!("{:.1}", s.wall_ms),
@@ -39,50 +83,24 @@ fn main() -> ExitCode {
     }
     bgp_bench::emit("fig_ext_trace_overhead", &csv);
 
-    if scale != Scale::Quick {
-        let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let rows: Vec<String> = samples
-            .iter()
-            .map(|s| {
-                format!(
-                    "    {{\"trace_config\": \"{}\", \"wall_ms\": {:.1}, \"overhead_pct\": {:.2}, \"events_recorded\": {}, \"events_dropped\": {}}}",
-                    s.config, s.wall_ms, s.overhead_pct, s.events, s.dropped
-                )
-            })
-            .collect();
-        let json = format!(
-            "{{\n  \"benchmark\": \"fig_ext_trace_overhead (MG, VNM, min-of-reps)\",\n  \"scale\": \"{:?}\",\n  \"host_cpus\": {},\n  \"gate\": \"disabled overhead_pct < {GATE_PCT}\",\n  \"note\": \"timestamps are simulated cycles, so the trace itself is deterministic; only host wall-clock varies between reps\",\n  \"configs\": [\n{}\n  ]\n}}\n",
-            scale,
-            host_cpus,
-            rows.join(",\n")
-        );
-        let path = Path::new("BENCH_trace.json");
-        std::fs::write(path, json).expect("write BENCH_trace.json");
-        println!("==== BENCH_trace.json -> {} ====", path.display());
-    }
-
     if gate {
-        let disabled_pct = |samples: &[figures::TraceOverheadSample]| {
-            samples
-                .iter()
-                .find(|s| s.config == "disabled")
-                .expect("sweep always has a disabled row")
-                .overhead_pct
-        };
         // Host timing noise on a loaded box can exceed the 1 % threshold
         // even with warm-up + min-of-reps, so the gate re-measures before
         // failing: any sweep under the limit bounds the true cost.
-        let mut pct = disabled_pct(&samples);
-        for retry in 0..2 {
+        // Retries are bounded and every attempt is recorded in the JSON.
+        let mut pct = disabled_pct(&attempts[0]);
+        for retry in 0..MAX_RETRIES {
             if pct < GATE_PCT {
                 break;
             }
             eprintln!(
-                "gate: disabled tracing measured at {:.2}% (limit {GATE_PCT}%), re-measuring ({}/2)",
+                "gate: disabled tracing measured at {:.2}% (limit {GATE_PCT}%), re-measuring ({}/{MAX_RETRIES})",
                 pct,
                 retry + 1
             );
-            pct = pct.min(disabled_pct(&figures::trace_overhead_sweep(scale)));
+            attempts.push(figures::trace_overhead_sweep(scale));
+            write_bench(scale, &attempts);
+            pct = pct.min(disabled_pct(attempts.last().expect("just pushed")));
         }
         if pct >= GATE_PCT {
             eprintln!(

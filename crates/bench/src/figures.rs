@@ -585,6 +585,128 @@ pub fn trace_overhead_sweep(scale: Scale) -> Vec<TraceOverheadSample> {
         .collect()
 }
 
+/// One measured configuration of the checkpoint-overhead sweep.
+#[derive(Debug)]
+pub struct SnapshotOverheadSample {
+    /// Configuration label (`off` / `every64`).
+    pub config: &'static str,
+    /// Best-of-reps wall time.
+    pub wall_ms: f64,
+    /// Slowdown over the `off` baseline, percent (clamped at 0).
+    pub overhead_pct: f64,
+    /// Snapshot files written by one run.
+    pub snapshots: u64,
+    /// Mean snapshot file size in bytes.
+    pub mean_bytes: u64,
+    /// Wall time one run spent serializing and writing snapshots.
+    pub save_ms: f64,
+}
+
+/// Result of [`snapshot_overhead_sweep`]: the off/on comparison plus
+/// the measured cost of an actual resume (load newest snapshot, replay
+/// to its phase, go live, finish the job).
+#[derive(Debug)]
+pub struct SnapshotSweep {
+    /// Per-configuration measurements (`off` first).
+    pub samples: Vec<SnapshotOverheadSample>,
+    /// Wall time of the resumed run.
+    pub resume_ms: f64,
+    /// Phase the resumed run continued from.
+    pub resume_phase: u64,
+}
+
+/// Checkpoint overhead on an MG job (feeds `fig_ext_snapshot` and
+/// `BENCH_snapshot.json`). The acceptance criterion gated in
+/// `scripts/ci.sh` is that snapshots every 64 phases cost < 5 % wall
+/// over no checkpointing; the sweep also measures one real resume so
+/// the restore path has a recorded cost.
+pub fn snapshot_overhead_sweep(scale: Scale) -> SnapshotSweep {
+    use bgp_core::run_instrumented;
+    use bgp_mpi::machine::CheckpointConfig;
+    use bgp_snapshot::SnapshotStore;
+    use std::time::Instant;
+
+    let kernel = Kernel::Mg;
+    let class = scale.class();
+    let ranks = kernel.clamp_ranks(scale.ranks(), class);
+    let reps = match scale {
+        Scale::Quick => 5,
+        Scale::Default => 3,
+        Scale::Paper => 1,
+    };
+    let dir = std::env::temp_dir()
+        .join(format!("bgp-snapbench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let spec_for = |checkpointed: bool| {
+        let mut spec = bgp_mpi::JobSpec::new(ranks, OpMode::VirtualNode);
+        if checkpointed {
+            spec.checkpoint = Some(CheckpointConfig { every: 64, dir: dir.clone(), retain: 2 });
+        }
+        spec
+    };
+    let run_once = |checkpointed: bool| {
+        let machine = bgp_mpi::Machine::new(spec_for(checkpointed));
+        let t0 = Instant::now();
+        let (results, _lib) = run_instrumented(&machine, move |ctx| kernel.run(ctx, class));
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(results.iter().all(|r| r.verified), "MG verification failed");
+        (wall_ms, machine.snapshot_stats())
+    };
+
+    // Warm-up, then round-robin reps so host drift hits both configs
+    // equally (same discipline as the trace-overhead sweep).
+    run_once(false);
+    let mut best = [f64::INFINITY; 2];
+    let mut stats = bgp_mpi::machine::SnapshotStats::default();
+    for _ in 0..reps {
+        best[0] = best[0].min(run_once(false).0);
+        let (wall_ms, s) = run_once(true);
+        best[1] = best[1].min(wall_ms);
+        stats = s;
+    }
+
+    // One real resume from the newest snapshot the sweep left behind.
+    let spec = spec_for(true);
+    let outcome = SnapshotStore::new(&dir, 2)
+        .load_latest_valid(spec.fingerprint())
+        .expect("snapshot store readable");
+    let (snap, _) = outcome.snapshot.expect("sweep wrote snapshots");
+    let resume_phase = snap.phase;
+    let machine = bgp_mpi::Machine::new(spec);
+    machine.resume(snap).expect("snapshot accepted");
+    let t0 = Instant::now();
+    let (results, _lib) = run_instrumented(&machine, move |ctx| kernel.run(ctx, class));
+    let resume_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(results.iter().all(|r| r.verified), "resumed MG verification failed");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let base_ms = best[0];
+    let mean_bytes = stats.bytes / stats.written.max(1);
+    SnapshotSweep {
+        samples: vec![
+            SnapshotOverheadSample {
+                config: "off",
+                wall_ms: best[0],
+                overhead_pct: 0.0,
+                snapshots: 0,
+                mean_bytes: 0,
+                save_ms: 0.0,
+            },
+            SnapshotOverheadSample {
+                config: "every64",
+                wall_ms: best[1],
+                overhead_pct: ((best[1] - base_ms) / base_ms * 100.0).max(0.0),
+                snapshots: stats.written,
+                mean_bytes,
+                save_ms: stats.save_nanos as f64 / 1e6,
+            },
+        ],
+        resume_ms,
+        resume_phase,
+    }
+}
+
 /// Memory-engine throughput comparison (feeds [`fig_ext_memthroughput`]
 /// and `BENCH_mem.json`): the same access stream driven through the
 /// per-op [`bgp_node::Node::mem_op`] path — icache probe, hierarchy

@@ -165,6 +165,15 @@ pub fn results_dir() -> PathBuf {
     p
 }
 
+/// Where `BENCH_*.json` machine-performance records go: the repo root
+/// by default (they are committed artifacts), or `$BGP_BENCH_DIR` so CI
+/// smoke runs at Quick scale can write somewhere disposable instead of
+/// clobbering the committed Default-scale numbers.
+pub fn bench_json_path(name: &str) -> PathBuf {
+    let dir = std::env::var("BGP_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    PathBuf::from(dir).join(name)
+}
+
 /// Print a banner + the CSV body to stdout and persist it.
 pub fn emit(name: &str, csv: &bgp_postproc::Csv) {
     let path = results_dir().join(format!("{name}.csv"));

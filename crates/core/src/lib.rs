@@ -40,6 +40,8 @@ pub mod bglperfctr;
 pub mod collect;
 pub mod dump;
 pub mod session;
+pub mod state;
+pub mod supervisor;
 
 use bgp_arch::error::Result;
 use bgp_arch::events::NUM_COUNTERS;
@@ -126,19 +128,28 @@ type LibraryRegistry = Mutex<Vec<(Weak<Machine>, Arc<CounterLibrary>)>>;
 static REGISTRY: OnceLock<LibraryRegistry> = OnceLock::new();
 
 impl CounterLibrary {
-    /// Bind the library to a machine (one instance per job).
+    /// Bind the library to a machine (one instance per job). The
+    /// library registers itself for checkpoint capture (snapshot
+    /// section `app:counters`, see the [`state`] module), so only one
+    /// library may be bound per machine — use
+    /// [`CounterLibrary::for_machine`] to share an instance.
+    ///
+    /// # Panics
+    /// Panics if a library is already bound to `machine`.
     pub fn new(machine: Arc<Machine>) -> Arc<CounterLibrary> {
         let n_nodes = machine.num_nodes();
         let mut ranks_per_node = vec![0usize; n_nodes];
         for r in 0..machine.spec().ranks {
             ranks_per_node[bgp_mpi::place(machine.spec(), r).node.0] += 1;
         }
-        Arc::new(CounterLibrary {
+        let lib = Arc::new(CounterLibrary {
             spec: machine.spec().clone(),
             nodes: Mutex::new((0..n_nodes).map(|_| NodeState::default()).collect()),
             ranks_per_node,
             policy_override: Mutex::new(None),
-        })
+        });
+        machine.register_app_state(Arc::clone(&lib) as Arc<dyn bgp_mpi::machine::AppState>);
+        lib
     }
 
     /// The shared library of `machine`, created on first use. All

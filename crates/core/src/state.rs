@@ -1,0 +1,230 @@
+//! Snapshot integration: the counter library as machine [`AppState`].
+//!
+//! The library's per-node protocol and accumulation state cannot be
+//! rebuilt by resume replay: `BGP_Start`/`BGP_Stop` snapshot the live
+//! UPC counters, and during replay the cost model is suppressed, so
+//! every replayed snapshot reads stale values and the accumulated
+//! deltas would diverge from the uninterrupted run. Instead the whole
+//! `Vec<NodeState>` is serialized into the snapshot's `app:counters`
+//! section at capture and spliced back wholesale at go-live, discarding
+//! whatever the replay built. (`policy_override` is *not* captured: it
+//! is pure configuration set by the kernel's session builder, which
+//! replay re-executes deterministically.)
+
+use crate::{CounterLibrary, NodeState, SetState};
+use bgp_arch::error::{BgpError, Result};
+use bgp_arch::events::NUM_COUNTERS;
+use bgp_arch::wire::{put_bool, put_bytes, put_u32, put_u64, put_u64s, put_u8, Reader};
+use bgp_mpi::machine::AppState;
+
+fn save_set(out: &mut Vec<u8>, id: u32, s: &SetState) {
+    put_u32(out, id);
+    match &s.start_snap {
+        Some(snap) => {
+            put_u8(out, 1);
+            put_u64s(out, &snap[..]);
+        }
+        None => put_u8(out, 0),
+    }
+    put_u64s(out, &s.accum);
+    put_u32(out, s.records);
+}
+
+fn load_set(r: &mut Reader<'_>) -> Result<(u32, SetState)> {
+    let id = r.u32("set id")?;
+    let start_snap = match r.u8("start-snap tag")? {
+        0 => None,
+        1 => {
+            let v = r.u64s("start snapshot")?;
+            let arr: Box<[u64; NUM_COUNTERS]> =
+                v.into_boxed_slice().try_into().map_err(|_| {
+                    BgpError::corrupt("start snapshot is not NUM_COUNTERS long")
+                })?;
+            Some(arr)
+        }
+        t => return Err(BgpError::corrupt(format!("bad start-snap tag {t}"))),
+    };
+    let accum = r.u64s("set accumulator")?;
+    if accum.len() != NUM_COUNTERS {
+        return Err(BgpError::corrupt(format!(
+            "set accumulator has {} slots, expected {NUM_COUNTERS}",
+            accum.len()
+        )));
+    }
+    let records = r.u32("set records")?;
+    Ok((id, SetState { start_snap, accum, records }))
+}
+
+fn save_node(out: &mut Vec<u8>, st: &NodeState) {
+    put_bool(out, st.initialized);
+    put_u64(out, st.init_arrivals as u64);
+    match st.active_set {
+        Some(set) => {
+            put_u8(out, 1);
+            put_u32(out, set);
+        }
+        None => put_u8(out, 0),
+    }
+    put_u64(out, st.start_arrivals as u64);
+    put_u64(out, st.stop_arrivals as u64);
+    put_u64(out, st.finalize_arrivals as u64);
+    put_u64(out, st.sets.len() as u64);
+    for (&id, s) in &st.sets {
+        save_set(out, id, s);
+    }
+    match &st.dump {
+        Some(d) => {
+            put_u8(out, 1);
+            put_bytes(out, d);
+        }
+        None => put_u8(out, 0),
+    }
+}
+
+fn load_node(r: &mut Reader<'_>) -> Result<NodeState> {
+    let initialized = r.bool("initialized")?;
+    let init_arrivals = r.u64("init arrivals")? as usize;
+    let active_set = match r.u8("active-set tag")? {
+        0 => None,
+        1 => Some(r.u32("active set")?),
+        t => return Err(BgpError::corrupt(format!("bad active-set tag {t}"))),
+    };
+    let start_arrivals = r.u64("start arrivals")? as usize;
+    let stop_arrivals = r.u64("stop arrivals")? as usize;
+    let finalize_arrivals = r.u64("finalize arrivals")? as usize;
+    let n_sets = r.u64("set count")?;
+    let mut sets = std::collections::BTreeMap::new();
+    for _ in 0..n_sets {
+        let (id, s) = load_set(r)?;
+        if sets.insert(id, s).is_some() {
+            return Err(BgpError::corrupt(format!("duplicate set {id}")));
+        }
+    }
+    let dump = match r.u8("dump tag")? {
+        0 => None,
+        1 => Some(r.bytes("dump bytes")?.to_vec()),
+        t => return Err(BgpError::corrupt(format!("bad dump tag {t}"))),
+    };
+    Ok(NodeState {
+        initialized,
+        init_arrivals,
+        active_set,
+        start_arrivals,
+        stop_arrivals,
+        finalize_arrivals,
+        sets,
+        dump,
+    })
+}
+
+impl AppState for CounterLibrary {
+    fn name(&self) -> &'static str {
+        "counters"
+    }
+
+    fn save(&self) -> Vec<u8> {
+        let nodes = self.nodes.lock();
+        let mut out = Vec::new();
+        put_u64(&mut out, nodes.len() as u64);
+        for st in nodes.iter() {
+            save_node(&mut out, st);
+        }
+        out
+    }
+
+    fn restore(&self, bytes: &[u8]) -> Result<()> {
+        let mut r = Reader::new(bytes);
+        let n = r.u64("node count")? as usize;
+        let mut fresh = Vec::with_capacity(n);
+        for _ in 0..n {
+            fresh.push(load_node(&mut r)?);
+        }
+        r.expect_end("counter-library state")?;
+        let mut nodes = self.nodes.lock();
+        if fresh.len() != nodes.len() {
+            return Err(BgpError::corrupt(format!(
+                "snapshot has {} counter-library nodes, machine has {}",
+                fresh.len(),
+                nodes.len()
+            )));
+        }
+        *nodes = fresh;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_arch::events::CounterMode;
+    use bgp_arch::OpMode;
+    use bgp_mpi::{CounterPolicy, JobSpec, Machine};
+    use std::sync::Arc;
+
+    /// Save → restore into a fresh library must reproduce the bytes,
+    /// including mid-window state (an open set with a start snapshot).
+    #[test]
+    fn library_state_round_trips() {
+        let mut spec = JobSpec::new(4, OpMode::Dual);
+        spec.counter_policy = CounterPolicy::Fixed(CounterMode::Mode1);
+        let m = Machine::new(spec.clone());
+        let lib = CounterLibrary::for_machine(&m);
+        {
+            let mut nodes = lib.nodes.lock();
+            let st = &mut nodes[1];
+            st.initialized = true;
+            st.init_arrivals = 2;
+            st.active_set = Some(7);
+            st.start_arrivals = 1;
+            let mut set = SetState {
+                start_snap: Some(Box::new([3u64; NUM_COUNTERS])),
+                accum: vec![9; NUM_COUNTERS],
+                records: 5,
+            };
+            set.accum[17] = u64::MAX;
+            st.sets.insert(7, set);
+            nodes[0].dump = Some(vec![1, 2, 3]);
+        }
+        let bytes = lib.save();
+        let m2 = Machine::new(spec);
+        let lib2 = CounterLibrary::for_machine(&m2);
+        lib2.restore(&bytes).unwrap();
+        assert_eq!(lib2.save(), bytes);
+    }
+
+    /// Truncation at any byte boundary must surface as a corrupt-data
+    /// error, never a panic or a partial restore.
+    #[test]
+    fn truncated_state_fails_closed() {
+        let spec = JobSpec::new(2, OpMode::VirtualNode);
+        let m = Machine::new(spec.clone());
+        let lib = CounterLibrary::for_machine(&m);
+        lib.nodes.lock()[0].sets.insert(
+            0,
+            SetState { start_snap: None, accum: vec![1; NUM_COUNTERS], records: 1 },
+        );
+        let bytes = lib.save();
+        let victim = CounterLibrary::for_machine(&Machine::new(spec));
+        let before = victim.save();
+        for cut in 0..bytes.len() {
+            assert!(
+                victim.restore(&bytes[..cut]).is_err(),
+                "truncation at {cut} restored"
+            );
+            assert_eq!(victim.save(), before, "cut {cut} partially applied");
+        }
+        victim.restore(&bytes).unwrap();
+    }
+
+    /// The library registers itself as an app-state hook, so machines
+    /// with checkpointing capture an `app:counters` section.
+    #[test]
+    fn library_registers_snapshot_hook() {
+        let m = Machine::new(JobSpec::new(1, OpMode::Smp1));
+        let lib = CounterLibrary::for_machine(&m);
+        // A second registration of the same name would panic; the
+        // registry hands back the same instance instead.
+        let again = CounterLibrary::for_machine(&m);
+        assert!(Arc::ptr_eq(&lib, &again));
+    }
+}

@@ -16,7 +16,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use bgp_arch::error::Result;
 use bgp_arch::events::CoreEvent;
+use bgp_arch::wire;
 use bgp_upc::Upc;
 
 /// A floating-point instruction class of the PPC450 double-hummer unit.
@@ -215,6 +217,26 @@ impl Fpu {
     /// Zero all statistics.
     pub fn reset(&mut self) {
         *self = Fpu::default();
+    }
+
+    /// Serialize the unit's runtime statistics (checkpoint support).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        for &c in &self.counts {
+            wire::put_u64(out, c);
+        }
+        wire::put_u64(out, self.flops);
+        wire::put_u64(out, self.stall_cycles);
+    }
+
+    /// Restore statistics previously written by [`Fpu::save_state`].
+    ///
+    /// # Errors
+    /// [`bgp_arch::BgpError::Corrupt`] on truncated input.
+    pub fn restore_state(&mut self, r: &mut wire::Reader<'_>) -> Result<()> {
+        r.u64_array(&mut self.counts, "fpu counts")?;
+        self.flops = r.u64("fpu flops")?;
+        self.stall_cycles = r.u64("fpu stall cycles")?;
+        Ok(())
     }
 }
 

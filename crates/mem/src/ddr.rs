@@ -90,6 +90,29 @@ impl DdrController {
     pub fn total(&self) -> u64 {
         self.reads + self.writes
     }
+
+    /// Serialize the controller's runtime state (checkpoint support).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        bgp_arch::wire::put_u64(out, self.reads);
+        bgp_arch::wire::put_u64(out, self.writes);
+        for &t in &self.last_access {
+            bgp_arch::wire::put_u64(out, t);
+        }
+    }
+
+    /// Restore state previously written by [`DdrController::save_state`].
+    ///
+    /// # Errors
+    /// [`bgp_arch::BgpError::Corrupt`] on truncated input.
+    pub fn restore_state(
+        &mut self,
+        r: &mut bgp_arch::wire::Reader<'_>,
+    ) -> bgp_arch::error::Result<()> {
+        self.reads = r.u64("ddr reads")?;
+        self.writes = r.u64("ddr writes")?;
+        r.u64_array(&mut self.last_access, "ddr last access")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -155,6 +155,59 @@ impl StreamPrefetcher {
     pub fn active_streams(&self) -> usize {
         self.streams.len()
     }
+
+    /// Serialize the prefetcher's runtime state (checkpoint support):
+    /// the stream engines, the miss-history window, and the LRU clock.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        bgp_arch::wire::put_u64(out, self.streams.len() as u64);
+        for s in &self.streams {
+            bgp_arch::wire::put_u64(out, s.expect);
+            bgp_arch::wire::put_u64(out, s.prefetched_to);
+            bgp_arch::wire::put_u64(out, s.stamp);
+        }
+        for &m in &self.recent_misses {
+            bgp_arch::wire::put_u64(out, m);
+        }
+        bgp_arch::wire::put_u64(out, self.recent_head as u64);
+        bgp_arch::wire::put_u64(out, self.clock);
+    }
+
+    /// Restore state previously written by
+    /// [`StreamPrefetcher::save_state`].
+    ///
+    /// # Errors
+    /// [`bgp_arch::BgpError::Corrupt`] on truncated input or a stream
+    /// count exceeding this prefetcher's engine capacity.
+    pub fn restore_state(
+        &mut self,
+        r: &mut bgp_arch::wire::Reader<'_>,
+    ) -> bgp_arch::error::Result<()> {
+        let n = r.u64("prefetch stream count")?;
+        if n > self.max_streams as u64 {
+            return Err(bgp_arch::BgpError::corrupt(format!(
+                "snapshot has {n} prefetch streams, capacity is {}",
+                self.max_streams
+            )));
+        }
+        self.streams.clear();
+        for _ in 0..n {
+            self.streams.push(Stream {
+                expect: r.u64("stream expect")?,
+                prefetched_to: r.u64("stream prefetched_to")?,
+                stamp: r.u64("stream stamp")?,
+            });
+        }
+        r.u64_array(&mut self.recent_misses, "prefetch miss history")?;
+        let head = r.u64("prefetch history head")?;
+        if head >= Self::HISTORY as u64 {
+            return Err(bgp_arch::BgpError::corrupt(format!(
+                "prefetch history head {head} out of range"
+            )));
+        }
+        self.recent_head = head as usize;
+        self.clock = r.u64("prefetch clock")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@
 //! `bgp-mem`/`bgp-node` pin this.
 
 use crate::comm::{bytes_to_f64s, f64s_to_bytes, CollKind, Payload, ReduceOp};
-use crate::machine::{place, Machine, OutMsg, Placement};
+use crate::machine::{place, Machine, OutMsg, Placement, RankPublish};
 use crate::sched::{ParkOutcome, Wait};
 use crate::simvec::{SimElem, SimVec};
 use bgp_arch::events::NetEvent;
@@ -110,6 +110,16 @@ pub struct RankCtx {
     windows: u64,
     /// Node memory statistics at the last sample (for window deltas).
     last_mem: MemStats,
+    /// Resume replay: the kernel re-executes for its data effects only,
+    /// with the cost model (retirement, cycle charges, UPC, tracing,
+    /// network events) suppressed. Cached from the machine's flag and
+    /// refreshed after every `acquire` — flips happen only while all
+    /// ranks are parked, so the cache is exact (see
+    /// [`Machine::resume`]).
+    replay: bool,
+    /// Checkpointing is on: publish capture-relevant rank-local state at
+    /// every park (see [`RankPublish`]).
+    publish_state: bool,
     /// Ops queued since the last flush point. In a `RefCell` so the
     /// `&self` observation paths ([`RankCtx::cycles`],
     /// [`RankCtx::with_own_node`]) can drain it before reading.
@@ -129,6 +139,8 @@ impl RankCtx {
             .faults
             .as_ref()
             .map_or(0, |p| p.straggler_penalty(place.node.0 as u32));
+        let replay = machine.replaying();
+        let publish_state = spec.checkpoint.is_some();
         let mut ctx = RankCtx {
             machine,
             rank,
@@ -148,6 +160,8 @@ impl RankCtx {
             trace_slots: Vec::new(),
             windows: 0,
             last_mem: MemStats::default(),
+            replay,
+            publish_state,
             pending: RefCell::new(Pending::default()),
         }
         .with_size();
@@ -238,6 +252,9 @@ impl RankCtx {
         // The join below reads timebases directly, so nothing may be
         // left queued (set_thread already flushed unless threads == 1).
         self.flush_pending();
+        if self.replay {
+            return;
+        }
         // Fork/join barrier: the master resumes only after the slowest
         // thread finished.
         let cores: Vec<usize> = (0..threads).map(|t| self.place.core + t).collect();
@@ -256,6 +273,11 @@ impl RankCtx {
 
     /// This rank's core clock (cycles).
     pub fn cycles(&self) -> u64 {
+        if self.replay {
+            // Replay suppresses all cycle charging; the restored clocks
+            // arrive wholesale at go-live.
+            return 0;
+        }
         self.flush_pending();
         let core = self.core();
         self.with_node(|n| n.timebase(core))
@@ -269,6 +291,9 @@ impl RankCtx {
     /// Charge raw cycles to this rank's core (runtime-library overheads —
     /// used by the counter interface library to model its call costs).
     pub fn charge_cycles(&mut self, n: u64) {
+        if self.replay {
+            return;
+        }
         self.flush_pending();
         let core = self.core();
         self.with_node(|node| node.charge_cycles(core, n));
@@ -321,6 +346,9 @@ impl RankCtx {
 
     #[inline]
     fn push_cpu(&mut self, op: CpuOp) {
+        if self.replay {
+            return;
+        }
         let p = self.pending.get_mut();
         if let Some(last) = p.cpu.last_mut() {
             match (last, &op) {
@@ -451,7 +479,7 @@ impl RankCtx {
     /// Record `kind` into this rank's stream, timestamped with the
     /// rank's core clock. A no-op unless tracing is on.
     pub fn trace_event(&self, kind: EventKind) {
-        if self.tracing {
+        if self.tracing && !self.replay {
             let cycle = self.cycles();
             self.machine.trace.record_rank(self.rank, cycle, kind);
         }
@@ -509,7 +537,7 @@ impl RankCtx {
         // messaging boundary — OS noise, a flaky DIMM retraining, a
         // thermally throttled chip. Charged here so the slowdown shows
         // up in cycle counters and in everyone who waits on this rank.
-        if self.straggler_penalty > 0 {
+        if self.straggler_penalty > 0 && !self.replay {
             let core = self.core();
             let penalty = self.straggler_penalty;
             self.with_node(|node| node.charge_cycles(core, penalty));
@@ -545,12 +573,27 @@ impl RankCtx {
             "rank parked with unretired pending ops"
         );
         self.trace_event(EventKind::RankPark { wait: wait_kind(wait) });
+        if self.publish_state && !self.replay {
+            // A checkpoint capture may run while this rank is parked;
+            // publish the rank-local fields it cannot otherwise see.
+            *self.machine.publish[self.rank].lock() =
+                RankPublish { windows: self.windows, last_mem: self.last_mem };
+        }
         if self.machine.sched.park(self.rank, wait) == ParkOutcome::Resolve {
             let wake = self.machine.resolve_phase();
             self.machine.sched.commit_phase(&wake);
         }
         self.machine.sched.acquire(self.rank);
         self.tick = 0;
+        if self.replay && !self.machine.replaying() {
+            // Go-live: the resume snapshot was applied while everyone was
+            // parked. Pull the restored rank-local state and run live
+            // from the first instruction after this wake.
+            let p = *self.machine.publish[self.rank].lock();
+            self.windows = p.windows;
+            self.last_mem = p.last_mem;
+            self.replay = false;
+        }
         self.trace_event(EventKind::RankWake);
     }
 
@@ -580,6 +623,13 @@ impl RankCtx {
 
     #[inline]
     fn mem(&mut self, vaddr: u64, width: MemWidth, write: bool) {
+        if self.replay {
+            // No retirement, no quantum — but the codegen selectors are
+            // stateful Bresenham streams, so the decision the live run
+            // consumed here must still be consumed.
+            let _ = self.cg.redundant_mem();
+            return;
+        }
         // Tick first so a boundary-crossing access lands in the window it
         // opens (the per-op path retired after the boundary too).
         self.quantum_tick();
@@ -788,16 +838,22 @@ impl RankCtx {
         self.flush_pending();
         let bytes = data.len() as u64;
         let dst_node = place(self.machine.spec(), dst).node;
-        let cost = self.machine.torus.transfer(self.place.node, dst_node, bytes);
-        let overhead = self.machine.spec().mpi.send_overhead;
-        let core = self.core();
-        let sent_at = self.with_node(|n| {
-            n.charge_cycles(core, overhead + cost.cycles);
-            n.emit_event(NetEvent::TorusPktSent.id(), cost.packets);
-            n.emit_event(NetEvent::TorusBytesSent.id(), bytes);
-            n.emit_event(NetEvent::TorusHops.id(), cost.hops);
-            n.timebase(core)
-        });
+        let sent_at = if self.replay {
+            // The message itself (payload, ordering) is data state and
+            // must flow; its injection cost and timestamp are not.
+            0
+        } else {
+            let cost = self.machine.torus.transfer(self.place.node, dst_node, bytes);
+            let overhead = self.machine.spec().mpi.send_overhead;
+            let core = self.core();
+            self.with_node(|n| {
+                n.charge_cycles(core, overhead + cost.cycles);
+                n.emit_event(NetEvent::TorusPktSent.id(), cost.packets);
+                n.emit_event(NetEvent::TorusBytesSent.id(), bytes);
+                n.emit_event(NetEvent::TorusHops.id(), cost.hops);
+                n.timebase(core)
+            })
+        };
         self.machine.comm.lock().outboxes[self.rank].push_back(OutMsg {
             dst,
             tag,
@@ -806,7 +862,7 @@ impl RankCtx {
             src_node: self.place.node,
             dst_node,
         });
-        if self.tracing {
+        if self.tracing && !self.replay {
             self.machine.trace.record_rank(
                 self.rank,
                 sent_at,
@@ -832,17 +888,19 @@ impl RankCtx {
                 idx.and_then(|i| mb.remove(i))
             };
             if let Some(msg) = msg {
-                let bytes = msg.data.len() as u64;
-                let packet = self.machine.spec().net.torus_packet_bytes;
-                let packets = bytes.div_ceil(packet).max(1);
-                let overhead = self.machine.spec().mpi.recv_overhead;
-                let core = self.core();
-                self.with_node(|n| {
-                    n.advance_to(core, msg.ready_at);
-                    n.charge_cycles(core, overhead);
-                    n.emit_event(NetEvent::TorusPktRecv.id(), packets);
-                    n.emit_event(NetEvent::TorusBytesRecv.id(), bytes);
-                });
+                if !self.replay {
+                    let bytes = msg.data.len() as u64;
+                    let packet = self.machine.spec().net.torus_packet_bytes;
+                    let packets = bytes.div_ceil(packet).max(1);
+                    let overhead = self.machine.spec().mpi.recv_overhead;
+                    let core = self.core();
+                    self.with_node(|n| {
+                        n.advance_to(core, msg.ready_at);
+                        n.charge_cycles(core, overhead);
+                        n.emit_event(NetEvent::TorusPktRecv.id(), packets);
+                        n.emit_event(NetEvent::TorusBytesRecv.id(), bytes);
+                    });
+                }
                 return msg.data;
             }
             self.park_on(Wait::Recv { src, tag });
@@ -997,6 +1055,10 @@ impl RankCtx {
             (result, ra, sent, recvd)
         };
 
+        if self.replay {
+            self.yield_now();
+            return result;
+        }
         let core = self.core();
         let packet = self.machine.spec().net.torus_packet_bytes;
         self.with_node(|node| {

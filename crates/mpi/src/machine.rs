@@ -11,11 +11,14 @@ use bgp_arch::sync::Mutex;
 use bgp_arch::{MachineConfig, OpMode};
 use bgp_compiler::CompileOpts;
 use bgp_faults::FaultPlan;
+use bgp_mem::MemStats;
 use bgp_net::{BarrierNetwork, CollectiveNetwork, NetConfig, PhaseTraffic, TorusNetwork};
 use bgp_node::Node;
+use bgp_snapshot::{Snapshot, SnapshotStore};
 use bgp_trace::{EventKind, JobTrace, TraceConfig, TraceEvent, TraceState};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Software overheads of the messaging layer (cycles).
@@ -67,6 +70,53 @@ impl CounterPolicy {
     }
 }
 
+/// Periodic checkpointing of a running job into a snapshot directory.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Write a snapshot every this many completed scheduling phases
+    /// (clamped to at least 1). Capture happens at phase boundaries —
+    /// the only points where the whole machine is quiescent.
+    pub every: u64,
+    /// Directory the [`bgp_snapshot::SnapshotStore`] rotates files in.
+    pub dir: PathBuf,
+    /// How many snapshot files to keep (oldest pruned first, min 1).
+    pub retain: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint into `dir` every `every` phases, keeping 3 files.
+    pub fn new(dir: impl Into<PathBuf>, every: u64) -> CheckpointConfig {
+        CheckpointConfig { every: every.max(1), dir: dir.into(), retain: 3 }
+    }
+}
+
+/// State a rank publishes at each park so the checkpoint capture — which
+/// runs while every rank is parked — can see rank-local fields that are
+/// not rebuilt by replay (the tracing window counter and the memory-stat
+/// baseline its deltas are taken against).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct RankPublish {
+    pub windows: u64,
+    pub last_mem: MemStats,
+}
+
+/// Application-layer state captured into snapshots alongside the
+/// machine's own (runtime libraries layered over the rank context, e.g.
+/// the counter interface library in `bgp-core`). Hooks are registered
+/// with [`Machine::register_app_state`]; each contributes one snapshot
+/// section named `app:<name>` and is restored from it on resume.
+pub trait AppState: Send + Sync {
+    /// Stable section suffix (must be identical across runs of a job).
+    fn name(&self) -> &'static str;
+    /// Serialize the complete state.
+    fn save(&self) -> Vec<u8>;
+    /// Replace the state from `bytes` (written by [`AppState::save`]).
+    ///
+    /// # Errors
+    /// Returns a corrupt-data error to fail the resume closed.
+    fn restore(&self, bytes: &[u8]) -> bgp_arch::error::Result<()>;
+}
+
 /// Complete description of one job run.
 #[derive(Clone, Debug)]
 pub struct JobSpec {
@@ -101,6 +151,14 @@ pub struct JobSpec {
     /// simulated cycles and byte-identical for every `sim_threads`
     /// value.
     pub trace: Option<TraceConfig>,
+    /// Periodic crash-safe checkpointing (`None` = off). Capture only
+    /// reads machine state, so dumps, cycle counts and traces are
+    /// byte-identical with checkpointing on, off, or at any cadence.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Kill the job (panic at a phase boundary) once its simulated
+    /// wall-clock exceeds this many cycles. A supervisor treats the kill
+    /// as fatal: resuming cannot un-spend simulated time.
+    pub cycle_budget: Option<u64>,
 }
 
 impl JobSpec {
@@ -123,7 +181,37 @@ impl JobSpec {
             faults: None,
             sim_threads: None,
             trace: None,
+            checkpoint: None,
+            cycle_budget: None,
         }
+    }
+
+    /// Identity of the simulated experiment: a checksum over every field
+    /// that affects simulation outcomes. Snapshots embed it and resume
+    /// refuses a snapshot whose fingerprint differs — resuming an MG run
+    /// into a CG machine fails closed instead of diverging silently.
+    ///
+    /// Deliberately excluded: `sim_threads` (wall-clock only, results are
+    /// byte-identical for every value), `checkpoint` (capture only reads
+    /// state, so cadence and directory don't affect outcomes), and
+    /// `cycle_budget` (only decides *whether* the job is killed, never
+    /// what it computes).
+    pub fn fingerprint(&self) -> u64 {
+        let canon = format!(
+            "ranks={:?} mode={:?} machine={:?} net={:?} policy={:?} compile={:?} \
+             quantum={:?} mpi={:?} faults={:?} trace={:?}",
+            self.ranks,
+            self.mode,
+            self.machine,
+            self.net,
+            self.counter_policy,
+            self.compile,
+            self.quantum,
+            self.mpi,
+            self.faults,
+            self.trace,
+        );
+        bgp_arch::wire::checksum(canon.as_bytes())
     }
 
     /// Number of nodes the job occupies.
@@ -218,6 +306,42 @@ pub struct Machine {
     pub(crate) comm: Mutex<CommInner>,
     pub(crate) trace: Arc<TraceState>,
     ran: AtomicBool,
+    /// Rotating snapshot writer (present iff `spec.checkpoint` is).
+    store: Option<SnapshotStore>,
+    /// True from [`Machine::resume`] until the replayed phase counter
+    /// reaches the snapshot's phase and the restore goes live. While set,
+    /// ranks re-execute the kernel for its *data* effects only: the cost
+    /// model (cycle charges, memory retirement, UPC, tracing, network
+    /// events) is suppressed.
+    replay: AtomicBool,
+    /// Phase at which the pending resume snapshot applies (`u64::MAX`
+    /// when no resume is in flight).
+    resume_phase: AtomicU64,
+    resume_snap: Mutex<Option<Snapshot>>,
+    /// Per-rank state published at park time (see [`RankPublish`]).
+    pub(crate) publish: Vec<Mutex<RankPublish>>,
+    app_states: Mutex<Vec<Arc<dyn AppState>>>,
+    /// Deterministic kill point for supervisor tests and fault drills:
+    /// the resolving rank panics once the phase counter reaches this.
+    kill_at_phase: AtomicU64,
+    snap_written: AtomicU64,
+    snap_bytes: AtomicU64,
+    snap_nanos: AtomicU64,
+    snap_last_phase: AtomicU64,
+}
+
+/// Totals of the snapshot writes a machine performed (capture cost
+/// accounting for `BENCH_snapshot.json` and the `bgpc-run` report).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Snapshot files written.
+    pub written: u64,
+    /// Total encoded bytes across all writes.
+    pub bytes: u64,
+    /// Host wall-clock spent encoding + writing, in nanoseconds.
+    pub save_nanos: u64,
+    /// Phase of the most recent write (`None` if none happened).
+    pub last_phase: Option<u64>,
 }
 
 impl Machine {
@@ -259,6 +383,10 @@ impl Machine {
                 format!("\n{report}{sidecar}")
             }));
         }
+        let store = spec
+            .checkpoint
+            .as_ref()
+            .map(|cp| SnapshotStore::new(cp.dir.clone(), cp.retain));
         Arc::new(Machine {
             torus,
             coll_net: CollectiveNetwork::new(n_nodes, spec.net.clone()),
@@ -270,10 +398,21 @@ impl Machine {
                 slots: [CollSlot::default(), CollSlot::default()],
                 traffic: PhaseTraffic::new(&spec.net),
             }),
+            publish: (0..spec.ranks).map(|_| Mutex::new(RankPublish::default())).collect(),
             nodes,
             spec,
             trace,
             ran: AtomicBool::new(false),
+            store,
+            replay: AtomicBool::new(false),
+            resume_phase: AtomicU64::new(u64::MAX),
+            resume_snap: Mutex::new(None),
+            app_states: Mutex::new(Vec::new()),
+            kill_at_phase: AtomicU64::new(u64::MAX),
+            snap_written: AtomicU64::new(0),
+            snap_bytes: AtomicU64::new(0),
+            snap_nanos: AtomicU64::new(0),
+            snap_last_phase: AtomicU64::new(u64::MAX),
         })
     }
 
@@ -323,6 +462,94 @@ impl Machine {
         self.trace.snapshot()
     }
 
+    /// Arm this machine to continue from `snap` instead of starting
+    /// cold. Must be called before [`Machine::run`]; the subsequent run
+    /// replays the kernel's *data* effects (message payloads, collective
+    /// contributions, control flow) through the real phase engine with
+    /// the cost model suppressed, then swaps in the snapshot's timing,
+    /// counter, cache and trace state once the replayed phase counter
+    /// reaches `snap.phase`. From that point the run is live and —
+    /// because wait satisfaction depends only on data state, which the
+    /// replay rebuilds exactly — continues byte-identically to a run
+    /// that was never interrupted.
+    ///
+    /// Identity contract: everything the *simulator* owns — counter
+    /// dumps, per-core clocks, cache/DDR state, traces, `job_cycles` —
+    /// is byte-identical to the uninterrupted run. A kernel's *return
+    /// value* is rebuilt by replay: if it embeds raw timing
+    /// observations ([`RankCtx::cycles`]) taken before the resume
+    /// point, those read as 0 during replay. Kernels wanting
+    /// resume-identical return values derive them from data (the
+    /// instrumented NAS kernels do; their timing flows through the
+    /// counter library, whose state snapshots restore).
+    ///
+    /// # Errors
+    /// Rejects a snapshot whose fingerprint does not match this spec
+    /// (wrong experiment) or whose phase is zero (nothing to skip).
+    pub fn resume(&self, snap: Snapshot) -> Result<(), String> {
+        assert!(!self.ran.load(Ordering::SeqCst), "resume must precede run");
+        let want = self.spec.fingerprint();
+        if snap.fingerprint != want {
+            return Err(format!(
+                "snapshot fingerprint {:#018x} does not match this job spec \
+                 ({want:#018x}): refusing to resume a different experiment",
+                snap.fingerprint
+            ));
+        }
+        if snap.phase == 0 {
+            return Err("snapshot phase is 0; start the job cold instead".into());
+        }
+        self.resume_phase.store(snap.phase, Ordering::SeqCst);
+        *self.resume_snap.lock() = Some(snap);
+        self.replay.store(true, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Whether the machine is still replaying toward a resume point.
+    pub fn replaying(&self) -> bool {
+        self.replay.load(Ordering::Acquire)
+    }
+
+    /// Abort the job from outside (supervisor watchdog): every rank
+    /// unblocks and panics, [`Machine::run`] propagates the panic.
+    pub fn abort_job(&self) {
+        self.sched.abort();
+    }
+
+    /// Deterministic kill point: the resolving rank panics once the
+    /// phase counter reaches `phase`. Used by supervisor recovery tests
+    /// and crash drills (`bgpc-run --crash-at-phase`) to die at a
+    /// reproducible spot instead of on a wall-clock race.
+    pub fn set_kill_at_phase(&self, phase: u64) {
+        self.kill_at_phase.store(phase, Ordering::SeqCst);
+    }
+
+    /// Register application-layer state for checkpoint capture/restore
+    /// (one snapshot section per hook, named `app:<name>`).
+    ///
+    /// # Panics
+    /// Panics if a hook with the same name is already registered.
+    pub fn register_app_state(&self, hook: Arc<dyn AppState>) {
+        let mut hooks = self.app_states.lock();
+        assert!(
+            hooks.iter().all(|h| h.name() != hook.name()),
+            "duplicate app-state hook {:?}",
+            hook.name()
+        );
+        hooks.push(hook);
+    }
+
+    /// Totals of the snapshot writes performed so far.
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        let last = self.snap_last_phase.load(Ordering::Relaxed);
+        SnapshotStats {
+            written: self.snap_written.load(Ordering::Relaxed),
+            bytes: self.snap_bytes.load(Ordering::Relaxed),
+            save_nanos: self.snap_nanos.load(Ordering::Relaxed),
+            last_phase: (last != u64::MAX).then_some(last),
+        }
+    }
+
     /// Merge the phase's buffered effects and compute which parked ranks
     /// become runnable. Called by the rank that emptied the frontier,
     /// with every other rank parked — the merge iterates in canonical
@@ -331,10 +558,12 @@ impl Machine {
     pub(crate) fn resolve_phase(&self) -> Vec<usize> {
         let mut guard = self.comm.lock();
         let comm = &mut *guard;
+        let replaying = self.replay.load(Ordering::Acquire);
         // Tracing check: read once per phase, while the machine is
         // quiescent (every rank parked), so the answer is deterministic
-        // at phase granularity for any thread count.
-        let tracing = self.trace.sched_active();
+        // at phase granularity for any thread count. Replay records
+        // nothing: the trace rings are restored whole at go-live.
+        let tracing = !replaying && self.trace.sched_active();
         let mut events: Vec<TraceEvent> = Vec::new();
         let mut delivered = 0u64;
         let mut delivered_bytes = 0u64;
@@ -417,7 +646,177 @@ impl Machine {
             });
             self.trace.extend_sched(events);
         }
+
+        // Checkpoint engine. `phases()` counts *committed* phases, so at
+        // this point it names the phase being resolved; the machine is
+        // quiescent (every unfinished rank parked) and the merge above
+        // has run, which makes this the one spot where a phase-stamped
+        // state capture — or the restore replacing one — is well defined.
+        let phase = self.sched.phases();
+        if replaying {
+            if phase == self.resume_phase.load(Ordering::Acquire) {
+                self.apply_restore(comm);
+            }
+        } else {
+            if let Some(cp) = &self.spec.checkpoint {
+                if phase > 0 && phase.is_multiple_of(cp.every) {
+                    self.capture_snapshot(comm, phase);
+                }
+            }
+            if let Some(budget) = self.spec.cycle_budget {
+                if phase.is_multiple_of(CYCLE_BUDGET_CHECK_EVERY) {
+                    let spent = self.job_cycles();
+                    assert!(
+                        spent <= budget,
+                        "simulated-cycle budget exceeded: {spent} > {budget} \
+                         cycles at phase {phase}"
+                    );
+                }
+            }
+            assert!(
+                phase < self.kill_at_phase.load(Ordering::Acquire),
+                "job killed by supervisor watchdog at phase {phase} (injected kill point)"
+            );
+        }
         wake
+    }
+
+    /// Serialize the complete machine state at the end of resolving
+    /// `phase` and rotate it into the snapshot store. Capture only
+    /// *reads* simulation state, so results are byte-identical with
+    /// checkpointing on or off; a failed write degrades crash coverage,
+    /// not the job, so it warns instead of panicking.
+    fn capture_snapshot(&self, comm: &mut CommInner, phase: u64) {
+        let store = self.store.as_ref().expect("capture without a store");
+        let t0 = std::time::Instant::now();
+        let mut snap = Snapshot::new(self.spec.fingerprint(), phase);
+
+        // Nodes: cores (issue/stall/instruction counters, FPU), the
+        // memory hierarchy, UPC units, instruction-fetch cursors.
+        let mut buf = Vec::new();
+        bgp_arch::wire::put_u64(&mut buf, self.nodes.len() as u64);
+        for n in &self.nodes {
+            n.lock().save_state(&mut buf);
+        }
+        snap.add_section("nodes", buf);
+
+        // Communication timing + a digest of the data state replay must
+        // reproduce (outboxes were drained by the merge above).
+        debug_assert!(comm.outboxes.iter().all(VecDeque::is_empty));
+        let mut buf = Vec::new();
+        save_comm(comm, &mut buf);
+        snap.add_section("comm", buf);
+
+        // Rank-local fields not rebuilt by replay, as published at each
+        // rank's most recent park (all ranks are parked right now).
+        let mut buf = Vec::new();
+        bgp_arch::wire::put_u64(&mut buf, self.publish.len() as u64);
+        for p in &self.publish {
+            let p = p.lock();
+            bgp_arch::wire::put_u64(&mut buf, p.windows);
+            p.last_mem.save_state(&mut buf);
+        }
+        snap.add_section("ranks", buf);
+
+        let mut buf = Vec::new();
+        self.trace.save_state(&mut buf);
+        snap.add_section("trace", buf);
+
+        for hook in self.app_states.lock().iter() {
+            snap.add_section(&format!("app:{}", hook.name()), hook.save());
+        }
+
+        match store.save(&snap) {
+            Ok(path) => {
+                self.snap_written.fetch_add(1, Ordering::Relaxed);
+                let bytes = std::fs::metadata(&path).map_or(0, |m| m.len());
+                self.snap_bytes.fetch_add(bytes, Ordering::Relaxed);
+                self.snap_last_phase.store(phase, Ordering::Relaxed);
+            }
+            Err(e) => {
+                eprintln!(
+                    "bgp-mpi: warning: checkpoint write at phase {phase} failed \
+                     ({e}); the job continues without this restart point"
+                );
+            }
+        }
+        self.snap_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Go live: the replayed phase counter has reached the snapshot's
+    /// phase, the machine is quiescent, and the replay has rebuilt the
+    /// data state — verify that via the comm digests, then swap in the
+    /// snapshot's timing, counter, cache, trace and application state.
+    /// Any mismatch is a replay-divergence bug (the snapshot's own
+    /// integrity was checksum-verified at load), so it fails loud.
+    fn apply_restore(&self, comm: &mut CommInner) {
+        let snap = self
+            .resume_snap
+            .lock()
+            .take()
+            .expect("go-live phase reached twice");
+
+        let bytes = snap.section_required("nodes").expect("nodes section");
+        let mut r = bgp_arch::wire::Reader::new(bytes);
+        let n = r.u64("node count").expect("node count");
+        assert_eq!(n as usize, self.nodes.len(), "snapshot node count mismatch");
+        for node in &self.nodes {
+            node.lock()
+                .restore_state(&mut r)
+                .expect("node state restore failed");
+        }
+        r.expect_end("nodes section").expect("trailing bytes in nodes section");
+
+        let bytes = snap.section_required("comm").expect("comm section");
+        let mut r = bgp_arch::wire::Reader::new(bytes);
+        restore_comm(comm, &mut r).expect("comm state restore failed");
+        r.expect_end("comm section").expect("trailing bytes in comm section");
+
+        let bytes = snap.section_required("ranks").expect("ranks section");
+        let mut r = bgp_arch::wire::Reader::new(bytes);
+        let n = r.u64("rank count").expect("rank count");
+        assert_eq!(n as usize, self.publish.len(), "snapshot rank count mismatch");
+        for p in &self.publish {
+            let windows = r.u64("rank windows").expect("rank windows");
+            let mut last_mem = MemStats::default();
+            last_mem.restore_state(&mut r).expect("rank mem baseline");
+            *p.lock() = RankPublish { windows, last_mem };
+        }
+        r.expect_end("ranks section").expect("trailing bytes in ranks section");
+
+        let bytes = snap.section_required("trace").expect("trace section");
+        let mut r = bgp_arch::wire::Reader::new(bytes);
+        self.trace.restore_state(&mut r).expect("trace state restore failed");
+        r.expect_end("trace section").expect("trailing bytes in trace section");
+
+        let hooks = self.app_states.lock();
+        for hook in hooks.iter() {
+            let name = format!("app:{}", hook.name());
+            let bytes = snap
+                .section_required(&name)
+                .unwrap_or_else(|e| panic!("{e}: registered hooks must match the saved run"));
+            hook.restore(bytes)
+                .unwrap_or_else(|e| panic!("app-state restore {name:?} failed: {e}"));
+        }
+        // The converse must also fail closed: a saved app section with
+        // no hook to receive it would silently resume with default
+        // library state.
+        for name in snap.section_names() {
+            if let Some(suffix) = name.strip_prefix("app:") {
+                assert!(
+                    hooks.iter().any(|h| h.name() == suffix),
+                    "snapshot section {name:?} has no registered app-state                      hook; register it before resuming"
+                );
+            }
+        }
+        drop(hooks);
+
+        // Flip live. Parked ranks observe this after their next acquire
+        // (see `RankCtx::park_on`) — i.e. before any of them executes
+        // another instruction.
+        self.resume_phase.store(u64::MAX, Ordering::SeqCst);
+        self.replay.store(false, Ordering::Release);
     }
 
     /// Finish one collective: combine contributions, price the network
@@ -497,11 +896,184 @@ impl Machine {
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank thread panicked"))
-                .collect()
+            let mut outs = Vec::with_capacity(handles.len());
+            let mut panics = Vec::new();
+            for h in handles {
+                match h.join() {
+                    Ok(r) => outs.push(r),
+                    Err(e) => panics.push(e),
+                }
+            }
+            if !panics.is_empty() {
+                // Re-raise the root cause (deadlock report, budget
+                // message, watchdog kill) so a supervisor can classify
+                // it. Peers of the panicking rank die with a generic
+                // abort echo; skip those if anything more specific
+                // exists.
+                let idx = panics
+                    .iter()
+                    .position(|e| !panic_message(e.as_ref()).contains(ABORT_ECHO))
+                    .unwrap_or(0);
+                std::panic::resume_unwind(panics.swap_remove(idx));
+            }
+            outs
         })
+    }
+}
+
+/// The panic message ranks die with when a *peer* failed first (see
+/// [`Machine::run`]'s payload selection).
+pub const ABORT_ECHO: &str = "job aborted: a peer rank panicked";
+
+/// Best-effort extraction of a panic payload's message (`&str` and
+/// `String` payloads; anything else reads as an empty string). Lets
+/// supervisors classify failures re-raised by [`Machine::run`].
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        ""
+    }
+}
+
+/// How often (in phases) the simulated-cycle budget is compared against
+/// `job_cycles()` — the check locks every node, so it is amortized.
+const CYCLE_BUDGET_CHECK_EVERY: u64 = 64;
+
+/// Encode the communication layer's *timing* state (per-message
+/// availability times, per-slot arrival/availability times) plus digests
+/// of its *data* state. Replay rebuilds the data exactly — payloads,
+/// ordering, collective progress are pure functions of the kernel — so
+/// only timing is stored; the digests let the restore prove that
+/// assumption held before it splices restored clocks onto replayed data.
+fn save_comm(comm: &CommInner, out: &mut Vec<u8>) {
+    use bgp_arch::wire::{checksum, put_bytes, put_u32, put_u64};
+    put_u64(out, comm.mailboxes.len() as u64);
+    let mut dbuf = Vec::new();
+    for mb in &comm.mailboxes {
+        put_u64(out, mb.len() as u64);
+        for m in mb {
+            put_u64(out, m.ready_at);
+            put_u64(&mut dbuf, m.src as u64);
+            put_u32(&mut dbuf, m.tag);
+            put_bytes(&mut dbuf, &m.data);
+        }
+    }
+    put_u64(out, checksum(&dbuf));
+    let mut sbuf = Vec::new();
+    for slot in &comm.slots {
+        put_u64(out, slot.t_max);
+        put_u64(out, slot.ready_at);
+        digest_slot_data(slot, &mut sbuf);
+    }
+    put_u64(out, checksum(&sbuf));
+}
+
+/// Restore the timing fields written by [`save_comm`] onto the replayed
+/// communication state, verifying the data digests match.
+fn restore_comm(comm: &mut CommInner, r: &mut bgp_arch::wire::Reader<'_>) -> bgp_arch::error::Result<()> {
+    use bgp_arch::error::BgpError;
+    use bgp_arch::wire::{checksum, put_bytes, put_u32, put_u64};
+    let n = r.u64("mailbox count")? as usize;
+    if n != comm.mailboxes.len() {
+        return Err(BgpError::corrupt(format!(
+            "snapshot has {n} mailboxes, replay produced {}",
+            comm.mailboxes.len()
+        )));
+    }
+    let mut dbuf = Vec::new();
+    for (i, mb) in comm.mailboxes.iter_mut().enumerate() {
+        let len = r.u64("mailbox length")? as usize;
+        if len != mb.len() {
+            return Err(BgpError::corrupt(format!(
+                "replay divergence: mailbox {i} holds {} messages, snapshot \
+                 recorded {len}",
+                mb.len()
+            )));
+        }
+        for m in mb.iter_mut() {
+            m.ready_at = r.u64("message ready_at")?;
+            put_u64(&mut dbuf, m.src as u64);
+            put_u32(&mut dbuf, m.tag);
+            put_bytes(&mut dbuf, &m.data);
+        }
+    }
+    let want = r.u64("mailbox digest")?;
+    if checksum(&dbuf) != want {
+        return Err(BgpError::corrupt(
+            "replay divergence: mailbox payloads differ from the snapshot's",
+        ));
+    }
+    let mut sbuf = Vec::new();
+    for slot in comm.slots.iter_mut() {
+        slot.t_max = r.u64("slot t_max")?;
+        slot.ready_at = r.u64("slot ready_at")?;
+        digest_slot_data(slot, &mut sbuf);
+    }
+    let want = r.u64("slot digest")?;
+    if checksum(&sbuf) != want {
+        return Err(BgpError::corrupt(
+            "replay divergence: collective slot state differs from the snapshot's",
+        ));
+    }
+    Ok(())
+}
+
+/// Append a canonical encoding of a collective slot's *data* state (the
+/// part replay must reproduce: everything but `t_max`/`ready_at`).
+fn digest_slot_data(slot: &CollSlot, out: &mut Vec<u8>) {
+    use bgp_arch::wire::{put_bytes, put_u64, put_u8};
+    match slot.kind {
+        None => put_u8(out, 0),
+        Some(CollKind::Barrier) => put_u8(out, 1),
+        Some(CollKind::Bcast { root }) => {
+            put_u8(out, 2);
+            put_u64(out, root as u64);
+        }
+        Some(CollKind::Reduce { root, op }) => {
+            put_u8(out, 3);
+            put_u64(out, root as u64);
+            put_u8(out, reduce_op_tag(op));
+        }
+        Some(CollKind::Allreduce { op }) => {
+            put_u8(out, 4);
+            put_u8(out, reduce_op_tag(op));
+        }
+        Some(CollKind::Alltoall) => put_u8(out, 5),
+    }
+    put_u64(out, slot.arrived as u64);
+    put_u64(out, slot.consumed as u64);
+    put_u8(out, u8::from(slot.complete));
+    put_u64(out, slot.contrib.len() as u64);
+    for c in &slot.contrib {
+        match c {
+            None => put_u8(out, 0),
+            Some(p) => {
+                put_u8(out, 1);
+                put_bytes(out, p);
+            }
+        }
+    }
+    put_u64(out, slot.matrix.len() as u64);
+    for row in &slot.matrix {
+        put_u64(out, row.len() as u64);
+        for p in row {
+            put_bytes(out, p);
+        }
+    }
+    put_bytes(out, &slot.result);
+}
+
+fn reduce_op_tag(op: crate::comm::ReduceOp) -> u8 {
+    use crate::comm::ReduceOp::*;
+    match op {
+        SumF64 => 0,
+        MaxF64 => 1,
+        MinF64 => 2,
+        SumU64 => 3,
+        MaxU64 => 4,
     }
 }
 

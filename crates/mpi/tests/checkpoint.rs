@@ -1,0 +1,229 @@
+//! Checkpoint capture / replay-resume identity at the runtime level:
+//! a resumed machine must continue **byte-identically** — node state,
+//! cycle counts, trace streams, kernel results — to a machine that was
+//! never interrupted, for clean and faulted plans alike.
+
+use bgp_faults::{FaultPlan, FaultSpec};
+use bgp_mpi::machine::CheckpointConfig;
+use bgp_mpi::{JobSpec, Machine, RankCtx, SemOp};
+use bgp_snapshot::SnapshotStore;
+use bgp_trace::TraceConfig;
+use std::sync::Arc;
+
+/// A kernel touching every subsystem a snapshot must cover: cache-walked
+/// memory traffic, FP/int/branch retirement, ring point-to-point
+/// traffic with per-rank message sizes, and chained collectives. The
+/// result is data-derived (per the [`Machine::resume`] contract, raw
+/// timing observations in return values read 0 during replay); timing
+/// identity is asserted through the machine state instead, which covers
+/// every core's timebase.
+fn kernel(ctx: &mut RankCtx) -> u64 {
+    let n = ctx.size();
+    let mut v = ctx.alloc::<f64>(1024);
+    let mut acc = 0f64;
+    for round in 0..6u64 {
+        for i in 0..1024 {
+            ctx.st(&mut v, i, (i as u64 + round) as f64);
+        }
+        ctx.ld_range(&v, 0..1024);
+        ctx.overhead(1024);
+        ctx.fp_scalar_n(SemOp::MulAdd, 256);
+        let peer = (ctx.rank() + 1) % n;
+        let from = (ctx.rank() + n - 1) % n;
+        ctx.send(peer, round as u32, vec![round as u8; 64 + ctx.rank()]);
+        let got = ctx.recv(Some(from), round as u32);
+        acc += got.len() as f64;
+        acc = ctx.allreduce_sum_f64(&[acc])[0];
+        ctx.barrier();
+    }
+    acc.to_bits()
+}
+
+fn spec(dir: Option<&std::path::Path>, faulted: bool) -> JobSpec {
+    let mut spec = JobSpec::new(8, bgp_arch::OpMode::VirtualNode);
+    spec.trace = Some(TraceConfig::default());
+    spec.sim_threads = Some(4);
+    if faulted {
+        let fs = FaultSpec {
+            straggler_rate: 0.5,
+            straggler_penalty_cycles: 5000,
+            link_degrade_rate: 0.5,
+            link_slowdown: 3,
+            ..FaultSpec::default()
+        };
+        spec.faults = Some(Arc::new(FaultPlan::new(fs, 7, spec.nodes())));
+    }
+    if let Some(dir) = dir {
+        spec.checkpoint =
+            Some(CheckpointConfig { every: 2, dir: dir.into(), retain: 8 });
+    }
+    spec
+}
+
+/// Everything observable about a finished machine, as labeled parts so
+/// an identity failure names the diverging subsystem.
+fn observe(m: &Machine, results: &[u64]) -> Vec<(String, Vec<u8>)> {
+    let mut parts = Vec::new();
+    let mut buf = Vec::new();
+    bgp_arch::wire::put_u64(&mut buf, m.job_cycles());
+    bgp_arch::wire::put_u64(&mut buf, m.phases());
+    parts.push(("clocks".to_string(), buf));
+    for node in 0..m.num_nodes() {
+        let mut buf = Vec::new();
+        m.with_node(node, |n| n.save_state(&mut buf));
+        parts.push((format!("node {node}"), buf));
+    }
+    let mut buf = Vec::new();
+    m.trace_state().save_state(&mut buf);
+    parts.push(("trace".to_string(), buf));
+    let mut buf = Vec::new();
+    bgp_arch::wire::put_u64s(&mut buf, results);
+    parts.push(("results".to_string(), buf));
+    parts
+}
+
+/// Assert part-by-part equality with the diverging part named.
+fn assert_same(a: &[(String, Vec<u8>)], b: &[(String, Vec<u8>)], what: &str) {
+    for ((an, ab), (bn, bb)) in a.iter().zip(b) {
+        assert_eq!(an, bn);
+        assert!(
+            ab == bb,
+            "{what}: part {an:?} diverged ({} vs {} bytes)",
+            ab.len(),
+            bb.len()
+        );
+    }
+    assert_eq!(a.len(), b.len(), "{what}: part count");
+}
+
+fn run_reference(faulted: bool) -> Vec<(String, Vec<u8>)> {
+    let m = Machine::new(spec(None, faulted));
+    let r = m.run(kernel);
+    observe(&m, &r)
+}
+
+fn resume_run(dir: &std::path::Path, faulted: bool) -> Vec<(String, Vec<u8>)> {
+    let s = spec(Some(dir), faulted);
+    let fp = s.fingerprint();
+    let m = Machine::new(s);
+    let snap = SnapshotStore::new(dir, 3)
+        .load_latest_valid(fp)
+        .expect("store readable")
+        .snapshot
+        .expect("a valid snapshot exists")
+        .0;
+    m.resume(snap).expect("snapshot accepted");
+    let r = m.run(kernel);
+    observe(&m, &r)
+}
+
+#[test]
+fn resumed_run_is_byte_identical_to_uninterrupted() {
+    for faulted in [false, true] {
+        let reference = run_reference(faulted);
+        let dir = tempdir(&format!("resume-clean-{faulted}"));
+        // Checkpointing itself must not perturb the run.
+        let m = Machine::new(spec(Some(&dir), faulted));
+        let r = m.run(kernel);
+        assert_same(
+            &observe(&m, &r),
+            &reference,
+            &format!("checkpoint capture perturbed the run (faulted={faulted})"),
+        );
+        assert!(m.snapshot_stats().written >= 1, "no snapshots written");
+        // Resuming from EVERY retained snapshot must land on the same
+        // bytes — a crash can happen anywhere.
+        let store = SnapshotStore::new(&dir, 8);
+        let files = store.list().expect("snapshot dir listable");
+        assert!(files.len() >= 2, "expected several retained snapshots");
+        for path in files {
+            let snap = bgp_snapshot::Snapshot::decode(
+                &std::fs::read(&path).expect("snapshot readable"),
+            )
+            .expect("snapshot decodes");
+            let phase = snap.phase;
+            let m = Machine::new(spec(Some(&dir), faulted));
+            m.resume(snap).expect("snapshot accepted");
+            let r = m.run(kernel);
+            assert_same(
+                &observe(&m, &r),
+                &reference,
+                &format!("resume from phase {phase} diverged (faulted={faulted})"),
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn killed_job_resumes_byte_identically() {
+    let reference = run_reference(false);
+    let dir = tempdir("resume-kill");
+    let m = Machine::new(spec(Some(&dir), false));
+    m.set_kill_at_phase(5);
+    let killed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        m.run(kernel);
+    }));
+    assert!(killed.is_err(), "kill point must fire");
+    assert_same(
+        &resume_run(&dir, false),
+        &reference,
+        "resume after a mid-run kill diverged",
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_is_identical_for_every_thread_count() {
+    let dir = tempdir("resume-threads");
+    {
+        let m = Machine::new(spec(Some(&dir), true));
+        m.run(kernel);
+    }
+    let mut seen = Vec::new();
+    for threads in [1usize, 4] {
+        let mut s = spec(Some(&dir), true);
+        s.sim_threads = Some(threads);
+        // sim_threads is excluded from the fingerprint by design.
+        let fp = s.fingerprint();
+        let m = Machine::new(s);
+        let snap = SnapshotStore::new(&dir, 3)
+            .load_latest_valid(fp)
+            .unwrap()
+            .snapshot
+            .expect("valid snapshot")
+            .0;
+        m.resume(snap).unwrap();
+        let r = m.run(kernel);
+        seen.push(observe(&m, &r));
+    }
+    assert_eq!(seen[0], seen[1], "resume results differ across sim_threads");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_rejects_wrong_experiment() {
+    let dir = tempdir("resume-wrongfp");
+    {
+        let m = Machine::new(spec(Some(&dir), false));
+        m.run(kernel);
+    }
+    // A different experiment (faulted plan) must refuse these snapshots.
+    let other = spec(Some(&dir), true);
+    let fp_other = other.fingerprint();
+    let store = SnapshotStore::new(&dir, 3);
+    let outcome = store.load_latest_valid(fp_other).unwrap();
+    assert!(
+        outcome.snapshot.is_none(),
+        "fingerprint-mismatched snapshots must not load"
+    );
+    assert!(!outcome.quarantined.is_empty(), "mismatches are quarantined");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("bgp-ckpt-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create temp dir");
+    d
+}

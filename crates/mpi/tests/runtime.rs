@@ -318,7 +318,9 @@ fn dual_mode_threads_stay_inside_their_process_cores() {
 }
 
 #[test]
-#[should_panic(expected = "rank thread panicked")]
+// The runner re-raises the offending rank's own panic payload (so
+// supervisors can classify failures), hence the specific message.
+#[should_panic(expected = "out of range")]
 fn extra_threads_are_rejected_in_vnm() {
     let m = Machine::new(spec(4, OpMode::VirtualNode));
     m.run(|ctx| ctx.set_thread(1));

@@ -267,6 +267,57 @@ impl Core {
     pub fn add_cycles(&mut self, n: u64) {
         self.extra_cycles += n;
     }
+
+    /// Serialize the core's runtime state (checkpoint support). The core
+    /// id is configuration, not state, and is not captured.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        use bgp_arch::wire::put_u64;
+        put_u64(out, self.issued);
+        put_u64(out, self.stall_mem);
+        put_u64(out, self.stall_fpu);
+        put_u64(out, self.extra_cycles);
+        for v in [
+            self.instr.int_ops,
+            self.instr.branches,
+            self.instr.mispredicts,
+            self.instr.loads,
+            self.instr.stores,
+            self.instr.load_double,
+            self.instr.store_double,
+            self.instr.quadload,
+            self.instr.quadstore,
+        ] {
+            put_u64(out, v);
+        }
+        self.fpu.save_state(out);
+        put_u64(out, self.upc_cycle_mark);
+    }
+
+    /// Restore state previously written by [`Core::save_state`].
+    ///
+    /// # Errors
+    /// [`bgp_arch::BgpError::Corrupt`] on truncated input.
+    pub fn restore_state(
+        &mut self,
+        r: &mut bgp_arch::wire::Reader<'_>,
+    ) -> bgp_arch::error::Result<()> {
+        self.issued = r.u64("core issued")?;
+        self.stall_mem = r.u64("core stall_mem")?;
+        self.stall_fpu = r.u64("core stall_fpu")?;
+        self.extra_cycles = r.u64("core extra_cycles")?;
+        self.instr.int_ops = r.u64("core int_ops")?;
+        self.instr.branches = r.u64("core branches")?;
+        self.instr.mispredicts = r.u64("core mispredicts")?;
+        self.instr.loads = r.u64("core loads")?;
+        self.instr.stores = r.u64("core stores")?;
+        self.instr.load_double = r.u64("core load_double")?;
+        self.instr.store_double = r.u64("core store_double")?;
+        self.instr.quadload = r.u64("core quadload")?;
+        self.instr.quadstore = r.u64("core quadstore")?;
+        self.fpu.restore_state(r)?;
+        self.upc_cycle_mark = r.u64("core upc_cycle_mark")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

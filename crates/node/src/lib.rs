@@ -299,6 +299,45 @@ impl Node {
             }
         }
     }
+
+    /// Serialize the node's complete runtime state (checkpoint support):
+    /// the four cores, the memory system, the UPC unit, and the synthetic
+    /// instruction-fetch cursors. Identity, operating mode, address
+    /// layout, and the `batch` scratch buffer are configuration or
+    /// transient scratch and are not captured.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        for c in &self.cores {
+            c.save_state(out);
+        }
+        self.mem.save_state(out);
+        self.upc.save_state(out);
+        for &v in &self.icursor {
+            bgp_arch::wire::put_u64(out, v);
+        }
+        for &v in &self.ifetches {
+            bgp_arch::wire::put_u64(out, v);
+        }
+    }
+
+    /// Restore state previously written by [`Node::save_state`] into a
+    /// node built with the same configuration.
+    ///
+    /// # Errors
+    /// [`bgp_arch::BgpError::Corrupt`] on truncated or inconsistent
+    /// input.
+    pub fn restore_state(
+        &mut self,
+        r: &mut bgp_arch::wire::Reader<'_>,
+    ) -> bgp_arch::error::Result<()> {
+        for c in &mut self.cores {
+            c.restore_state(r)?;
+        }
+        self.mem.restore_state(r)?;
+        self.upc.restore_state(r)?;
+        r.u64_array(&mut self.icursor, "node icursor")?;
+        r.u64_array(&mut self.ifetches, "node ifetches")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -441,5 +480,38 @@ mod tests {
         n.charge_cycles(3, 99);
         assert_eq!(n.timebase(3), 99);
         assert_eq!(n.upc().read_event(CoreEvent::CycleCount.id(3)), None);
+    }
+
+    #[test]
+    fn node_save_restore_resumes_byte_identically() {
+        let run = |resume_at: Option<u64>| -> (Vec<u8>, u64) {
+            let mut n = node(CounterMode::Mode2);
+            let mut restored: Option<Node> = None;
+            for i in 0..6000u64 {
+                if Some(i) == resume_at {
+                    // Snapshot, restore into a fresh node, continue there.
+                    let mut bytes = Vec::new();
+                    n.save_state(&mut bytes);
+                    let mut fresh = node(CounterMode::Mode2);
+                    let mut r = bgp_arch::wire::Reader::new(&bytes);
+                    fresh.restore_state(&mut r).unwrap();
+                    r.expect_end("node section").unwrap();
+                    restored = Some(std::mem::replace(&mut n, fresh));
+                }
+                let core = (i % 4) as usize;
+                n.mem_op(core, core, 0x2000 + i * 40, MemWidth::Double, i % 7 == 0);
+                n.fp_op(core, FpOp::SimdFma, 3);
+                n.int_op(core, 5);
+                n.branch_op(core, 2, u64::from(i % 11 == 0));
+            }
+            drop(restored);
+            let mut out = Vec::new();
+            n.save_state(&mut out);
+            (out, n.node_cycles())
+        };
+        let (straight, cyc_a) = run(None);
+        let (resumed, cyc_b) = run(Some(2500));
+        assert_eq!(cyc_a, cyc_b);
+        assert_eq!(straight, resumed, "resumed node diverged");
     }
 }

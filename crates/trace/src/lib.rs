@@ -32,6 +32,7 @@ pub mod chrome;
 pub mod json;
 pub mod metrics;
 pub mod ring;
+pub mod wire;
 
 pub use ring::RingBuffer;
 
@@ -394,7 +395,7 @@ impl fmt::Display for TraceEvent {
 /// A single event stream: one per rank, plus one for the scheduler.
 #[derive(Clone, Debug)]
 pub struct Recorder {
-    ring: RingBuffer<TraceEvent>,
+    pub(crate) ring: RingBuffer<TraceEvent>,
 }
 
 impl Recorder {
@@ -450,8 +451,8 @@ pub struct TraceState {
     /// this is non-zero; enables/disables land at phase granularity, so
     /// the count observed at any resolution is deterministic.
     active: AtomicUsize,
-    ranks: Vec<Mutex<Recorder>>,
-    sched: Mutex<Recorder>,
+    pub(crate) ranks: Vec<Mutex<Recorder>>,
+    pub(crate) sched: Mutex<Recorder>,
 }
 
 impl TraceState {

@@ -86,6 +86,18 @@ impl<T> RingBuffer<T> {
         let skip = self.buf.len().saturating_sub(n);
         self.buf.iter().skip(skip).cloned().collect()
     }
+
+    /// Replace the ring's contents and drop counter wholesale
+    /// (checkpoint restore). The capacity is left unchanged; if
+    /// `entries` exceeds it, the oldest excess entries are evicted and
+    /// counted on top of `dropped`, exactly as live pushes would have.
+    pub fn restore(&mut self, entries: Vec<T>, dropped: u64) {
+        self.buf.clear();
+        self.dropped = dropped;
+        for e in entries {
+            self.push(e);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -27,7 +27,10 @@
 
 pub mod regfile;
 
+use bgp_arch::error::Result;
 use bgp_arch::events::{CounterMode, EventId, Sensitivity, NUM_COUNTERS};
+use bgp_arch::wire;
+use bgp_arch::BgpError;
 
 /// Configuration of one physical counter (the "4 configuration bits"
 /// of §III-A: two sensitivity bits, one interrupt-enable bit, one
@@ -315,6 +318,85 @@ impl Upc {
     pub fn interrupts_raised(&self) -> u64 {
         self.interrupts_raised
     }
+
+    /// Serialize the unit's complete runtime state (checkpoint support):
+    /// mode, enables, all 256 counters/configs/thresholds/fired flags,
+    /// and the pending threshold-interrupt queue.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        wire::put_u8(out, self.mode.index() as u8);
+        wire::put_bool(out, self.enabled);
+        wire::put_bool(out, self.saturating);
+        for &c in self.counters.iter() {
+            wire::put_u64(out, c);
+        }
+        for cfg in self.configs.iter() {
+            wire::put_u8(out, cfg.to_bits());
+        }
+        for &t in self.thresholds.iter() {
+            wire::put_u64(out, t);
+        }
+        for &f in self.fired.iter() {
+            wire::put_bool(out, f);
+        }
+        wire::put_u64(out, self.pending.len() as u64);
+        for irq in &self.pending {
+            wire::put_u8(out, irq.slot);
+            wire::put_u8(out, irq.event.mode().index() as u8);
+            wire::put_u8(out, irq.event.slot().0);
+            wire::put_u64(out, irq.value);
+            wire::put_u64(out, irq.threshold);
+        }
+        wire::put_u64(out, self.interrupts_raised);
+    }
+
+    /// Restore state previously written by [`Upc::save_state`].
+    ///
+    /// # Errors
+    /// [`bgp_arch::BgpError::Corrupt`] on truncated input or invalid
+    /// mode/config encodings.
+    pub fn restore_state(&mut self, r: &mut wire::Reader<'_>) -> Result<()> {
+        let mode = r.u8("upc mode")?;
+        self.mode = CounterMode::from_index(mode as usize)
+            .ok_or_else(|| BgpError::corrupt(format!("invalid counter mode {mode}")))?;
+        self.enabled = r.bool("upc enabled")?;
+        self.saturating = r.bool("upc saturating")?;
+        r.u64_array(&mut self.counters[..], "upc counters")?;
+        for cfg in self.configs.iter_mut() {
+            let bits = r.u8("upc config")?;
+            if bits > 0b1111 {
+                return Err(BgpError::corrupt(format!(
+                    "invalid counter config bits {bits:#x}"
+                )));
+            }
+            *cfg = CounterConfig::from_bits(bits);
+        }
+        r.u64_array(&mut self.thresholds[..], "upc thresholds")?;
+        for f in self.fired.iter_mut() {
+            *f = r.bool("upc fired")?;
+        }
+        let n_pending = r.u64("upc pending len")?;
+        if n_pending > NUM_COUNTERS as u64 {
+            return Err(BgpError::corrupt(format!(
+                "pending interrupt count {n_pending} exceeds {NUM_COUNTERS}"
+            )));
+        }
+        self.pending.clear();
+        for _ in 0..n_pending {
+            let slot = r.u8("irq slot")?;
+            let mode = r.u8("irq event mode")?;
+            let eslot = r.u8("irq event slot")?;
+            let mode = CounterMode::from_index(mode as usize)
+                .ok_or_else(|| BgpError::corrupt(format!("invalid irq event mode {mode}")))?;
+            self.pending.push(ThresholdInterrupt {
+                slot,
+                event: EventId::new(mode, eslot),
+                value: r.u64("irq value")?,
+                threshold: r.u64("irq threshold")?,
+            });
+        }
+        self.interrupts_raised = r.u64("upc interrupts raised")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -490,6 +572,45 @@ mod tests {
         assert_eq!(u.read_event(ev), Some(0b1010));
         u.flip_bit(ev.slot().0 as usize, 1);
         assert_eq!(u.read_event(ev), Some(0b1000), "second flip restores");
+    }
+
+    #[test]
+    fn save_restore_round_trips_full_unit_state() {
+        let mut u = enabled_unit(CounterMode::Mode0);
+        u.set_saturating(true);
+        let ev = CoreEvent::L1dMiss.id(1);
+        u.configure(
+            ev.slot().0,
+            CounterConfig { interrupt_enable: true, ..Default::default() },
+        );
+        u.set_threshold(ev.slot().0, 3);
+        u.emit(ev, 5); // fires an interrupt, leaves it pending
+        u.emit(CoreEvent::Load.id(0), 17);
+
+        let mut bytes = Vec::new();
+        u.save_state(&mut bytes);
+        let mut restored = Upc::new(CounterMode::Mode3);
+        let mut r = bgp_arch::wire::Reader::new(&bytes);
+        restored.restore_state(&mut r).unwrap();
+        r.expect_end("upc state").unwrap();
+
+        assert_eq!(restored.mode(), CounterMode::Mode0);
+        assert!(restored.enabled());
+        assert!(restored.saturating());
+        assert_eq!(restored.snapshot(), u.snapshot());
+        assert_eq!(restored.config(ev.slot().0), u.config(ev.slot().0));
+        assert_eq!(restored.threshold(ev.slot().0), 3);
+        assert_eq!(restored.interrupts_raised(), 1);
+        assert_eq!(restored.take_interrupts(), u.take_interrupts());
+
+        // Truncation at every byte boundary fails closed.
+        for cut in 0..bytes.len() {
+            let mut r = bgp_arch::wire::Reader::new(&bytes[..cut]);
+            assert!(
+                Upc::default().restore_state(&mut r).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
     }
 
     #[test]

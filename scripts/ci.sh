@@ -33,10 +33,38 @@ target/release/bgpc-dump "$trace_dir" --json > "$trace_dir/stats.json"
 test -s "$trace_dir/stats.json" || { echo "trace smoke: empty stats.json"; exit 1; }
 
 echo "==> trace overhead gate (disabled tracing < 1%)"
-BGP_RESULTS_DIR="$trace_dir" target/release/fig_ext_trace_overhead --quick --gate
+# BGP_BENCH_DIR keeps the quick-scale gate from clobbering the
+# committed Default-scale BENCH_trace.json at the repo root.
+BGP_RESULTS_DIR="$trace_dir" BGP_BENCH_DIR="$trace_dir" \
+    target/release/fig_ext_trace_overhead --quick --gate
 
 echo "==> batched memory engine gate (mem_ops >= 1.5x mem_op)"
 BGP_RESULTS_DIR="$trace_dir" target/release/fig_ext_memthroughput --quick --gate
+
+echo "==> checkpoint/restart smoke (crash MG S mid-run, resume, byte-diff)"
+ck_dir="$trace_dir/ck"
+target/release/bgpc-run --out "$ck_dir/reference" --kernel mg --class s --ranks 8 \
+    --mode vnm --threads 1 --trace
+# Crash drill: die deterministically at phase 40 with retries disabled;
+# the process must exit non-zero and leave snapshots behind.
+if target/release/bgpc-run --out "$ck_dir/crashed" --kernel mg --class s --ranks 8 \
+    --mode vnm --threads 1 --trace --checkpoint-every 8 --crash-at-phase 40 \
+    --max-retries 0; then
+    echo "checkpoint smoke: crash drill unexpectedly succeeded"; exit 1
+fi
+test -n "$(ls "$ck_dir/crashed/checkpoints" 2>/dev/null)" \
+    || { echo "checkpoint smoke: crash left no snapshots"; exit 1; }
+# Resume from the snapshots in a fresh process and byte-diff every
+# output surface against the uninterrupted reference.
+target/release/bgpc-run --out "$ck_dir/crashed" --kernel mg --class s --ranks 8 \
+    --mode vnm --threads 1 --trace --resume "$ck_dir/crashed/checkpoints"
+diff -r --exclude=checkpoints "$ck_dir/reference" "$ck_dir/crashed" \
+    || { echo "checkpoint smoke: resumed outputs diverge from reference"; exit 1; }
+
+echo "==> snapshot overhead gate (checkpoint every 64 phases < 5%, Default scale)"
+# Runs at Default scale (MG class A) so the committed BENCH_snapshot.json
+# records the acceptance-criterion numbers; ~1 min.
+BGP_RESULTS_DIR="$trace_dir" target/release/fig_ext_snapshot --gate
 
 echo "==> cargo bench smoke"
 BGP_BENCH_SAMPLES=1 cargo bench --workspace 2>&1 | tail -n 20

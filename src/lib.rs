@@ -13,7 +13,10 @@
 //! [`trace`] is the deterministic flight recorder: per-rank ring-buffer
 //! timelines in simulated cycles, exported as Chrome-trace JSON and
 //! per-phase metrics CSV (enable via [`JobSpec`]`::trace` or
-//! `Session::builder(ctx).trace(..)`).
+//! `Session::builder(ctx).trace(..)`). [`snapshot`] is the checkpoint
+//! container: enable periodic snapshots via [`JobSpec`]`::checkpoint`
+//! and resume a crashed job byte-identically with `Machine::resume`
+//! (or let `counters::supervisor::supervise` do both automatically).
 //!
 //! ## The Session API
 //!
@@ -73,6 +76,7 @@ pub use bgp_nas as nas;
 pub use bgp_net as net;
 pub use bgp_node as node;
 pub use bgp_postproc as postproc;
+pub use bgp_snapshot as snapshot;
 pub use bgp_trace as trace;
 pub use bgp_upc as upc;
 
