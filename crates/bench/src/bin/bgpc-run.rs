@@ -273,15 +273,23 @@ fn main() -> ExitCode {
         eprintln!("bgpc-run: writing dumps: {e}");
         return ExitCode::FAILURE;
     }
-    // Simulated clocks only: byte-identical across kill/resume, so the
-    // ci.sh crash drill can diff this file against an uninterrupted run.
+    // Simulated clocks + cache identity only: byte-identical across
+    // kill/resume (the fingerprint excludes checkpoint placement and
+    // budgets), so the ci.sh crash drill can diff this file against an
+    // uninterrupted run, and the counter service would serve both from
+    // one cache entry.
+    let cache_key =
+        bgp_snapshot::CacheKey { spec: spec.fingerprint(), seed: 0 };
     let run_json = format!(
         "{{\n  \"kernel\": \"{}\",\n  \"class\": \"{}\",\n  \"ranks\": {},\n  \
-         \"mode\": \"{}\",\n  \"job_cycles\": {},\n  \"phases\": {}\n}}\n",
+         \"mode\": \"{}\",\n  \"spec_hash\": \"{:#018x}\",\n  \"seed\": {},\n  \
+         \"job_cycles\": {},\n  \"phases\": {}\n}}\n",
         run_cfg.kernel,
         run_cfg.class,
         run_cfg.ranks,
         run_cfg.mode,
+        cache_key.spec,
+        cache_key.seed,
         run.machine.job_cycles(),
         run.machine.phases()
     );
@@ -321,6 +329,7 @@ fn main() -> ExitCode {
             cp_dir.display()
         );
     }
+    println!("cache key {} {cache_key}", cache_key.hex());
     println!("outputs  -> {}", args.out.display());
     ExitCode::SUCCESS
 }

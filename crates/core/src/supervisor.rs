@@ -163,6 +163,34 @@ pub fn classify_panic(message: &str) -> bool {
         || message.contains(bgp_mpi::machine::ABORT_ECHO)
 }
 
+/// Observation hooks into a supervised run, for callers that need to
+/// watch the live machine — the counter-service daemon (`bgp-serve`)
+/// uses [`RunObserver::attempt_started`] to stream a running job's
+/// phase counter to subscribed clients and to keep an abort handle for
+/// drains. All methods default to no-ops; [`supervise`] is
+/// `supervise_observed` with the `()` observer.
+pub trait RunObserver: Sync {
+    /// A fresh attempt is about to run. `machine` is live for the whole
+    /// attempt; its atomic phase counter (`Machine::phases`) may be
+    /// sampled concurrently, and `Machine::abort_job` may be called to
+    /// kill the attempt from outside.
+    fn attempt_started(
+        &self,
+        attempt: u32,
+        resumed_from: Option<u64>,
+        machine: &Arc<Machine>,
+    ) {
+        let _ = (attempt, resumed_from, machine);
+    }
+
+    /// The attempt ended (completed or died-and-classified).
+    fn attempt_ended(&self, attempt: u32, outcome: &AttemptOutcome) {
+        let _ = (attempt, outcome);
+    }
+}
+
+impl RunObserver for () {}
+
 /// Run `kernel` under whole-program instrumentation with supervision:
 /// budgets, watchdog kills, and bounded resume-from-checkpoint retries
 /// per `cfg`. Checkpointing and the simulated-cycle budget come from
@@ -176,6 +204,25 @@ pub fn supervise<R, F>(
     spec: &JobSpec,
     cfg: &SupervisorConfig,
     kernel: F,
+) -> Result<SupervisedRun<R>, SupervisorError>
+where
+    R: Send,
+    F: Fn(&mut RankCtx) -> R + Sync,
+{
+    supervise_observed(spec, cfg, kernel, &())
+}
+
+/// [`supervise`] with a [`RunObserver`] watching each attempt. The
+/// observer sees every machine before its run starts (live phase
+/// sampling, external aborts) and every outcome after classification.
+///
+/// # Errors
+/// Same contract as [`supervise`].
+pub fn supervise_observed<R, F>(
+    spec: &JobSpec,
+    cfg: &SupervisorConfig,
+    kernel: F,
+    observer: &dyn RunObserver,
 ) -> Result<SupervisedRun<R>, SupervisorError>
 where
     R: Send,
@@ -198,6 +245,7 @@ where
                 machine.set_kill_at_phase(phase);
             }
         }
+        observer.attempt_started(attempt, resumed_from, &machine);
 
         // Wall watchdog: a helper thread that aborts the job when the
         // budget elapses before the run signals completion (by dropping
@@ -234,7 +282,9 @@ where
 
         match out {
             Ok(results) => {
-                attempts.push(Attempt { resumed_from, outcome: AttemptOutcome::Completed });
+                let outcome = AttemptOutcome::Completed;
+                observer.attempt_ended(attempt, &outcome);
+                attempts.push(Attempt { resumed_from, outcome });
                 return Ok(SupervisedRun { results, library, machine, attempts });
             }
             Err(payload) => {
@@ -245,14 +295,13 @@ where
                     m => m.to_string(),
                 };
                 let retryable = fired || classify_panic(&message);
-                attempts.push(Attempt {
-                    resumed_from,
-                    outcome: AttemptOutcome::Failed {
-                        message: message.clone(),
-                        retryable,
-                        watchdog_fired: fired,
-                    },
-                });
+                let outcome = AttemptOutcome::Failed {
+                    message: message.clone(),
+                    retryable,
+                    watchdog_fired: fired,
+                };
+                observer.attempt_ended(attempt, &outcome);
+                attempts.push(Attempt { resumed_from, outcome });
                 if !retryable {
                     return Err(SupervisorError::Fatal { attempts, message });
                 }

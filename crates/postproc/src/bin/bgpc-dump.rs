@@ -84,16 +84,33 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
+/// The `(spec-hash, seed)` cache identity `bgpc-run` records next to
+/// the dumps, when the input directory carries a `run.json`. This is
+/// the same key the counter service (`bgpc-serve`) addresses results
+/// by, so a dump directory can be matched to its cache entry.
+fn cache_identity(input: &Path) -> Option<(String, u64)> {
+    let text = std::fs::read_to_string(input.join("run.json")).ok()?;
+    let v = bgp_trace::json::parse(&text).ok()?;
+    let spec = v.get("spec_hash")?.as_str()?.to_string();
+    let seed = v.get("seed").and_then(bgp_trace::json::Value::as_u64).unwrap_or(0);
+    Some((spec, seed))
+}
+
 /// Render dumps + statistics as one JSON document (stable key order).
 fn render_json(
     dumps: &[NodeDump],
     frame: &Frame,
     set: u32,
+    identity: Option<&(String, u64)>,
     stats: &[(EventId, EventStats)],
 ) -> String {
     use std::fmt::Write as _;
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"set\": {set},");
+    if let Some((spec, seed)) = identity {
+        let _ = writeln!(out, "  \"spec_hash\": {},", escape(spec));
+        let _ = writeln!(out, "  \"seed\": {seed},");
+    }
     out.push_str("  \"nodes\": [\n");
     for (i, d) in dumps.iter().enumerate() {
         let sets: Vec<String> = d
@@ -164,13 +181,15 @@ fn main() -> ExitCode {
         }
     };
 
+    let identity = args.input.is_dir().then(|| cache_identity(&args.input)).flatten();
+
     if args.json {
         let mut stats = frame.all_stats();
         if !args.all {
             stats.sort_by_key(|(_, s)| std::cmp::Reverse(s.sum));
             stats.truncate(args.top);
         }
-        print!("{}", render_json(&dumps, &frame, args.set, &stats));
+        print!("{}", render_json(&dumps, &frame, args.set, identity.as_ref(), &stats));
         if let Some(path) = args.csv {
             if let Err(e) = stats_csv(&frame).write(&path) {
                 eprintln!("bgpc-dump: writing {}: {e}", path.display());
@@ -181,6 +200,9 @@ fn main() -> ExitCode {
     }
 
     println!("{} node dump(s)", dumps.len());
+    if let Some((spec, seed)) = &identity {
+        println!("cache key: spec {spec}, seed {seed}");
+    }
     for d in &dumps {
         let sets: Vec<String> = d
             .sets

@@ -1,0 +1,127 @@
+//! `bgpc-serve` — the counter-service daemon.
+//!
+//! ```text
+//! bgpc-serve [--addr HOST:PORT] [--addr-file PATH] [--workers N]
+//!            [--queue-cap N] [--age-ms N] [--cache-dir DIR] [--trace]
+//!            [--sim-threads N] [--wall-budget-ms N] [--max-retries N]
+//!            [--quiet]
+//! ```
+//!
+//! Binds the listener, prints the bound address on stdout (and into
+//! `--addr-file` for scripted callers using port 0), then serves until
+//! a `shutdown` request drains the queue. See `bgp_serve::proto` for
+//! the wire protocol and `bgpc-load` for the matching client.
+
+use bgp_serve::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage: bgpc-serve [--addr HOST:PORT] [--addr-file PATH] \
+[--workers N] [--queue-cap N] [--age-ms N] [--cache-dir DIR] [--trace] \
+[--sim-threads N] [--wall-budget-ms N] [--max-retries N] [--quiet]";
+
+fn parse_args() -> Result<(ServerConfig, Option<PathBuf>), String> {
+    let mut cfg = ServerConfig::default();
+    let mut addr_file = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match a.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--addr-file" => addr_file = Some(PathBuf::from(value("--addr-file")?)),
+            "--workers" => {
+                cfg.workers =
+                    value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue-cap" => {
+                cfg.queue.capacity = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?;
+            }
+            "--age-ms" => {
+                let ms: u64 =
+                    value("--age-ms")?.parse().map_err(|e| format!("--age-ms: {e}"))?;
+                cfg.queue.age_to_boost = Duration::from_millis(ms);
+            }
+            "--cache-dir" => cfg.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--trace" => cfg.trace_jobs = true,
+            "--sim-threads" => {
+                cfg.job_sim_threads = value("--sim-threads")?
+                    .parse()
+                    .map_err(|e| format!("--sim-threads: {e}"))?;
+            }
+            "--wall-budget-ms" => {
+                let ms: u64 = value("--wall-budget-ms")?
+                    .parse()
+                    .map_err(|e| format!("--wall-budget-ms: {e}"))?;
+                cfg.wall_budget = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--max-retries" => {
+                cfg.max_retries = value("--max-retries")?
+                    .parse()
+                    .map_err(|e| format!("--max-retries: {e}"))?;
+            }
+            "--quiet" => cfg.quiet = true,
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unexpected argument {other}\n{USAGE}")),
+        }
+    }
+    Ok((cfg, addr_file))
+}
+
+fn main() -> ExitCode {
+    let (cfg, addr_file) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Supervised ranks die by panic on watchdog kills and budget
+    // violations — expected control flow, same policy as bgpc-run:
+    // one stderr line each, peer-abort echoes dropped.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| info.payload().downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("");
+        if msg.contains(bgp_mpi::machine::ABORT_ECHO) {
+            return;
+        }
+        if msg.contains("supervisor watchdog")
+            || msg.contains("MPI deadlock")
+            || msg.contains("simulated-cycle budget exceeded")
+        {
+            eprintln!("bgpc-serve: rank died: {msg}");
+            return;
+        }
+        default_hook(info);
+    }));
+
+    let server = match Server::bind(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("bgpc-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    println!("{addr}");
+    if let Some(path) = addr_file {
+        // Written atomically so a watcher never reads a partial line.
+        let tmp = path.with_extension("tmp");
+        let write = std::fs::write(&tmp, format!("{addr}\n"))
+            .and_then(|()| std::fs::rename(&tmp, &path));
+        if let Err(e) = write {
+            eprintln!("bgpc-serve: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    server.run();
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,406 @@
+//! The service wire protocol: newline-delimited JSON over TCP.
+//!
+//! One JSON object per line, both directions. A connection may carry
+//! any number of requests in sequence; each request produces exactly
+//! one **terminal** response line (`"ok"` present), preceded — for
+//! streamed submits — by zero or more **update** lines (`"update"`
+//! present, no `"ok"`). Everything rides the workspace's hand-rolled
+//! [`bgp_trace::json`] layer; no external dependency, no `f64` funnel
+//! for 64-bit cycle counts.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"op":"ping"}
+//! {"op":"submit","kernel":"mg","class":"s","ranks":4,"mode":"vnm",
+//!  "seed":0,"priority":1,"stream":false}
+//! {"op":"status","key":"<32 hex digits>"}
+//! {"op":"stats"}
+//! {"op":"drain"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! ## Terminal responses
+//!
+//! * Completed submit:
+//!   `{"ok":true,"cache":"hit"|"miss"|"joined","key":"…",
+//!    "queue_ms":N,"result":{…}}` — the `result` member is spliced
+//!   **byte-for-byte** from the content-addressed store, so two
+//!   responses for one key always carry identical result bytes.
+//! * Backpressure reject (the 429 path):
+//!   `{"ok":false,"error":"backpressure","retry_after_ms":N}`
+//! * Drain reject: `{"ok":false,"error":"draining"}`
+//! * Failed job: `{"ok":false,"error":"job-failed","detail":"…"}`
+//! * Malformed request: `{"ok":false,"error":"bad-request","detail":"…"}`
+
+use bgp_arch::OpMode;
+use bgp_faults::{FaultPlan, FaultSpec};
+use bgp_mpi::JobSpec;
+use bgp_nas::{Class, Kernel};
+use bgp_snapshot::CacheKey;
+use bgp_trace::json::{self, Value};
+use bgp_trace::TraceConfig;
+
+/// Straggler probability applied when a submit carries a nonzero seed.
+const SEEDED_STRAGGLER_RATE: f64 = 0.4;
+/// Straggler penalty (cycles per messaging boundary) for seeded jobs.
+const SEEDED_STRAGGLER_PENALTY: u64 = 800;
+
+/// One job submission: the client-controllable slice of a [`JobSpec`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubmitReq {
+    /// NAS kernel to run.
+    pub kernel: Kernel,
+    /// Problem class.
+    pub class: Class,
+    /// Requested MPI ranks (clamped to the kernel's legal counts).
+    pub ranks: usize,
+    /// Node operating mode.
+    pub mode: OpMode,
+    /// Fault seed: 0 = clean machine; nonzero = a deterministic
+    /// straggler plan derived from the seed (part of the cache key).
+    pub seed: u64,
+    /// Scheduling priority: 0 = high, larger = lower. Queued jobs age
+    /// toward priority 0, so no priority can starve.
+    pub priority: u8,
+    /// Stream `update` lines while the job is queued/running.
+    pub stream: bool,
+}
+
+impl Default for SubmitReq {
+    fn default() -> SubmitReq {
+        SubmitReq {
+            kernel: Kernel::Mg,
+            class: Class::S,
+            ranks: 4,
+            mode: OpMode::VirtualNode,
+            seed: 0,
+            priority: 1,
+            stream: false,
+        }
+    }
+}
+
+/// Parse the protocol's lowercase kernel token.
+pub fn parse_kernel(s: &str) -> Option<Kernel> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "mg" => Kernel::Mg,
+        "ft" => Kernel::Ft,
+        "ep" => Kernel::Ep,
+        "cg" => Kernel::Cg,
+        "is" => Kernel::Is,
+        "lu" => Kernel::Lu,
+        "sp" => Kernel::Sp,
+        "bt" => Kernel::Bt,
+        _ => return None,
+    })
+}
+
+/// Parse the protocol's lowercase class token.
+pub fn parse_class(s: &str) -> Option<Class> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "s" => Class::S,
+        "w" => Class::W,
+        "a" => Class::A,
+        _ => return None,
+    })
+}
+
+/// Parse the protocol's mode token (`smp1`, `smp4`, `dual`, `vnm`).
+pub fn parse_mode(s: &str) -> Option<OpMode> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "smp1" => OpMode::Smp1,
+        "smp4" => OpMode::Smp4,
+        "dual" => OpMode::Dual,
+        "vnm" | "vn" => OpMode::VirtualNode,
+        _ => return None,
+    })
+}
+
+/// The protocol's mode token for `mode` (inverse of [`parse_mode`]).
+pub fn mode_token(mode: OpMode) -> &'static str {
+    match mode {
+        OpMode::Smp1 => "smp1",
+        OpMode::Smp4 => "smp4",
+        OpMode::Dual => "dual",
+        OpMode::VirtualNode => "vnm",
+    }
+}
+
+impl SubmitReq {
+    /// Expand into the full [`JobSpec`] the worker pool runs.
+    /// `sim_threads` and tracing are server policy, not client input —
+    /// both are excluded from, respectively cosmetic to, the cache key
+    /// only when they genuinely cannot change results (`sim_threads`
+    /// is; tracing is outcome-relevant and therefore server-global so
+    /// every cached entry was produced under one policy).
+    pub fn job_spec(&self, sim_threads: usize, trace: bool) -> JobSpec {
+        let ranks = self.kernel.clamp_ranks(self.ranks.max(1), self.class);
+        let mut spec = JobSpec::new(ranks, self.mode);
+        spec.sim_threads = Some(sim_threads.max(1));
+        if trace {
+            spec.trace = Some(TraceConfig::default());
+        }
+        if self.seed != 0 {
+            let nodes = spec.nodes();
+            spec.faults = Some(std::sync::Arc::new(FaultPlan::new(
+                FaultSpec {
+                    straggler_rate: SEEDED_STRAGGLER_RATE,
+                    straggler_penalty_cycles: SEEDED_STRAGGLER_PENALTY,
+                    ..FaultSpec::none()
+                },
+                self.seed,
+                nodes,
+            )));
+        }
+        spec
+    }
+
+    /// The content-address of this submission's result under the given
+    /// server policy: `(spec fingerprint, seed)`.
+    pub fn cache_key(&self, sim_threads: usize, trace: bool) -> CacheKey {
+        CacheKey { spec: self.job_spec(sim_threads, trace).fingerprint(), seed: self.seed }
+    }
+
+    /// Serialize as a submit request line (no trailing newline).
+    pub fn encode(&self) -> String {
+        json::Obj::new()
+            .field_str("op", "submit")
+            .field_str("kernel", &self.kernel.name().to_ascii_lowercase())
+            .field_str("class", &self.class.to_string().to_ascii_lowercase())
+            .field_u64("ranks", self.ranks as u64)
+            .field_str("mode", mode_token(self.mode))
+            .field_u64("seed", self.seed)
+            .field_u64("priority", self.priority as u64)
+            .field_bool("stream", self.stream)
+            .finish()
+    }
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Run (or fetch) a job.
+    Submit(SubmitReq),
+    /// Query a key without submitting work.
+    Status {
+        /// The `(spec, seed)` key in its 32-hex-digit form.
+        key: CacheKey,
+    },
+    /// Service counters: queue depth, cache hit rate, worker state.
+    Stats,
+    /// Stop admitting new jobs; keep serving hits and queued work.
+    Drain,
+    /// Drain, finish queued jobs, then exit the accept loop.
+    Shutdown,
+}
+
+impl Request {
+    /// Parse one request line.
+    ///
+    /// # Errors
+    /// A human-readable message describing the first problem found
+    /// (returned to the client as a `bad-request` response).
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = json::parse(line.trim()).map_err(|e| format!("bad JSON: {e}"))?;
+        let op = v
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or("missing string member \"op\"")?;
+        match op {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "drain" => Ok(Request::Drain),
+            "shutdown" => Ok(Request::Shutdown),
+            "status" => {
+                let key = v
+                    .get("key")
+                    .and_then(Value::as_str)
+                    .ok_or("status needs a \"key\" string")?;
+                let key = CacheKey::parse_hex(key)
+                    .ok_or("\"key\" must be 32 hex digits")?;
+                Ok(Request::Status { key })
+            }
+            "submit" => {
+                let mut req = SubmitReq::default();
+                if let Some(k) = v.get("kernel") {
+                    let k = k.as_str().ok_or("\"kernel\" must be a string")?;
+                    req.kernel =
+                        parse_kernel(k).ok_or_else(|| format!("unknown kernel {k:?}"))?;
+                }
+                if let Some(c) = v.get("class") {
+                    let c = c.as_str().ok_or("\"class\" must be a string")?;
+                    req.class =
+                        parse_class(c).ok_or_else(|| format!("unknown class {c:?}"))?;
+                }
+                if let Some(r) = v.get("ranks") {
+                    let r = r.as_u64().ok_or("\"ranks\" must be a positive integer")?;
+                    if r == 0 || r > 4096 {
+                        return Err(format!("ranks {r} outside 1..=4096"));
+                    }
+                    req.ranks = r as usize;
+                }
+                if let Some(m) = v.get("mode") {
+                    let m = m.as_str().ok_or("\"mode\" must be a string")?;
+                    req.mode =
+                        parse_mode(m).ok_or_else(|| format!("unknown mode {m:?}"))?;
+                }
+                if let Some(s) = v.get("seed") {
+                    req.seed = s.as_u64().ok_or("\"seed\" must be a u64")?;
+                }
+                if let Some(p) = v.get("priority") {
+                    let p = p.as_u64().ok_or("\"priority\" must be a small integer")?;
+                    if p > 7 {
+                        return Err(format!("priority {p} outside 0..=7"));
+                    }
+                    req.priority = p as u8;
+                }
+                if let Some(s) = v.get("stream") {
+                    req.stream = match s {
+                        Value::Bool(b) => *b,
+                        _ => return Err("\"stream\" must be a boolean".into()),
+                    };
+                }
+                Ok(Request::Submit(req))
+            }
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+
+    /// Serialize as a request line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Ping => json::Obj::new().field_str("op", "ping").finish(),
+            Request::Stats => json::Obj::new().field_str("op", "stats").finish(),
+            Request::Drain => json::Obj::new().field_str("op", "drain").finish(),
+            Request::Shutdown => json::Obj::new().field_str("op", "shutdown").finish(),
+            Request::Status { key } => json::Obj::new()
+                .field_str("op", "status")
+                .field_str("key", &key.hex())
+                .finish(),
+            Request::Submit(req) => req.encode(),
+        }
+    }
+}
+
+/// How a completed submit was satisfied (the `cache` member).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the content-addressed store; no machine ran.
+    Hit,
+    /// This submission ran the job.
+    Miss,
+    /// Attached to an identical job already queued or running.
+    Joined,
+}
+
+impl CacheOutcome {
+    /// The wire token.
+    pub fn token(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Joined => "joined",
+        }
+    }
+
+    /// Parse the wire token.
+    pub fn parse(s: &str) -> Option<CacheOutcome> {
+        Some(match s {
+            "hit" => CacheOutcome::Hit,
+            "miss" => CacheOutcome::Miss,
+            "joined" => CacheOutcome::Joined,
+            _ => return None,
+        })
+    }
+}
+
+/// Extract the raw `result` bytes from a terminal submit response line.
+///
+/// The server splices cached result bytes verbatim as the **last**
+/// member, so the payload is exactly the text between `"result":` and
+/// the envelope's closing brace — no reparse, no reformatting, byte
+/// comparisons between responses are meaningful.
+pub fn result_payload(line: &str) -> Option<&str> {
+    let line = line.trim_end();
+    let idx = line.find("\"result\":")? + "\"result\":".len();
+    line.get(idx..line.len().checked_sub(1)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trips() {
+        let req = SubmitReq {
+            kernel: Kernel::Cg,
+            class: Class::W,
+            ranks: 16,
+            mode: OpMode::Dual,
+            seed: 99,
+            priority: 2,
+            stream: true,
+        };
+        let line = Request::Submit(req).encode();
+        assert_eq!(Request::parse(&line).unwrap(), Request::Submit(req));
+    }
+
+    #[test]
+    fn defaults_fill_missing_members() {
+        let r = Request::parse(r#"{"op":"submit"}"#).unwrap();
+        assert_eq!(r, Request::Submit(SubmitReq::default()));
+    }
+
+    #[test]
+    fn admin_ops_round_trip() {
+        for op in [Request::Ping, Request::Stats, Request::Drain, Request::Shutdown] {
+            assert_eq!(Request::parse(&op.encode()).unwrap(), op);
+        }
+        let key = CacheKey { spec: 0xabc, seed: 7 };
+        let st = Request::Status { key };
+        assert_eq!(Request::parse(&st.encode()).unwrap(), st);
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_with_reasons() {
+        for (line, needle) in [
+            ("{", "bad JSON"),
+            (r#"{"ok":true}"#, "op"),
+            (r#"{"op":"fly"}"#, "unknown op"),
+            (r#"{"op":"submit","kernel":"zz"}"#, "unknown kernel"),
+            (r#"{"op":"submit","ranks":0}"#, "ranks"),
+            (r#"{"op":"submit","priority":9}"#, "priority"),
+            (r#"{"op":"status","key":"xyz"}"#, "hex"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn cache_key_ignores_sim_threads_but_sees_seed_and_spec() {
+        let a = SubmitReq::default();
+        assert_eq!(a.cache_key(1, false), a.cache_key(8, false));
+        let mut b = a;
+        b.seed = 1;
+        assert_ne!(a.cache_key(1, false), b.cache_key(1, false));
+        let mut c = a;
+        c.ranks = 8;
+        assert_ne!(a.cache_key(1, false).spec, c.cache_key(1, false).spec);
+        // Tracing is outcome-relevant, so it must move the key too.
+        assert_ne!(a.cache_key(1, false), a.cache_key(1, true));
+    }
+
+    #[test]
+    fn result_payload_is_byte_exact() {
+        let cached = r#"{"job_cycles":37719054,"dumps":["00ff"]}"#;
+        let line = format!(
+            "{{\"ok\":true,\"cache\":\"hit\",\"result\":{cached}}}\n"
+        );
+        assert_eq!(result_payload(&line), Some(cached));
+        assert_eq!(result_payload("{\"ok\":false}"), None);
+    }
+}

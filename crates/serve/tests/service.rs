@@ -1,0 +1,198 @@
+//! End-to-end service tests over real loopback sockets: the daemon's
+//! whole contract — miss→hit byte identity, in-flight coalescing,
+//! backpressure, drain semantics, streamed updates, and cache
+//! persistence across a server restart.
+
+use bgp_serve::load::{str_member, u64_member};
+use bgp_serve::proto::{result_payload, Request, SubmitReq};
+use bgp_serve::{request_once, Client, QueueConfig, Server, ServerConfig, ServerHandle};
+
+fn quiet_cfg() -> ServerConfig {
+    ServerConfig { quiet: true, ..ServerConfig::default() }
+}
+
+fn spawn(cfg: ServerConfig) -> ServerHandle {
+    Server::spawn(cfg).expect("bind loopback")
+}
+
+fn submit(client: &mut Client, req: &SubmitReq) -> String {
+    client.request(&req.encode()).expect("submit round-trip")
+}
+
+#[test]
+fn miss_then_hit_is_byte_identical() {
+    let server = spawn(quiet_cfg());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let req = SubmitReq { seed: 7, ..SubmitReq::default() };
+
+    let first = submit(&mut client, &req);
+    assert_eq!(str_member(&first, "cache"), Some("miss"), "{first}");
+    let key = str_member(&first, "key").expect("key in envelope").to_string();
+    let payload = result_payload(&first).expect("result spliced").to_string();
+    assert!(payload.contains("\"verified\":true"), "{payload}");
+    assert!(payload.contains("\"seed\":7"));
+    assert!(payload.contains("\"spec_hash\":"));
+
+    // Replay: served from the store, byte-for-byte the same result.
+    let second = submit(&mut client, &req);
+    assert_eq!(str_member(&second, "cache"), Some("hit"), "{second}");
+    assert_eq!(str_member(&second, "key"), Some(key.as_str()));
+    assert_eq!(result_payload(&second), Some(payload.as_str()));
+
+    // A different seed is a different key and a different result.
+    let other = submit(&mut client, &SubmitReq { seed: 8, ..req });
+    assert_eq!(str_member(&other, "cache"), Some("miss"));
+    assert_ne!(str_member(&other, "key"), Some(key.as_str()));
+    assert_ne!(result_payload(&other), Some(payload.as_str()));
+
+    // Status sees the completed key; stats counted one hit.
+    let status = client
+        .request(&Request::Status { key: bgp_snapshot::CacheKey::parse_hex(&key).unwrap() }.encode())
+        .unwrap();
+    assert_eq!(str_member(&status, "state"), Some("done"), "{status}");
+    let stats = client.request(&Request::Stats.encode()).unwrap();
+    assert_eq!(u64_member(&stats, "hits"), Some(1), "{stats}");
+    assert_eq!(u64_member(&stats, "misses"), Some(2));
+    assert_eq!(u64_member(&stats, "completed"), Some(2));
+
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_identical_submits_run_once() {
+    // One worker, four simultaneous submissions of one key: exactly one
+    // job may run; everyone gets identical bytes.
+    let server = spawn(ServerConfig { workers: 1, ..quiet_cfg() });
+    let addr = server.addr();
+    let req = SubmitReq { seed: 42, ..SubmitReq::default() };
+
+    let responses: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let req = &req;
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    submit(&mut c, req)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let payloads: Vec<&str> =
+        responses.iter().map(|r| result_payload(r).expect("result")).collect();
+    assert!(payloads.windows(2).all(|w| w[0] == w[1]), "all responses identical");
+    let misses = responses
+        .iter()
+        .filter(|r| str_member(r, "cache") == Some("miss"))
+        .count();
+    assert!(misses <= 1, "at most one submission runs the job");
+
+    let stats = request_once(addr, &Request::Stats.encode()).unwrap();
+    assert_eq!(u64_member(&stats, "completed"), Some(1), "job ran once: {stats}");
+    server.shutdown();
+}
+
+#[test]
+fn zero_capacity_queue_rejects_with_retry_after() {
+    let server = spawn(ServerConfig {
+        queue: QueueConfig { capacity: 0, ..QueueConfig::default() },
+        ..quiet_cfg()
+    });
+    let mut client = Client::connect(server.addr()).unwrap();
+    let resp = submit(&mut client, &SubmitReq::default());
+    assert_eq!(str_member(&resp, "error"), Some("backpressure"), "{resp}");
+    assert!(u64_member(&resp, "retry_after_ms").unwrap() >= 10);
+    let stats = client.request(&Request::Stats.encode()).unwrap();
+    assert_eq!(u64_member(&stats, "rejected_backpressure"), Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn drain_serves_hits_but_rejects_new_work() {
+    let server = spawn(quiet_cfg());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let req = SubmitReq { seed: 3, ..SubmitReq::default() };
+    let first = submit(&mut client, &req);
+    assert_eq!(str_member(&first, "cache"), Some("miss"));
+
+    let drain = client.request(&Request::Drain.encode()).unwrap();
+    assert_eq!(str_member(&drain, "error"), None, "{drain}");
+
+    // Cached work still flows; new work is refused.
+    let hit = submit(&mut client, &req);
+    assert_eq!(str_member(&hit, "cache"), Some("hit"), "{hit}");
+    assert_eq!(result_payload(&hit), result_payload(&first));
+    let rejected = submit(&mut client, &SubmitReq { seed: 4, ..req });
+    assert_eq!(str_member(&rejected, "error"), Some("draining"), "{rejected}");
+
+    server.shutdown();
+}
+
+#[test]
+fn streamed_submit_sees_updates_before_the_result() {
+    let server = spawn(quiet_cfg());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let req = SubmitReq { seed: 99, stream: true, ..SubmitReq::default() };
+    let mut updates = Vec::new();
+    let resp = client
+        .request_with_updates(&req.encode(), |u| updates.push(u.to_string()))
+        .unwrap();
+    assert_eq!(str_member(&resp, "cache"), Some("miss"), "{resp}");
+    assert!(!updates.is_empty(), "a pending miss streams at least one update");
+    for u in &updates {
+        assert!(u.starts_with("{\"update\""), "{u}");
+        let state = str_member(u, "state").expect("update carries a state");
+        assert!(state == "queued" || state == "running", "{u}");
+    }
+    // A streamed hit needs no updates: the bytes are already there.
+    let mut updates2 = Vec::new();
+    let resp2 = client
+        .request_with_updates(&req.encode(), |u| updates2.push(u.to_string()))
+        .unwrap();
+    assert_eq!(str_member(&resp2, "cache"), Some("hit"));
+    assert!(updates2.is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn persistent_cache_survives_restart() {
+    let dir = std::env::temp_dir().join(format!("bgp-serve-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let req = SubmitReq { seed: 5, ..SubmitReq::default() };
+
+    let payload = {
+        let server = spawn(ServerConfig { cache_dir: Some(dir.clone()), ..quiet_cfg() });
+        let mut client = Client::connect(server.addr()).unwrap();
+        let resp = submit(&mut client, &req);
+        assert_eq!(str_member(&resp, "cache"), Some("miss"));
+        let payload = result_payload(&resp).unwrap().to_string();
+        server.shutdown();
+        payload
+    };
+
+    // A fresh daemon over the same store serves the key as a hit
+    // without running anything.
+    let server = spawn(ServerConfig { cache_dir: Some(dir.clone()), ..quiet_cfg() });
+    let mut client = Client::connect(server.addr()).unwrap();
+    let resp = submit(&mut client, &req);
+    assert_eq!(str_member(&resp, "cache"), Some("hit"), "{resp}");
+    assert_eq!(result_payload(&resp), Some(payload.as_str()));
+    let stats = client.request(&Request::Stats.encode()).unwrap();
+    assert_eq!(u64_member(&stats, "completed"), Some(0), "no job ran");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_requests_do_not_kill_the_connection() {
+    let server = spawn(quiet_cfg());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let bad = client.request("{\"op\":\"fly\"}").unwrap();
+    assert_eq!(str_member(&bad, "error"), Some("bad-request"), "{bad}");
+    // Same connection keeps working.
+    let pong = client.request(&Request::Ping.encode()).unwrap();
+    assert_eq!(str_member(&pong, "error"), None, "{pong}");
+    assert!(pong.contains("\"pong\":true"));
+    server.shutdown();
+}

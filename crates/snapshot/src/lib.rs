@@ -26,6 +26,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blob;
+
+pub use blob::{BlobStore, CacheKey};
+
 use bgp_arch::error::Result;
 use bgp_arch::wire::{self, Reader};
 use bgp_arch::BgpError;

@@ -1,11 +1,13 @@
 //! Minimal hand-rolled JSON support (std-only, no external crates).
 //!
-//! The writer side is a handful of escape helpers used by the
-//! Chrome-trace exporter; the reader side is a small recursive-descent
-//! parser used by the round-trip test and the `bgpc-trace` /
-//! `bgpc-dump --json` consumers. Numbers are kept as their **raw
-//! token** so 64-bit cycle counts survive a round trip exactly —
-//! nothing is funneled through `f64`.
+//! This is the workspace's **shared wire-text module** (re-exported
+//! through the facade as `bgp::json`): the writer side is the escape
+//! helpers plus the [`Obj`]/[`Arr`] builders used by the Chrome-trace
+//! exporter and the `bgp-serve` protocol; the reader side is a small
+//! recursive-descent parser used by the round-trip test, the service
+//! daemon, and the `bgpc-trace` / `bgpc-dump --json` consumers. Numbers
+//! are kept as their **raw token** so 64-bit cycle counts survive a
+//! round trip exactly — nothing is funneled through `f64`.
 
 use std::fmt::Write as _;
 
@@ -280,6 +282,139 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// Incremental writer for a JSON object: `{"k": v, ...}`.
+///
+/// Keys are escaped; values go in via the typed `field_*` methods or
+/// [`Obj::field_raw`] for a pre-serialized JSON fragment (the splice
+/// path `bgp-serve` uses to return cached result bytes verbatim).
+#[derive(Debug)]
+pub struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Default for Obj {
+    fn default() -> Obj {
+        Obj::new()
+    }
+}
+
+impl Obj {
+    /// Start an empty object.
+    pub fn new() -> Obj {
+        Obj { buf: String::from("{"), first: true }
+    }
+
+    fn key(&mut self, k: &str) -> &mut String {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        push_str_escaped(&mut self.buf, k);
+        self.buf.push(':');
+        &mut self.buf
+    }
+
+    /// Add a string member.
+    pub fn field_str(mut self, k: &str, v: &str) -> Obj {
+        let buf = self.key(k);
+        push_str_escaped(buf, v);
+        self
+    }
+
+    /// Add an unsigned integer member (exact — no `f64` funnel).
+    pub fn field_u64(mut self, k: &str, v: u64) -> Obj {
+        let _ = write!(self.key(k), "{v}");
+        self
+    }
+
+    /// Add a finite float member (`{:.N}`-free shortest form).
+    pub fn field_f64(mut self, k: &str, v: f64) -> Obj {
+        debug_assert!(v.is_finite(), "JSON has no NaN/Inf");
+        let _ = write!(self.key(k), "{v}");
+        self
+    }
+
+    /// Add a boolean member.
+    pub fn field_bool(mut self, k: &str, v: bool) -> Obj {
+        let _ = write!(self.key(k), "{v}");
+        self
+    }
+
+    /// Splice a pre-serialized JSON fragment in as the member value,
+    /// byte-for-byte. The caller guarantees `raw` is valid JSON.
+    pub fn field_raw(mut self, k: &str, raw: &str) -> Obj {
+        self.key(k).push_str(raw);
+        self
+    }
+
+    /// Close the object and return the document.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Incremental writer for a JSON array: `[v, ...]`.
+#[derive(Debug)]
+pub struct Arr {
+    buf: String,
+    first: bool,
+}
+
+impl Default for Arr {
+    fn default() -> Arr {
+        Arr::new()
+    }
+}
+
+impl Arr {
+    /// Start an empty array.
+    pub fn new() -> Arr {
+        Arr { buf: String::from("["), first: true }
+    }
+
+    fn sep(&mut self) -> &mut String {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        &mut self.buf
+    }
+
+    /// Append a string element.
+    pub fn push_str(mut self, v: &str) -> Arr {
+        let buf = self.sep();
+        push_str_escaped(buf, v);
+        self
+    }
+
+    /// Append an unsigned integer element.
+    pub fn push_u64(mut self, v: u64) -> Arr {
+        let _ = write!(self.sep(), "{v}");
+        self
+    }
+
+    /// Append a finite float element.
+    pub fn push_f64(mut self, v: f64) -> Arr {
+        debug_assert!(v.is_finite(), "JSON has no NaN/Inf");
+        let _ = write!(self.sep(), "{v}");
+        self
+    }
+
+    /// Splice a pre-serialized JSON fragment in as one element.
+    pub fn push_raw(mut self, raw: &str) -> Arr {
+        self.sep().push_str(raw);
+        self
+    }
+
+    /// Close the array and return the document.
+    pub fn finish(mut self) -> String {
+        self.buf.push(']');
+        self.buf
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +443,42 @@ mod tests {
         let doc = format!("{{\"s\": {}}}", escape(original));
         let v = parse(&doc).unwrap();
         assert_eq!(v.get("s").unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn obj_and_arr_builders_round_trip_through_the_parser() {
+        let inner = Arr::new().push_u64(u64::MAX).push_str("x\ny").push_f64(1.5).finish();
+        let doc = Obj::new()
+            .field_str("name", "mg \"S\"")
+            .field_u64("cycles", u64::MAX)
+            .field_bool("ok", true)
+            .field_raw("items", &inner)
+            .field_raw("null", "null")
+            .finish();
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("mg \"S\""));
+        assert_eq!(v.get("cycles").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        let items = v.get("items").unwrap().as_array().unwrap();
+        assert_eq!(items[0].as_u64(), Some(u64::MAX));
+        assert_eq!(items[1].as_str(), Some("x\ny"));
+        assert_eq!(items[2].as_f64(), Some(1.5));
+        assert_eq!(v.get("null"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn empty_builders_produce_empty_containers() {
+        assert_eq!(Obj::new().finish(), "{}");
+        assert_eq!(Arr::new().finish(), "[]");
+        assert_eq!(parse(&Obj::new().finish()).unwrap(), Value::Object(vec![]));
+    }
+
+    #[test]
+    fn raw_splice_is_byte_exact() {
+        let cached = r#"{"job_cycles":37719054,"dumps":["00ff"]}"#;
+        let doc = Obj::new().field_bool("ok", true).field_raw("result", cached).finish();
+        let idx = doc.find("\"result\":").unwrap() + "\"result\":".len();
+        assert_eq!(&doc[idx..doc.len() - 1], cached, "splice must not reformat");
     }
 
     #[test]

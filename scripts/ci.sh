@@ -61,6 +61,41 @@ target/release/bgpc-run --out "$ck_dir/crashed" --kernel mg --class s --ranks 8 
 diff -r --exclude=checkpoints "$ck_dir/reference" "$ck_dir/crashed" \
     || { echo "checkpoint smoke: resumed outputs diverge from reference"; exit 1; }
 
+echo "==> counter service smoke (bgpc-serve + bgpc-load: hit byte-identity, drain, shutdown)"
+svc_dir="$trace_dir/svc"
+mkdir -p "$svc_dir"
+target/release/bgpc-serve --addr 127.0.0.1:0 --addr-file "$svc_dir/addr" \
+    --workers 2 --quiet &
+svc_pid=$!
+for _ in $(seq 50); do test -s "$svc_dir/addr" && break; sleep 0.1; done
+test -s "$svc_dir/addr" || { echo "service smoke: daemon never published its address"; exit 1; }
+svc_addr="$(cat "$svc_dir/addr")"
+# Same job twice: the first run is a miss, the replay must be a cache
+# hit carrying byte-identical result bytes.
+target/release/bgpc-load --addr "$svc_addr" --once --seed 11 --out "$svc_dir/first" \
+    | grep -q '^miss' || { echo "service smoke: first submit was not a miss"; exit 1; }
+target/release/bgpc-load --addr "$svc_addr" --once --seed 11 --out "$svc_dir/second" \
+    | grep -q '^hit' || { echo "service smoke: replay was not a cache hit"; exit 1; }
+cmp "$svc_dir/first" "$svc_dir/second" \
+    || { echo "service smoke: cache hit is not byte-identical"; exit 1; }
+# Drain: cached keys still served, new work refused, then clean shutdown.
+target/release/bgpc-load --addr "$svc_addr" --admin drain | grep -q '"draining":true' \
+    || { echo "service smoke: drain not acknowledged"; exit 1; }
+target/release/bgpc-load --addr "$svc_addr" --once --seed 11 --out "$svc_dir/drained" \
+    | grep -q '^hit' || { echo "service smoke: drained daemon dropped a cache hit"; exit 1; }
+cmp "$svc_dir/first" "$svc_dir/drained" \
+    || { echo "service smoke: post-drain hit is not byte-identical"; exit 1; }
+if target/release/bgpc-load --addr "$svc_addr" --once --seed 12 2>/dev/null; then
+    echo "service smoke: draining daemon accepted new work"; exit 1
+fi
+target/release/bgpc-load --addr "$svc_addr" --admin shutdown | grep -q '"shutdown":true' \
+    || { echo "service smoke: shutdown not acknowledged"; exit 1; }
+wait "$svc_pid" || { echo "service smoke: daemon exited non-zero"; exit 1; }
+
+echo "==> counter service load gate (quick scale: 2k requests, byte-identical replays)"
+BGP_RESULTS_DIR="$trace_dir" BGP_BENCH_DIR="$trace_dir" \
+    target/release/fig_ext_service --quick --gate
+
 echo "==> snapshot overhead gate (checkpoint every 64 phases < 5%, Default scale)"
 # Runs at Default scale (MG class A) so the committed BENCH_snapshot.json
 # records the acceptance-criterion numbers; ~1 min.

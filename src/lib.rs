@@ -17,6 +17,13 @@
 //! container: enable periodic snapshots via [`JobSpec`]`::checkpoint`
 //! and resume a crashed job byte-identically with `Machine::resume`
 //! (or let `counters::supervisor::supervise` do both automatically).
+//! [`serve`] turns determinism into a service: a std-only TCP daemon
+//! (`bgpc-serve`) that treats submitted [`JobSpec`]s as traffic and
+//! deterministic results as cache hits — content-addressed by
+//! `(spec fingerprint, seed)`, coalescing identical in-flight jobs,
+//! backpressuring with 429-style rejects, and streaming live phase
+//! updates (drive it with `bgpc-load`). The shared hand-rolled JSON
+//! layer all of this rides on is re-exported as [`json`].
 //!
 //! ## The Session API
 //!
@@ -76,9 +83,14 @@ pub use bgp_nas as nas;
 pub use bgp_net as net;
 pub use bgp_node as node;
 pub use bgp_postproc as postproc;
+pub use bgp_serve as serve;
 pub use bgp_snapshot as snapshot;
 pub use bgp_trace as trace;
 pub use bgp_upc as upc;
+
+/// The workspace's shared wire-text layer (writer builders + parser),
+/// re-exported from [`trace`] where it grew up.
+pub use bgp_trace::json;
 
 /// The workspace-wide error type (every crate reports through it).
 pub use bgp_arch::BgpError as Error;
