@@ -21,7 +21,7 @@ fn bench_kernels_class_s() {
         bench(kernel.name(), || {
             let m = Machine::new(spec(ranks));
             m.enable_all_counters();
-            let out = m.run(|ctx| kernel.run(ctx, Class::S));
+            let out = m.run(move |ctx| async move { kernel.exec(Class::S, ctx).await.1 });
             assert!(out.iter().all(|r| r.verified));
             m.job_cycles()
         });
@@ -32,27 +32,27 @@ fn bench_collectives() {
     group("collectives_x8");
     bench("barrier_x100", || {
         let m = Machine::new(spec(8));
-        m.run(|ctx| {
+        m.run(|mut ctx| async move {
             for _ in 0..100 {
-                ctx.barrier();
+                ctx.barrier().await;
             }
         });
     });
     bench("allreduce_1k_f64_x20", || {
         let m = Machine::new(spec(8));
-        m.run(|ctx| {
+        m.run(|mut ctx| async move {
             let v = vec![ctx.rank() as f64; 1024];
             for _ in 0..20 {
-                ctx.allreduce_sum_f64(&v);
+                ctx.allreduce_sum_f64(&v).await;
             }
         });
     });
     bench("alltoall_4k_x10", || {
         let m = Machine::new(spec(8));
-        m.run(|ctx| {
+        m.run(|mut ctx| async move {
             for _ in 0..10 {
                 let rows = vec![vec![0u8; 4096]; ctx.size()];
-                ctx.alltoall(rows);
+                ctx.alltoall(rows).await;
             }
         });
     });
@@ -67,10 +67,10 @@ fn bench_turnstile_quantum() {
             let mut s = spec(4);
             s.quantum = quantum;
             let m = Machine::new(s);
-            m.run(|ctx| {
+            m.run(|mut ctx| async move {
                 let mut v = ctx.alloc::<f64>(32 * 1024);
                 for i in 0..32 * 1024 {
-                    ctx.st(&mut v, i, i as f64);
+                    ctx.st(&mut v, i, i as f64).await;
                 }
             });
             m.job_cycles()

@@ -21,11 +21,13 @@
 //! killed-and-resumed job), and with `--trace` the `trace.json` /
 //! `phases.csv` timeline exports.
 
+use bgp_arch::cli::ArgParser;
 use bgp_arch::OpMode;
 use bgp_bench::RunConfig;
 use bgp_core::supervisor::{supervise, AttemptOutcome, SupervisorConfig};
 use bgp_mpi::machine::CheckpointConfig;
 use bgp_nas::{Class, Kernel};
+use bgp_serve::proto::{parse_class, parse_kernel, parse_mode, workload_tag};
 use bgp_trace::TraceConfig;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -73,84 +75,30 @@ fn parse_args() -> Result<Args, String> {
         max_retries: 0,
     };
     let mut out = None;
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
-        let parsed = |flag: &str, v: String| {
-            v.parse::<u64>().map_err(|e| format!("{flag}: {e}"))
-        };
+    let mut p = ArgParser::from_env(USAGE);
+    while let Some(a) = p.next_flag()? {
         match a.as_str() {
-            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--out" => out = Some(p.path(&a)?),
             "--kernel" => {
-                args.kernel = match value("--kernel")?.to_lowercase().as_str() {
-                    "mg" => Kernel::Mg,
-                    "ft" => Kernel::Ft,
-                    "ep" => Kernel::Ep,
-                    "cg" => Kernel::Cg,
-                    "is" => Kernel::Is,
-                    "lu" => Kernel::Lu,
-                    "sp" => Kernel::Sp,
-                    "bt" => Kernel::Bt,
-                    other => return Err(format!("unknown kernel {other}")),
-                };
+                args.kernel = p.token(&a, "mg|ft|ep|cg|is|lu|sp|bt", parse_kernel)?;
             }
-            "--class" => {
-                args.class = match value("--class")?.to_lowercase().as_str() {
-                    "s" => Class::S,
-                    "w" => Class::W,
-                    "a" => Class::A,
-                    other => return Err(format!("unknown class {other}")),
-                };
-            }
-            "--ranks" => {
-                args.ranks =
-                    value("--ranks")?.parse().map_err(|e| format!("--ranks: {e}"))?;
-            }
-            "--mode" => {
-                args.mode = match value("--mode")?.to_lowercase().as_str() {
-                    "smp1" => OpMode::Smp1,
-                    "smp4" => OpMode::Smp4,
-                    "dual" => OpMode::Dual,
-                    "vnm" | "vn" => OpMode::VirtualNode,
-                    other => return Err(format!("unknown mode {other}")),
-                };
-            }
-            "--threads" => {
-                args.threads = Some(
-                    value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?,
-                );
-            }
+            "--class" => args.class = p.token(&a, "s|w|a", parse_class)?,
+            "--ranks" => args.ranks = p.parse(&a)?,
+            "--mode" => args.mode = p.token(&a, "smp1|smp4|dual|vnm", parse_mode)?,
+            "--threads" | "--sim-threads" => args.threads = Some(p.parse(&a)?),
             "--trace" => args.trace = true,
-            "--checkpoint-every" => {
-                args.checkpoint_every = Some(parsed(&a, value("--checkpoint-every")?)?);
-            }
-            "--checkpoint-dir" => {
-                args.checkpoint_dir = Some(PathBuf::from(value("--checkpoint-dir")?));
-            }
-            "--retain" => {
-                args.retain =
-                    value("--retain")?.parse().map_err(|e| format!("--retain: {e}"))?;
-            }
-            "--resume" => args.resume = Some(PathBuf::from(value("--resume")?)),
-            "--crash-at-phase" => {
-                args.crash_at_phase = Some(parsed(&a, value("--crash-at-phase")?)?);
-            }
-            "--wall-budget-ms" => {
-                args.wall_budget_ms = Some(parsed(&a, value("--wall-budget-ms")?)?);
-            }
-            "--cycle-budget" => {
-                args.cycle_budget = Some(parsed(&a, value("--cycle-budget")?)?);
-            }
-            "--max-retries" => {
-                args.max_retries = value("--max-retries")?
-                    .parse()
-                    .map_err(|e| format!("--max-retries: {e}"))?;
-            }
-            "--help" | "-h" => return Err(USAGE.into()),
-            other => return Err(format!("unexpected argument {other}\n{USAGE}")),
+            "--checkpoint-every" => args.checkpoint_every = Some(p.parse(&a)?),
+            "--checkpoint-dir" => args.checkpoint_dir = Some(p.path(&a)?),
+            "--retain" => args.retain = p.parse(&a)?,
+            "--resume" => args.resume = Some(p.path(&a)?),
+            "--crash-at-phase" => args.crash_at_phase = Some(p.parse(&a)?),
+            "--wall-budget-ms" => args.wall_budget_ms = Some(p.parse(&a)?),
+            "--cycle-budget" => args.cycle_budget = Some(p.parse(&a)?),
+            "--max-retries" => args.max_retries = p.parse(&a)?,
+            other => return Err(p.unexpected(other)),
         }
     }
-    args.out = out.ok_or(format!("missing --out DIR\n{USAGE}"))?;
+    args.out = out.ok_or_else(|| p.missing("--out DIR"))?;
     Ok(args)
 }
 
@@ -222,6 +170,9 @@ fn main() -> ExitCode {
     let mut run_cfg = RunConfig::new(args.kernel, args.class, args.ranks);
     run_cfg.mode = args.mode;
     let mut spec = bgp_mpi::JobSpec::new(run_cfg.ranks, run_cfg.mode);
+    // Same workload tag as the service, so the cache key printed below
+    // names the same entry a `submit` of this job would.
+    spec.workload = Some(workload_tag(run_cfg.kernel, run_cfg.class));
     spec.machine = run_cfg.machine.clone();
     spec.compile = run_cfg.compile;
     spec.sim_threads = args.threads;
@@ -238,14 +189,15 @@ fn main() -> ExitCode {
     }
 
     let sup = SupervisorConfig {
-        wall_budget: args.wall_budget_ms.map(Duration::from_millis),
+        // 0 disables the watchdog, same convention as bgpc-serve.
+        wall_budget: args.wall_budget_ms.filter(|&ms| ms > 0).map(Duration::from_millis),
         max_retries: args.max_retries,
         backoff_base: Duration::from_millis(50),
         backoff_cap: Duration::from_secs(2),
         inject_kill_at_phase: args.crash_at_phase,
     };
     let (kernel, class) = (run_cfg.kernel, run_cfg.class);
-    let run = match supervise(&spec, &sup, move |ctx| kernel.run(ctx, class)) {
+    let run = match supervise(&spec, &sup, move |ctx| kernel.exec(class, ctx)) {
         Ok(run) => run,
         Err(e) => {
             eprintln!("bgpc-run: {e}");

@@ -17,11 +17,13 @@
 //! * the per-node `.bgpc` counter dumps, so `bgpc-dump --json` can mine
 //!   the same run.
 
+use bgp_arch::cli::ArgParser;
 use bgp_arch::OpMode;
 use bgp_bench::RunConfig;
 use bgp_core::run_instrumented;
 use bgp_mpi::Machine;
 use bgp_nas::{Class, Kernel};
+use bgp_serve::proto::{parse_class, parse_kernel, parse_mode, workload_tag};
 use bgp_trace::TraceConfig;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -48,69 +50,30 @@ fn parse_args() -> Result<Args, String> {
     let mut mode = OpMode::VirtualNode;
     let mut threads = None;
     let mut config = TraceConfig::default();
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+    let mut p = ArgParser::from_env(USAGE);
+    while let Some(a) = p.next_flag()? {
         match a.as_str() {
-            "--out" => out = Some(PathBuf::from(value("--out")?)),
-            "--kernel" => {
-                kernel = match value("--kernel")?.to_lowercase().as_str() {
-                    "mg" => Kernel::Mg,
-                    "ft" => Kernel::Ft,
-                    "ep" => Kernel::Ep,
-                    "cg" => Kernel::Cg,
-                    "is" => Kernel::Is,
-                    "lu" => Kernel::Lu,
-                    "sp" => Kernel::Sp,
-                    "bt" => Kernel::Bt,
-                    other => return Err(format!("unknown kernel {other}")),
-                };
-            }
-            "--class" => {
-                class = match value("--class")?.to_lowercase().as_str() {
-                    "s" => Class::S,
-                    "w" => Class::W,
-                    "a" => Class::A,
-                    other => return Err(format!("unknown class {other}")),
-                };
-            }
-            "--ranks" => {
-                ranks = value("--ranks")?.parse().map_err(|e| format!("--ranks: {e}"))?;
-            }
-            "--mode" => {
-                mode = match value("--mode")?.to_lowercase().as_str() {
-                    "smp1" => OpMode::Smp1,
-                    "smp4" => OpMode::Smp4,
-                    "dual" => OpMode::Dual,
-                    "vnm" | "vn" => OpMode::VirtualNode,
-                    other => return Err(format!("unknown mode {other}")),
-                };
-            }
-            "--threads" => {
-                threads =
-                    Some(value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?);
-            }
-            "--sample-every" => {
-                config.sample_every =
-                    value("--sample-every")?.parse().map_err(|e| format!("--sample-every: {e}"))?;
-            }
+            "--out" => out = Some(p.path(&a)?),
+            "--kernel" => kernel = p.token(&a, "mg|ft|ep|cg|is|lu|sp|bt", parse_kernel)?,
+            "--class" => class = p.token(&a, "s|w|a", parse_class)?,
+            "--ranks" => ranks = p.parse(&a)?,
+            "--mode" => mode = p.token(&a, "smp1|smp4|dual|vnm", parse_mode)?,
+            "--threads" | "--sim-threads" => threads = Some(p.parse(&a)?),
+            "--sample-every" => config.sample_every = p.parse(&a)?,
             "--slots" => {
-                config.sample_slots = value("--slots")?
+                config.sample_slots = p
+                    .value(&a)?
                     .split(',')
                     .filter(|s| !s.is_empty())
                     .map(|s| s.trim().parse().map_err(|e| format!("--slots: {e}")))
                     .collect::<Result<_, _>>()?;
             }
-            "--capacity" => {
-                config.capacity =
-                    value("--capacity")?.parse().map_err(|e| format!("--capacity: {e}"))?;
-            }
-            "--help" | "-h" => return Err(USAGE.into()),
-            other => return Err(format!("unexpected argument {other}\n{USAGE}")),
+            "--capacity" => config.capacity = p.parse(&a)?,
+            other => return Err(p.unexpected(other)),
         }
     }
     Ok(Args {
-        out: out.ok_or(format!("missing --out DIR\n{USAGE}"))?,
+        out: out.ok_or_else(|| p.missing("--out DIR"))?,
         kernel,
         class,
         ranks,
@@ -136,13 +99,14 @@ fn main() -> ExitCode {
     let mut cfg = RunConfig::new(args.kernel, args.class, args.ranks);
     cfg.mode = args.mode;
     let mut spec = bgp_mpi::JobSpec::new(cfg.ranks, cfg.mode);
+    spec.workload = Some(workload_tag(cfg.kernel, cfg.class));
     spec.machine = cfg.machine.clone();
     spec.compile = cfg.compile;
     spec.sim_threads = args.threads;
     spec.trace = Some(args.config);
     let machine = Machine::new(spec);
     let (kernel, class) = (cfg.kernel, cfg.class);
-    let (results, lib) = run_instrumented(&machine, move |ctx| kernel.run(ctx, class));
+    let (results, lib) = run_instrumented(&machine, move |ctx| kernel.exec(class, ctx));
     if !results.iter().all(|r| r.verified) {
         eprintln!("bgpc-trace: kernel verification failed");
         return ExitCode::FAILURE;

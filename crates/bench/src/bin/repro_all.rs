@@ -40,5 +40,6 @@ fn main() {
     emit("fig_ext_scaling", &figures::fig_ext_scaling(scale));
     emit("fig_ext_trace_overhead", &figures::fig_ext_trace_overhead(scale));
     emit("fig_ext_memthroughput", &figures::fig_ext_memthroughput(scale));
+    emit("fig_ext_fullmachine", &figures::fig_ext_fullmachine(scale));
     eprintln!("[repro_all] extensions done");
 }

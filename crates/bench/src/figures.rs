@@ -6,7 +6,7 @@ use bgp_arch::events::{CoreEvent, CounterMode};
 use bgp_arch::{modes::OpMode, CORE_CLOCK_HZ};
 use bgp_compiler::{CompileOpts, QArch};
 use bgp_core::{Session, INIT_CYCLES, START_CYCLES, STOP_CYCLES, TOTAL_OVERHEAD_CYCLES};
-use bgp_mpi::CounterPolicy;
+use bgp_mpi::{CounterPolicy, SemOp};
 use bgp_nas::{Class, Kernel};
 use bgp_postproc::{
     ddr_traffic_bytes_per_node, fp_mix, l3_miss_ratio, mflops_per_chip, Csv, MixCategory,
@@ -33,7 +33,8 @@ pub fn tab_overhead() -> Csv {
     let mut spec = bgp_mpi::JobSpec::new(1, OpMode::Smp1);
     spec.counter_policy = CounterPolicy::Fixed(CounterMode::Mode0);
     let machine = bgp_mpi::Machine::new(spec);
-    let measured = machine.run(|ctx| {
+    let measured = machine.run(|mut ctx| async move {
+        let ctx = &mut ctx;
         let t0 = ctx.cycles();
         let s = Session::builder(ctx).build().expect("init");
         let s = s.start(0).expect("start");
@@ -401,7 +402,7 @@ pub fn fig_ext_faults(scale: Scale) -> Csv {
         let plan = Arc::new(FaultPlan::new(fspec, 0xFA17_5EED, nodes));
         spec.faults = Some(Arc::clone(&plan));
         let machine = bgp_mpi::Machine::new(spec);
-        let (_, lib) = run_instrumented(&machine, move |ctx| kernel.run(ctx, class));
+        let (_, lib) = run_instrumented(&machine, move |ctx| kernel.exec(class, ctx));
         let coll = collect_dumps(&lib, &plan, &RetryPolicy::default());
         let frame = DegradedFrame::from_dumps(
             &coll.dumps,
@@ -461,7 +462,7 @@ pub fn scaling_sweep(scale: Scale) -> Vec<ScalingSample> {
         spec.sim_threads = Some(threads);
         let machine = bgp_mpi::Machine::new(spec);
         let t0 = Instant::now();
-        let (_, lib) = run_instrumented(&machine, move |ctx| kernel.run(ctx, class));
+        let (_, lib) = run_instrumented(&machine, move |ctx| kernel.exec(class, ctx));
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         let dumps: Vec<Vec<u8>> = (0..machine.num_nodes())
             .map(|n| lib.encoded_dump(n).expect("node finalized"))
@@ -552,7 +553,7 @@ pub fn trace_overhead_sweep(scale: Scale) -> Vec<TraceOverheadSample> {
         spec.trace = trace.clone();
         let machine = bgp_mpi::Machine::new(spec);
         let t0 = Instant::now();
-        let (_, _lib) = run_instrumented(&machine, move |ctx| kernel.run(ctx, class));
+        let (_, _lib) = run_instrumented(&machine, move |ctx| kernel.exec(class, ctx));
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         let counts =
             machine.job_trace().map_or((0, 0), |t| (t.total_events() as u64, t.total_dropped()));
@@ -648,7 +649,7 @@ pub fn snapshot_overhead_sweep(scale: Scale) -> SnapshotSweep {
     let run_once = |checkpointed: bool| {
         let machine = bgp_mpi::Machine::new(spec_for(checkpointed));
         let t0 = Instant::now();
-        let (results, _lib) = run_instrumented(&machine, move |ctx| kernel.run(ctx, class));
+        let (results, _lib) = run_instrumented(&machine, move |ctx| kernel.exec(class, ctx));
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         assert!(results.iter().all(|r| r.verified), "MG verification failed");
         (wall_ms, machine.snapshot_stats())
@@ -676,7 +677,7 @@ pub fn snapshot_overhead_sweep(scale: Scale) -> SnapshotSweep {
     let machine = bgp_mpi::Machine::new(spec);
     machine.resume(snap).expect("snapshot accepted");
     let t0 = Instant::now();
-    let (results, _lib) = run_instrumented(&machine, move |ctx| kernel.run(ctx, class));
+    let (results, _lib) = run_instrumented(&machine, move |ctx| kernel.exec(class, ctx));
     let resume_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert!(results.iter().all(|r| r.verified), "resumed MG verification failed");
     let _ = std::fs::remove_dir_all(&dir);
@@ -824,7 +825,7 @@ pub fn mem_throughput_sweep(scale: Scale) -> MemThroughputReport {
         let spec = bgp_mpi::JobSpec::new(ranks, OpMode::VirtualNode);
         let machine = bgp_mpi::Machine::new(spec);
         let t0 = Instant::now();
-        let (out, _lib) = run_instrumented(&machine, move |ctx| kernel.run(ctx, class));
+        let (out, _lib) = run_instrumented(&machine, move |ctx| kernel.exec(class, ctx));
         assert!(out.iter().all(|r| r.verified), "MG failed verification");
         t0.elapsed().as_secs_f64() * 1e3
     };
@@ -859,6 +860,131 @@ pub fn fig_ext_memthroughput(scale: Scale) -> Csv {
         format!("mg_{:?}_{}_wall_ms", r.mg_class, r.mg_ranks),
         format!("{:.0}", r.mg_wall_ms),
     ]);
+    csv
+}
+
+/// One point of the full-machine scaling sweep (feeds
+/// [`fig_ext_fullmachine`] and `BENCH_fullmachine.json`).
+pub struct FullMachineSample {
+    /// Compute nodes simulated.
+    pub nodes: usize,
+    /// MPI ranks (4 per node in VNM).
+    pub ranks: usize,
+    /// Host wall-clock milliseconds for build + run.
+    pub wall_ms: f64,
+    /// Process high-water RSS (`VmHWM`) after the run, bytes.
+    pub peak_rss_bytes: u64,
+    /// `peak_rss_bytes / ranks` — the per-rank memory gate.
+    pub rss_per_rank_bytes: f64,
+    /// Simulated rank events (FP retirements + collective
+    /// participations) per host wall-second.
+    pub events_per_sec: f64,
+    /// Simulated job cycles.
+    pub job_cycles: u64,
+    /// The global allreduce produced the closed-form rank sum.
+    pub verified: bool,
+}
+
+/// FP charges per rank in the full-machine probe kernel.
+const FULLMACHINE_FP: u64 = 32;
+/// Collective participations per rank (one allreduce, one barrier).
+const FULLMACHINE_COLLS: u64 = 2;
+
+/// Read the process peak resident set (`VmHWM`) in bytes; 0 where
+/// `/proc/self/status` is unavailable (non-Linux hosts).
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// The probe rank body: pure FP plus collectives, **no array traffic**,
+/// so every node's caches stay in their cold (unmaterialized) state and
+/// the sweep measures the runtime's true per-rank overhead.
+async fn fullmachine_rank(mut ctx: bgp_mpi::RankCtx) -> bool {
+    for _ in 0..FULLMACHINE_FP {
+        ctx.fp1(SemOp::MulAdd);
+    }
+    let n = ctx.size() as f64;
+    let sum = ctx.allreduce_sum_f64(&[ctx.rank() as f64]).await;
+    ctx.barrier().await;
+    sum[0] == n * (n - 1.0) / 2.0
+}
+
+/// Run the full-machine sweep: VNM jobs from 1k nodes up to the
+/// 73,728-node / 294,912-rank Blue Gene/P full machine (72 racks), all
+/// multiplexed over the fixed worker pool — never one OS thread per
+/// rank. `--quick` stops at 4,096 nodes.
+pub fn fullmachine_sweep(scale: Scale) -> Vec<FullMachineSample> {
+    use std::time::Instant;
+    let node_counts: &[usize] = match scale {
+        Scale::Quick => &[1024, 4096],
+        _ => &[1024, 4096, 16384, 73_728],
+    };
+    let mut samples = Vec::new();
+    for &nodes in node_counts {
+        let ranks = nodes * OpMode::VirtualNode.processes_per_node();
+        let mut spec = bgp_mpi::JobSpec::new(ranks, OpMode::VirtualNode);
+        spec.counter_policy = CounterPolicy::Fixed(CounterMode::Mode0);
+        let t0 = Instant::now();
+        let machine = bgp_mpi::Machine::new(spec);
+        let out = machine.run(fullmachine_rank);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let peak = peak_rss_bytes();
+        let events = ranks as u64 * (FULLMACHINE_FP + FULLMACHINE_COLLS);
+        samples.push(FullMachineSample {
+            nodes,
+            ranks,
+            wall_ms,
+            peak_rss_bytes: peak,
+            rss_per_rank_bytes: peak as f64 / ranks as f64,
+            events_per_sec: events as f64 / (wall_ms / 1e3),
+            job_cycles: machine.job_cycles(),
+            verified: out.iter().all(|&ok| ok),
+        });
+    }
+    samples
+}
+
+/// Extension (scale): rank-count scaling of the multiplexed runtime up
+/// to the full 73,728-node machine, with the per-rank RSS column that
+/// gates the ≤ 10 KB idle-rank overhead budget.
+pub fn fig_ext_fullmachine(scale: Scale) -> Csv {
+    let samples = fullmachine_sweep(scale);
+    let mut csv = Csv::new([
+        "nodes",
+        "ranks",
+        "wall_ms",
+        "peak_rss_mb",
+        "rss_per_rank_kb",
+        "events_per_sec",
+        "job_cycles",
+        "verified",
+    ]);
+    for s in &samples {
+        csv.row([
+            s.nodes.to_string(),
+            s.ranks.to_string(),
+            format!("{:.0}", s.wall_ms),
+            format!("{:.1}", s.peak_rss_bytes as f64 / 1e6),
+            format!("{:.2}", s.rss_per_rank_bytes / 1024.0),
+            format!("{:.0}", s.events_per_sec),
+            s.job_cycles.to_string(),
+            s.verified.to_string(),
+        ]);
+    }
     csv
 }
 

@@ -82,7 +82,7 @@ pub fn measure(cfg: &RunConfig, policy: CounterPolicy) -> Measured {
     let machine = Machine::new(cfg.spec(policy));
     let kernel = cfg.kernel;
     let class = cfg.class;
-    let (results, lib) = run_instrumented(&machine, move |ctx| kernel.run(ctx, class));
+    let (results, lib) = run_instrumented(&machine, move |ctx| kernel.exec(class, ctx));
     let verified = results.iter().all(|r| r.verified);
     assert!(
         verified,

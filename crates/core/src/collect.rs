@@ -260,11 +260,12 @@ mod tests {
         spec.counter_policy = CounterPolicy::Fixed(CounterMode::Mode0);
         spec.faults = plan;
         let m = Machine::new(spec);
-        let (_, lib) = crate::run_instrumented(&m, |ctx| {
+        let (_, lib) = crate::run_instrumented(&m, |mut ctx| async move {
             let mut v = ctx.alloc::<f64>(256);
             for i in 0..256 {
-                ctx.st(&mut v, i, i as f64);
+                ctx.st(&mut v, i, i as f64).await;
             }
+            (ctx, ())
         });
         lib
     }

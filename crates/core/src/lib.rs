@@ -1,21 +1,16 @@
 //! # bgp-core — the UPC performance-counter **interface library**
 //!
 //! This is the paper's contribution (§IV): a thin library over the UPC
-//! unit that lets applications instrument themselves. The primary
+//! unit that lets applications instrument themselves. The public
 //! surface is the typestate [`Session`] API ([`session`] module), which
 //! makes the protocol — initialize, then bracket code regions in
 //! start/stop *sets*, then finalize into a per-node binary dump — a
 //! compile-time property. The paper's original four C-style calls
-//! remain as thin deprecated wrappers:
-//!
-//! * [`CounterLibrary::bgp_initialize`] — program the node's UPC unit
-//!   into its counter mode and zero the counters,
-//! * [`CounterLibrary::bgp_start`]`(set)` / [`CounterLibrary::bgp_stop`]`(set)`
-//!   — bracket a code region; each pair constitutes a *set* whose counter
-//!   deltas accumulate,
-//! * [`CounterLibrary::bgp_finalize`] — assemble the per-node binary dump
-//!   of all sets (one file per node, written by
-//!   [`CounterLibrary::write_dumps`]).
+//! (`BGP_Initialize` / `BGP_Start(set)` / `BGP_Stop(set)` /
+//! `BGP_Finalize`) exist only as the session's internal steps; the
+//! deprecated free-call wrappers were removed (see the migration table
+//! in the facade crate docs). Dumps are written per node by
+//! [`CounterLibrary::write_dumps`].
 //!
 //! Key properties reproduced from the paper:
 //!
@@ -103,8 +98,9 @@ struct NodeState {
 /// let mut spec = JobSpec::new(1, OpMode::Smp1);
 /// spec.counter_policy = CounterPolicy::Fixed(CounterMode::Mode0);
 /// let machine = Machine::new(spec);
-/// let (_, lib) = run_instrumented(&machine, |ctx| {
+/// let (_, lib) = run_instrumented(&machine, |mut ctx| async move {
 ///     ctx.fp1(SemOp::MulAdd); // "the application"
+///     (ctx, ())
 /// });
 /// let dumps = lib.dumps().unwrap();
 /// let set = dumps[0].set(WHOLE_PROGRAM_SET).unwrap();
@@ -171,12 +167,8 @@ impl CounterLibrary {
 
     /// `BGP_Initialize()`: program the node's UPC unit (counter mode per
     /// the job's [`bgp_mpi::CounterPolicy`]), zero all counters, leave
-    /// counting disabled until the first `BGP_Start`.
-    #[deprecated(since = "0.2.0", note = "use `Session::builder(ctx).build()` instead")]
-    pub fn bgp_initialize(&self, ctx: &mut RankCtx) -> Result<()> {
-        self.initialize_impl(ctx)
-    }
-
+    /// counting disabled until the first `BGP_Start`. Reached through
+    /// [`SessionBuilder::build`].
     pub(crate) fn initialize_impl(&self, ctx: &mut RankCtx) -> Result<()> {
         let node = ctx.node_id().0;
         {
@@ -211,12 +203,8 @@ impl CounterLibrary {
 
     /// `BGP_Start(set)`: open a counting window for `set` on this rank's
     /// node. The first arriving rank snapshots the counters and enables
-    /// the unit; peers on the same node join the same window.
-    #[deprecated(since = "0.2.0", note = "use `Session::start` instead")]
-    pub fn bgp_start(&self, ctx: &mut RankCtx, set: u32) -> Result<()> {
-        self.start_impl(ctx, set)
-    }
-
+    /// the unit; peers on the same node join the same window. Reached
+    /// through [`Session::start`].
     pub(crate) fn start_impl(&self, ctx: &mut RankCtx, set: u32) -> Result<()> {
         let node = ctx.node_id().0;
         {
@@ -266,12 +254,7 @@ impl CounterLibrary {
     /// `BGP_Stop(set)`: close the counting window. The last rank of the
     /// node to stop takes the snapshot, accumulates the delta into the
     /// set, and disables the unit ("monitoring of counters is stopped
-    /// after the BGP_Stop()").
-    #[deprecated(since = "0.2.0", note = "use `Session::stop` instead")]
-    pub fn bgp_stop(&self, ctx: &mut RankCtx, set: u32) -> Result<()> {
-        self.stop_impl(ctx, set)
-    }
-
+    /// after the BGP_Stop()"). Reached through [`Session::stop`].
     pub(crate) fn stop_impl(&self, ctx: &mut RankCtx, set: u32) -> Result<()> {
         // Charge before the snapshot so the call's own cost is visible to
         // the counters exactly once (the paper includes start/stop cost in
@@ -338,12 +321,8 @@ impl CounterLibrary {
 
     /// `BGP_Finalize()`: after the last rank of a node arrives, assemble
     /// the node's binary dump. Charged after counting is disabled, so the
-    /// "printing" cost never pollutes the data.
-    #[deprecated(since = "0.2.0", note = "use `Session::finalize` instead")]
-    pub fn bgp_finalize(&self, ctx: &mut RankCtx) -> Result<()> {
-        self.finalize_impl(ctx)
-    }
-
+    /// "printing" cost never pollutes the data. Reached through
+    /// [`Session::finalize`].
     pub(crate) fn finalize_impl(&self, ctx: &mut RankCtx) -> Result<()> {
         let node = ctx.node_id().0;
         {
@@ -519,25 +498,47 @@ pub fn read_dumps_lenient(dir: &Path) -> Result<LenientRead> {
 /// source changes: `BGP_Initialize` + `BGP_Start(0)` happen "inside
 /// MPI_Init", `BGP_Stop(0)` + `BGP_Finalize` "inside MPI_Finalize".
 ///
+/// The kernel takes its [`RankCtx`] by value and hands it back alongside
+/// its result, so the finalization bracket can run against the same
+/// context after the measured region (`async fn kernel(mut ctx: RankCtx)
+/// -> (RankCtx, R)` is the natural shape).
+///
 /// Returns the per-rank kernel results and the library holding the dumps.
-pub fn run_instrumented<R, F>(
+pub fn run_instrumented<R, F, Fut>(
     machine: &Arc<Machine>,
     kernel: F,
 ) -> (Vec<R>, Arc<CounterLibrary>)
 where
     R: Send,
-    F: Fn(&mut RankCtx) -> R + Sync,
+    F: Fn(RankCtx) -> Fut + Sync,
+    Fut: std::future::Future<Output = (RankCtx, R)> + Send,
 {
     let lib = CounterLibrary::for_machine(machine);
-    let out = machine.run(move |ctx| {
-        let session = Session::builder(ctx).build().expect("BGP_Initialize");
-        let mut session = session.start(WHOLE_PROGRAM_SET).expect("BGP_Start");
-        let r = kernel(session.ctx());
-        let session = session.stop().expect("BGP_Stop");
-        session.finalize().expect("BGP_Finalize");
-        r
-    });
+    let kernel = &kernel;
+    let lib_ref = &lib;
+    let out =
+        machine.run(move |ctx| instrumented_body(Arc::clone(lib_ref), ctx, kernel));
     (out, lib)
+}
+
+/// The whole-program bracket shared by [`run_instrumented`] and the
+/// [`supervisor`]: initialize + start(0) before the kernel, stop(0) +
+/// finalize after, all against the rank's own context.
+pub(crate) async fn instrumented_body<R, F, Fut>(
+    lib: Arc<CounterLibrary>,
+    mut ctx: RankCtx,
+    kernel: &F,
+) -> R
+where
+    F: Fn(RankCtx) -> Fut,
+    Fut: std::future::Future<Output = (RankCtx, R)>,
+{
+    lib.initialize_impl(&mut ctx).expect("BGP_Initialize");
+    lib.start_impl(&mut ctx, WHOLE_PROGRAM_SET).expect("BGP_Start");
+    let (mut ctx, r) = kernel(ctx).await;
+    lib.stop_impl(&mut ctx, WHOLE_PROGRAM_SET).expect("BGP_Stop");
+    lib.finalize_impl(&mut ctx).expect("BGP_Finalize");
+    r
 }
 
 #[cfg(test)]
@@ -565,12 +566,13 @@ mod tests {
             OpMode::VirtualNode,
             CounterPolicy::Fixed(CounterMode::Mode0),
         );
-        let (_, lib) = run_instrumented(&m, |ctx| {
+        let (_, lib) = run_instrumented(&m, |mut ctx| async move {
             let mut v = ctx.alloc::<f64>(64);
             for i in 0..64 {
-                ctx.st(&mut v, i, 1.0);
+                ctx.st(&mut v, i, 1.0).await;
                 ctx.fp1(SemOp::MulAdd);
             }
+            (ctx, ())
         });
         let dumps = lib.dumps().unwrap();
         assert_eq!(dumps.len(), 1);
@@ -588,8 +590,9 @@ mod tests {
             OpMode::VirtualNode,
             CounterPolicy::EvenOdd { even: CounterMode::Mode0, odd: CounterMode::Mode1 },
         );
-        let (_, lib) = run_instrumented(&m, |ctx| {
+        let (_, lib) = run_instrumented(&m, |mut ctx| async move {
             ctx.fp1(SemOp::Add); // every rank, every core
+            (ctx, ())
         });
         let dumps = lib.dumps().unwrap();
         assert_eq!(dumps.len(), 2);
@@ -608,8 +611,8 @@ mod tests {
     #[test]
     fn work_outside_the_window_is_not_counted() {
         let m = machine(1, OpMode::Smp1, CounterPolicy::Fixed(CounterMode::Mode0));
-        let out = m.run(|ctx| {
-            let mut s = Session::builder(ctx).build().unwrap();
+        let out = m.run(|mut ctx| async move {
+            let mut s = Session::builder(&mut ctx).build().unwrap();
             s.fp1(SemOp::Add); // before start: invisible
             let mut s = s.start(1).unwrap();
             s.fp1(SemOp::Add);
@@ -626,8 +629,8 @@ mod tests {
     #[test]
     fn multiple_start_stop_pairs_accumulate_records() {
         let m = machine(1, OpMode::Smp1, CounterPolicy::Fixed(CounterMode::Mode0));
-        let out = m.run(|ctx| {
-            let mut s = Session::builder(ctx).build().unwrap();
+        let out = m.run(|mut ctx| async move {
+            let mut s = Session::builder(&mut ctx).build().unwrap();
             for _ in 0..3 {
                 let mut counting = s.start(7).unwrap();
                 counting.fp1(SemOp::Mul);
@@ -640,32 +643,34 @@ mod tests {
         assert_eq!(s.counts[CoreEvent::FpMult.id(0).slot().0 as usize], 3);
     }
 
-    /// The deprecated four-call wrappers must keep detecting protocol
-    /// violations at runtime — they are the compatibility surface for
-    /// code not yet migrated to [`Session`] (where these states don't
-    /// compile at all).
+    /// The runtime protocol checks behind the typestate [`Session`] must
+    /// keep firing — they guard against SPMD divergence the types cannot
+    /// see (peer ranks on one node disagreeing about the active set).
     #[test]
-    #[allow(deprecated)]
     fn protocol_violations_are_reported() {
         let m = machine(1, OpMode::Smp1, CounterPolicy::Fixed(CounterMode::Mode0));
         let lib = CounterLibrary::new(Arc::clone(&m));
         let lib2 = Arc::clone(&lib);
-        let out = m.run(move |ctx| {
-            // Start before initialize:
-            let e1 = lib2.bgp_start(ctx, 0).is_err();
-            lib2.bgp_initialize(ctx).unwrap();
-            lib2.bgp_start(ctx, 0).unwrap();
-            // Nested different set:
-            let e2 = lib2.bgp_start(ctx, 1).is_err();
-            // Mismatched stop:
-            let e3 = lib2.bgp_stop(ctx, 1).is_err();
-            // Finalize with an open set:
-            let e4 = lib2.bgp_finalize(ctx).is_err();
-            lib2.bgp_stop(ctx, 0).unwrap();
-            // Stop without start:
-            let e5 = lib2.bgp_stop(ctx, 0).is_err();
-            lib2.bgp_finalize(ctx).unwrap();
-            (e1, e2, e3, e4, e5)
+        let out = m.run(move |mut ctx| {
+            let lib = Arc::clone(&lib2);
+            async move {
+                let ctx = &mut ctx;
+                // Start before initialize:
+                let e1 = lib.start_impl(ctx, 0).is_err();
+                lib.initialize_impl(ctx).unwrap();
+                lib.start_impl(ctx, 0).unwrap();
+                // Nested different set:
+                let e2 = lib.start_impl(ctx, 1).is_err();
+                // Mismatched stop:
+                let e3 = lib.stop_impl(ctx, 1).is_err();
+                // Finalize with an open set:
+                let e4 = lib.finalize_impl(ctx).is_err();
+                lib.stop_impl(ctx, 0).unwrap();
+                // Stop without start:
+                let e5 = lib.stop_impl(ctx, 0).is_err();
+                lib.finalize_impl(ctx).unwrap();
+                (e1, e2, e3, e4, e5)
+            }
         });
         assert_eq!(out[0], (true, true, true, true, true));
     }
@@ -675,9 +680,9 @@ mod tests {
         // Measure exactly like §IV: instrument an empty snippet and check
         // the core clock advanced by the library-call costs alone.
         let m = machine(1, OpMode::Smp1, CounterPolicy::Fixed(CounterMode::Mode0));
-        let out = m.run(|ctx| {
+        let out = m.run(|mut ctx| async move {
             let t0 = ctx.cycles();
-            let s = Session::builder(ctx).build().unwrap();
+            let s = Session::builder(&mut ctx).build().unwrap();
             let s = s.start(0).unwrap();
             let s = s.stop().unwrap();
             let t1 = s.cycles();
@@ -690,11 +695,12 @@ mod tests {
     #[test]
     fn dumps_round_trip_through_files() {
         let m = machine(2, OpMode::Smp1, CounterPolicy::Fixed(CounterMode::Mode2));
-        let (_, lib) = run_instrumented(&m, |ctx| {
+        let (_, lib) = run_instrumented(&m, |mut ctx| async move {
             let mut v = ctx.alloc::<f64>(4096);
             for i in 0..4096 {
-                ctx.st(&mut v, i, 0.5);
+                ctx.st(&mut v, i, 0.5).await;
             }
+            (ctx, ())
         });
         let dir = std::env::temp_dir().join(format!("bgpc_test_{}", std::process::id()));
         let paths = lib.write_dumps(&dir).unwrap();

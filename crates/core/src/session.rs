@@ -40,9 +40,9 @@
 //! use bgp_mpi::{JobSpec, Machine, SemOp};
 //!
 //! let machine = Machine::new(JobSpec::new(2, OpMode::Smp1));
-//! let dumps = machine.run(|ctx| {
+//! let dumps = machine.run(|mut ctx| async move {
 //!     // Before: lib.bgp_initialize(ctx)?;
-//!     let session = Session::builder(ctx).build().unwrap();
+//!     let session = Session::builder(&mut ctx).build().unwrap();
 //!     // Before: lib.bgp_start(ctx, set)?;
 //!     let mut session = session.start(WHOLE_PROGRAM_SET).unwrap();
 //!     session.fp1(SemOp::MulAdd); // the measured region
@@ -278,8 +278,8 @@ mod tests {
     #[test]
     fn session_round_trip_produces_dumps() {
         let m = Machine::new(JobSpec::new(4, OpMode::VirtualNode));
-        let handles = m.run(|ctx| {
-            let s = Session::builder(ctx)
+        let handles = m.run(|mut ctx| async move {
+            let s = Session::builder(&mut ctx)
                 .counter_mode(CounterMode::Mode0)
                 .build()
                 .unwrap();
@@ -297,8 +297,8 @@ mod tests {
     #[test]
     fn sessions_share_one_library_per_machine() {
         let m = Machine::new(JobSpec::new(2, OpMode::VirtualNode));
-        let libs = m.run(|ctx| {
-            let s = Session::builder(ctx).build().unwrap();
+        let libs = m.run(|mut ctx| async move {
+            let s = Session::builder(&mut ctx).build().unwrap();
             let lib = Arc::clone(s.library());
             s.finalize().unwrap();
             lib
@@ -312,9 +312,9 @@ mod tests {
     #[test]
     fn divergent_policies_are_rejected_at_build() {
         let m = Machine::new(JobSpec::new(2, OpMode::Smp1));
-        let oks = m.run(|ctx| {
+        let oks = m.run(|mut ctx| async move {
             let mode = if ctx.rank() == 0 { CounterMode::Mode0 } else { CounterMode::Mode1 };
-            match Session::builder(ctx).counter_mode(mode).build() {
+            match Session::builder(&mut ctx).counter_mode(mode).build() {
                 Ok(s) => {
                     s.finalize().unwrap();
                     true
@@ -332,8 +332,8 @@ mod tests {
     #[test]
     fn consecutive_sets_accumulate_separately() {
         let m = Machine::new(JobSpec::new(1, OpMode::Smp1));
-        let dump = m.run(|ctx| {
-            let s = Session::builder(ctx).build().unwrap();
+        let dump = m.run(|mut ctx| async move {
+            let s = Session::builder(&mut ctx).build().unwrap();
             let mut s1 = s.start(1).unwrap();
             s1.fp1(SemOp::Add);
             let s = s1.stop().unwrap();

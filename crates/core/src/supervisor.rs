@@ -200,14 +200,15 @@ impl RunObserver for () {}
 /// # Errors
 /// [`SupervisorError::Fatal`] on a non-retryable failure,
 /// [`SupervisorError::RetriesExhausted`] when every attempt died.
-pub fn supervise<R, F>(
+pub fn supervise<R, F, Fut>(
     spec: &JobSpec,
     cfg: &SupervisorConfig,
     kernel: F,
 ) -> Result<SupervisedRun<R>, SupervisorError>
 where
     R: Send,
-    F: Fn(&mut RankCtx) -> R + Sync,
+    F: Fn(RankCtx) -> Fut + Sync,
+    Fut: std::future::Future<Output = (RankCtx, R)> + Send,
 {
     supervise_observed(spec, cfg, kernel, &())
 }
@@ -218,7 +219,7 @@ where
 ///
 /// # Errors
 /// Same contract as [`supervise`].
-pub fn supervise_observed<R, F>(
+pub fn supervise_observed<R, F, Fut>(
     spec: &JobSpec,
     cfg: &SupervisorConfig,
     kernel: F,
@@ -226,7 +227,8 @@ pub fn supervise_observed<R, F>(
 ) -> Result<SupervisedRun<R>, SupervisorError>
 where
     R: Send,
-    F: Fn(&mut RankCtx) -> R + Sync,
+    F: Fn(RankCtx) -> Fut + Sync,
+    Fut: std::future::Future<Output = (RankCtx, R)> + Send,
 {
     let mut attempts: Vec<Attempt> = Vec::new();
     for attempt in 0..=cfg.max_retries {
@@ -264,15 +266,10 @@ where
         });
 
         let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            machine.run(|ctx| {
-                let session =
-                    crate::Session::builder(ctx).build().expect("BGP_Initialize");
-                let mut session =
-                    session.start(crate::WHOLE_PROGRAM_SET).expect("BGP_Start");
-                let r = kernel(session.ctx());
-                let session = session.stop().expect("BGP_Stop");
-                session.finalize().expect("BGP_Finalize");
-                r
+            let kernel = &kernel;
+            let lib_ref = &library;
+            machine.run(move |ctx| {
+                crate::instrumented_body(Arc::clone(lib_ref), ctx, kernel)
             })
         }));
         drop(done_tx);
@@ -354,16 +351,17 @@ mod tests {
     use bgp_mpi::machine::CheckpointConfig;
     use bgp_mpi::SemOp;
 
-    fn kernel(ctx: &mut RankCtx) -> u64 {
+    async fn kernel(mut ctx: RankCtx) -> (RankCtx, u64) {
         let mut v = ctx.alloc::<f64>(512);
         for round in 0..4u64 {
             for i in 0..512 {
-                ctx.st(&mut v, i, round as f64);
+                ctx.st(&mut v, i, round as f64).await;
             }
             ctx.fp_scalar_n(SemOp::MulAdd, 128);
-            ctx.barrier();
+            ctx.barrier().await;
         }
-        ctx.allreduce_sum_f64(&[1.0])[0].to_bits()
+        let r = ctx.allreduce_sum_f64(&[1.0]).await[0].to_bits();
+        (ctx, r)
     }
 
     fn spec(dir: Option<&std::path::Path>) -> JobSpec {

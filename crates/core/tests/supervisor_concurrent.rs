@@ -17,16 +17,17 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// A small deterministic kernel with enough phases for a mid-run kill.
-fn kernel(ctx: &mut RankCtx) -> u64 {
+async fn kernel(mut ctx: RankCtx) -> (RankCtx, u64) {
     let mut v = ctx.alloc::<f64>(256);
     for round in 0..4u64 {
         for i in 0..256 {
-            ctx.st(&mut v, i, round as f64);
+            ctx.st(&mut v, i, round as f64).await;
         }
         ctx.fp_scalar_n(SemOp::MulAdd, 64);
-        ctx.barrier();
+        ctx.barrier().await;
     }
-    ctx.allreduce_sum_f64(&[1.0])[0].to_bits()
+    let r = ctx.allreduce_sum_f64(&[1.0]).await[0].to_bits();
+    (ctx, r)
 }
 
 fn spec(dir: Option<&std::path::Path>) -> JobSpec {

@@ -81,14 +81,24 @@ pub struct Hit {
 /// assert!(c.access(7, true).hit);     // write hit marks the line dirty
 /// assert_eq!(c.flush(), vec![7]);     // flush returns the dirty lines
 /// ```
+/// Backing storage allocates **lazily**: a freshly built cache holds no
+/// way array and no filter until the first [`Cache::fill`] (cold probes
+/// answer "miss"/"absent" straight from the empty state). A machine with
+/// tens of thousands of idle nodes therefore pays a few machine words
+/// per cache, not `sets × ways`; the first line installed materializes
+/// the arrays and behavior is identical from then on.
 #[derive(Clone, Debug)]
 pub struct Cache {
     /// Packed way entries (`line << ENT_SHIFT | flags`), `sets × ways`,
     /// set-major, each set ordered most- to least-recently-used.
+    /// Empty until the first fill materializes it.
     ents: Vec<u64>,
     /// Counting membership filter: `filt[hash(line)]` is the number of
     /// resident lines hashing to that bucket. Zero proves absence.
+    /// Empty until the first fill (or always, for unfiltered caches).
     filt: Vec<u16>,
+    /// Length the filter materializes to (0 = unfiltered).
+    filt_len: usize,
     /// Right-shift applied to the hashed line to index `filt`.
     filt_shift: u32,
     num_sets: usize,
@@ -126,12 +136,28 @@ impl Cache {
             0
         };
         Cache {
-            ents: vec![INVALID; sets * assoc],
-            filt: vec![0; filt_len],
+            ents: Vec::new(),
+            filt: Vec::new(),
+            filt_len,
             filt_shift: 64 - filt_len.trailing_zeros().min(63),
             num_sets: sets,
             assoc,
             set_mask: sets.is_power_of_two().then(|| sets as u64 - 1),
+        }
+    }
+
+    /// Whether the backing arrays have not been allocated yet (no line
+    /// was ever installed, or every restore image was all-invalid).
+    #[inline]
+    fn is_cold(&self) -> bool {
+        self.ents.is_empty()
+    }
+
+    /// Allocate the way array and filter. Idempotent.
+    fn materialize(&mut self) {
+        if self.is_cold() {
+            self.ents = vec![INVALID; self.num_sets * self.assoc];
+            self.filt = vec![0; self.filt_len];
         }
     }
 
@@ -144,6 +170,9 @@ impl Cache {
     /// means "maybe resident" and callers fall back to the tag scan.
     #[inline]
     fn maybe_resident(&self, line: u64) -> bool {
+        if self.is_cold() {
+            return false;
+        }
         self.filt.is_empty() || self.filt[self.filt_idx(line)] != 0
     }
 
@@ -194,6 +223,9 @@ impl Cache {
     /// the line dirty (write hit).
     #[inline]
     pub fn access(&mut self, line: u64, write: bool) -> Hit {
+        if self.is_cold() {
+            return Hit { hit: false, first_prefetch_use: false };
+        }
         let base = self.set_of(line) * self.assoc;
         let target = line << ENT_SHIFT;
         let wflag = if write { FLAG_DIRTY } else { 0 };
@@ -243,6 +275,7 @@ impl Cache {
     /// to the prefetcher.
     #[inline]
     pub fn fill(&mut self, line: u64, dirty: bool, prefetched: bool) -> Option<Evicted> {
+        self.materialize();
         let base = self.set_of(line) * self.assoc;
         let target = line << ENT_SHIFT;
         let dflag = if dirty { FLAG_DIRTY } else { 0 };
@@ -347,9 +380,16 @@ impl Cache {
     ///
     /// Only the packed way entries are written: the membership filter is
     /// an exact count of resident lines, so [`Cache::restore_state`]
-    /// rebuilds it deterministically from the entries.
+    /// rebuilds it deterministically from the entries. A cold
+    /// (never-filled) cache writes the same all-invalid image an eagerly
+    /// allocated empty cache would, so snapshots stay byte-identical
+    /// regardless of materialization state.
     pub fn save_state(&self, out: &mut Vec<u8>) {
-        bgp_arch::wire::put_u64s(out, &self.ents);
+        if self.is_cold() {
+            bgp_arch::wire::put_u64s(out, &vec![INVALID; self.num_sets * self.assoc]);
+        } else {
+            bgp_arch::wire::put_u64s(out, &self.ents);
+        }
     }
 
     /// Restore state previously written by [`Cache::save_state`] into a
@@ -363,15 +403,22 @@ impl Cache {
         r: &mut bgp_arch::wire::Reader<'_>,
     ) -> bgp_arch::error::Result<()> {
         let ents = r.u64s("cache entries")?;
-        if ents.len() != self.ents.len() {
+        if ents.len() != self.num_sets * self.assoc {
             return Err(bgp_arch::BgpError::corrupt(format!(
                 "cache geometry mismatch: snapshot has {} entries, cache holds {}",
                 ents.len(),
-                self.ents.len()
+                self.num_sets * self.assoc
             )));
         }
+        if ents.iter().all(|&e| e == INVALID) {
+            // All-invalid image: stay (or return to) the cold
+            // representation so restored idle nodes cost nothing.
+            self.ents = Vec::new();
+            self.filt = Vec::new();
+            return Ok(());
+        }
         self.ents = ents;
-        self.filt.fill(0);
+        self.filt = vec![0; self.filt_len];
         if !self.filt.is_empty() {
             for i in 0..self.ents.len() {
                 let e = self.ents[i];
@@ -527,6 +574,43 @@ mod tests {
         // Geometry mismatch fails closed.
         let mut wrong = Cache::new(8, 2);
         assert!(wrong.restore_state(&mut bgp_arch::wire::Reader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn cold_cache_allocates_nothing_until_first_fill() {
+        let mut c = Cache::new(1024, 8);
+        assert!(c.ents.is_empty() && c.filt.is_empty(), "built cold");
+        // Cold probes answer without materializing.
+        assert!(!c.access(42, true).hit);
+        assert!(!c.contains(42));
+        assert!(!c.mark_dirty(42));
+        assert_eq!(c.invalidate(42), None);
+        assert_eq!(c.flush(), Vec::<u64>::new());
+        assert_eq!(c.resident_lines(), 0);
+        assert!(c.ents.is_empty() && c.filt.is_empty(), "still cold");
+        // First fill materializes; behavior is the eager cache's.
+        c.fill(42, true, false);
+        assert_eq!(c.ents.len(), 1024 * 8);
+        assert!(c.access(42, false).hit);
+        assert_eq!(c.flush(), vec![42]);
+    }
+
+    #[test]
+    fn cold_and_eager_empty_caches_snapshot_identically() {
+        let cold = Cache::new(8, 2);
+        let mut touched = Cache::new(8, 2);
+        touched.fill(3, false, false);
+        touched.invalidate(3);
+        // `touched` is materialized but empty; images must match.
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        cold.save_state(&mut a);
+        touched.save_state(&mut b);
+        assert_eq!(a, b);
+        // Restoring an all-invalid image returns the cache to cold.
+        let mut r = bgp_arch::wire::Reader::new(&a);
+        touched.restore_state(&mut r).unwrap();
+        assert!(touched.ents.is_empty(), "all-invalid restore de-materializes");
+        assert!(!touched.contains(3));
     }
 
     #[test]

@@ -1,20 +1,26 @@
 //! **RankCtx** — the world as seen by one MPI rank.
 //!
-//! A kernel receives a `RankCtx` and uses it for everything observable:
+//! A kernel is an `async` function that owns a `RankCtx` and uses it for
+//! everything observable:
 //!
 //! * *memory*: allocate [`SimVec`]s and access elements (each access
-//!   walks the node's cache hierarchy and retires a load/store),
+//!   walks the node's cache hierarchy and retires a load/store) —
+//!   accesses are `async` because every one may cross a scheduling
+//!   quantum,
 //! * *arithmetic*: retire the FP instructions the modeled compiler
 //!   selects for each semantic operation ([`RankCtx::fp_pair`] and
-//!   friends consult the build's [`bgp_compiler::CodeGen`]),
+//!   friends consult the build's [`bgp_compiler::CodeGen`]) — these
+//!   stay synchronous: arithmetic does not tick the quantum,
 //! * *messaging*: point-to-point sends/receives over the torus and the
 //!   collective operations over the tree/barrier networks.
 //!
 //! Every memory access ticks the node-local scheduling quantum and every
-//! MPI call is a scheduling point, so ranks of one node interleave finely
-//! enough to contend for the shared L3 and DDR ports — while ranks on
-//! *different* nodes run concurrently between phase boundaries (see
-//! [`crate::sched`]).
+//! MPI call is a scheduling point; each such point is an **explicit
+//! suspension** (`.await`) where the rank's compiler-generated state
+//! machine hands its continuation back to the worker pool (see
+//! [`crate::sched`]). Ranks of one node thereby interleave finely enough
+//! to contend for the shared L3 and DDR ports — while ranks on
+//! *different* nodes run concurrently between phase boundaries.
 //!
 //! ## Batched retirement
 //!
@@ -32,7 +38,7 @@
 
 use crate::comm::{bytes_to_f64s, f64s_to_bytes, CollKind, Payload, ReduceOp};
 use crate::machine::{place, Machine, OutMsg, Placement, RankPublish};
-use crate::sched::{ParkOutcome, Wait};
+use crate::sched::{Suspend, SuspendPoint, Wait};
 use crate::simvec::{SimElem, SimVec};
 use bgp_arch::events::NetEvent;
 use bgp_compiler::{CodeGen, PairPlan};
@@ -231,23 +237,38 @@ impl RankCtx {
         }
     }
 
-    /// Run `body` once per thread with a static contiguous split of
-    /// `0..n` — an OpenMP `parallel for` with static scheduling under the
-    /// simulator's bulk-synchronous execution: each thread's work retires
-    /// on its own core, so the node's wall-clock is the slowest thread.
-    pub fn omp_for(
-        &mut self,
-        n: usize,
-        mut body: impl FnMut(&mut RankCtx, core::ops::Range<usize>),
-    ) {
+    /// The static contiguous split of `0..n` over this process's
+    /// threads — an OpenMP `parallel for` schedule. A kernel iterates
+    /// the chunks, selects each chunk's thread with
+    /// [`RankCtx::set_thread`], runs (and `.await`s) the chunk's body,
+    /// and closes the region with [`RankCtx::omp_join`]:
+    ///
+    /// ```ignore
+    /// for (t, r) in ctx.omp_chunks(n) {
+    ///     ctx.set_thread(t);
+    ///     for i in r { /* simulated work, may .await */ }
+    /// }
+    /// ctx.omp_join();
+    /// ```
+    ///
+    /// (The split is returned as data rather than driven through a
+    /// closure so chunk bodies can suspend — each thread's work retires
+    /// on its own core under the simulator's bulk-synchronous execution,
+    /// so the node's wall-clock is the slowest thread.)
+    pub fn omp_chunks(&self, n: usize) -> Vec<(usize, core::ops::Range<usize>)> {
         let threads = self.threads;
         let chunk = n.div_ceil(threads);
-        for t in 0..threads {
-            let lo = (t * chunk).min(n);
-            let hi = ((t + 1) * chunk).min(n);
-            self.set_thread(t);
-            body(self, lo..hi);
-        }
+        (0..threads)
+            .map(|t| (t, (t * chunk).min(n)..((t + 1) * chunk).min(n)))
+            .collect()
+    }
+
+    /// Close an OpenMP parallel region opened with
+    /// [`RankCtx::omp_chunks`]: return execution to the master thread
+    /// and apply the fork/join barrier (the master resumes only after
+    /// the slowest thread finished).
+    pub fn omp_join(&mut self) {
+        let threads = self.threads;
         self.set_thread(0);
         // The join below reads timebases directly, so nothing may be
         // left queued (set_thread already flushed unless threads == 1).
@@ -255,8 +276,6 @@ impl RankCtx {
         if self.replay {
             return;
         }
-        // Fork/join barrier: the master resumes only after the slowest
-        // thread finished.
         let cores: Vec<usize> = (0..threads).map(|t| self.place.core + t).collect();
         let node = self.place.node.0;
         let mut m = self.machine.nodes[node].lock();
@@ -530,8 +549,9 @@ impl RankCtx {
         }
     }
 
-    /// Yield the turn now (MPI boundary).
-    fn yield_now(&mut self) {
+    /// Yield the turn now (MPI boundary): suspend so same-node peers
+    /// can run, staying in the current phase's frontier.
+    pub async fn yield_now(&mut self) {
         self.flush_pending();
         // Straggler injection: a sick node pays extra latency at every
         // messaging boundary — OS noise, a flaky DIMM retraining, a
@@ -543,28 +563,26 @@ impl RankCtx {
             self.with_node(|node| node.charge_cycles(core, penalty));
         }
         self.tick = 0;
-        self.machine.sched.yield_turn(self.rank);
+        SuspendPoint::new(Suspend::Yield).await;
     }
 
-    #[inline]
-    fn quantum_tick(&mut self) {
-        self.tick += 1;
-        if self.tick >= self.quantum {
-            self.tick = 0;
-            // Retire the closing window's slice before it can be sampled
-            // or another rank of this node takes its turn.
-            self.flush_pending();
-            if self.tracing {
-                self.trace_window_end();
-            }
-            self.machine.sched.yield_turn(self.rank);
+    /// A memory access crossed the scheduling quantum: close the window
+    /// and suspend (the cold side of the tick fast path in `mem`).
+    async fn quantum_boundary(&mut self) {
+        self.tick = 0;
+        // Retire the closing window's slice before it can be sampled
+        // or another rank of this node takes its turn.
+        self.flush_pending();
+        if self.tracing {
+            self.trace_window_end();
         }
+        SuspendPoint::new(Suspend::Yield).await;
     }
 
-    /// Park until a phase resolution satisfies `wait`. If this rank is
-    /// the one that empties the frontier, it performs the resolution
-    /// itself before re-entering the engine.
-    fn park_on(&mut self, wait: Wait) {
+    /// Park until a phase resolution satisfies `wait`: suspend with the
+    /// wait reason; the worker pool re-polls this rank only after a
+    /// resolution wakes it.
+    async fn park_on(&mut self, wait: Wait) {
         debug_assert!(
             {
                 let p = self.pending.borrow();
@@ -579,11 +597,7 @@ impl RankCtx {
             *self.machine.publish[self.rank].lock() =
                 RankPublish { windows: self.windows, last_mem: self.last_mem };
         }
-        if self.machine.sched.park(self.rank, wait) == ParkOutcome::Resolve {
-            let wake = self.machine.resolve_phase();
-            self.machine.sched.commit_phase(&wake);
-        }
-        self.machine.sched.acquire(self.rank);
+        SuspendPoint::new(Suspend::Park(wait)).await;
         self.tick = 0;
         if self.replay && !self.machine.replaying() {
             // Go-live: the resume snapshot was applied while everyone was
@@ -622,7 +636,7 @@ impl RankCtx {
     }
 
     #[inline]
-    fn mem(&mut self, vaddr: u64, width: MemWidth, write: bool) {
+    async fn mem(&mut self, vaddr: u64, width: MemWidth, write: bool) {
         if self.replay {
             // No retirement, no quantum — but the codegen selectors are
             // stateful Bresenham streams, so the decision the live run
@@ -632,7 +646,10 @@ impl RankCtx {
         }
         // Tick first so a boundary-crossing access lands in the window it
         // opens (the per-op path retired after the boundary too).
-        self.quantum_tick();
+        self.tick += 1;
+        if self.tick >= self.quantum {
+            self.quantum_boundary().await;
+        }
         let redundant = self.cg.redundant_mem();
         let p = self.pending.get_mut();
         p.mem.push(MemOp { vaddr, width, write });
@@ -645,15 +662,15 @@ impl RankCtx {
 
     /// Simulated element load.
     #[inline]
-    pub fn ld<T: SimElem>(&mut self, v: &SimVec<T>, i: usize) -> T {
-        self.mem(v.addr(i), T::WIDTH, false);
+    pub async fn ld<T: SimElem>(&mut self, v: &SimVec<T>, i: usize) -> T {
+        self.mem(v.addr(i), T::WIDTH, false).await;
         v.raw(i)
     }
 
     /// Simulated element store.
     #[inline]
-    pub fn st<T: SimElem>(&mut self, v: &mut SimVec<T>, i: usize, x: T) {
-        self.mem(v.addr(i), T::WIDTH, true);
+    pub async fn st<T: SimElem>(&mut self, v: &mut SimVec<T>, i: usize, x: T) {
+        self.mem(v.addr(i), T::WIDTH, true).await;
         *v.raw_mut(i) = x;
     }
 
@@ -671,30 +688,34 @@ impl RankCtx {
 
     /// Charge sequential loads of `v[r]`; read the values back with
     /// [`SimVec::raw`] (free of simulated cost, like all host reads).
-    pub fn ld_range<T: SimElem>(&mut self, v: &SimVec<T>, r: core::ops::Range<usize>) {
+    pub async fn ld_range<T: SimElem>(&mut self, v: &SimVec<T>, r: core::ops::Range<usize>) {
         for i in r {
-            self.mem(v.addr(i), T::WIDTH, false);
+            self.mem(v.addr(i), T::WIDTH, false).await;
         }
     }
 
     /// Charge sequential stores to `v[r]`; the caller writes the values
     /// through [`SimVec::raw_mut`] (or already has).
-    pub fn st_range<T: SimElem>(&mut self, v: &mut SimVec<T>, r: core::ops::Range<usize>) {
+    pub async fn st_range<T: SimElem>(
+        &mut self,
+        v: &mut SimVec<T>,
+        r: core::ops::Range<usize>,
+    ) {
         for i in r {
-            self.mem(v.addr(i), T::WIDTH, true);
+            self.mem(v.addr(i), T::WIDTH, true).await;
         }
     }
 
     /// Store `x` to every element of `v[r]` — the memset-shaped pattern
     /// of field zeroing loops.
-    pub fn st_fill<T: SimElem>(
+    pub async fn st_fill<T: SimElem>(
         &mut self,
         v: &mut SimVec<T>,
         r: core::ops::Range<usize>,
         x: T,
     ) {
         for i in r {
-            self.mem(v.addr(i), T::WIDTH, true);
+            self.mem(v.addr(i), T::WIDTH, true).await;
             *v.raw_mut(i) = x;
         }
     }
@@ -713,12 +734,12 @@ impl RankCtx {
     /// Load elements `i`, `i+1` under `plan`: one quadload (SIMD) or two
     /// double loads (scalar).
     #[inline]
-    pub fn ld2(&mut self, v: &SimVec<f64>, i: usize, plan: PairPlan) -> (f64, f64) {
+    pub async fn ld2(&mut self, v: &SimVec<f64>, i: usize, plan: PairPlan) -> (f64, f64) {
         match plan {
-            PairPlan::Simd => self.mem(v.addr(i), MemWidth::Quad, false),
+            PairPlan::Simd => self.mem(v.addr(i), MemWidth::Quad, false).await,
             PairPlan::Scalar => {
-                self.mem(v.addr(i), MemWidth::Double, false);
-                self.mem(v.addr(i + 1), MemWidth::Double, false);
+                self.mem(v.addr(i), MemWidth::Double, false).await;
+                self.mem(v.addr(i + 1), MemWidth::Double, false).await;
             }
         }
         (v.raw(i), v.raw(i + 1))
@@ -726,12 +747,12 @@ impl RankCtx {
 
     /// Store elements `i`, `i+1` under `plan`.
     #[inline]
-    pub fn st2(&mut self, v: &mut SimVec<f64>, i: usize, x: (f64, f64), plan: PairPlan) {
+    pub async fn st2(&mut self, v: &mut SimVec<f64>, i: usize, x: (f64, f64), plan: PairPlan) {
         match plan {
-            PairPlan::Simd => self.mem(v.addr(i), MemWidth::Quad, true),
+            PairPlan::Simd => self.mem(v.addr(i), MemWidth::Quad, true).await,
             PairPlan::Scalar => {
-                self.mem(v.addr(i), MemWidth::Double, true);
-                self.mem(v.addr(i + 1), MemWidth::Double, true);
+                self.mem(v.addr(i), MemWidth::Double, true).await;
+                self.mem(v.addr(i + 1), MemWidth::Double, true).await;
             }
         }
         *v.raw_mut(i) = x.0;
@@ -832,7 +853,7 @@ impl RankCtx {
     /// Sends never block: the message buffers in this rank's outbox and
     /// is delivered — with per-phase torus link contention added to its
     /// arrival time — when the current phase resolves.
-    pub fn send(&mut self, dst: usize, tag: u32, data: Payload) {
+    pub async fn send(&mut self, dst: usize, tag: u32, data: Payload) {
         assert!(dst < self.size, "send to invalid rank {dst}");
         // `sent_at` must see every queued op's stall.
         self.flush_pending();
@@ -869,12 +890,12 @@ impl RankCtx {
                 EventKind::MsgSend { dst: dst as u32, tag, bytes },
             );
         }
-        self.yield_now();
+        self.yield_now().await;
     }
 
     /// Receive a message from `src` (or any source) with `tag`. Blocks
     /// until a matching message arrives.
-    pub fn recv(&mut self, src: Option<usize>, tag: u32) -> Payload {
+    pub async fn recv(&mut self, src: Option<usize>, tag: u32) -> Payload {
         // `advance_to(ready_at)` is a clock *max*, not additive: every
         // queued op must retire before it.
         self.flush_pending();
@@ -903,15 +924,15 @@ impl RankCtx {
                 }
                 return msg.data;
             }
-            self.park_on(Wait::Recv { src, tag });
+            self.park_on(Wait::Recv { src, tag }).await;
         }
     }
 
     /// Exchange with a partner: send then receive (mailboxes are
     /// unbounded, so this cannot deadlock pairwise).
-    pub fn sendrecv(&mut self, peer: usize, tag: u32, data: Payload) -> Payload {
-        self.send(peer, tag, data);
-        self.recv(Some(peer), tag)
+    pub async fn sendrecv(&mut self, peer: usize, tag: u32, data: Payload) -> Payload {
+        self.send(peer, tag, data).await;
+        self.recv(Some(peer), tag).await
     }
 
     // ------------------------------------------------------------------
@@ -919,19 +940,19 @@ impl RankCtx {
     // ------------------------------------------------------------------
 
     /// Global barrier over the dedicated barrier network.
-    pub fn barrier(&mut self) {
-        self.collective(CollKind::Barrier, Contrib::None);
+    pub async fn barrier(&mut self) {
+        self.collective(CollKind::Barrier, Contrib::None).await;
     }
 
     /// Broadcast `data` from `root`; non-roots pass `None` and receive
     /// the root's payload.
-    pub fn bcast(&mut self, root: usize, data: Option<Payload>) -> Payload {
+    pub async fn bcast(&mut self, root: usize, data: Option<Payload>) -> Payload {
         let contrib = if self.rank == root {
             Contrib::Bytes(data.expect("root must supply the broadcast payload"))
         } else {
             Contrib::None
         };
-        match self.collective(CollKind::Bcast { root }, contrib) {
+        match self.collective(CollKind::Bcast { root }, contrib).await {
             CollResult::Bytes(b) => b,
             _ => unreachable!("bcast returns bytes"),
         }
@@ -939,8 +960,13 @@ impl RankCtx {
 
     /// Reduce `data` to `root` with `op`; only the root receives the
     /// combined payload.
-    pub fn reduce(&mut self, root: usize, op: ReduceOp, data: Payload) -> Option<Payload> {
-        match self.collective(CollKind::Reduce { root, op }, Contrib::Bytes(data)) {
+    pub async fn reduce(
+        &mut self,
+        root: usize,
+        op: ReduceOp,
+        data: Payload,
+    ) -> Option<Payload> {
+        match self.collective(CollKind::Reduce { root, op }, Contrib::Bytes(data)).await {
             CollResult::Bytes(b) => Some(b),
             CollResult::None => None,
             _ => unreachable!("reduce returns bytes or nothing"),
@@ -948,29 +974,29 @@ impl RankCtx {
     }
 
     /// All-reduce with `op`; every rank receives the combined payload.
-    pub fn allreduce(&mut self, op: ReduceOp, data: Payload) -> Payload {
-        match self.collective(CollKind::Allreduce { op }, Contrib::Bytes(data)) {
+    pub async fn allreduce(&mut self, op: ReduceOp, data: Payload) -> Payload {
+        match self.collective(CollKind::Allreduce { op }, Contrib::Bytes(data)).await {
             CollResult::Bytes(b) => b,
             _ => unreachable!("allreduce returns bytes"),
         }
     }
 
     /// Convenience: all-reduce a `f64` slice by summation.
-    pub fn allreduce_sum_f64(&mut self, vals: &[f64]) -> Vec<f64> {
-        bytes_to_f64s(&self.allreduce(ReduceOp::SumF64, f64s_to_bytes(vals)))
+    pub async fn allreduce_sum_f64(&mut self, vals: &[f64]) -> Vec<f64> {
+        bytes_to_f64s(&self.allreduce(ReduceOp::SumF64, f64s_to_bytes(vals)).await)
     }
 
     /// Personalized all-to-all: `rows[d]` goes to rank `d`; returns the
     /// chunks every rank addressed to this one (in source order).
-    pub fn alltoall(&mut self, rows: Vec<Payload>) -> Vec<Payload> {
+    pub async fn alltoall(&mut self, rows: Vec<Payload>) -> Vec<Payload> {
         assert_eq!(rows.len(), self.size, "alltoall needs one chunk per rank");
-        match self.collective(CollKind::Alltoall, Contrib::Row(rows)) {
+        match self.collective(CollKind::Alltoall, Contrib::Row(rows)).await {
             CollResult::Column(c) => c,
             _ => unreachable!("alltoall returns a column"),
         }
     }
 
-    fn collective(&mut self, kind: CollKind, contrib: Contrib) -> CollResult {
+    async fn collective(&mut self, kind: CollKind, contrib: Contrib) -> CollResult {
         let slot_idx = (self.coll_count % 2) as usize;
         self.coll_count += 1;
         let n = self.size;
@@ -1002,7 +1028,7 @@ impl RankCtx {
             if self.machine.comm.lock().slots[slot_idx].complete {
                 break;
             }
-            self.park_on(Wait::Collective { slot: slot_idx });
+            self.park_on(Wait::Collective { slot: slot_idx }).await;
         }
 
         // Consume: read my share, then free the slot.
@@ -1056,7 +1082,7 @@ impl RankCtx {
         };
 
         if self.replay {
-            self.yield_now();
+            self.yield_now().await;
             return result;
         }
         let core = self.core();
@@ -1100,8 +1126,21 @@ impl RankCtx {
                 }
             }
         });
-        self.yield_now();
+        self.yield_now().await;
         result
+    }
+}
+
+impl Drop for RankCtx {
+    /// Retire anything still queued when the rank's state machine is
+    /// dropped — the normal end-of-kernel flush point. Skipped when the
+    /// drop happens during an unwind or an aborted job, where the node
+    /// state is forfeit anyway (and possibly mid-mutation).
+    fn drop(&mut self) {
+        if std::thread::panicking() || self.machine.sched.is_aborted() {
+            return;
+        }
+        self.flush_pending();
     }
 }
 

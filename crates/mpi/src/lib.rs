@@ -10,12 +10,15 @@
 //!   operating mode (VNM packs 4 ranks per node, SMP/1 gives each rank a
 //!   whole node, …),
 //! * [`sched::PhaseEngine`] — the deterministic *parallel* scheduler:
-//!   one OS thread per rank; ranks on different nodes run concurrently
-//!   between MPI synchronization points, ranks sharing a node rotate at
+//!   every rank is a resumable `async` state machine multiplexed over a
+//!   fixed worker pool (no per-rank OS thread, so 294,912-rank jobs
+//!   fit); ranks on different nodes run concurrently between MPI
+//!   synchronization points, ranks sharing a node rotate at
 //!   memory-access quanta, and cross-node effects merge in canonical
 //!   rank order at phase boundaries,
 //! * [`ctx::RankCtx`] — the API kernels program against: simulated
-//!   arrays, compiled arithmetic, sends/receives, collectives,
+//!   arrays, compiled arithmetic, sends/receives, collectives; each
+//!   blocking point is an explicit `.await` suspension,
 //! * [`comm`] — payload codecs, reduce operators, rendezvous slots.
 //!
 //! Determinism contract: the same [`machine::JobSpec`] and kernel produce

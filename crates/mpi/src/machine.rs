@@ -4,7 +4,7 @@
 
 use crate::comm::{CollKind, CollSlot, Message, Payload};
 use crate::ctx::RankCtx;
-use crate::sched::{ParkOutcome, PhaseEngine, Wait};
+use crate::sched::{take_suspend, Claim, LeaveOutcome, PhaseEngine, Suspend, Wait};
 use bgp_arch::events::CounterMode;
 use bgp_arch::geometry::{NodeId, TorusDims};
 use bgp_arch::sync::Mutex;
@@ -17,9 +17,12 @@ use bgp_node::Node;
 use bgp_snapshot::{Snapshot, SnapshotStore};
 use bgp_trace::{EventKind, JobTrace, TraceConfig, TraceEvent, TraceState};
 use std::collections::VecDeque;
+use std::future::Future;
 use std::path::PathBuf;
+use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 
 /// Software overheads of the messaging layer (cycles).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -159,6 +162,13 @@ pub struct JobSpec {
     /// wall-clock exceeds this many cycles. A supervisor treats the kill
     /// as fatal: resuming cannot un-spend simulated time.
     pub cycle_budget: Option<u64>,
+    /// Name of the workload the job runs (e.g. `"mg-s"`). The engine
+    /// never reads it, but it enters [`JobSpec::fingerprint`]: the spec
+    /// alone cannot see *which* kernel future will run on the machine,
+    /// and two different kernels on identical hardware must not share a
+    /// cache key or accept each other's snapshots. `None` (the default)
+    /// is itself a distinct workload name.
+    pub workload: Option<String>,
 }
 
 impl JobSpec {
@@ -183,13 +193,20 @@ impl JobSpec {
             trace: None,
             checkpoint: None,
             cycle_budget: None,
+            workload: None,
         }
     }
 
     /// Identity of the simulated experiment: a checksum over every field
-    /// that affects simulation outcomes. Snapshots embed it and resume
-    /// refuses a snapshot whose fingerprint differs — resuming an MG run
-    /// into a CG machine fails closed instead of diverging silently.
+    /// that affects simulation outcomes, plus the [`workload`] name —
+    /// the kernel itself is a closure the spec cannot hash, so callers
+    /// that run different kernels on identical hardware must name them
+    /// to keep cache keys and snapshots apart. Snapshots embed the
+    /// fingerprint and resume refuses a snapshot whose fingerprint
+    /// differs — resuming an MG run into a CG machine fails closed
+    /// instead of diverging silently.
+    ///
+    /// [`workload`]: JobSpec::workload
     ///
     /// Deliberately excluded: `sim_threads` (wall-clock only, results are
     /// byte-identical for every value), `checkpoint` (capture only reads
@@ -199,7 +216,7 @@ impl JobSpec {
     pub fn fingerprint(&self) -> u64 {
         let canon = format!(
             "ranks={:?} mode={:?} machine={:?} net={:?} policy={:?} compile={:?} \
-             quantum={:?} mpi={:?} faults={:?} trace={:?}",
+             quantum={:?} mpi={:?} faults={:?} trace={:?} workload={:?}",
             self.ranks,
             self.mode,
             self.machine,
@@ -210,6 +227,7 @@ impl JobSpec {
             self.mpi,
             self.faults,
             self.trace,
+            self.workload,
         );
         bgp_arch::wire::checksum(canon.as_bytes())
     }
@@ -291,8 +309,9 @@ pub(crate) struct CommInner {
 /// // Eight ranks in Virtual Node Mode occupy two simulated nodes.
 /// let machine = Machine::new(JobSpec::new(8, OpMode::VirtualNode));
 /// assert_eq!(machine.num_nodes(), 2);
-/// let sums = machine.run(|ctx| {
-///     ctx.allreduce_sum_f64(&[ctx.rank() as f64])[0]
+/// let sums = machine.run(|mut ctx| async move {
+///     let mine = [ctx.rank() as f64];
+///     ctx.allreduce_sum_f64(&mine).await[0]
 /// });
 /// assert!(sums.iter().all(|&s| s == 28.0)); // 0+1+…+7 everywhere
 /// ```
@@ -847,77 +866,175 @@ impl Machine {
 
     /// Execute the SPMD `kernel` on every rank.
     ///
-    /// One OS thread per rank; up to [`JobSpec::resolved_sim_threads`]
-    /// nodes execute concurrently between synchronization points, with
-    /// cross-node effects merged deterministically at phase boundaries.
-    /// The run may be executed exactly once per machine and its counter
-    /// results are byte-identical for every worker-cap value. Returns
-    /// the per-rank kernel results in rank order.
-    pub fn run<R, F>(self: &Arc<Self>, kernel: F) -> Vec<R>
+    /// A rank is **not** an OS thread: `kernel` maps each rank's owned
+    /// [`RankCtx`] to an `async` state machine — a compact,
+    /// compiler-generated continuation — and a fixed pool of
+    /// [`JobSpec::resolved_sim_threads`] workers multiplexes all of
+    /// them, so a 294,912-rank job costs per-rank kilobytes, not
+    /// stacks. Up to one worker per node executes concurrently between
+    /// synchronization points, with cross-node effects merged
+    /// deterministically at phase boundaries. The run may be executed
+    /// exactly once per machine and its counter results are
+    /// byte-identical for every worker-cap value. Returns the per-rank
+    /// kernel results in rank order.
+    ///
+    /// The kernel closure is called once per rank, ascending, before
+    /// execution begins; async-block bodies only start running once the
+    /// workers poll them.
+    pub fn run<R, F, Fut>(self: &Arc<Self>, kernel: F) -> Vec<R>
     where
         R: Send,
-        F: Fn(&mut RankCtx) -> R + Sync,
+        F: Fn(RankCtx) -> Fut,
+        Fut: Future<Output = R> + Send,
     {
         assert!(
             !self.ran.swap(true, Ordering::SeqCst),
             "a Machine can only run one job; build a new one"
         );
-        let kernel = &kernel;
+        // Build every rank's state machine eagerly, in rank order, on
+        // this thread: RankCtx construction has (order-independent)
+        // observable effects — trace arming, fault surfacing — and
+        // doing it here keeps them deterministic.
+        let slots: Vec<Mutex<RankSlot<Fut, R>>> = (0..self.spec.ranks)
+            .map(|rank| {
+                let ctx = RankCtx::new(Arc::clone(self), rank);
+                Mutex::new(RankSlot { fut: Some(Box::pin(kernel(ctx))), result: None })
+            })
+            .collect();
+        // First panic payload wins: the root cause (deadlock report,
+        // budget message, kill point, kernel bug) aborts the engine, so
+        // everything after it is a consequence.
+        let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let workers = self.sched.workers().min(self.num_nodes()).max(1);
         std::thread::scope(|s| {
-            let handles: Vec<_> = (0..self.spec.ranks)
-                .map(|rank| {
-                    let mach = Arc::clone(self);
-                    s.spawn(move || {
-                        mach.sched.acquire(rank);
-                        // A panicking rank must abort the whole engine,
-                        // otherwise its peers wait for a wakeup that never
-                        // comes and the job hangs instead of failing.
-                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            let mut ctx = RankCtx::new(Arc::clone(&mach), rank);
-                            let r = kernel(&mut ctx);
-                            // Kernel epilogue: retire ops queued past the
-                            // last scheduling point before counters dump.
-                            ctx.flush_pending();
-                            r
-                        }));
-                        match out {
-                            Ok(r) => {
-                                if mach.sched.done(rank) == ParkOutcome::Resolve {
-                                    let wake = mach.resolve_phase();
-                                    mach.sched.commit_phase(&wake);
-                                }
-                                r
-                            }
-                            Err(e) => {
-                                mach.sched.abort();
-                                std::panic::resume_unwind(e);
-                            }
+            for _ in 0..workers {
+                let slots = &slots;
+                let first_panic = &first_panic;
+                let mach = Arc::clone(self);
+                s.spawn(move || {
+                    // One catch_unwind around the whole worker body
+                    // covers kernel polls, phase resolution, and engine
+                    // asserts alike; a panicking worker must abort the
+                    // engine, otherwise its peers wait for a wakeup that
+                    // never comes and the job hangs instead of failing.
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        worker_loop(&mach, slots);
+                    }));
+                    if let Err(e) = out {
+                        let mut p = first_panic.lock();
+                        if p.is_none() {
+                            *p = Some(e);
                         }
-                    })
-                })
-                .collect();
-            let mut outs = Vec::with_capacity(handles.len());
-            let mut panics = Vec::new();
-            for h in handles {
-                match h.join() {
-                    Ok(r) => outs.push(r),
-                    Err(e) => panics.push(e),
+                        drop(p);
+                        mach.sched.abort();
+                    }
+                });
+            }
+        });
+        if let Some(e) = first_panic.lock().take() {
+            std::panic::resume_unwind(e);
+        }
+        if self.sched.is_aborted() {
+            // Externally aborted (supervisor watchdog): no worker
+            // panicked, but the job did not finish.
+            panic!("{}", ABORT_ECHO);
+        }
+        slots
+            .iter()
+            .map(|s| s.lock().result.take().expect("rank finished without a result"))
+            .collect()
+    }
+}
+
+/// One rank's execution state under the worker pool: its pinned
+/// continuation while running, its result once finished.
+struct RankSlot<Fut, R> {
+    fut: Option<Pin<Box<Fut>>>,
+    result: Option<R>,
+}
+
+/// The wakeup side of polling is vestigial — workers re-poll a rank
+/// exactly when the engine says it may run — so the waker does nothing.
+struct NoopWake;
+
+impl std::task::Wake for NoopWake {
+    fn wake(self: Arc<Self>) {}
+}
+
+/// One worker: claim a node, drive its ranks on the node-local rotation
+/// until none are ready, repeat. The rotation runs on the claimed
+/// node view without touching the engine lock — sound because ready
+/// ranks only leave the view through this worker, and wakes happen only
+/// at phase commits, which cannot occur while this node has a ready
+/// rank.
+fn worker_loop<R, Fut>(mach: &Arc<Machine>, slots: &[Mutex<RankSlot<Fut, R>>])
+where
+    Fut: Future<Output = R>,
+{
+    let waker = Waker::from(Arc::new(NoopWake));
+    let mut cx = Context::from_waker(&waker);
+    'claims: loop {
+        let mut view = match mach.sched.claim() {
+            Claim::Run(v) => v,
+            Claim::Finished | Claim::Aborted => return,
+        };
+        loop {
+            if mach.sched.is_aborted() {
+                return;
+            }
+            let rank = view.current();
+            let local = view.cursor;
+            let mut slot = slots[rank].lock();
+            let poll = slot
+                .fut
+                .as_mut()
+                .expect("polling a finished rank")
+                .as_mut()
+                .poll(&mut cx);
+            let outcome = match poll {
+                Poll::Ready(r) => {
+                    slot.result = Some(r);
+                    slot.fut = None; // continuation (and its RankCtx) retires here
+                    drop(slot);
+                    mach.sched.finish(rank)
                 }
+                Poll::Pending => {
+                    drop(slot);
+                    match take_suspend() {
+                        Some(Suspend::Yield) => {
+                            // Stays in the frontier: rotate locally.
+                            let rotated = view.rotate();
+                            debug_assert!(rotated, "a yielding rank is itself ready");
+                            continue;
+                        }
+                        Some(Suspend::Park(wait)) => mach.sched.park(rank, wait),
+                        None => panic!(
+                            "rank {rank} suspended outside an engine suspension point \
+                             (kernels must only await RankCtx operations)"
+                        ),
+                    }
+                }
+            };
+            match outcome {
+                LeaveOutcome::Continue => {
+                    view.ready[local] = false;
+                    let rotated = view.rotate();
+                    debug_assert!(rotated, "Continue implies another ready rank");
+                }
+                LeaveOutcome::Released => continue 'claims,
+                LeaveOutcome::Resolve => {
+                    // This worker emptied the frontier: merge the
+                    // phase's buffered effects and open the next one.
+                    let wake = mach.resolve_phase();
+                    mach.sched.commit_phase(&wake);
+                    match mach.sched.reclaim(view.node) {
+                        Some(v) => view = v,
+                        None => continue 'claims,
+                    }
+                }
+                LeaveOutcome::Aborted => return,
             }
-            if !panics.is_empty() {
-                // Re-raise the root cause (deadlock report, budget
-                // message, watchdog kill) so a supervisor can classify
-                // it. Peers of the panicking rank die with a generic
-                // abort echo; skip those if anything more specific
-                // exists.
-                let idx = panics
-                    .iter()
-                    .position(|e| !panic_message(e.as_ref()).contains(ABORT_ECHO))
-                    .unwrap_or(0);
-                std::panic::resume_unwind(panics.swap_remove(idx));
-            }
-            outs
-        })
+        }
     }
 }
 
@@ -1230,10 +1347,10 @@ mod tests {
     #[test]
     fn machine_runs_exactly_once() {
         let m = Machine::new(JobSpec::new(2, OpMode::VirtualNode));
-        let out = m.run(|ctx| ctx.rank() * 10);
+        let out = m.run(|ctx| async move { ctx.rank() * 10 });
         assert_eq!(out, vec![0, 10]);
         let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            m.run(|ctx| ctx.rank());
+            m.run(|ctx| async move { ctx.rank() });
         }));
         assert!(res.is_err(), "second run must be rejected");
     }
@@ -1244,9 +1361,9 @@ mod tests {
         spec.trace = Some(TraceConfig::default());
         let m = Machine::new(spec);
         let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            m.run(|ctx| {
+            m.run(|mut ctx| async move {
                 if ctx.rank() == 0 {
-                    ctx.recv(Some(1), 99); // rank 1 never sends: deadlock
+                    ctx.recv(Some(1), 99).await; // rank 1 never sends: deadlock
                 }
             });
         }));

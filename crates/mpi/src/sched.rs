@@ -1,42 +1,55 @@
-//! The **phase engine**: deterministic parallel execution of rank
-//! threads between MPI synchronization points.
+//! The **phase engine**: deterministic parallel execution of resumable
+//! rank state machines between MPI synchronization points.
 //!
-//! The engine replaces the old global turnstile (which rotated a single
-//! run token across *all* ranks every memory quantum, serializing the
-//! whole machine through one thundering-herd condvar). Execution is now
+//! Ranks are not OS threads. Each rank's kernel is an `async` state
+//! machine (a compact, compiler-generated continuation) and a fixed pool
+//! of worker threads multiplexes every rank of the job — 294,912 ranks
+//! run on four workers as comfortably as sixteen. Execution is
 //! organized in **phases**:
 //!
 //! * Within a phase, the *frontier* — every rank that is neither parked
-//!   on a communication nor finished — runs. Ranks hosted on different
-//!   nodes run genuinely concurrently (their state is disjoint: each
-//!   node's cores, caches and UPC unit sit behind the node's own lock);
-//!   ranks sharing a node take turns on a node-local rotation that
-//!   yields every memory quantum, preserving the fine-grained shared-L3
-//!   and DDR interleaving the simulation models.
-//! * A rank leaves the frontier by **parking** (a receive with no
-//!   matching delivered message, a collective not yet complete) or by
-//!   finishing its kernel. Point-to-point sends never block: they buffer
-//!   into per-rank outboxes held by the machine.
-//! * When the frontier empties, the last rank to park becomes the
-//!   **resolver**: the machine merges the phase's buffered effects in
-//!   canonical (sender rank, send sequence) order — delivering messages
-//!   with per-phase torus link contention, completing collectives —
-//!   and reports which parked ranks are now runnable. The engine wakes
-//!   them and the next phase begins.
+//!   on a communication nor finished — runs. A worker **claims** one
+//!   node at a time (the lowest-numbered node with ready ranks) and
+//!   drives that node's ranks on a node-local rotation that yields
+//!   every memory quantum, preserving the fine-grained shared-L3 and
+//!   DDR interleaving the simulation models. Different nodes are
+//!   claimed by different workers and run genuinely concurrently
+//!   (their state is disjoint: each node's cores, caches and UPC unit
+//!   sit behind the node's own lock).
+//! * A rank leaves the frontier by **suspending**: every blocking point
+//!   in `RankCtx` (quantum ticks, `yield_now`, `park_on`, collective
+//!   waits) polls a `SuspendPoint` future, which stashes the reason
+//!   in a thread-local and returns `Pending` — handing its worker the
+//!   continuation. Yields rotate within the claimed node without
+//!   touching the engine lock; parks (a receive with no matching
+//!   delivered message, an incomplete collective) and kernel completion
+//!   go through the engine.
+//! * When the frontier empties, the worker that parked the last rank
+//!   becomes the **resolver**: the machine merges the phase's buffered
+//!   effects in canonical (sender rank, send sequence) order —
+//!   delivering messages with per-phase torus link contention,
+//!   completing collectives — and reports which parked ranks are now
+//!   runnable. The engine wakes them and the next phase begins.
 //!
 //! Because per-rank effects only meet at phase boundaries, and boundary
 //! resolution iterates in rank order over deterministic state, the
-//! counter dumps are **byte-identical for any worker thread count**,
-//! including 1. The `BGP_SIM_THREADS` environment variable (or
-//! [`crate::JobSpec::sim_threads`]) caps how many nodes execute
-//! concurrently; it affects wall-clock only, never results.
+//! counter dumps are **byte-identical for any worker count**, a single
+//! worker included. The `BGP_SIM_THREADS` environment variable (or
+//! [`crate::JobSpec::sim_threads`]) sizes the worker pool; it affects
+//! wall-clock only, never results.
 //!
 //! If a resolution wakes nobody while unfinished ranks remain, the job
 //! has deadlocked and the resolver panics with a per-rank wait
 //! diagnostic rather than hanging the suite.
 
 use bgp_arch::sync::{Condvar, Mutex};
+use std::cell::Cell;
+use std::collections::BTreeSet;
 use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::task::{Context, Poll};
 
 /// Why a parked rank is waiting.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -66,27 +79,146 @@ impl fmt::Display for Wait {
     }
 }
 
-/// Run state of one rank thread.
+// ---------------------------------------------------------------------
+// Suspension points
+// ---------------------------------------------------------------------
+
+/// Why a rank state machine suspended (the reason its `SuspendPoint`
+/// leaves for the worker that polled it).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Suspend {
+    /// Quantum boundary / messaging boundary: give same-node peers their
+    /// turn, stay in the frontier.
+    Yield,
+    /// Leave the frontier until a phase resolution satisfies the wait.
+    Park(Wait),
+}
+
+thread_local! {
+    /// The suspension reason of the rank future this worker just polled
+    /// to `Pending`. Set by [`SuspendPoint::poll`], consumed by
+    /// [`take_suspend`] immediately after the poll returns.
+    static SUSPEND: Cell<Option<Suspend>> = const { Cell::new(None) };
+}
+
+/// Consume the suspension reason left by the rank future this thread
+/// just polled. `None` means the future suspended on something other
+/// than an engine suspension point — a kernel bug the worker must fail
+/// loudly on, because no event will ever re-poll it.
+pub(crate) fn take_suspend() -> Option<Suspend> {
+    SUSPEND.with(Cell::take)
+}
+
+/// The one future `RankCtx` suspends on: the first poll records the
+/// suspension reason in the worker's thread-local and returns `Pending`
+/// (handing the continuation back to the worker); the next poll — which
+/// the worker issues only once the rank may run again — completes it.
+pub(crate) struct SuspendPoint {
+    reason: Option<Suspend>,
+}
+
+impl SuspendPoint {
+    pub(crate) fn new(reason: Suspend) -> SuspendPoint {
+        SuspendPoint { reason: Some(reason) }
+    }
+}
+
+impl Future for SuspendPoint {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        match self.reason.take() {
+            Some(r) => {
+                SUSPEND.with(|c| c.set(Some(r)));
+                Poll::Pending
+            }
+            None => Poll::Ready(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+/// Run state of one rank state machine.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Status {
     /// In the current frontier.
     Ready,
     /// Parked until a phase resolution satisfies the wait.
     Parked(Wait),
-    /// Returned from its kernel.
+    /// Its kernel returned.
     Done,
 }
 
-/// What the caller of [`PhaseEngine::park`] / [`PhaseEngine::done`]
-/// must do next.
+/// A worker's exclusive view of one claimed node: which of the node's
+/// ranks are still ready this phase, and whose turn it is. The worker
+/// rotates this view locally — no engine lock on the yield fast path —
+/// which is sound because ready ranks only *leave* the set mid-phase
+/// (parks and finishes go through the worker itself) and only *enter*
+/// it at a phase commit, which cannot happen while this node still has
+/// a ready rank.
+#[derive(Clone, Debug)]
+pub(crate) struct NodeView {
+    /// The claimed node.
+    pub node: usize,
+    /// The node's ranks, ascending (global rank ids).
+    pub ranks: Vec<usize>,
+    /// Readiness per local index.
+    pub ready: Vec<bool>,
+    /// Local index of the rank holding the node's turn.
+    pub cursor: usize,
+}
+
+impl NodeView {
+    /// The rank holding the turn.
+    pub fn current(&self) -> usize {
+        self.ranks[self.cursor]
+    }
+
+    /// Rotate the turn to the next ready rank after the cursor
+    /// (wrapping — a sole ready rank keeps the turn). Returns `false`
+    /// if no rank of the node is ready.
+    pub fn rotate(&mut self) -> bool {
+        let n = self.ranks.len();
+        for off in 1..=n {
+            let pos = (self.cursor + off) % n;
+            if self.ready[pos] {
+                self.cursor = pos;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// What [`PhaseEngine::claim`] hands a worker.
+pub(crate) enum Claim {
+    /// Drive this node until it has no ready ranks.
+    Run(NodeView),
+    /// Every rank is done; the worker should exit.
+    Finished,
+    /// The job aborted; the worker should exit.
+    Aborted,
+}
+
+/// What a worker must do after a rank left the frontier
+/// ([`PhaseEngine::park`] / [`PhaseEngine::finish`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[must_use = "a Resolve outcome obliges the caller to run phase resolution"]
-pub enum ParkOutcome {
-    /// Other frontier ranks are still running; just wait.
-    Wait,
-    /// The frontier emptied: the caller must resolve the phase (merge
-    /// buffered effects, then [`PhaseEngine::commit_phase`]).
+#[must_use = "a Resolve outcome obliges the worker to run phase resolution"]
+pub(crate) enum LeaveOutcome {
+    /// The node still has ready ranks: rotate the local view and keep
+    /// driving it.
+    Continue,
+    /// The node has no ready ranks left; the engine released the claim.
+    /// Go claim another node.
+    Released,
+    /// The frontier emptied: this worker is the resolver. Merge the
+    /// machine's buffered effects, call [`PhaseEngine::commit_phase`],
+    /// then [`PhaseEngine::reclaim`] the node.
     Resolve,
+    /// The job aborted; the worker should exit.
+    Aborted,
 }
 
 struct Engine {
@@ -95,49 +227,31 @@ struct Engine {
     node_of: Vec<usize>,
     /// Ranks hosted per node, ascending.
     node_ranks: Vec<Vec<usize>>,
-    /// Per node: index into `node_ranks[n]` of the rank holding the
-    /// node's turn.
+    /// Per node: local index of the rank holding the node's turn.
     cursor: Vec<usize>,
-    /// Per node: whether the node currently holds a run permit.
-    active: Vec<bool>,
-    /// Run permits in use (bounded by `max_active`).
-    permits: usize,
+    /// Per node: whether a worker currently holds the node.
+    claimed: Vec<bool>,
+    /// Unclaimed nodes with at least one ready rank, ordered — workers
+    /// always claim the lowest, so single-worker execution visits nodes
+    /// in canonical order.
+    ready_nodes: BTreeSet<usize>,
     /// Ready ranks remaining in the frontier.
     runnable: usize,
+    /// Ranks whose kernels returned.
+    done: usize,
     phase: u64,
     aborted: bool,
 }
 
 impl Engine {
-    /// The rank currently holding `node`'s turn, if any rank of the node
-    /// is ready.
-    fn current_of(&self, node: usize) -> Option<usize> {
-        let ranks = &self.node_ranks[node];
-        if ranks.is_empty() {
-            return None;
-        }
-        let r = ranks[self.cursor[node]];
-        (self.status[r] == Status::Ready).then_some(r)
-    }
-
-    /// Rotate `node`'s turn to the next ready rank after the cursor
-    /// (wrapping). Returns the new holder, or `None` if the node has no
-    /// ready ranks left this phase.
-    fn rotate(&mut self, node: usize) -> Option<usize> {
-        let ranks = &self.node_ranks[node];
-        let n = ranks.len();
-        for off in 1..=n {
-            let pos = (self.cursor[node] + off) % n;
-            if self.status[ranks[pos]] == Status::Ready {
-                self.cursor[node] = pos;
-                return Some(ranks[pos]);
-            }
-        }
-        None
-    }
-
     fn node_has_ready(&self, node: usize) -> bool {
         self.node_ranks[node].iter().any(|&r| self.status[r] == Status::Ready)
+    }
+
+    fn view(&self, node: usize) -> NodeView {
+        let ranks = self.node_ranks[node].clone();
+        let ready = ranks.iter().map(|&r| self.status[r] == Status::Ready).collect();
+        NodeView { node, ranks, ready, cursor: self.cursor[node] }
     }
 }
 
@@ -151,41 +265,48 @@ pub type DeadlockReporter = Box<dyn Fn(&[(usize, Wait)]) -> String + Send + Sync
 /// The shared phase scheduler. One per [`crate::Machine`].
 pub struct PhaseEngine {
     m: Mutex<Engine>,
-    /// One condvar per rank: wakeups are targeted, so a 64-rank job
-    /// never pays a 64-thread thundering herd per quantum.
-    cvs: Vec<Condvar>,
-    max_active: usize,
+    /// Workers block here between claims. New claims only appear at
+    /// phase commits (and on abort/completion), so a single condvar
+    /// with broadcast wakeups is cheap: wakeups are once per phase, not
+    /// once per quantum.
+    cv: Condvar,
+    workers: usize,
+    /// Lock-free mirror of `Engine::aborted` so the worker poll loop
+    /// and `RankCtx` drops can check it without taking the engine lock.
+    aborted: AtomicBool,
     /// Optional deadlock forensics hook.
     reporter: Mutex<Option<DeadlockReporter>>,
 }
 
 impl PhaseEngine {
     /// An engine for ranks placed by `node_of` (rank → hosting node over
-    /// `n_nodes` nodes), running at most `max_active` nodes concurrently.
-    pub fn new(node_of: Vec<usize>, n_nodes: usize, max_active: usize) -> PhaseEngine {
+    /// `n_nodes` nodes), multiplexed over `workers` worker threads.
+    pub fn new(node_of: Vec<usize>, n_nodes: usize, workers: usize) -> PhaseEngine {
         assert!(!node_of.is_empty());
         let n_ranks = node_of.len();
         let mut node_ranks = vec![Vec::new(); n_nodes];
         for (rank, &node) in node_of.iter().enumerate() {
             node_ranks[node].push(rank);
         }
-        let mut eng = Engine {
+        let ready_nodes: BTreeSet<usize> =
+            (0..n_nodes).filter(|&n| !node_ranks[n].is_empty()).collect();
+        let eng = Engine {
             status: vec![Status::Ready; n_ranks],
             node_of,
             node_ranks,
             cursor: vec![0; n_nodes],
-            active: vec![false; n_nodes],
-            permits: 0,
+            claimed: vec![false; n_nodes],
+            ready_nodes,
             runnable: n_ranks,
+            done: 0,
             phase: 0,
             aborted: false,
         };
-        let max_active = max_active.max(1);
-        Self::grant_permits(&mut eng, max_active);
         PhaseEngine {
             m: Mutex::new(eng),
-            cvs: (0..n_ranks).map(|_| Condvar::new()).collect(),
-            max_active,
+            cv: Condvar::new(),
+            workers: workers.max(1),
+            aborted: AtomicBool::new(false),
             reporter: Mutex::new(None),
         }
     }
@@ -195,9 +316,9 @@ impl PhaseEngine {
         *self.reporter.lock() = Some(reporter);
     }
 
-    /// Worker cap this engine was built with.
-    pub fn max_active_nodes(&self) -> usize {
-        self.max_active
+    /// Size of the worker pool this engine was built for.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Completed phases so far (for diagnostics and tests).
@@ -205,131 +326,96 @@ impl PhaseEngine {
         self.m.lock().phase
     }
 
-    /// Hand run permits to nodes that have ready ranks, lowest node id
-    /// first, until the cap is reached.
-    fn grant_permits(s: &mut Engine, max_active: usize) {
-        if s.permits >= max_active {
-            return;
-        }
-        for node in 0..s.node_ranks.len() {
-            if s.permits >= max_active {
-                break;
-            }
-            if !s.active[node] && s.node_has_ready(node) {
-                s.active[node] = true;
-                s.permits += 1;
-            }
-        }
+    /// Lock-free abort check for hot paths.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
     }
 
-    /// Notify the rank holding `node`'s turn (if the node is active).
-    fn notify_current(&self, s: &Engine, node: usize) {
-        if s.active[node] {
-            if let Some(r) = s.current_of(node) {
-                self.cvs[r].notify_one();
-            }
-        }
-    }
-
-    /// Release `node`'s permit if it has no ready ranks, and pass it to
-    /// the next node waiting for one.
-    fn release_if_idle(&self, s: &mut Engine, node: usize) {
-        if s.active[node] && !s.node_has_ready(node) {
-            s.active[node] = false;
-            s.permits -= 1;
-            Self::grant_permits(s, self.max_active);
-            for n in 0..s.node_ranks.len() {
-                if s.active[n] && n != node {
-                    self.notify_current(s, n);
-                }
-            }
-        }
-    }
-
-    /// Block until `rank` may execute: it is ready, holds its node's
-    /// turn, and the node holds a run permit.
-    pub fn acquire(&self, rank: usize) {
-        let mut s = self.m.lock();
-        loop {
-            assert!(!s.aborted, "job aborted: a peer rank panicked");
-            let node = s.node_of[rank];
-            if s.status[rank] == Status::Ready && s.active[node] && s.current_of(node) == Some(rank)
-            {
-                return;
-            }
-            s = self.cvs[rank].wait(s);
-        }
-    }
-
-    /// Abort the job: every rank waiting in the engine panics instead of
-    /// waiting forever. Called when a rank thread panics so the whole
-    /// job fails loudly rather than hanging.
+    /// Abort the job: workers exit at their next claim or rank switch
+    /// instead of waiting forever. Called when a rank future panics (or
+    /// by an external watchdog) so the whole job fails loudly rather
+    /// than hanging.
     pub fn abort(&self) {
         let mut s = self.m.lock();
         s.aborted = true;
-        for cv in &self.cvs {
-            cv.notify_one();
-        }
+        self.aborted.store(true, Ordering::Release);
+        drop(s);
+        self.cv.notify_all();
     }
 
-    /// Give up the node-local turn and wait for the next one (memory
-    /// quantum boundary). Ranks on other nodes are unaffected.
-    pub fn yield_turn(&self, rank: usize) {
+    /// Claim the lowest-numbered unclaimed node with ready ranks,
+    /// blocking until one exists (or the job finishes or aborts).
+    pub(crate) fn claim(&self) -> Claim {
         let mut s = self.m.lock();
-        debug_assert_eq!(s.status[rank], Status::Ready, "yield by a non-ready rank");
-        let node = s.node_of[rank];
-        debug_assert_eq!(s.current_of(node), Some(rank), "yield by a rank not holding the turn");
-        match s.rotate(node) {
-            Some(next) if next == rank => return, // sole ready rank on the node
-            Some(next) => self.cvs[next].notify_one(),
-            None => unreachable!("the yielding rank itself is ready"),
-        }
         loop {
-            assert!(!s.aborted, "job aborted: a peer rank panicked");
-            if s.active[node] && s.current_of(node) == Some(rank) {
-                return;
+            if s.aborted {
+                return Claim::Aborted;
             }
-            s = self.cvs[rank].wait(s);
+            if s.done == s.status.len() {
+                return Claim::Finished;
+            }
+            if let Some(&node) = s.ready_nodes.iter().next() {
+                s.ready_nodes.remove(&node);
+                s.claimed[node] = true;
+                return Claim::Run(s.view(node));
+            }
+            s = self.cv.wait(s);
         }
     }
 
-    /// Leave the frontier, waiting on `wait`. If this empties the
-    /// frontier the caller becomes the phase resolver: it must merge the
-    /// machine's buffered effects and call [`PhaseEngine::commit_phase`],
-    /// then (like every parked rank) [`PhaseEngine::acquire`] its next
-    /// turn.
-    pub fn park(&self, rank: usize, wait: Wait) -> ParkOutcome {
-        let mut s = self.m.lock();
-        assert!(!s.aborted, "job aborted: a peer rank panicked");
-        debug_assert_eq!(s.status[rank], Status::Ready);
-        self.leave_frontier(&mut s, rank, Status::Parked(wait))
+    /// `rank` (of the caller's claimed node) left the frontier, waiting
+    /// on `wait`.
+    pub(crate) fn park(&self, rank: usize, wait: Wait) -> LeaveOutcome {
+        self.leave(rank, Status::Parked(wait))
     }
 
-    /// Leave the frontier permanently (kernel returned). Same resolver
-    /// obligation as [`PhaseEngine::park`].
-    pub fn done(&self, rank: usize) -> ParkOutcome {
+    /// `rank` (of the caller's claimed node) left the frontier for good:
+    /// its kernel returned.
+    pub(crate) fn finish(&self, rank: usize) -> LeaveOutcome {
+        self.leave(rank, Status::Done)
+    }
+
+    fn leave(&self, rank: usize, to: Status) -> LeaveOutcome {
         let mut s = self.m.lock();
         if s.aborted {
-            return ParkOutcome::Wait;
+            return LeaveOutcome::Aborted;
         }
-        debug_assert_eq!(s.status[rank], Status::Ready);
-        self.leave_frontier(&mut s, rank, Status::Done)
-    }
-
-    fn leave_frontier(&self, s: &mut Engine, rank: usize, to: Status) -> ParkOutcome {
-        let node = s.node_of[rank];
-        debug_assert_eq!(s.current_of(node), Some(rank), "must hold the node turn to leave");
+        debug_assert_eq!(s.status[rank], Status::Ready, "leave by a non-ready rank");
         s.status[rank] = to;
         s.runnable -= 1;
+        if to == Status::Done {
+            s.done += 1;
+        }
         if s.runnable == 0 {
-            return ParkOutcome::Resolve;
+            // The caller resolves the phase while still holding its
+            // claim; commit_phase re-fills the frontier.
+            return LeaveOutcome::Resolve;
         }
-        if let Some(next) = s.rotate(node) {
-            self.cvs[next].notify_one();
+        let node = s.node_of[rank];
+        if s.node_has_ready(node) {
+            LeaveOutcome::Continue
         } else {
-            self.release_if_idle(s, node);
+            // No ready ranks left on this node this phase: drop the
+            // claim. The node re-enters `ready_nodes` at the commit
+            // that wakes one of its ranks.
+            s.claimed[node] = false;
+            LeaveOutcome::Released
         }
-        ParkOutcome::Wait
+    }
+
+    /// Resolver epilogue: after [`PhaseEngine::commit_phase`], refresh
+    /// the claim on `node`. Returns the node's new view if it has ready
+    /// ranks again (the worker keeps driving it), or releases the claim
+    /// and returns `None` (the worker goes back to [`PhaseEngine::claim`]).
+    pub(crate) fn reclaim(&self, node: usize) -> Option<NodeView> {
+        let mut s = self.m.lock();
+        debug_assert!(s.claimed[node], "reclaim of an unclaimed node");
+        if !s.aborted && s.node_has_ready(node) {
+            let view = s.view(node);
+            return Some(view);
+        }
+        s.claimed[node] = false;
+        None
     }
 
     /// Snapshot of every parked rank and its wait (valid only while the
@@ -359,7 +445,9 @@ impl PhaseEngine {
         s.phase += 1;
         if wake.is_empty() {
             if s.status.iter().all(|&st| st == Status::Done) {
-                return; // job complete
+                drop(s);
+                self.cv.notify_all(); // blocked claimers observe completion
+                return;
             }
             let parked: Vec<(usize, Wait)> = s
                 .status
@@ -373,9 +461,10 @@ impl PhaseEngine {
             let blocked: Vec<String> =
                 parked.iter().map(|(r, w)| format!("rank {r}: {w}")).collect();
             s.aborted = true;
-            for cv in &self.cvs {
-                cv.notify_one();
-            }
+            self.aborted.store(true, Ordering::Release);
+            let phase = s.phase;
+            drop(s);
+            self.cv.notify_all();
             // Forensics before unwinding: the machine-installed reporter
             // dumps the scheduler trace tail and writes a sidecar file.
             let forensics = self
@@ -387,7 +476,7 @@ impl PhaseEngine {
             panic!(
                 "MPI deadlock after {} phase(s): no deliverable progress; waiting: [{}] \
                  (mismatched send/recv or collective?){}",
-                s.phase,
+                phase,
                 blocked.join(", "),
                 forensics
             );
@@ -402,156 +491,192 @@ impl PhaseEngine {
         }
         // Every node's rotation restarts at its lowest-ranked ready rank
         // so the next phase's intra-node interleaving is canonical.
+        // Nodes with ready ranks become claimable again — except the
+        // resolver's own node, which stays claimed until it reclaims.
+        s.ready_nodes.clear();
         for node in 0..s.node_ranks.len() {
             let pos = s.node_ranks[node]
                 .iter()
                 .position(|&r| s.status[r] == Status::Ready);
             if let Some(p) = pos {
                 s.cursor[node] = p;
+                if !s.claimed[node] {
+                    s.ready_nodes.insert(node);
+                }
             }
         }
-        // Reclaim permits from nodes the resolver path left active with
-        // no ready ranks, then re-grant to nodes that can use them.
-        for node in 0..s.node_ranks.len() {
-            if s.active[node] && !s.node_has_ready(node) {
-                s.active[node] = false;
-                s.permits -= 1;
-            }
-        }
-        Self::grant_permits(&mut s, self.max_active);
-        for node in 0..s.node_ranks.len() {
-            self.notify_current(&s, node);
-        }
+        drop(s);
+        self.cv.notify_all();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
-    /// Engine over `n` SMP/1 nodes (one rank each).
-    fn smp(n: usize, cap: usize) -> PhaseEngine {
-        PhaseEngine::new((0..n).collect(), n, cap)
+    /// Engine over `n` SMP/1 nodes (one rank each) and `workers` workers.
+    fn smp(n: usize, workers: usize) -> PhaseEngine {
+        PhaseEngine::new((0..n).collect(), n, workers)
+    }
+
+    /// Drive a claimed node the way a worker does, logging the rank at
+    /// each simulated poll; every rank "yields" `yields` times and then
+    /// finishes. Returns the resolver obligation if one arose.
+    fn drive_yield_then_finish(
+        eng: &PhaseEngine,
+        view: &mut NodeView,
+        yields: usize,
+        log: &mut Vec<usize>,
+    ) -> Option<LeaveOutcome> {
+        let mut remaining: Vec<usize> = vec![yields; view.ranks.len()];
+        loop {
+            let rank = view.current();
+            let local = view.cursor;
+            if remaining[local] > 0 {
+                // The rank's future returned Pending with Suspend::Yield.
+                log.push(rank);
+                remaining[local] -= 1;
+                assert!(view.rotate(), "a yielding rank is itself still ready");
+            } else {
+                match eng.finish(rank) {
+                    LeaveOutcome::Continue => {
+                        view.ready[local] = false;
+                        assert!(view.rotate());
+                    }
+                    out @ (LeaveOutcome::Released
+                    | LeaveOutcome::Resolve
+                    | LeaveOutcome::Aborted) => return Some(out),
+                }
+            }
+        }
     }
 
     #[test]
     fn same_node_ranks_rotate_in_rank_order() {
         // 4 ranks on one node, like VNM.
-        let eng = Arc::new(PhaseEngine::new(vec![0; 4], 1, 8));
-        let log = Arc::new(Mutex::new(Vec::new()));
-        let mut handles = Vec::new();
-        for r in 0..4 {
-            let eng = Arc::clone(&eng);
-            let log = Arc::clone(&log);
-            handles.push(std::thread::spawn(move || {
-                eng.acquire(r);
-                for _ in 0..3 {
-                    log.lock().push(r);
-                    eng.yield_turn(r);
-                }
-                if eng.done(r) == ParkOutcome::Resolve {
-                    eng.commit_phase(&[]);
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
-        let got = log.lock().clone();
-        assert_eq!(got, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]);
-    }
-
-    #[test]
-    fn sole_ready_rank_keeps_running() {
-        let eng = smp(1, 1);
-        eng.acquire(0);
-        for _ in 0..10 {
-            eng.yield_turn(0);
-        }
-        assert_eq!(eng.done(0), ParkOutcome::Resolve);
+        let eng = PhaseEngine::new(vec![0; 4], 1, 8);
+        let mut view = match eng.claim() {
+            Claim::Run(v) => v,
+            _ => panic!("one node with ready ranks must be claimable"),
+        };
+        assert_eq!(view.ranks, vec![0, 1, 2, 3]);
+        let mut log = Vec::new();
+        let out = drive_yield_then_finish(&eng, &mut view, 3, &mut log);
+        assert_eq!(log, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(out, Some(LeaveOutcome::Resolve), "last finisher resolves");
         eng.commit_phase(&[]);
+        assert!(eng.reclaim(view.node).is_none(), "nothing left to run");
+        assert!(matches!(eng.claim(), Claim::Finished));
     }
 
     #[test]
-    fn last_parker_becomes_resolver_and_wake_reenters() {
-        let eng = Arc::new(smp(2, 2));
+    fn sole_ready_rank_keeps_the_turn_across_yields() {
+        let eng = smp(1, 1);
+        let mut view = match eng.claim() {
+            Claim::Run(v) => v,
+            _ => panic!("claimable"),
+        };
+        for _ in 0..10 {
+            assert!(view.rotate());
+            assert_eq!(view.current(), 0, "sole ready rank keeps running");
+        }
+        assert_eq!(eng.finish(0), LeaveOutcome::Resolve);
+        eng.commit_phase(&[]);
+        assert!(eng.reclaim(0).is_none());
+    }
+
+    #[test]
+    fn single_worker_claims_nodes_in_ascending_order() {
+        let eng = smp(4, 1);
+        let mut order = Vec::new();
+        loop {
+            match eng.claim() {
+                Claim::Run(view) => {
+                    order.push(view.node);
+                    match eng.finish(view.current()) {
+                        LeaveOutcome::Released => {}
+                        LeaveOutcome::Resolve => {
+                            eng.commit_phase(&[]);
+                            assert!(eng.reclaim(view.node).is_none());
+                        }
+                        other => panic!("unexpected outcome {other:?}"),
+                    }
+                }
+                Claim::Finished => break,
+                Claim::Aborted => panic!("no abort in this test"),
+            }
+        }
+        assert_eq!(order, vec![0, 1, 2, 3], "canonical claim order");
+    }
+
+    #[test]
+    fn last_parker_resolves_and_wake_reopens_the_frontier() {
+        let eng = smp(2, 2);
         let w = Wait::Recv { src: None, tag: 0 };
-        let t0 = {
-            let eng = Arc::clone(&eng);
-            std::thread::spawn(move || {
-                eng.acquire(0);
-                let out = eng.park(0, w);
-                if out == ParkOutcome::Resolve {
-                    eng.commit_phase(&[0, 1]);
-                }
-                eng.acquire(0);
-                let _ = eng.done(0) == ParkOutcome::Resolve && {
-                    eng.commit_phase(&[]);
-                    true
-                };
-            })
+        let v0 = match eng.claim() {
+            Claim::Run(v) => v,
+            _ => panic!("node 0 claimable"),
         };
-        let t1 = {
-            let eng = Arc::clone(&eng);
-            std::thread::spawn(move || {
-                eng.acquire(1);
-                let out = eng.park(1, w);
-                if out == ParkOutcome::Resolve {
-                    assert_eq!(eng.parked().len(), 2, "both ranks parked at resolution");
-                    eng.commit_phase(&[0, 1]);
-                }
-                eng.acquire(1);
-                let _ = eng.done(1) == ParkOutcome::Resolve && {
-                    eng.commit_phase(&[]);
-                    true
-                };
-            })
+        let v1 = match eng.claim() {
+            Claim::Run(v) => v,
+            _ => panic!("node 1 claimable"),
         };
-        t0.join().unwrap();
-        t1.join().unwrap();
-        assert!(eng.phases() >= 1);
+        assert_eq!((v0.node, v1.node), (0, 1));
+        assert_eq!(eng.park(0, w), LeaveOutcome::Released);
+        assert_eq!(eng.park(1, w), LeaveOutcome::Resolve, "last parker resolves");
+        assert_eq!(eng.parked().len(), 2, "both ranks parked at resolution");
+        eng.commit_phase(&[0, 1]);
+        // The resolver still holds node 1; rank 1 woke, so it reclaims.
+        let v1 = eng.reclaim(1).expect("woken rank makes node 1 reclaimable");
+        assert_eq!(v1.current(), 1);
+        // Node 0 re-entered the claimable set at commit.
+        let v0 = match eng.claim() {
+            Claim::Run(v) => v,
+            _ => panic!("node 0 claimable again"),
+        };
+        assert_eq!(v0.current(), 0);
+        assert_eq!(eng.finish(0), LeaveOutcome::Released);
+        assert_eq!(eng.finish(1), LeaveOutcome::Resolve);
+        eng.commit_phase(&[]);
+        assert!(eng.reclaim(1).is_none());
+        assert!(matches!(eng.claim(), Claim::Finished));
+        assert!(eng.phases() >= 2);
     }
 
     #[test]
-    fn thread_cap_one_still_completes_multi_node_jobs() {
-        let n = 4;
-        let eng = Arc::new(smp(n, 1));
-        let mut handles = Vec::new();
-        for r in 0..n {
-            let eng = Arc::clone(&eng);
-            handles.push(std::thread::spawn(move || {
-                eng.acquire(r);
-                for _ in 0..5 {
-                    eng.yield_turn(r);
-                }
-                if eng.done(r) == ParkOutcome::Resolve {
-                    eng.commit_phase(&[]);
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
+    fn abort_turns_every_entry_point_terminal() {
+        let eng = smp(2, 2);
+        let view = match eng.claim() {
+            Claim::Run(v) => v,
+            _ => panic!("claimable"),
+        };
+        eng.abort();
+        assert!(eng.is_aborted());
+        assert!(matches!(eng.claim(), Claim::Aborted));
+        assert_eq!(eng.park(view.current(), Wait::Collective { slot: 0 }), LeaveOutcome::Aborted);
+        assert!(eng.reclaim(view.node).is_none());
     }
 
     #[test]
     fn empty_wake_with_parked_ranks_panics_with_diagnostic() {
-        let eng = Arc::new(smp(2, 2));
-        let handles: Vec<_> = (0..2)
-            .map(|r| {
-                let eng = Arc::clone(&eng);
-                std::thread::spawn(move || {
-                    eng.acquire(r);
-                    let out = eng.park(r, Wait::Recv { src: Some(1 - r), tag: 9 });
-                    if out == ParkOutcome::Resolve {
-                        eng.commit_phase(&[]); // nobody deliverable: deadlock
-                    }
-                    eng.acquire(r);
-                })
-            })
-            .collect();
-        let errs = handles.into_iter().map(|h| h.join()).filter(Result::is_err).count();
-        assert_eq!(errs, 2, "resolver panics with the diagnostic; peer aborts");
+        let eng = smp(2, 2);
+        let _v0 = eng.claim();
+        let _v1 = eng.claim();
+        assert_eq!(
+            eng.park(0, Wait::Recv { src: Some(1), tag: 9 }),
+            LeaveOutcome::Released
+        );
+        assert_eq!(
+            eng.park(1, Wait::Recv { src: Some(0), tag: 9 }),
+            LeaveOutcome::Resolve
+        );
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            eng.commit_phase(&[]); // nobody deliverable: deadlock
+        }))
+        .expect_err("deadlock must panic");
+        let msg = crate::machine::panic_message(err.as_ref());
+        assert!(msg.contains("MPI deadlock"), "{msg}");
+        assert!(msg.contains("rank 0: recv(src=1, tag=9)"), "{msg}");
+        assert!(eng.is_aborted(), "deadlock aborts the job");
     }
 }

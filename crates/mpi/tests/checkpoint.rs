@@ -17,24 +17,24 @@ use std::sync::Arc;
 /// timing observations in return values read 0 during replay); timing
 /// identity is asserted through the machine state instead, which covers
 /// every core's timebase.
-fn kernel(ctx: &mut RankCtx) -> u64 {
+async fn kernel(mut ctx: RankCtx) -> u64 {
     let n = ctx.size();
     let mut v = ctx.alloc::<f64>(1024);
     let mut acc = 0f64;
     for round in 0..6u64 {
         for i in 0..1024 {
-            ctx.st(&mut v, i, (i as u64 + round) as f64);
+            ctx.st(&mut v, i, (i as u64 + round) as f64).await;
         }
-        ctx.ld_range(&v, 0..1024);
+        ctx.ld_range(&v, 0..1024).await;
         ctx.overhead(1024);
         ctx.fp_scalar_n(SemOp::MulAdd, 256);
         let peer = (ctx.rank() + 1) % n;
         let from = (ctx.rank() + n - 1) % n;
-        ctx.send(peer, round as u32, vec![round as u8; 64 + ctx.rank()]);
-        let got = ctx.recv(Some(from), round as u32);
+        ctx.send(peer, round as u32, vec![round as u8; 64 + ctx.rank()]).await;
+        let got = ctx.recv(Some(from), round as u32).await;
         acc += got.len() as f64;
-        acc = ctx.allreduce_sum_f64(&[acc])[0];
-        ctx.barrier();
+        acc = ctx.allreduce_sum_f64(&[acc]).await[0];
+        ctx.barrier().await;
     }
     acc.to_bits()
 }

@@ -82,6 +82,16 @@ fn outcome_relevant_fields_each_move_the_fingerprint() {
         nodes,
     )));
     assert_ne!(faulted.fingerprint(), reference, "fault plan");
+
+    // The spec cannot hash the kernel closure itself, so the workload
+    // *name* must stand in for it: MG and CG on identical hardware are
+    // different experiments and must not share a cache key.
+    let mut named = base();
+    named.workload = Some("nas-mg-s".into());
+    assert_ne!(named.fingerprint(), reference, "workload name");
+    let mut other = base();
+    other.workload = Some("nas-cg-s".into());
+    assert_ne!(named.fingerprint(), other.fingerprint(), "distinct workloads");
 }
 
 #[test]

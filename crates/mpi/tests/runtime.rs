@@ -19,11 +19,12 @@ fn spec(ranks: usize, mode: OpMode) -> JobSpec {
 fn point_to_point_ring_delivers_in_order() {
     let m = Machine::new(spec(4, OpMode::VirtualNode));
     m.enable_all_counters();
-    let out = m.run(|ctx| {
+    let out = m.run(|mut ctx| async move {
         let right = (ctx.rank() + 1) % ctx.size();
         let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
-        ctx.send(right, 7, u64s_to_bytes(&[ctx.rank() as u64, 100 + ctx.rank() as u64]));
-        let got = bytes_to_u64s(&ctx.recv(Some(left), 7));
+        ctx.send(right, 7, u64s_to_bytes(&[ctx.rank() as u64, 100 + ctx.rank() as u64]))
+            .await;
+        let got = bytes_to_u64s(&ctx.recv(Some(left), 7).await);
         assert_eq!(got, vec![left as u64, 100 + left as u64]);
         got[0]
     });
@@ -36,16 +37,16 @@ fn point_to_point_ring_delivers_in_order() {
 #[test]
 fn messages_between_same_pair_do_not_overtake() {
     let m = Machine::new(spec(2, OpMode::VirtualNode));
-    let out = m.run(|ctx| {
+    let out = m.run(|mut ctx| async move {
         if ctx.rank() == 0 {
             for i in 0..10u64 {
-                ctx.send(1, 1, u64s_to_bytes(&[i]));
+                ctx.send(1, 1, u64s_to_bytes(&[i])).await;
             }
             0
         } else {
             let mut got = Vec::new();
             for _ in 0..10 {
-                got.push(bytes_to_u64s(&ctx.recv(Some(0), 1))[0]);
+                got.push(bytes_to_u64s(&ctx.recv(Some(0), 1).await)[0]);
             }
             assert_eq!(got, (0..10).collect::<Vec<_>>());
             1
@@ -57,14 +58,14 @@ fn messages_between_same_pair_do_not_overtake() {
 #[test]
 fn tagged_receives_match_selectively() {
     let m = Machine::new(spec(2, OpMode::VirtualNode));
-    m.run(|ctx| {
+    m.run(|mut ctx| async move {
         if ctx.rank() == 0 {
-            ctx.send(1, 5, u64s_to_bytes(&[55]));
-            ctx.send(1, 9, u64s_to_bytes(&[99]));
+            ctx.send(1, 5, u64s_to_bytes(&[55])).await;
+            ctx.send(1, 9, u64s_to_bytes(&[99])).await;
         } else {
             // Receive out of arrival order by tag.
-            assert_eq!(bytes_to_u64s(&ctx.recv(Some(0), 9)), vec![99]);
-            assert_eq!(bytes_to_u64s(&ctx.recv(Some(0), 5)), vec![55]);
+            assert_eq!(bytes_to_u64s(&ctx.recv(Some(0), 9).await), vec![99]);
+            assert_eq!(bytes_to_u64s(&ctx.recv(Some(0), 5).await), vec![55]);
         }
     });
 }
@@ -72,9 +73,9 @@ fn tagged_receives_match_selectively() {
 #[test]
 fn allreduce_equals_sequential_fold() {
     let m = Machine::new(spec(8, OpMode::VirtualNode));
-    let out = m.run(|ctx| {
+    let out = m.run(|mut ctx| async move {
         let mine = [ctx.rank() as f64, 1.0, -(ctx.rank() as f64)];
-        ctx.allreduce_sum_f64(&mine)
+        ctx.allreduce_sum_f64(&mine).await
     });
     for r in &out {
         assert_eq!(r, &[28.0, 8.0, -28.0]);
@@ -84,9 +85,9 @@ fn allreduce_equals_sequential_fold() {
 #[test]
 fn reduce_max_reaches_only_root() {
     let m = Machine::new(spec(5, OpMode::VirtualNode));
-    let out = m.run(|ctx| {
+    let out = m.run(|mut ctx| async move {
         let v = f64s_to_bytes(&[ctx.rank() as f64 * 1.5]);
-        ctx.reduce(2, ReduceOp::MaxF64, v).map(|b| bytes_to_f64s(&b)[0])
+        ctx.reduce(2, ReduceOp::MaxF64, v).await.map(|b| bytes_to_f64s(&b)[0])
     });
     assert_eq!(out, vec![None, None, Some(6.0), None, None]);
 }
@@ -94,9 +95,9 @@ fn reduce_max_reaches_only_root() {
 #[test]
 fn bcast_distributes_roots_payload() {
     let m = Machine::new(spec(6, OpMode::VirtualNode));
-    let out = m.run(|ctx| {
+    let out = m.run(|mut ctx| async move {
         let data = (ctx.rank() == 3).then(|| u64s_to_bytes(&[42, 43]));
-        bytes_to_u64s(&ctx.bcast(3, data))
+        bytes_to_u64s(&ctx.bcast(3, data).await)
     });
     for r in out {
         assert_eq!(r, vec![42, 43]);
@@ -107,11 +108,11 @@ fn bcast_distributes_roots_payload() {
 fn alltoall_is_a_transpose() {
     let n = 4;
     let m = Machine::new(spec(n, OpMode::VirtualNode));
-    let out = m.run(|ctx| {
+    let out = m.run(|mut ctx| async move {
         let rows: Vec<_> = (0..ctx.size())
             .map(|d| u64s_to_bytes(&[(ctx.rank() * 10 + d) as u64]))
             .collect();
-        let col = ctx.alltoall(rows);
+        let col = ctx.alltoall(rows).await;
         col.iter().map(|p| bytes_to_u64s(p)[0]).collect::<Vec<_>>()
     });
     for (me, col) in out.iter().enumerate() {
@@ -123,12 +124,12 @@ fn alltoall_is_a_transpose() {
 #[test]
 fn consecutive_collectives_of_mixed_kinds_work() {
     let m = Machine::new(spec(3, OpMode::VirtualNode));
-    m.run(|ctx| {
+    m.run(|mut ctx| async move {
         for round in 0..5u64 {
-            ctx.barrier();
-            let s = ctx.allreduce_sum_f64(&[round as f64])[0];
+            ctx.barrier().await;
+            let s = ctx.allreduce_sum_f64(&[round as f64]).await[0];
             assert_eq!(s, 3.0 * round as f64);
-            let b = ctx.bcast(round as usize % 3, Some(u64s_to_bytes(&[round])));
+            let b = ctx.bcast(round as usize % 3, Some(u64s_to_bytes(&[round]))).await;
             assert_eq!(bytes_to_u64s(&b), vec![round]);
         }
     });
@@ -137,12 +138,12 @@ fn consecutive_collectives_of_mixed_kinds_work() {
 #[test]
 fn barrier_synchronizes_clocks() {
     let m = Machine::new(spec(4, OpMode::VirtualNode));
-    let out = m.run(|ctx| {
+    let out = m.run(|mut ctx| async move {
         // Rank 0 does much more compute before the barrier.
         if ctx.rank() == 0 {
             ctx.int_ops(1_000_000);
         }
-        ctx.barrier();
+        ctx.barrier().await;
         ctx.cycles()
     });
     let max = *out.iter().max().unwrap();
@@ -157,13 +158,13 @@ fn barrier_synchronizes_clocks() {
 #[test]
 fn recv_waits_for_message_arrival_time() {
     let m = Machine::new(spec(2, OpMode::Smp1));
-    let out = m.run(|ctx| {
+    let out = m.run(|mut ctx| async move {
         if ctx.rank() == 0 {
             ctx.int_ops(500_000); // ~250k cycles of compute first
-            ctx.send(1, 0, f64s_to_bytes(&[1.0]));
+            ctx.send(1, 0, f64s_to_bytes(&[1.0])).await;
             ctx.cycles()
         } else {
-            ctx.recv(Some(0), 0);
+            ctx.recv(Some(0), 0).await;
             ctx.cycles()
         }
     });
@@ -178,16 +179,16 @@ fn compute_api_reaches_ground_truth_counters() {
     let mut spec2 = spec(1, OpMode::Smp1);
     spec2.compile = CompileOpts::o5();
     let _ = spec2;
-    m.run(|ctx| {
+    m.run(|mut ctx| async move {
         let mut v = ctx.alloc::<f64>(128);
         for i in 0..128 {
-            ctx.st(&mut v, i, i as f64);
+            ctx.st(&mut v, i, i as f64).await;
         }
         let mut acc = 0.0;
         let mut i = 0;
         while i + 1 < 128 {
             let plan = ctx.plan_pair(true);
-            let (a, b) = ctx.ld2(&v, i, plan);
+            let (a, b) = ctx.ld2(&v, i, plan).await;
             acc += 2.0 * a + 2.0 * b;
             ctx.fp_pair(plan, SemOp::MulAdd);
             i += 2;
@@ -208,13 +209,13 @@ fn identical_jobs_produce_identical_counters() {
     let run_once = || {
         let m = Machine::new(spec(4, OpMode::VirtualNode));
         m.enable_all_counters();
-        m.run(|ctx| {
+        m.run(|mut ctx| async move {
             let mut v = ctx.alloc::<f64>(1000);
             for i in 0..1000 {
-                ctx.st(&mut v, i, (i * ctx.rank()) as f64);
+                ctx.st(&mut v, i, (i * ctx.rank()) as f64).await;
             }
-            let s = ctx.allreduce_sum_f64(&[v.raw(999)]);
-            ctx.barrier();
+            let s = ctx.allreduce_sum_f64(&[v.raw(999)]).await;
+            ctx.barrier().await;
             s[0]
         });
         let snap = m.with_node(0, |n| n.upc().snapshot().to_vec());
@@ -231,12 +232,12 @@ fn vnm_ranks_share_a_node_and_contend() {
     // Four ranks on one node (VNM) each stream a private 1 MB buffer:
     // the shared L3 sees interleaved footprints.
     let m = Machine::new(spec(4, OpMode::VirtualNode));
-    m.run(|ctx| {
+    m.run(|mut ctx| async move {
         let n = 128 * 1024; // 1 MB of f64
         let mut v = ctx.alloc::<f64>(n);
         for pass in 0..2 {
             for i in 0..n {
-                ctx.st(&mut v, i, (pass + i) as f64);
+                ctx.st(&mut v, i, (pass + i) as f64).await;
             }
         }
     });
@@ -254,10 +255,10 @@ fn vnm_ranks_share_a_node_and_contend() {
 #[test]
 fn smp1_mode_leaves_sibling_cores_idle() {
     let m = Machine::new(spec(2, OpMode::Smp1));
-    m.run(|ctx| {
+    m.run(|mut ctx| async move {
         let mut v = ctx.alloc::<f64>(1024);
         for i in 0..1024 {
-            ctx.st(&mut v, i, 1.0);
+            ctx.st(&mut v, i, 1.0).await;
         }
     });
     assert_eq!(m.num_nodes(), 2);
@@ -270,19 +271,21 @@ fn smp1_mode_leaves_sibling_cores_idle() {
 }
 
 #[test]
-fn omp_for_spreads_work_across_the_process_cores() {
-    // SMP/4: one process, four threads — an omp_for must advance all four
-    // cores and finish in ~1/4 the serial time.
+fn omp_chunks_spread_work_across_the_process_cores() {
+    // SMP/4: one process, four threads — an OpenMP region must advance
+    // all four cores and finish in ~1/4 the serial time.
     let m = Machine::new(spec(1, OpMode::Smp4));
-    m.run(|ctx| {
+    m.run(|mut ctx| async move {
         assert_eq!(ctx.threads(), 4);
         let n = 8192;
         let mut v = ctx.alloc::<f64>(n);
-        ctx.omp_for(n, |ctx, range| {
+        for (t, range) in ctx.omp_chunks(n) {
+            ctx.set_thread(t);
             for i in range {
-                ctx.st(&mut v, i, i as f64);
+                ctx.st(&mut v, i, i as f64).await;
             }
-        });
+        }
+        ctx.omp_join();
         // All threads joined: the master's clock is the max.
         assert!(ctx.cycles() > 0);
     });
@@ -303,7 +306,7 @@ fn omp_for_spreads_work_across_the_process_cores() {
 #[test]
 fn dual_mode_threads_stay_inside_their_process_cores() {
     let m = Machine::new(spec(2, OpMode::Dual));
-    let out = m.run(|ctx| {
+    let out = m.run(|mut ctx| async move {
         assert_eq!(ctx.threads(), 2);
         let mut cores = Vec::new();
         for t in 0..ctx.threads() {
@@ -323,5 +326,5 @@ fn dual_mode_threads_stay_inside_their_process_cores() {
 #[should_panic(expected = "out of range")]
 fn extra_threads_are_rejected_in_vnm() {
     let m = Machine::new(spec(4, OpMode::VirtualNode));
-    m.run(|ctx| ctx.set_thread(1));
+    m.run(|mut ctx| async move { ctx.set_thread(1) });
 }

@@ -101,7 +101,7 @@ struct BlockElim {
     e: SimVec<f64>,
 }
 
-fn factor(ctx: &mut RankCtx, len: usize) -> BlockElim {
+async fn factor(ctx: &mut RankCtx, len: usize) -> BlockElim {
     let a = mat_a();
     let bmat = mat_b();
     let mut dinv = ctx.alloc::<f64>(len * NB * NB);
@@ -113,8 +113,8 @@ fn factor(ctx: &mut RankCtx, len: usize) -> BlockElim {
         let ek = if k + 1 < len { mat_mul(&di, &a) } else { [[0.0; NB]; NB] };
         for i in 0..NB {
             for j in 0..NB {
-                ctx.st(&mut dinv, (k * NB + i) * NB + j, di[i][j]);
-                ctx.st(&mut e, (k * NB + i) * NB + j, ek[i][j]);
+                ctx.st(&mut dinv, (k * NB + i) * NB + j, di[i][j]).await;
+                ctx.st(&mut e, (k * NB + i) * NB + j, ek[i][j]).await;
             }
         }
         e_prev = ek;
@@ -127,21 +127,21 @@ fn factor(ctx: &mut RankCtx, len: usize) -> BlockElim {
 }
 
 impl BlockElim {
-    fn dinv_at(&self, ctx: &mut RankCtx, k: usize) -> Mat {
+    async fn dinv_at(&self, ctx: &mut RankCtx, k: usize) -> Mat {
         let mut m = [[0.0; NB]; NB];
         for (i, row) in m.iter_mut().enumerate() {
             for (j, el) in row.iter_mut().enumerate() {
-                *el = ctx.ld(&self.dinv, (k * NB + i) * NB + j);
+                *el = ctx.ld(&self.dinv, (k * NB + i) * NB + j).await;
             }
         }
         m
     }
 
-    fn e_at(&self, ctx: &mut RankCtx, k: usize) -> Mat {
+    async fn e_at(&self, ctx: &mut RankCtx, k: usize) -> Mat {
         let mut m = [[0.0; NB]; NB];
         for (i, row) in m.iter_mut().enumerate() {
             for (j, el) in row.iter_mut().enumerate() {
-                *el = ctx.ld(&self.e, (k * NB + i) * NB + j);
+                *el = ctx.ld(&self.e, (k * NB + i) * NB + j).await;
             }
         }
         m
@@ -163,63 +163,63 @@ impl Block {
     }
 }
 
-fn ld_vec(ctx: &mut RankCtx, u: &SimVec<f64>, base: usize) -> Vec3 {
+async fn ld_vec(ctx: &mut RankCtx, u: &SimVec<f64>, base: usize) -> Vec3 {
     let plan = ctx.plan_pair(false);
-    let (a, b) = ctx.ld2(u, base, plan);
-    let c = ctx.ld(u, base + 2);
+    let (a, b) = ctx.ld2(u, base, plan).await;
+    let c = ctx.ld(u, base + 2).await;
     [a, b, c]
 }
 
-fn st_vec(ctx: &mut RankCtx, u: &mut SimVec<f64>, base: usize, v: &Vec3) {
+async fn st_vec(ctx: &mut RankCtx, u: &mut SimVec<f64>, base: usize, v: &Vec3) {
     let plan = ctx.plan_pair(false);
-    ctx.st2(u, base, (v[0], v[1]), plan);
-    ctx.st(u, base + 2, v[2]);
+    ctx.st2(u, base, (v[0], v[1]), plan).await;
+    ctx.st(u, base + 2, v[2]).await;
 }
 
 /// Solve the block-tridiagonal system along a local line.
-fn solve_local_line(ctx: &mut RankCtx, b: &mut Block, base: usize, stride_pts: usize, el: &BlockElim) {
+async fn solve_local_line(ctx: &mut RankCtx, b: &mut Block, base: usize, stride_pts: usize, el: &BlockElim) {
     let a = mat_a();
     let len = el.len;
     // Forward: y_k = D_k⁻¹ (b_k − A y_{k−1}).
     let mut prev = [0.0; NB];
     for k in 0..len {
         let i = base + k * stride_pts * NB;
-        let mut rhs = ld_vec(ctx, &b.u, i);
+        let mut rhs = ld_vec(ctx, &b.u, i).await;
         let av = mat_vec(&a, &prev);
         for c in 0..NB {
             rhs[c] -= av[c];
         }
-        let di = el.dinv_at(ctx, k);
+        let di = el.dinv_at(ctx, k).await;
         let y = mat_vec(&di, &rhs);
         // Two 3×3 matvecs of dense FMA work per point.
         ctx.fp_scalar_n(SemOp::MulAdd, 2 * (NB * NB) as u64);
-        st_vec(ctx, &mut b.u, i, &y);
+        st_vec(ctx, &mut b.u, i, &y).await;
         prev = y;
     }
     // Backward: u_k = y_k − E_k u_{k+1}.
     let mut up = [0.0; NB];
     for k in (0..len).rev() {
         let i = base + k * stride_pts * NB;
-        let mut v = ld_vec(ctx, &b.u, i);
-        let ek = el.e_at(ctx, k);
+        let mut v = ld_vec(ctx, &b.u, i).await;
+        let ek = el.e_at(ctx, k).await;
         let ev = mat_vec(&ek, &up);
         for c in 0..NB {
             v[c] -= ev[c];
         }
         ctx.fp_scalar_n(SemOp::MulAdd, (NB * NB) as u64);
-        st_vec(ctx, &mut b.u, i, &v);
+        st_vec(ctx, &mut b.u, i, &v).await;
         up = v;
     }
     ctx.overhead(2 * len as u64);
 }
 
 /// Apply the block operator along a local direction (`u ← T u`).
-fn apply_local(ctx: &mut RankCtx, b: &mut Block, base: usize, stride_pts: usize, len: usize) {
+async fn apply_local(ctx: &mut RankCtx, b: &mut Block, base: usize, stride_pts: usize, len: usize) {
     let a = mat_a();
     let bm = mat_b();
     let mut line: Vec<Vec3> = Vec::with_capacity(len);
     for k in 0..len {
-        line.push(ld_vec(ctx, &b.u, base + k * stride_pts * NB));
+        line.push(ld_vec(ctx, &b.u, base + k * stride_pts * NB).await);
     }
     for k in 0..len {
         let mut v = mat_vec(&bm, &line[k]);
@@ -236,39 +236,39 @@ fn apply_local(ctx: &mut RankCtx, b: &mut Block, base: usize, stride_pts: usize,
             }
         }
         ctx.fp_scalar_n(SemOp::MulAdd, 3 * (NB * NB) as u64);
-        st_vec(ctx, &mut b.u, base + k * stride_pts * NB, &v);
+        st_vec(ctx, &mut b.u, base + k * stride_pts * NB, &v).await;
     }
     ctx.overhead(len as u64);
 }
 
 /// Apply along distributed z (one halo plane of `NB`-vectors each way).
-fn apply_z(ctx: &mut RankCtx, b: &mut Block) {
+async fn apply_z(ctx: &mut RankCtx, b: &mut Block) {
     let (rank, size) = (ctx.rank(), ctx.size());
     let (nx, ny, nz) = (b.nx, b.ny, b.nz);
     let plane = nx * ny * NB;
-    let pack = |ctx: &mut RankCtx, b: &Block, z: usize| -> Vec<f64> {
-        ctx.ld_range(&b.u, z * plane..(z + 1) * plane);
+    async fn pack(ctx: &mut RankCtx, b: &Block, z: usize, plane: usize) -> Vec<f64> {
+        ctx.ld_range(&b.u, z * plane..(z + 1) * plane).await;
         b.u.as_slice()[z * plane..(z + 1) * plane].to_vec()
-    };
+    }
     let mut below = vec![0.0; plane];
     let mut above = vec![0.0; plane];
     if rank + 1 < size {
-        let top = pack(ctx, b, nz - 1);
-        ctx.send(rank + 1, 80, f64s_to_bytes(&top));
+        let top = pack(ctx, b, nz - 1, plane).await;
+        ctx.send(rank + 1, 80, f64s_to_bytes(&top)).await;
     }
     if rank > 0 {
-        below = bytes_to_f64s(&ctx.recv(Some(rank - 1), 80));
-        let bot = pack(ctx, b, 0);
-        ctx.send(rank - 1, 81, f64s_to_bytes(&bot));
+        below = bytes_to_f64s(&ctx.recv(Some(rank - 1), 80).await);
+        let bot = pack(ctx, b, 0, plane).await;
+        ctx.send(rank - 1, 81, f64s_to_bytes(&bot)).await;
     }
     if rank + 1 < size {
-        above = bytes_to_f64s(&ctx.recv(Some(rank + 1), 81));
+        above = bytes_to_f64s(&ctx.recv(Some(rank + 1), 81).await);
     }
     let a = mat_a();
     let bm = mat_b();
     let mut planes: Vec<Vec<f64>> = Vec::with_capacity(nz);
     for z in 0..nz {
-        ctx.ld_range(&b.u, z * plane..(z + 1) * plane);
+        ctx.ld_range(&b.u, z * plane..(z + 1) * plane).await;
         planes.push(b.u.as_slice()[z * plane..(z + 1) * plane].to_vec());
     }
     let vec_at = |src: &[f64], x: usize, y: usize| -> Vec3 {
@@ -302,7 +302,7 @@ fn apply_z(ctx: &mut RankCtx, b: &mut Block) {
                 }
                 ctx.fp_scalar_n(SemOp::MulAdd, 3 * (NB * NB) as u64);
                 let idx = b.idx(x, y, z);
-                st_vec(ctx, &mut b.u, idx, &v);
+                st_vec(ctx, &mut b.u, idx, &v).await;
             }
         }
         ctx.overhead((nx * ny) as u64);
@@ -310,7 +310,7 @@ fn apply_z(ctx: &mut RankCtx, b: &mut Block) {
 }
 
 /// Pipelined block solve along distributed z lines.
-fn solve_z(ctx: &mut RankCtx, b: &mut Block, el: &BlockElim) {
+async fn solve_z(ctx: &mut RankCtx, b: &mut Block, el: &BlockElim) {
     let (rank, size) = (ctx.rank(), ctx.size());
     let (nx, ny, nz) = (b.nx, b.ny, b.nz);
     let plane = nx * ny * NB;
@@ -320,7 +320,7 @@ fn solve_z(ctx: &mut RankCtx, b: &mut Block, el: &BlockElim) {
     // Forward pipeline (needs y_{k−1}).
     let mut prev: Vec<f64> = vec![0.0; plane];
     if rank > 0 {
-        prev = bytes_to_f64s(&ctx.recv(Some(rank - 1), 82));
+        prev = bytes_to_f64s(&ctx.recv(Some(rank - 1), 82).await);
     }
     for z in 0..nz {
         let k = z0 + z;
@@ -328,16 +328,16 @@ fn solve_z(ctx: &mut RankCtx, b: &mut Block, el: &BlockElim) {
             for x in 0..nx {
                 let i = b.idx(x, y, z);
                 let pb = (y * nx + x) * NB;
-                let mut rhs = ld_vec(ctx, &b.u, i);
+                let mut rhs = ld_vec(ctx, &b.u, i).await;
                 let pv = [prev[pb], prev[pb + 1], prev[pb + 2]];
                 let av = mat_vec(&a, &pv);
                 for c in 0..NB {
                     rhs[c] -= av[c];
                 }
-                let di = el.dinv_at(ctx, k);
+                let di = el.dinv_at(ctx, k).await;
                 let yv = mat_vec(&di, &rhs);
                 ctx.fp_scalar_n(SemOp::MulAdd, 2 * (NB * NB) as u64);
-                st_vec(ctx, &mut b.u, i, &yv);
+                st_vec(ctx, &mut b.u, i, &yv).await;
                 prev[pb] = yv[0];
                 prev[pb + 1] = yv[1];
                 prev[pb + 2] = yv[2];
@@ -346,13 +346,13 @@ fn solve_z(ctx: &mut RankCtx, b: &mut Block, el: &BlockElim) {
         ctx.overhead((nx * ny) as u64);
     }
     if rank + 1 < size {
-        ctx.send(rank + 1, 82, f64s_to_bytes(&prev));
+        ctx.send(rank + 1, 82, f64s_to_bytes(&prev)).await;
     }
 
     // Backward pipeline (needs u_{k+1}).
     let mut up: Vec<f64> = vec![0.0; plane];
     if rank + 1 < size {
-        up = bytes_to_f64s(&ctx.recv(Some(rank + 1), 83));
+        up = bytes_to_f64s(&ctx.recv(Some(rank + 1), 83).await);
     }
     for z in (0..nz).rev() {
         let k = z0 + z;
@@ -360,15 +360,15 @@ fn solve_z(ctx: &mut RankCtx, b: &mut Block, el: &BlockElim) {
             for x in 0..nx {
                 let i = b.idx(x, y, z);
                 let pb = (y * nx + x) * NB;
-                let mut v = ld_vec(ctx, &b.u, i);
+                let mut v = ld_vec(ctx, &b.u, i).await;
                 let uv = [up[pb], up[pb + 1], up[pb + 2]];
-                let ek = el.e_at(ctx, k);
+                let ek = el.e_at(ctx, k).await;
                 let ev = mat_vec(&ek, &uv);
                 for c in 0..NB {
                     v[c] -= ev[c];
                 }
                 ctx.fp_scalar_n(SemOp::MulAdd, (NB * NB) as u64);
-                st_vec(ctx, &mut b.u, i, &v);
+                st_vec(ctx, &mut b.u, i, &v).await;
                 up[pb] = v[0];
                 up[pb + 1] = v[1];
                 up[pb + 2] = v[2];
@@ -377,12 +377,12 @@ fn solve_z(ctx: &mut RankCtx, b: &mut Block, el: &BlockElim) {
         ctx.overhead((nx * ny) as u64);
     }
     if rank > 0 {
-        ctx.send(rank - 1, 83, f64s_to_bytes(&up));
+        ctx.send(rank - 1, 83, f64s_to_bytes(&up)).await;
     }
 }
 
 /// Run BT on this rank.
-pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
+pub async fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     let (nx, ny, nz) = dims(class);
     let size = ctx.size();
     let n = nx * ny * nz * NB;
@@ -392,51 +392,50 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     for i in 0..n {
         let v: f64 = rng.gen_range(-1.0..1.0);
         exact.push(v);
-        ctx.st(&mut b.u, i, v);
+        ctx.st(&mut b.u, i, v).await;
     }
     ctx.overhead(n as u64);
 
     // b = T_x T_y T_z u*.
-    apply_z(ctx, &mut b);
+    apply_z(ctx, &mut b).await;
     for z in 0..nz {
         for x in 0..nx {
             let base = b.idx(x, 0, z);
-            apply_local(ctx, &mut b, base, nx, ny);
+            apply_local(ctx, &mut b, base, nx, ny).await;
         }
     }
     for z in 0..nz {
         for y in 0..ny {
             let base = b.idx(0, y, z);
-            apply_local(ctx, &mut b, base, 1, nx);
+            apply_local(ctx, &mut b, base, 1, nx).await;
         }
     }
 
     // Solve x, y, then pipelined z.
-    let el_x = factor(ctx, nx);
-    let el_y = factor(ctx, ny);
-    let el_z = factor(ctx, nz * size);
+    let el_x = factor(ctx, nx).await;
+    let el_y = factor(ctx, ny).await;
+    let el_z = factor(ctx, nz * size).await;
     for z in 0..nz {
         for y in 0..ny {
             let base = b.idx(0, y, z);
-            solve_local_line(ctx, &mut b, base, 1, &el_x);
+            solve_local_line(ctx, &mut b, base, 1, &el_x).await;
         }
     }
     for z in 0..nz {
         for x in 0..nx {
             let base = b.idx(x, 0, z);
-            solve_local_line(ctx, &mut b, base, nx, &el_y);
+            solve_local_line(ctx, &mut b, base, nx, &el_y).await;
         }
     }
-    solve_z(ctx, &mut b, &el_z);
+    solve_z(ctx, &mut b, &el_z).await;
 
     let mut max_err = 0.0f64;
     for (i, &want) in exact.iter().enumerate() {
         max_err = max_err.max((b.u.raw(i) - want).abs());
     }
-    let global = bytes_to_f64s(&ctx.allreduce(
-        bgp_mpi::ReduceOp::MaxF64,
-        f64s_to_bytes(&[max_err]),
-    ))[0];
+    let global = bytes_to_f64s(
+        &ctx.allreduce(bgp_mpi::ReduceOp::MaxF64, f64s_to_bytes(&[max_err])).await,
+    )[0];
     KernelResult { kernel: Kernel::Bt, verified: global < 1e-8, checksum: global }
 }
 
@@ -522,15 +521,16 @@ mod tests {
     fn block_elimination_matches_dense_reference() {
         for len in [1usize, 2, 3, 7, 12] {
             let rhs: Vec<f64> = (0..len * NB).map(|i| ((i * 11) % 7) as f64 - 3.0).collect();
-            let got = single({
+            let got = single(|mut ctx| {
                 let rhs = rhs.clone();
-                move |ctx| {
-                    let el = factor(ctx, len);
+                async move {
+                    let ctx = &mut ctx;
+                    let el = factor(ctx, len).await;
                     let mut b = Block { nx: len, ny: 1, nz: 1, u: ctx.alloc(len * NB) };
                     for (i, &v) in rhs.iter().enumerate() {
-                        ctx.st(&mut b.u, i, v);
+                        ctx.st(&mut b.u, i, v).await;
                     }
-                    solve_local_line(ctx, &mut b, 0, 1, &el);
+                    solve_local_line(ctx, &mut b, 0, 1, &el).await;
                     (0..len * NB).map(|i| b.u.raw(i)).collect::<Vec<_>>()
                 }
             });
@@ -545,16 +545,17 @@ mod tests {
     fn block_apply_then_solve_is_identity() {
         let len = 9;
         let original: Vec<f64> = (0..len * NB).map(|i| (i as f64 * 0.37).cos()).collect();
-        let got = single({
+        let got = single(|mut ctx| {
             let original = original.clone();
-            move |ctx| {
-                let el = factor(ctx, len);
+            async move {
+                let ctx = &mut ctx;
+                let el = factor(ctx, len).await;
                 let mut b = Block { nx: len, ny: 1, nz: 1, u: ctx.alloc(len * NB) };
                 for (i, &v) in original.iter().enumerate() {
-                    ctx.st(&mut b.u, i, v);
+                    ctx.st(&mut b.u, i, v).await;
                 }
-                apply_local(ctx, &mut b, 0, 1, len);
-                solve_local_line(ctx, &mut b, 0, 1, &el);
+                apply_local(ctx, &mut b, 0, 1, len).await;
+                solve_local_line(ctx, &mut b, 0, 1, &el).await;
                 (0..len * NB).map(|i| b.u.raw(i)).collect::<Vec<_>>()
             }
         });

@@ -66,7 +66,7 @@ impl Partition {
 /// Exchange the halo values this rank's rows need: up to `BAND` boundary
 /// values from each side neighbour plus the full block of the antipodal
 /// rank. Returns (left[BAND], right[BAND], opposite block).
-fn exchange_halo(
+async fn exchange_halo(
     ctx: &mut RankCtx,
     part: &Partition,
     x: &SimVec<f64>,
@@ -86,23 +86,23 @@ fn exchange_halo(
     let mut low = Vec::with_capacity(BAND);
     let mut high = Vec::with_capacity(BAND);
     for k in 0..BAND {
-        low.push(ctx.ld(x, k));
-        high.push(ctx.ld(x, rows - BAND + k));
+        low.push(ctx.ld(x, k).await);
+        high.push(ctx.ld(x, rows - BAND + k).await);
     }
     // Send my high boundary right, receive left neighbour's high boundary.
-    ctx.send(right_rank, 10, f64s_to_bytes(&high));
-    let left = bytes_to_f64s(&ctx.recv(Some(left_rank), 10));
+    ctx.send(right_rank, 10, f64s_to_bytes(&high)).await;
+    let left = bytes_to_f64s(&ctx.recv(Some(left_rank), 10).await);
     // Send my low boundary left, receive right neighbour's low boundary.
-    ctx.send(left_rank, 11, f64s_to_bytes(&low));
-    let right = bytes_to_f64s(&ctx.recv(Some(right_rank), 11));
+    ctx.send(left_rank, 11, f64s_to_bytes(&low)).await;
+    let right = bytes_to_f64s(&ctx.recv(Some(right_rank), 11).await);
     // Antipodal block swap.
     let opp_rank = (part.rank + size / 2) % size;
-    ctx.ld_range(x, 0..rows);
+    ctx.ld_range(x, 0..rows).await;
     let mine = x.as_slice()[..rows].to_vec();
     let opposite = if opp_rank == part.rank {
         mine
     } else {
-        bytes_to_f64s(&ctx.sendrecv(opp_rank, 12, f64s_to_bytes(&mine)))
+        bytes_to_f64s(&ctx.sendrecv(opp_rank, 12, f64s_to_bytes(&mine)).await)
     };
     (left, right, opposite)
 }
@@ -110,7 +110,7 @@ fn exchange_halo(
 /// `y = A x` with the distributed matrix. `vals`/(implicit pattern) are
 /// streamed from memory like the benchmark's `a[]`/`colidx[]` arrays.
 #[allow(clippy::too_many_arguments)]
-fn spmv(
+async fn spmv(
     ctx: &mut RankCtx,
     part: &Partition,
     vals: &SimVec<f64>,
@@ -128,18 +128,18 @@ fn spmv(
         let mut acc = 0.0;
         // Stream the row's stored coefficients (diagonal first).
         let vbase = i * NNZ;
-        let dv = ctx.ld(vals, vbase);
-        let xi = ctx.ld(x, i);
+        let dv = ctx.ld(vals, vbase).await;
+        let xi = ctx.ld(x, i).await;
         ctx.fp1(SemOp::Mul);
         acc += dv * xi;
         let mut slot = 1;
         for k in 1..=BAND {
             for dir in [-1i64, 1] {
                 let gj = (gi as i64 + dir * k as i64).rem_euclid(n as i64) as usize;
-                let v = ctx.ld(vals, vbase + slot);
+                let v = ctx.ld(vals, vbase + slot).await;
                 slot += 1;
                 let xj = if part.owner(gj) == part.rank {
-                    ctx.ld(x, gj - first)
+                    ctx.ld(x, gj - first).await
                 } else if dir < 0 {
                     // Left halo holds x[first-BAND .. first]: gj = first+i-k.
                     left[BAND + i - k]
@@ -153,22 +153,22 @@ fn spmv(
         }
         // Antipodal entry.
         let gj = (gi + n / 2) % n;
-        let v = ctx.ld(vals, vbase + slot);
+        let v = ctx.ld(vals, vbase + slot).await;
         let xj = if part.owner(gj) == part.rank {
-            ctx.ld(x, gj - first)
+            ctx.ld(x, gj - first).await
         } else {
             opposite[gj % rows]
         };
         ctx.fp1(SemOp::MulAdd);
         acc += v * xj;
-        ctx.st(y, i, acc);
+        ctx.st(y, i, acc).await;
         ctx.int_ops(NNZ as u64); // column-index handling
     }
     ctx.overhead(rows as u64);
 }
 
 /// Run CG on this rank.
-pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
+pub async fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     let rows = rows_per_rank(class);
     let part = Partition { rank: ctx.rank(), size: ctx.size(), rows };
     assert!(
@@ -180,15 +180,15 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     let mut vals = ctx.alloc::<f64>(rows * NNZ);
     for i in 0..rows {
         let base = i * NNZ;
-        ctx.st(&mut vals, base, D);
+        ctx.st(&mut vals, base, D).await;
         let mut slot = 1;
         for k in 1..=BAND {
             for _dir in 0..2 {
-                ctx.st(&mut vals, base + slot, C[k - 1]);
+                ctx.st(&mut vals, base + slot, C[k - 1]).await;
                 slot += 1;
             }
         }
-        ctx.st(&mut vals, base + slot, E);
+        ctx.st(&mut vals, base + slot, E).await;
     }
     ctx.overhead(rows as u64);
 
@@ -203,53 +203,53 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     let first = part.first();
     for i in 0..rows {
         let b = 1.0 + 0.25 * ((first + i) % 13) as f64;
-        ctx.st(&mut bvec, i, b);
-        ctx.st(&mut r, i, b);
-        ctx.st(&mut p, i, b);
-        ctx.st(&mut x, i, 0.0);
+        ctx.st(&mut bvec, i, b).await;
+        ctx.st(&mut r, i, b).await;
+        ctx.st(&mut p, i, b).await;
+        ctx.st(&mut x, i, 0.0).await;
     }
     ctx.overhead(rows as u64);
 
     let mut rho = {
-        let local = dot(ctx, &r, &r, rows, true);
-        ctx.allreduce_sum_f64(&[local])[0]
+        let local = dot(ctx, &r, &r, rows, true).await;
+        ctx.allreduce_sum_f64(&[local]).await[0]
     };
     let rho0 = rho;
 
     for _ in 0..iterations(class) {
-        let (left, right, opposite) = exchange_halo(ctx, &part, &p);
-        spmv(ctx, &part, &vals, &p, &mut q, &left, &right, &opposite);
-        let pq_local = dot(ctx, &p, &q, rows, true);
-        let pq = ctx.allreduce_sum_f64(&[pq_local])[0];
+        let (left, right, opposite) = exchange_halo(ctx, &part, &p).await;
+        spmv(ctx, &part, &vals, &p, &mut q, &left, &right, &opposite).await;
+        let pq_local = dot(ctx, &p, &q, rows, true).await;
+        let pq = ctx.allreduce_sum_f64(&[pq_local]).await[0];
         let alpha = rho / pq;
-        axpy(ctx, alpha, &p, &mut x, rows, true);
-        axpy(ctx, -alpha, &q, &mut r, rows, true);
+        axpy(ctx, alpha, &p, &mut x, rows, true).await;
+        axpy(ctx, -alpha, &q, &mut r, rows, true).await;
         let rho_new = {
-            let local = dot(ctx, &r, &r, rows, true);
-            ctx.allreduce_sum_f64(&[local])[0]
+            let local = dot(ctx, &r, &r, rows, true).await;
+            ctx.allreduce_sum_f64(&[local]).await[0]
         };
         let beta = rho_new / rho;
         rho = rho_new;
         // p = r + beta p  (two compiled passes, as the Fortran writes it).
         for i in 0..rows {
-            let pv = ctx.ld(&p, i);
-            let rv = ctx.ld(&r, i);
+            let pv = ctx.ld(&p, i).await;
+            let rv = ctx.ld(&r, i).await;
             ctx.fp1(SemOp::MulAdd);
-            ctx.st(&mut p, i, rv + beta * pv);
+            ctx.st(&mut p, i, rv + beta * pv).await;
         }
         ctx.overhead(rows as u64);
     }
 
     // Verification: the recursion's residual matches the explicitly
     // recomputed one, and CG actually converged.
-    let (left, right, opposite) = exchange_halo(ctx, &part, &x);
-    spmv(ctx, &part, &vals, &x, &mut q, &left, &right, &opposite);
+    let (left, right, opposite) = exchange_halo(ctx, &part, &x).await;
+    spmv(ctx, &part, &vals, &x, &mut q, &left, &right, &opposite).await;
     let mut err_local = 0.0;
     for i in 0..rows {
         let e = bvec.raw(i) - q.raw(i);
         err_local += e * e;
     }
-    let explicit = ctx.allreduce_sum_f64(&[err_local])[0].sqrt();
+    let explicit = ctx.allreduce_sum_f64(&[err_local]).await[0].sqrt();
     let recursive = rho.sqrt();
     let rel = (explicit - recursive).abs() / explicit.max(1e-30);
     let converged = rho < 1e-3 * rho0;

@@ -147,42 +147,42 @@ pub struct KernelResult {
 /// `vectorizable` declares whether the loop's data parallelism is visible
 /// to the compiler (unit stride, no aliasing) — SIMD-ization then depends
 /// on the build's flags.
-pub fn axpy(ctx: &mut RankCtx, a: f64, x: &SimVec<f64>, y: &mut SimVec<f64>, n: usize, vectorizable: bool) {
+pub async fn axpy(ctx: &mut RankCtx, a: f64, x: &SimVec<f64>, y: &mut SimVec<f64>, n: usize, vectorizable: bool) {
     debug_assert!(n <= x.len() && n <= y.len());
     let mut i = 0;
     while i + 1 < n {
         let plan = ctx.plan_pair(vectorizable);
-        let (x0, x1) = ctx.ld2(x, i, plan);
-        let (y0, y1) = ctx.ld2(y, i, plan);
+        let (x0, x1) = ctx.ld2(x, i, plan).await;
+        let (y0, y1) = ctx.ld2(y, i, plan).await;
         ctx.fp_pair(plan, SemOp::MulAdd);
-        ctx.st2(y, i, (a * x0 + y0, a * x1 + y1), plan);
+        ctx.st2(y, i, (a * x0 + y0, a * x1 + y1), plan).await;
         i += 2;
     }
     if i < n {
-        let xv = ctx.ld(x, i);
-        let yv = ctx.ld(y, i);
+        let xv = ctx.ld(x, i).await;
+        let yv = ctx.ld(y, i).await;
         ctx.fp1(SemOp::MulAdd);
-        ctx.st(y, i, a * xv + yv);
+        ctx.st(y, i, a * xv + yv).await;
     }
     ctx.overhead(n as u64);
 }
 
 /// Compiled dot product over `n` elements.
-pub fn dot(ctx: &mut RankCtx, x: &SimVec<f64>, y: &SimVec<f64>, n: usize, vectorizable: bool) -> f64 {
+pub async fn dot(ctx: &mut RankCtx, x: &SimVec<f64>, y: &SimVec<f64>, n: usize, vectorizable: bool) -> f64 {
     debug_assert!(n <= x.len() && n <= y.len());
     let mut acc = 0.0;
     let mut i = 0;
     while i + 1 < n {
         let plan = ctx.plan_pair(vectorizable);
-        let (x0, x1) = ctx.ld2(x, i, plan);
-        let (y0, y1) = ctx.ld2(y, i, plan);
+        let (x0, x1) = ctx.ld2(x, i, plan).await;
+        let (y0, y1) = ctx.ld2(y, i, plan).await;
         ctx.fp_pair(plan, SemOp::MulAdd);
         acc += x0 * y0 + x1 * y1;
         i += 2;
     }
     if i < n {
-        let xv = ctx.ld(x, i);
-        let yv = ctx.ld(y, i);
+        let xv = ctx.ld(x, i).await;
+        let yv = ctx.ld(y, i).await;
         ctx.fp1(SemOp::MulAdd);
         acc += xv * yv;
     }
@@ -192,35 +192,35 @@ pub fn dot(ctx: &mut RankCtx, x: &SimVec<f64>, y: &SimVec<f64>, n: usize, vector
 
 /// Compiled `y[i] = x[i]` over `n` elements (quadword copies when the
 /// build SIMD-izes).
-pub fn copy(ctx: &mut RankCtx, x: &SimVec<f64>, y: &mut SimVec<f64>, n: usize) {
+pub async fn copy(ctx: &mut RankCtx, x: &SimVec<f64>, y: &mut SimVec<f64>, n: usize) {
     let mut i = 0;
     while i + 1 < n {
         let plan = ctx.plan_pair(true);
-        let (x0, x1) = ctx.ld2(x, i, plan);
-        ctx.st2(y, i, (x0, x1), plan);
+        let (x0, x1) = ctx.ld2(x, i, plan).await;
+        ctx.st2(y, i, (x0, x1), plan).await;
         i += 2;
     }
     if i < n {
-        let xv = ctx.ld(x, i);
-        ctx.st(y, i, xv);
+        let xv = ctx.ld(x, i).await;
+        ctx.st(y, i, xv).await;
     }
     ctx.overhead(n as u64);
 }
 
 /// Compiled `y[i] = a * x[i]` over `n` elements.
-pub fn scale(ctx: &mut RankCtx, a: f64, x: &SimVec<f64>, y: &mut SimVec<f64>, n: usize, vectorizable: bool) {
+pub async fn scale(ctx: &mut RankCtx, a: f64, x: &SimVec<f64>, y: &mut SimVec<f64>, n: usize, vectorizable: bool) {
     let mut i = 0;
     while i + 1 < n {
         let plan = ctx.plan_pair(vectorizable);
-        let (x0, x1) = ctx.ld2(x, i, plan);
+        let (x0, x1) = ctx.ld2(x, i, plan).await;
         ctx.fp_pair(plan, SemOp::Mul);
-        ctx.st2(y, i, (a * x0, a * x1), plan);
+        ctx.st2(y, i, (a * x0, a * x1), plan).await;
         i += 2;
     }
     if i < n {
-        let xv = ctx.ld(x, i);
+        let xv = ctx.ld(x, i).await;
         ctx.fp1(SemOp::Mul);
-        ctx.st(y, i, a * xv);
+        ctx.st(y, i, a * xv).await;
     }
     ctx.overhead(n as u64);
 }

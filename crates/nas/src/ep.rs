@@ -50,7 +50,7 @@ fn oracle(rank: usize, n: usize) -> (f64, f64, [u64; ANNULI], u64) {
 }
 
 /// Run EP on this rank.
-pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
+pub async fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     let n = samples_per_rank(class);
     let mut rng = SimRng::seed_from_u64(seed(ctx.rank()));
     let mut q = ctx.alloc::<u64>(ANNULI);
@@ -72,8 +72,8 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
                 sy += gy;
                 let l = (gx.abs().max(gy.abs()) as usize).min(ANNULI - 1);
                 // Tabulation: read-modify-write of the annulus counter.
-                let c = ctx.ld(&q, l);
-                ctx.st(&mut q, l, c + 1);
+                let c = ctx.ld(&q, l).await;
+                ctx.st(&mut q, l, c + 1).await;
                 accepted += 1;
             }
         }
@@ -95,11 +95,13 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     }
 
     // Global sums, exactly like the benchmark's final reductions.
-    let sums = ctx.allreduce_sum_f64(&[sx, sy, accepted_total as f64]);
-    let counts = ctx.allreduce(
-        ReduceOp::SumU64,
-        bgp_mpi::u64s_to_bytes(&(0..ANNULI).map(|i| q.raw(i)).collect::<Vec<_>>()),
-    );
+    let sums = ctx.allreduce_sum_f64(&[sx, sy, accepted_total as f64]).await;
+    let counts = ctx
+        .allreduce(
+            ReduceOp::SumU64,
+            bgp_mpi::u64s_to_bytes(&(0..ANNULI).map(|i| q.raw(i)).collect::<Vec<_>>()),
+        )
+        .await;
     let counts = bgp_mpi::bytes_to_u64s(&counts);
 
     // Verification: local recomputation matches, and the global annulus

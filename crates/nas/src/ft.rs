@@ -29,15 +29,15 @@ struct Grid {
 
 /// Simulated complex load as an re/im pair (one quadload under SIMD).
 #[inline]
-fn ldc(ctx: &mut RankCtx, v: &SimVec<f64>, c: usize) -> (f64, f64) {
+async fn ldc(ctx: &mut RankCtx, v: &SimVec<f64>, c: usize) -> (f64, f64) {
     let plan = ctx.plan_pair(true);
-    ctx.ld2(v, 2 * c, plan)
+    ctx.ld2(v, 2 * c, plan).await
 }
 
 #[inline]
-fn stc(ctx: &mut RankCtx, v: &mut SimVec<f64>, c: usize, val: (f64, f64)) {
+async fn stc(ctx: &mut RankCtx, v: &mut SimVec<f64>, c: usize, val: (f64, f64)) {
     let plan = ctx.plan_pair(true);
-    ctx.st2(v, 2 * c, val, plan);
+    ctx.st2(v, 2 * c, val, plan).await;
 }
 
 /// Twiddle-factor table for a given FFT length (the benchmark's `u[]`).
@@ -47,7 +47,7 @@ struct Twiddles {
 }
 
 impl Twiddles {
-    fn new(ctx: &mut RankCtx, len: usize) -> Twiddles {
+    async fn new(ctx: &mut RankCtx, len: usize) -> Twiddles {
         assert!(len.is_power_of_two());
         let mut table = ctx.alloc::<f64>(len.max(2));
         for k in 0..len / 2 {
@@ -65,7 +65,7 @@ impl Twiddles {
 /// `cffts` routines stage every non-unit-stride direction, keeping the
 /// butterfly stages cache-resident. `inverse` conjugates the twiddles;
 /// scaling is the caller's business.
-fn fft_line(
+async fn fft_line(
     ctx: &mut RankCtx,
     data: &mut SimVec<f64>,
     base: usize,
@@ -76,25 +76,25 @@ fn fft_line(
 ) {
     let len = tw.len;
     if stride == 1 {
-        fft_contiguous(ctx, data, base, tw, inverse);
+        fft_contiguous(ctx, data, base, tw, inverse).await;
         return;
     }
     debug_assert!(scratch.len() >= 2 * len);
     for k in 0..len {
-        let v = ldc(ctx, data, base + k * stride);
-        stc(ctx, scratch, k, v);
+        let v = ldc(ctx, data, base + k * stride).await;
+        stc(ctx, scratch, k, v).await;
     }
     ctx.overhead(len as u64);
-    fft_contiguous(ctx, scratch, 0, tw, inverse);
+    fft_contiguous(ctx, scratch, 0, tw, inverse).await;
     for k in 0..len {
-        let v = ldc(ctx, scratch, k);
-        stc(ctx, data, base + k * stride, v);
+        let v = ldc(ctx, scratch, k).await;
+        stc(ctx, data, base + k * stride, v).await;
     }
     ctx.overhead(len as u64);
 }
 
 /// The in-place butterfly stages over a contiguous complex line.
-fn fft_contiguous(
+async fn fft_contiguous(
     ctx: &mut RankCtx,
     data: &mut SimVec<f64>,
     base: usize,
@@ -108,10 +108,10 @@ fn fft_contiguous(
         let j = (i as u32).reverse_bits() >> (32 - bits);
         let j = j as usize;
         if j > i {
-            let a = ldc(ctx, data, base + i);
-            let b = ldc(ctx, data, base + j);
-            stc(ctx, data, base + i, b);
-            stc(ctx, data, base + j, a);
+            let a = ldc(ctx, data, base + i).await;
+            let b = ldc(ctx, data, base + j).await;
+            stc(ctx, data, base + i, b).await;
+            stc(ctx, data, base + j, a).await;
         }
         ctx.int_ops(2);
     }
@@ -125,9 +125,9 @@ fn fft_contiguous(
                 let ca = base + start + k;
                 let cb = ca + half;
                 let plan = ctx.plan_pair(true);
-                let (ar, ai) = ctx.ld2(data, 2 * ca, plan);
-                let (br, bi) = ctx.ld2(data, 2 * cb, plan);
-                let (wr, mut wi) = ctx.ld2(&tw.table, 2 * (k * step), plan);
+                let (ar, ai) = ctx.ld2(data, 2 * ca, plan).await;
+                let (br, bi) = ctx.ld2(data, 2 * cb, plan).await;
+                let (wr, mut wi) = ctx.ld2(&tw.table, 2 * (k * step), plan).await;
                 if inverse {
                     wi = -wi;
                 }
@@ -139,8 +139,8 @@ fn fft_contiguous(
                 ctx.fp_pair(plan, SemOp::Add);
                 let tr = wr * br - wi * bi;
                 let ti = wr * bi + wi * br;
-                ctx.st2(data, 2 * ca, (ar + tr, ai + ti), plan);
-                ctx.st2(data, 2 * cb, (ar - tr, ai - ti), plan);
+                ctx.st2(data, 2 * ca, (ar + tr, ai + ti), plan).await;
+                ctx.st2(data, 2 * cb, (ar - tr, ai - ti), plan).await;
             }
         }
         ctx.overhead((len / 2) as u64);
@@ -152,7 +152,7 @@ fn fft_contiguous(
 ///
 /// z-slab index: `(zl*NY + y)*NX + x` (x contiguous);
 /// x-slab index: `(xl*NY + y)*NZG + z` (z contiguous).
-fn transpose(
+async fn transpose(
     ctx: &mut RankCtx,
     src: &SimVec<f64>,
     dst: &mut SimVec<f64>,
@@ -174,7 +174,7 @@ fn transpose(
                 for y in 0..g.ny {
                     for zl in 0..lz {
                         let c = (zl * g.ny + y) * g.nx + x;
-                        let (re, im) = ldc(ctx, src, c);
+                        let (re, im) = ldc(ctx, src, c).await;
                         chunk.push(re);
                         chunk.push(im);
                     }
@@ -187,7 +187,7 @@ fn transpose(
                     for zl in 0..lz {
                         let z = d * lz + zl;
                         let c = (xl * g.ny + y) * nzg + z;
-                        let (re, im) = ldc(ctx, src, c);
+                        let (re, im) = ldc(ctx, src, c).await;
                         chunk.push(re);
                         chunk.push(im);
                     }
@@ -197,7 +197,7 @@ fn transpose(
         ctx.overhead((lx * g.ny * lz) as u64);
         rows.push(chunk);
     }
-    let cols = ctx.alltoall(rows.into_iter().map(|r| f64s_to_bytes(&r)).collect());
+    let cols = ctx.alltoall(rows.into_iter().map(|r| f64s_to_bytes(&r)).collect()).await;
     for (srcr, bytes) in cols.iter().enumerate() {
         let vals = bytes_to_f64s(bytes);
         let mut it = vals.chunks_exact(2);
@@ -209,7 +209,7 @@ fn transpose(
                         let z = srcr * lz + zl;
                         let c = (xl * g.ny + y) * nzg + z;
                         let v = it.next().expect("chunk size mismatch");
-                        stc(ctx, dst, c, (v[0], v[1]));
+                        stc(ctx, dst, c, (v[0], v[1])).await;
                     }
                 }
             }
@@ -221,7 +221,7 @@ fn transpose(
                     for zl in 0..lz {
                         let c = (zl * g.ny + y) * g.nx + x;
                         let v = it.next().expect("chunk size mismatch");
-                        stc(ctx, dst, c, (v[0], v[1]));
+                        stc(ctx, dst, c, (v[0], v[1])).await;
                     }
                 }
             }
@@ -232,7 +232,7 @@ fn transpose(
 }
 
 /// Run FT on this rank.
-pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
+pub async fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     let (n, lz) = dims(class);
     let p = ctx.size();
     assert!(p <= n, "FT needs ranks <= {n} so every rank owns an x-plane");
@@ -249,14 +249,14 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     for c in 0..elems {
         let re: f64 = rng.gen_range(-1.0..1.0);
         let im: f64 = rng.gen_range(-1.0..1.0);
-        stc(ctx, &mut data, c, (re, im));
+        stc(ctx, &mut data, c, (re, im)).await;
         original.push(re);
         original.push(im);
     }
     ctx.overhead(elems as u64);
 
-    let tw_xy = Twiddles::new(ctx, n);
-    let tw_z = Twiddles::new(ctx, nzg);
+    let tw_xy = Twiddles::new(ctx, n).await;
+    let tw_z = Twiddles::new(ctx, nzg).await;
     // Line-staging buffer for the strided directions (the cffts scratch).
     let mut line_buf = ctx.alloc::<f64>(2 * n.max(nzg));
 
@@ -264,21 +264,21 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     // x-direction: contiguous lines in the z-slab.
     for zl in 0..lz {
         for y in 0..n {
-            fft_line(ctx, &mut data, (zl * n + y) * n, 1, &tw_xy, false, &mut line_buf);
+            fft_line(ctx, &mut data, (zl * n + y) * n, 1, &tw_xy, false, &mut line_buf).await;
         }
     }
     // y-direction: stride-n lines, staged through the scratch buffer.
     for zl in 0..lz {
         for x in 0..n {
-            fft_line(ctx, &mut data, zl * n * n + x, n, &tw_xy, false, &mut line_buf);
+            fft_line(ctx, &mut data, zl * n * n + x, n, &tw_xy, false, &mut line_buf).await;
         }
     }
     // Global transpose to x-slabs, then z-direction (contiguous).
-    transpose(ctx, &data, &mut work, &g, true);
+    transpose(ctx, &data, &mut work, &g, true).await;
     let lx = n / p;
     for xl in 0..lx {
         for y in 0..n {
-            fft_line(ctx, &mut work, (xl * n + y) * nzg, 1, &tw_z, false, &mut line_buf);
+            fft_line(ctx, &mut work, (xl * n + y) * nzg, 1, &tw_z, false, &mut line_buf).await;
         }
     }
 
@@ -289,10 +289,10 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
             for z in 0..nzg {
                 let c = (xl * n + y) * nzg + z;
                 let factor = 1.0 - 0.25 * ((z % 7) as f64) / 7.0;
-                let (re, im) = ldc(ctx, &work, c);
+                let (re, im) = ldc(ctx, &work, c).await;
                 ctx.fp1(SemOp::Mul);
                 ctx.fp1(SemOp::Mul);
-                stc(ctx, &mut work, c, (re * factor, im * factor));
+                stc(ctx, &mut work, c, (re * factor, im * factor)).await;
                 if (c + xl).is_multiple_of(1031) {
                     checksum.0 += re * factor;
                     checksum.1 += im * factor;
@@ -302,7 +302,7 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
         }
         ctx.overhead((n * nzg) as u64);
     }
-    let sums = ctx.allreduce_sum_f64(&[checksum.0, checksum.1]);
+    let sums = ctx.allreduce_sum_f64(&[checksum.0, checksum.1]).await;
 
     // ---- Un-evolve + inverse 3-D FFT ----
     // Reciprocal factors are precomputed per z plane (one divide each),
@@ -312,45 +312,45 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     for z in 0..nzg {
         let factor = 1.0 - 0.25 * ((z % 7) as f64) / 7.0;
         ctx.fp1(SemOp::Div);
-        ctx.st(&mut inv_factors, z, 1.0 / factor);
+        ctx.st(&mut inv_factors, z, 1.0 / factor).await;
     }
     ctx.overhead(nzg as u64);
     for xl in 0..lx {
         for y in 0..n {
             for z in 0..nzg {
                 let c = (xl * n + y) * nzg + z;
-                let inv = ctx.ld(&inv_factors, z);
-                let (re, im) = ldc(ctx, &work, c);
+                let inv = ctx.ld(&inv_factors, z).await;
+                let (re, im) = ldc(ctx, &work, c).await;
                 ctx.fp1(SemOp::Mul);
                 ctx.fp1(SemOp::Mul);
-                stc(ctx, &mut work, c, (re * inv, im * inv));
+                stc(ctx, &mut work, c, (re * inv, im * inv)).await;
             }
         }
         ctx.overhead((n * nzg) as u64);
     }
     for xl in 0..lx {
         for y in 0..n {
-            fft_line(ctx, &mut work, (xl * n + y) * nzg, 1, &tw_z, true, &mut line_buf);
+            fft_line(ctx, &mut work, (xl * n + y) * nzg, 1, &tw_z, true, &mut line_buf).await;
         }
     }
-    transpose(ctx, &work, &mut data, &g, false);
+    transpose(ctx, &work, &mut data, &g, false).await;
     for zl in 0..lz {
         for x in 0..n {
-            fft_line(ctx, &mut data, zl * n * n + x, n, &tw_xy, true, &mut line_buf);
+            fft_line(ctx, &mut data, zl * n * n + x, n, &tw_xy, true, &mut line_buf).await;
         }
     }
     for zl in 0..lz {
         for y in 0..n {
-            fft_line(ctx, &mut data, (zl * n + y) * n, 1, &tw_xy, true, &mut line_buf);
+            fft_line(ctx, &mut data, (zl * n + y) * n, 1, &tw_xy, true, &mut line_buf).await;
         }
     }
     // Scale by 1/(NX·NY·NZG).
     let scale = 1.0 / (n as f64 * n as f64 * nzg as f64);
     for c in 0..elems {
-        let (re, im) = ldc(ctx, &data, c);
+        let (re, im) = ldc(ctx, &data, c).await;
         ctx.fp1(SemOp::Mul);
         ctx.fp1(SemOp::Mul);
-        stc(ctx, &mut data, c, (re * scale, im * scale));
+        stc(ctx, &mut data, c, (re * scale, im * scale)).await;
     }
     ctx.overhead(elems as u64);
 
@@ -360,10 +360,9 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
         let got = data.raw(i);
         max_err = max_err.max((got - want).abs());
     }
-    let global_err = ctx.allreduce(
-        bgp_mpi::ReduceOp::MaxF64,
-        f64s_to_bytes(&[max_err]),
-    );
+    let global_err = ctx
+        .allreduce(bgp_mpi::ReduceOp::MaxF64, f64s_to_bytes(&[max_err]))
+        .await;
     let global_err = bytes_to_f64s(&global_err)[0];
     KernelResult {
         kernel: Kernel::Ft,
@@ -401,16 +400,17 @@ mod tests {
             let signal: Vec<(f64, f64)> = (0..len)
                 .map(|i| ((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
                 .collect();
-            let got = single({
+            let got = single(|mut ctx| {
                 let signal = signal.clone();
-                move |ctx| {
-                    let tw = Twiddles::new(ctx, len);
+                async move {
+                    let ctx = &mut ctx;
+                    let tw = Twiddles::new(ctx, len).await;
                     let mut data = ctx.alloc::<f64>(2 * len);
                     for (i, &(re, im)) in signal.iter().enumerate() {
-                        stc(ctx, &mut data, i, (re, im));
+                        stc(ctx, &mut data, i, (re, im)).await;
                     }
                     let mut scratch = ctx.alloc::<f64>(2 * len);
-                    fft_line(ctx, &mut data, 0, 1, &tw, false, &mut scratch);
+                    fft_line(ctx, &mut data, 0, 1, &tw, false, &mut scratch).await;
                     (0..len).map(|i| (data.raw(2 * i), data.raw(2 * i + 1))).collect::<Vec<_>>()
                 }
             });
@@ -429,18 +429,22 @@ mod tests {
         let len = 8;
         let signal: Vec<(f64, f64)> = (0..len).map(|i| (i as f64, -(i as f64))).collect();
         let run_with_stride = |stride: usize| {
-            let signal = signal.clone();
-            single(move |ctx| {
-                let tw = Twiddles::new(ctx, len);
-                let mut data = ctx.alloc::<f64>(2 * len * stride);
-                let mut scratch = ctx.alloc::<f64>(2 * len);
-                for (i, &(re, im)) in signal.iter().enumerate() {
-                    stc(ctx, &mut data, i * stride, (re, im));
+            let signal = &signal;
+            single(move |mut ctx| {
+                let signal = signal.clone();
+                async move {
+                    let ctx = &mut ctx;
+                    let tw = Twiddles::new(ctx, len).await;
+                    let mut data = ctx.alloc::<f64>(2 * len * stride);
+                    let mut scratch = ctx.alloc::<f64>(2 * len);
+                    for (i, &(re, im)) in signal.iter().enumerate() {
+                        stc(ctx, &mut data, i * stride, (re, im)).await;
+                    }
+                    fft_line(ctx, &mut data, 0, stride, &tw, false, &mut scratch).await;
+                    (0..len)
+                        .map(|i| (data.raw(2 * i * stride), data.raw(2 * i * stride + 1)))
+                        .collect::<Vec<_>>()
                 }
-                fft_line(ctx, &mut data, 0, stride, &tw, false, &mut scratch);
-                (0..len)
-                    .map(|i| (data.raw(2 * i * stride), data.raw(2 * i * stride + 1)))
-                    .collect::<Vec<_>>()
             })
         };
         assert_eq!(run_with_stride(1), run_with_stride(5));
@@ -452,17 +456,18 @@ mod tests {
         let signal: Vec<(f64, f64)> = (0..len)
             .map(|i| ((i as f64).sqrt(), (i % 3) as f64 - 1.0))
             .collect();
-        let got = single({
+        let got = single(|mut ctx| {
             let signal = signal.clone();
-            move |ctx| {
-                let tw = Twiddles::new(ctx, len);
+            async move {
+                let ctx = &mut ctx;
+                let tw = Twiddles::new(ctx, len).await;
                 let mut data = ctx.alloc::<f64>(2 * len);
                 for (i, &(re, im)) in signal.iter().enumerate() {
-                    stc(ctx, &mut data, i, (re, im));
+                    stc(ctx, &mut data, i, (re, im)).await;
                 }
                 let mut scratch = ctx.alloc::<f64>(2 * len);
-                fft_line(ctx, &mut data, 0, 1, &tw, false, &mut scratch);
-                fft_line(ctx, &mut data, 0, 1, &tw, true, &mut scratch);
+                fft_line(ctx, &mut data, 0, 1, &tw, false, &mut scratch).await;
+                fft_line(ctx, &mut data, 0, 1, &tw, true, &mut scratch).await;
                 (0..len)
                     .map(|i| (data.raw(2 * i) / len as f64, data.raw(2 * i + 1) / len as f64))
                     .collect::<Vec<_>>()

@@ -26,7 +26,7 @@ pub const BUCKETS: usize = 1 << 10;
 
 /// Run IS on this rank. Returns the number of keys this rank holds after
 /// the sort in `checksum`.
-pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
+pub async fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     let n = keys_per_rank(class);
     let size = ctx.size();
     let rank = ctx.rank();
@@ -36,7 +36,7 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     let mut keys = ctx.alloc::<u32>(n);
     for i in 0..n {
         let k: u32 = rng.gen_range(0..(1u32 << KEY_BITS));
-        ctx.st(&mut keys, i, k);
+        ctx.st(&mut keys, i, k).await;
         ctx.int_ops(3);
     }
     ctx.overhead(n as u64);
@@ -45,19 +45,22 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     let shift = KEY_BITS - BUCKETS.trailing_zeros();
     let mut hist = ctx.alloc::<u32>(BUCKETS);
     for i in 0..n {
-        let k = ctx.ld(&keys, i);
+        let k = ctx.ld(&keys, i).await;
         let b = (k >> shift) as usize;
-        let c = ctx.ld(&hist, b);
-        ctx.st(&mut hist, b, c + 1);
+        let c = ctx.ld(&hist, b).await;
+        ctx.st(&mut hist, b, c + 1).await;
         ctx.int_ops(2);
     }
     ctx.overhead(n as u64);
 
     // Global histogram.
-    let global = bytes_to_u64s(&ctx.allreduce(
-        ReduceOp::SumU64,
-        u64s_to_bytes(&(0..BUCKETS).map(|b| hist.raw(b) as u64).collect::<Vec<_>>()),
-    ));
+    let global = bytes_to_u64s(
+        &ctx.allreduce(
+            ReduceOp::SumU64,
+            u64s_to_bytes(&(0..BUCKETS).map(|b| hist.raw(b) as u64).collect::<Vec<_>>()),
+        )
+        .await,
+    );
     let total_keys: u64 = global.iter().sum();
 
     // Bucket → rank split: balance cumulative counts (the benchmark's
@@ -78,13 +81,14 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     // Redistribute: pack keys per destination (gathered reads).
     let mut outgoing: Vec<Vec<u64>> = vec![Vec::new(); size];
     for i in 0..n {
-        let k = ctx.ld(&keys, i);
+        let k = ctx.ld(&keys, i).await;
         let dst = owner[(k >> shift) as usize];
         outgoing[dst].push(k as u64);
         ctx.int_ops(3);
     }
     ctx.overhead(n as u64);
-    let received = ctx.alltoall(outgoing.into_iter().map(|v| u64s_to_bytes(&v)).collect());
+    let received =
+        ctx.alltoall(outgoing.into_iter().map(|v| u64s_to_bytes(&v)).collect()).await;
     let mut mine: Vec<u64> = Vec::new();
     for chunk in &received {
         mine.extend(bytes_to_u64s(chunk));
@@ -95,7 +99,7 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     let m = mine.len();
     let mut local = ctx.alloc::<u32>(m.max(1));
     for (i, &k) in mine.iter().enumerate() {
-        ctx.st(&mut local, i, k as u32);
+        ctx.st(&mut local, i, k as u32).await;
         ctx.int_ops(1);
     }
     let (lo, hi) = match (mine.iter().min(), mine.iter().max()) {
@@ -105,18 +109,18 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     let span = (hi - lo + 1) as usize;
     let mut counts = ctx.alloc::<u32>(span.max(1));
     for i in 0..m {
-        let k = ctx.ld(&local, i);
+        let k = ctx.ld(&local, i).await;
         let idx = (k - lo) as usize;
-        let c = ctx.ld(&counts, idx);
-        ctx.st(&mut counts, idx, c + 1);
+        let c = ctx.ld(&counts, idx).await;
+        ctx.st(&mut counts, idx, c + 1).await;
         ctx.int_ops(2);
     }
     ctx.overhead(m as u64);
     // Prefix sum (sequential dependence: integer, unvectorizable).
     let mut acc = 0u32;
     for i in 0..span {
-        let c = ctx.ld(&counts, i);
-        ctx.st(&mut counts, i, acc);
+        let c = ctx.ld(&counts, i).await;
+        ctx.st(&mut counts, i, acc).await;
         acc += c;
         ctx.int_ops(2);
     }
@@ -124,11 +128,11 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     // Scatter into sorted order.
     let mut sorted = ctx.alloc::<u32>(m.max(1));
     for i in 0..m {
-        let k = ctx.ld(&local, i);
+        let k = ctx.ld(&local, i).await;
         let idx = (k - lo) as usize;
-        let pos = ctx.ld(&counts, idx);
-        ctx.st(&mut counts, idx, pos + 1);
-        ctx.st(&mut sorted, pos as usize, k);
+        let pos = ctx.ld(&counts, idx).await;
+        ctx.st(&mut counts, idx, pos + 1).await;
+        ctx.st(&mut sorted, pos as usize, k).await;
         ctx.int_ops(2);
     }
     ctx.overhead(m as u64);
@@ -140,10 +144,12 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     // boundary keys through a vector all-reduce (max per slot).
     let mut maxes = vec![0u64; size];
     maxes[rank] = if m > 0 { sorted.raw(m - 1) as u64 } else { 0 };
-    let maxes = bytes_to_u64s(&ctx.allreduce(ReduceOp::MaxU64, u64s_to_bytes(&maxes)));
+    let maxes =
+        bytes_to_u64s(&ctx.allreduce(ReduceOp::MaxU64, u64s_to_bytes(&maxes)).await);
     let mut mins = vec![0u64; size];
     mins[rank] = if m > 0 { sorted.raw(0) as u64 } else { u64::MAX >> 1 };
-    let mins = bytes_to_u64s(&ctx.allreduce(ReduceOp::MaxU64, u64s_to_bytes(&mins)));
+    let mins =
+        bytes_to_u64s(&ctx.allreduce(ReduceOp::MaxU64, u64s_to_bytes(&mins)).await);
     let mut boundaries_ok = true;
     for r in 0..size - 1 {
         // Empty ranks report max 0 / min large: both sides hold.
@@ -152,7 +158,7 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
         }
     }
     // (3) No key lost: global count preserved.
-    let counted = ctx.allreduce_sum_f64(&[m as f64])[0] as u64;
+    let counted = ctx.allreduce_sum_f64(&[m as f64]).await[0] as u64;
     let conserved = counted == total_keys && total_keys == (n * size) as u64;
 
     KernelResult {

@@ -31,18 +31,31 @@ pub use common::{Class, Kernel, KernelResult};
 use bgp_mpi::RankCtx;
 
 impl Kernel {
-    /// Run this kernel on the calling rank.
-    pub fn run(self, ctx: &mut RankCtx, class: Class) -> KernelResult {
+    /// Run this kernel on the calling rank. Blocking points inside the
+    /// kernel (memory walks, messages, collectives) are `.await`
+    /// suspensions of the returned future.
+    pub async fn run(self, ctx: &mut RankCtx, class: Class) -> KernelResult {
         match self {
-            Kernel::Mg => mg::run(ctx, class),
-            Kernel::Ft => ft::run(ctx, class),
-            Kernel::Ep => ep::run(ctx, class),
-            Kernel::Cg => cg::run(ctx, class),
-            Kernel::Is => is::run(ctx, class),
-            Kernel::Lu => lu::run(ctx, class),
-            Kernel::Sp => sp::run(ctx, class),
-            Kernel::Bt => bt::run(ctx, class),
+            Kernel::Mg => mg::run(ctx, class).await,
+            Kernel::Ft => ft::run(ctx, class).await,
+            Kernel::Ep => ep::run(ctx, class).await,
+            Kernel::Cg => cg::run(ctx, class).await,
+            Kernel::Is => is::run(ctx, class).await,
+            Kernel::Lu => lu::run(ctx, class).await,
+            Kernel::Sp => sp::run(ctx, class).await,
+            Kernel::Bt => bt::run(ctx, class).await,
         }
+    }
+
+    /// [`Kernel::run`] in the owned-context shape the rank-execution API
+    /// expects: take the [`RankCtx`] by value, hand it back with the
+    /// result. `Kernel` and [`Class`] are `Copy`, so
+    /// `machine.run(move |ctx| kernel.exec(class, ctx))` (or
+    /// `bgp_core::run_instrumented(&machine, move |ctx|
+    /// kernel.exec(class, ctx))`) needs no cloning in the closure.
+    pub async fn exec(self, class: Class, mut ctx: RankCtx) -> (RankCtx, KernelResult) {
+        let r = self.run(&mut ctx, class).await;
+        (ctx, r)
     }
 }
 
@@ -55,7 +68,12 @@ pub(crate) mod testutil {
     use bgp_mpi::{CounterPolicy, JobSpec, Machine, RankCtx};
 
     /// Run `f` on a fresh 1-rank SMP/1 machine and return its result.
-    pub(crate) fn single<R: Send>(f: impl Fn(&mut RankCtx) -> R + Sync) -> R {
+    pub(crate) fn single<R, F, Fut>(f: F) -> R
+    where
+        R: Send,
+        F: Fn(RankCtx) -> Fut,
+        Fut: std::future::Future<Output = R> + Send,
+    {
         let mut spec = JobSpec::new(1, OpMode::Smp1);
         spec.counter_policy = CounterPolicy::Fixed(CounterMode::Mode0);
         let m = Machine::new(spec);

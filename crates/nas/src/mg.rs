@@ -39,7 +39,7 @@ struct Level {
 }
 
 impl Level {
-    fn alloc(ctx: &mut RankCtx, nx: usize, ny: usize, nz: usize) -> Level {
+    async fn alloc(ctx: &mut RankCtx, nx: usize, ny: usize, nz: usize) -> Level {
         let n = nx * ny * (nz + 2);
         Level {
             nx,
@@ -59,44 +59,51 @@ impl Level {
 
 /// Exchange the z halo planes of `field` with the rank's neighbours
 /// (non-periodic: outermost ranks keep zero halo).
-fn exchange_halo(ctx: &mut RankCtx, lv: &mut Level, field: usize, tag: u32) {
+async fn exchange_halo(ctx: &mut RankCtx, lv: &mut Level, field: usize, tag: u32) {
     let (rank, size) = (ctx.rank(), ctx.size());
     let plane = lv.nx * lv.ny;
-    let pack = |ctx: &mut RankCtx, lv: &Level, z: usize| -> Vec<f64> {
+    async fn pack(ctx: &mut RankCtx, lv: &Level, field: usize, z: usize) -> Vec<f64> {
+        let plane = lv.nx * lv.ny;
         let v = match field {
             0 => &lv.u,
             _ => &lv.res,
         };
         let base = z * plane;
-        ctx.ld_range(v, base..base + plane);
+        ctx.ld_range(v, base..base + plane).await;
         v.as_slice()[base..base + plane].to_vec()
-    };
-    let unpack = |ctx: &mut RankCtx, lv: &mut Level, z: usize, data: &[f64]| {
-        let base = z * plane;
+    }
+    async fn unpack(
+        ctx: &mut RankCtx,
+        lv: &mut Level,
+        field: usize,
+        z: usize,
+        data: &[f64],
+    ) {
+        let base = z * (lv.nx * lv.ny);
         let v = match field {
             0 => &mut lv.u,
             _ => &mut lv.res,
         };
         v.as_mut_slice()[base..base + data.len()].copy_from_slice(data);
-        ctx.st_range(v, base..base + data.len());
-    };
+        ctx.st_range(v, base..base + data.len()).await;
+    }
     // Upward: send top interior plane to rank+1, receive bottom halo.
     if rank + 1 < size {
-        let top = pack(ctx, lv, lv.nz);
-        ctx.send(rank + 1, tag, f64s_to_bytes(&top));
+        let top = pack(ctx, lv, field, lv.nz).await;
+        ctx.send(rank + 1, tag, f64s_to_bytes(&top)).await;
     }
     if rank > 0 {
-        let data = bytes_to_f64s(&ctx.recv(Some(rank - 1), tag));
-        unpack(ctx, lv, 0, &data);
+        let data = bytes_to_f64s(&ctx.recv(Some(rank - 1), tag).await);
+        unpack(ctx, lv, field, 0, &data).await;
     }
     // Downward: send bottom interior plane to rank-1, receive top halo.
     if rank > 0 {
-        let bot = pack(ctx, lv, 1);
-        ctx.send(rank - 1, tag + 1, f64s_to_bytes(&bot));
+        let bot = pack(ctx, lv, field, 1).await;
+        ctx.send(rank - 1, tag + 1, f64s_to_bytes(&bot)).await;
     }
     if rank + 1 < size {
-        let data = bytes_to_f64s(&ctx.recv(Some(rank + 1), tag + 1));
-        unpack(ctx, lv, lv.nz + 1, &data);
+        let data = bytes_to_f64s(&ctx.recv(Some(rank + 1), tag + 1).await);
+        unpack(ctx, lv, field, lv.nz + 1, &data).await;
     }
     ctx.overhead(plane as u64);
 }
@@ -107,8 +114,8 @@ const OMEGA: f64 = 0.8;
 
 /// One damped-Jacobi sweep: `u += ω D⁻¹ (rhs − A u)` with the 7-point
 /// Laplacian. Fully vectorizable stencil.
-fn smooth(ctx: &mut RankCtx, lv: &mut Level) {
-    exchange_halo(ctx, lv, 0, 20);
+async fn smooth(ctx: &mut RankCtx, lv: &mut Level) {
+    exchange_halo(ctx, lv, 0, 20).await;
     let (nx, ny, nz) = (lv.nx, lv.ny, lv.nz);
     for z in 1..=nz {
         for y in 0..ny {
@@ -118,24 +125,24 @@ fn smooth(ctx: &mut RankCtx, lv: &mut Level) {
                 let idx = lv.idx(x, y, z);
                 if take_pair {
                     let plan = ctx.plan_pair(true);
-                    let (u0, u1) = ctx.ld2(&lv.u, idx, plan);
-                    let (b0, b1) = ctx.ld2(&lv.rhs, idx, plan);
+                    let (u0, u1) = ctx.ld2(&lv.u, idx, plan).await;
+                    let (b0, b1) = ctx.ld2(&lv.rhs, idx, plan).await;
                     // Six neighbour arms per point (x arms overlap the
                     // pair; y/z arms are unit-stride pair loads).
-                    let xm0 = if x > 0 { ctx.ld(&lv.u, idx - 1) } else { 0.0 };
-                    let xp1 = if x + 2 < nx { ctx.ld(&lv.u, idx + 2) } else { 0.0 };
+                    let xm0 = if x > 0 { ctx.ld(&lv.u, idx - 1).await } else { 0.0 };
+                    let xp1 = if x + 2 < nx { ctx.ld(&lv.u, idx + 2).await } else { 0.0 };
                     let (ym0, ym1) = if y > 0 {
-                        ctx.ld2(&lv.u, lv.idx(x, y - 1, z), plan)
+                        ctx.ld2(&lv.u, lv.idx(x, y - 1, z), plan).await
                     } else {
                         (0.0, 0.0)
                     };
                     let (yp0, yp1) = if y + 1 < ny {
-                        ctx.ld2(&lv.u, lv.idx(x, y + 1, z), plan)
+                        ctx.ld2(&lv.u, lv.idx(x, y + 1, z), plan).await
                     } else {
                         (0.0, 0.0)
                     };
-                    let (zm0, zm1) = ctx.ld2(&lv.u, lv.idx(x, y, z - 1), plan);
-                    let (zp0, zp1) = ctx.ld2(&lv.u, lv.idx(x, y, z + 1), plan);
+                    let (zm0, zm1) = ctx.ld2(&lv.u, lv.idx(x, y, z - 1), plan).await;
+                    let (zp0, zp1) = ctx.ld2(&lv.u, lv.idx(x, y, z + 1), plan).await;
                     // Neighbour sums: 5 pair-adds; residual FMA; relax FMA.
                     for _ in 0..5 {
                         ctx.fp_pair(plan, SemOp::Add);
@@ -151,16 +158,17 @@ fn smooth(ctx: &mut RankCtx, lv: &mut Level) {
                         idx,
                         (u0 + OMEGA * INV_D * r0, u1 + OMEGA * INV_D * r1),
                         plan,
-                    );
+                    )
+                    .await;
                     x += 2;
                 } else {
-                    let u0 = ctx.ld(&lv.u, idx);
-                    let b0 = ctx.ld(&lv.rhs, idx);
-                    let xm = if x > 0 { ctx.ld(&lv.u, idx - 1) } else { 0.0 };
-                    let zm = ctx.ld(&lv.u, lv.idx(x, y, z - 1));
-                    let zp = ctx.ld(&lv.u, lv.idx(x, y, z + 1));
-                    let ym = if y > 0 { ctx.ld(&lv.u, lv.idx(x, y - 1, z)) } else { 0.0 };
-                    let yp = if y + 1 < ny { ctx.ld(&lv.u, lv.idx(x, y + 1, z)) } else { 0.0 };
+                    let u0 = ctx.ld(&lv.u, idx).await;
+                    let b0 = ctx.ld(&lv.rhs, idx).await;
+                    let xm = if x > 0 { ctx.ld(&lv.u, idx - 1).await } else { 0.0 };
+                    let zm = ctx.ld(&lv.u, lv.idx(x, y, z - 1)).await;
+                    let zp = ctx.ld(&lv.u, lv.idx(x, y, z + 1)).await;
+                    let ym = if y > 0 { ctx.ld(&lv.u, lv.idx(x, y - 1, z)).await } else { 0.0 };
+                    let yp = if y + 1 < ny { ctx.ld(&lv.u, lv.idx(x, y + 1, z)).await } else { 0.0 };
                     for _ in 0..3 {
                         ctx.fp1(SemOp::Add);
                     }
@@ -168,7 +176,7 @@ fn smooth(ctx: &mut RankCtx, lv: &mut Level) {
                     ctx.fp1(SemOp::MulAdd);
                     let s = xm + ym + yp + zm + zp;
                     let r = b0 - (6.0 * u0 - s);
-                    ctx.st(&mut lv.u, idx, u0 + OMEGA * INV_D * r);
+                    ctx.st(&mut lv.u, idx, u0 + OMEGA * INV_D * r).await;
                     x += 1;
                 }
             }
@@ -178,22 +186,22 @@ fn smooth(ctx: &mut RankCtx, lv: &mut Level) {
 }
 
 /// `res = rhs − A u` on the interior. Returns the local squared norm.
-fn residual(ctx: &mut RankCtx, lv: &mut Level) -> f64 {
-    exchange_halo(ctx, lv, 0, 24);
+async fn residual(ctx: &mut RankCtx, lv: &mut Level) -> f64 {
+    exchange_halo(ctx, lv, 0, 24).await;
     let (nx, ny, nz) = (lv.nx, lv.ny, lv.nz);
     let mut norm = 0.0;
     for z in 1..=nz {
         for y in 0..ny {
             for x in 0..nx {
                 let idx = lv.idx(x, y, z);
-                let u0 = ctx.ld(&lv.u, idx);
-                let b0 = ctx.ld(&lv.rhs, idx);
-                let xm = if x > 0 { ctx.ld(&lv.u, idx - 1) } else { 0.0 };
-                let xp = if x + 1 < nx { ctx.ld(&lv.u, idx + 1) } else { 0.0 };
-                let ym = if y > 0 { ctx.ld(&lv.u, lv.idx(x, y - 1, z)) } else { 0.0 };
-                let yp = if y + 1 < ny { ctx.ld(&lv.u, lv.idx(x, y + 1, z)) } else { 0.0 };
-                let zm = ctx.ld(&lv.u, lv.idx(x, y, z - 1));
-                let zp = ctx.ld(&lv.u, lv.idx(x, y, z + 1));
+                let u0 = ctx.ld(&lv.u, idx).await;
+                let b0 = ctx.ld(&lv.rhs, idx).await;
+                let xm = if x > 0 { ctx.ld(&lv.u, idx - 1).await } else { 0.0 };
+                let xp = if x + 1 < nx { ctx.ld(&lv.u, idx + 1).await } else { 0.0 };
+                let ym = if y > 0 { ctx.ld(&lv.u, lv.idx(x, y - 1, z)).await } else { 0.0 };
+                let yp = if y + 1 < ny { ctx.ld(&lv.u, lv.idx(x, y + 1, z)).await } else { 0.0 };
+                let zm = ctx.ld(&lv.u, lv.idx(x, y, z - 1)).await;
+                let zp = ctx.ld(&lv.u, lv.idx(x, y, z + 1)).await;
                 // Vectorizable stencil: charge as pair-ops every 2 points
                 // would be tidier, but the benchmark's resid() is written
                 // scalar-in-x with compiler pairing — model with pairs on
@@ -207,7 +215,7 @@ fn residual(ctx: &mut RankCtx, lv: &mut Level) -> f64 {
                 }
                 let s = xm + xp + ym + yp + zm + zp;
                 let r = b0 - (6.0 * u0 - s);
-                ctx.st(&mut lv.res, idx, r);
+                ctx.st(&mut lv.res, idx, r).await;
                 norm += r * r;
             }
         }
@@ -218,8 +226,8 @@ fn residual(ctx: &mut RankCtx, lv: &mut Level) -> f64 {
 
 /// Full-weighting-ish restriction (2×2×2 averaging) of `fine.res` into
 /// `coarse.rhs`.
-fn restrict(ctx: &mut RankCtx, fine: &mut Level, coarse: &mut Level) {
-    exchange_halo(ctx, fine, 1, 28);
+async fn restrict(ctx: &mut RankCtx, fine: &mut Level, coarse: &mut Level) {
+    exchange_halo(ctx, fine, 1, 28).await;
     let (cnx, cny, cnz) = (coarse.nx, coarse.ny, coarse.nz);
     for z in 1..=cnz {
         for y in 0..cny {
@@ -233,10 +241,10 @@ fn restrict(ctx: &mut RankCtx, fine: &mut Level, coarse: &mut Level) {
                         for dx in 0..2usize {
                             let fyy = (fy + dy).min(fine.ny - 1);
                             let i0 = fine.idx(fx + dx, fyy, fz + dz);
-                            sum[0] += ctx.ld(&fine.res, i0);
+                            sum[0] += ctx.ld(&fine.res, i0).await;
                             if pair {
                                 let i1 = fine.idx((fx + 2 + dx).min(fine.nx - 1), fyy, fz + dz);
-                                sum[1] += ctx.ld(&fine.res, i1);
+                                sum[1] += ctx.ld(&fine.res, i1).await;
                             }
                         }
                     }
@@ -248,14 +256,14 @@ fn restrict(ctx: &mut RankCtx, fine: &mut Level, coarse: &mut Level) {
                         ctx.fp_pair(plan, SemOp::Add);
                     }
                     ctx.fp_pair(plan, SemOp::Mul);
-                    ctx.st2(&mut coarse.rhs, cidx, (sum[0] / 8.0, sum[1] / 8.0), plan);
+                    ctx.st2(&mut coarse.rhs, cidx, (sum[0] / 8.0, sum[1] / 8.0), plan).await;
                     x += 2;
                 } else {
                     for _ in 0..7 {
                         ctx.fp1(SemOp::Add);
                     }
                     ctx.fp1(SemOp::Mul);
-                    ctx.st(&mut coarse.rhs, cidx, sum[0] / 8.0);
+                    ctx.st(&mut coarse.rhs, cidx, sum[0] / 8.0).await;
                     x += 1;
                 }
             }
@@ -266,22 +274,22 @@ fn restrict(ctx: &mut RankCtx, fine: &mut Level, coarse: &mut Level) {
 
 /// Trilinear-ish prolongation: add the coarse correction to the fine
 /// solution (nearest-point injection with pair stores).
-fn prolongate(ctx: &mut RankCtx, coarse: &mut Level, fine: &mut Level) {
-    exchange_halo(ctx, coarse, 0, 32);
+async fn prolongate(ctx: &mut RankCtx, coarse: &mut Level, fine: &mut Level) {
+    exchange_halo(ctx, coarse, 0, 32).await;
     let (cnx, cny, cnz) = (coarse.nx, coarse.ny, coarse.nz);
     for z in 1..=cnz {
         for y in 0..cny {
             for x in 0..cnx {
-                let c = ctx.ld(&coarse.u, coarse.idx(x, y, z));
+                let c = ctx.ld(&coarse.u, coarse.idx(x, y, z)).await;
                 for dz in 0..2usize {
                     for dy in 0..2usize {
                         let fy = (2 * y + dy).min(fine.ny - 1);
                         let fz = 2 * z - 1 + dz;
                         let fi = fine.idx(2 * x, fy, fz);
                         let plan = ctx.plan_pair(true);
-                        let (u0, u1) = ctx.ld2(&fine.u, fi, plan);
+                        let (u0, u1) = ctx.ld2(&fine.u, fi, plan).await;
                         ctx.fp_pair(plan, SemOp::Add);
-                        ctx.st2(&mut fine.u, fi, (u0 + c, u1 + c), plan);
+                        ctx.st2(&mut fine.u, fi, (u0 + c, u1 + c), plan).await;
                     }
                 }
             }
@@ -290,20 +298,20 @@ fn prolongate(ctx: &mut RankCtx, coarse: &mut Level, fine: &mut Level) {
     }
 }
 
-fn zero_field(ctx: &mut RankCtx, lv: &mut Level) {
+async fn zero_field(ctx: &mut RankCtx, lv: &mut Level) {
     let n = lv.nx * lv.ny * (lv.nz + 2);
-    ctx.st_fill(&mut lv.u, 0..n, 0.0);
+    ctx.st_fill(&mut lv.u, 0..n, 0.0).await;
     ctx.overhead(n as u64);
 }
 
 /// Run MG on this rank.
-pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
+pub async fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     let (nx, ny, nz) = dims(class);
     // Build the level hierarchy: halve every dimension until too coarse.
     let mut levels = Vec::new();
     let (mut lx, mut ly, mut lz) = (nx, ny, nz);
     loop {
-        levels.push(Level::alloc(ctx, lx, ly, lz));
+        levels.push(Level::alloc(ctx, lx, ly, lz).await);
         if lx % 2 != 0 || ly % 2 != 0 || lz % 2 != 0 || lx <= 4 || ly <= 4 || lz <= 2 {
             break;
         }
@@ -318,49 +326,49 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     {
         let lv = &mut levels[0];
         let n = lv.nx * lv.ny * (lv.nz + 2);
-        ctx.st_fill(&mut lv.rhs, 0..n, 0.0);
+        ctx.st_fill(&mut lv.rhs, 0..n, 0.0).await;
         for s in 0..20 {
             let x = rng.gen_range(0..lv.nx);
             let y = rng.gen_range(0..lv.ny);
             let z = rng.gen_range(1..=lv.nz);
             let v = if s % 2 == 0 { 1.0 } else { -1.0 };
             let idx = lv.idx(x, y, z);
-            ctx.st(&mut lv.rhs, idx, v);
+            ctx.st(&mut lv.rhs, idx, v).await;
         }
         ctx.overhead(n as u64);
     }
     for lv in levels.iter_mut() {
-        zero_field(ctx, lv);
+        zero_field(ctx, lv).await;
     }
 
     let initial = {
-        let local = residual(ctx, &mut levels[0]);
-        ctx.allreduce_sum_f64(&[local])[0].sqrt()
+        let local = residual(ctx, &mut levels[0]).await;
+        ctx.allreduce_sum_f64(&[local]).await[0].sqrt()
     };
 
     let mut norms = Vec::new();
     for _cycle in 0..cycles(class) {
         // Downstroke.
         for l in 0..depth - 1 {
-            smooth(ctx, &mut levels[l]);
-            smooth(ctx, &mut levels[l]);
-            residual(ctx, &mut levels[l]);
+            smooth(ctx, &mut levels[l]).await;
+            smooth(ctx, &mut levels[l]).await;
+            residual(ctx, &mut levels[l]).await;
             let (a, b) = levels.split_at_mut(l + 1);
-            restrict(ctx, &mut a[l], &mut b[0]);
-            zero_field(ctx, &mut levels[l + 1]);
+            restrict(ctx, &mut a[l], &mut b[0]).await;
+            zero_field(ctx, &mut levels[l + 1]).await;
         }
         // Coarsest solve: a few extra sweeps.
         for _ in 0..4 {
-            smooth(ctx, &mut levels[depth - 1]);
+            smooth(ctx, &mut levels[depth - 1]).await;
         }
         // Upstroke.
         for l in (0..depth - 1).rev() {
             let (a, b) = levels.split_at_mut(l + 1);
-            prolongate(ctx, &mut b[0], &mut a[l]);
-            smooth(ctx, &mut levels[l]);
+            prolongate(ctx, &mut b[0], &mut a[l]).await;
+            smooth(ctx, &mut levels[l]).await;
         }
-        let local = residual(ctx, &mut levels[0]);
-        norms.push(ctx.allreduce_sum_f64(&[local])[0].sqrt());
+        let local = residual(ctx, &mut levels[0]).await;
+        norms.push(ctx.allreduce_sum_f64(&[local]).await[0].sqrt());
     }
 
     // Verification: the V-cycles monotonically reduce the residual and

@@ -58,7 +58,7 @@ struct Elim {
     m2: Vec<f64>,
 }
 
-fn factor(ctx: &mut RankCtx, len: usize) -> Elim {
+async fn factor(ctx: &mut RankCtx, len: usize) -> Elim {
     let mut dd = vec![D0; len];
     let mut e1 = vec![C1; len];
     let mut e2 = vec![C2; len];
@@ -97,14 +97,14 @@ fn factor(ctx: &mut RankCtx, len: usize) -> Elim {
 
 /// Solve the pentadiagonal system along one rank-local line:
 /// elements at `base + i*stride` of `b.u`, length `len`.
-fn solve_local_line(ctx: &mut RankCtx, b: &mut Block, base: usize, stride: usize, el: &Elim) {
+async fn solve_local_line(ctx: &mut RankCtx, b: &mut Block, base: usize, stride: usize, el: &Elim) {
     let len = el.dd.len();
     // Forward elimination on the right-hand side (in place).
     let mut prev2 = 0.0;
     let mut prev1 = 0.0;
     for k in 0..len {
         let i = base + k * stride;
-        let mut y = ctx.ld(&b.u, i);
+        let mut y = ctx.ld(&b.u, i).await;
         if k >= 2 {
             y -= el.m2[k] * prev2;
         }
@@ -115,7 +115,7 @@ fn solve_local_line(ctx: &mut RankCtx, b: &mut Block, base: usize, stride: usize
         // per point because the coefficients vary): 1 divide + 6 FMA.
         ctx.fp1(SemOp::Div);
         ctx.fp_scalar_n(SemOp::MulAdd, 6);
-        ctx.st(&mut b.u, i, y);
+        ctx.st(&mut b.u, i, y).await;
         prev2 = prev1;
         prev1 = y;
     }
@@ -124,12 +124,12 @@ fn solve_local_line(ctx: &mut RankCtx, b: &mut Block, base: usize, stride: usize
     let mut up2 = 0.0;
     for k in (0..len).rev() {
         let i = base + k * stride;
-        let mut y = ctx.ld(&b.u, i);
+        let mut y = ctx.ld(&b.u, i).await;
         y -= el.e1[k] * up1 + el.e2[k] * up2;
         y /= el.dd[k];
         ctx.fp_scalar_n(SemOp::MulAdd, 2);
         ctx.fp1(SemOp::Mul); // reciprocal multiply
-        ctx.st(&mut b.u, i, y);
+        ctx.st(&mut b.u, i, y).await;
         up2 = up1;
         up1 = y;
     }
@@ -138,10 +138,10 @@ fn solve_local_line(ctx: &mut RankCtx, b: &mut Block, base: usize, stride: usize
 
 /// Apply the pentadiagonal operator along a rank-local direction
 /// (`u ← P u`). Unit-stride application is vectorizable.
-fn apply_local(ctx: &mut RankCtx, b: &mut Block, base: usize, stride: usize, len: usize, scratch: &mut Vec<f64>) {
+async fn apply_local(ctx: &mut RankCtx, b: &mut Block, base: usize, stride: usize, len: usize, scratch: &mut Vec<f64>) {
     scratch.clear();
     for k in 0..len {
-        scratch.push(ctx.ld(&b.u, base + k * stride));
+        scratch.push(ctx.ld(&b.u, base + k * stride).await);
     }
     for k in 0..len {
         let mut v = D0 * scratch[k];
@@ -163,37 +163,38 @@ fn apply_local(ctx: &mut RankCtx, b: &mut Block, base: usize, stride: usize, len
             ctx.fp_pair(plan, SemOp::MulAdd);
             ctx.fp_pair(plan, SemOp::MulAdd);
         }
-        ctx.st(&mut b.u, base + k * stride, v);
+        ctx.st(&mut b.u, base + k * stride, v).await;
     }
     ctx.overhead(len as u64);
 }
 
 /// Apply the operator along the **distributed** z direction: exchange two
 /// boundary planes each way, then apply locally with the halo values.
-fn apply_z(ctx: &mut RankCtx, b: &mut Block) {
+async fn apply_z(ctx: &mut RankCtx, b: &mut Block) {
     let (rank, size) = (ctx.rank(), ctx.size());
     let (nx, ny, nz) = (b.nx, b.ny, b.nz);
     let plane = nx * ny;
-    let pack2 = |ctx: &mut RankCtx, b: &Block, z0: usize| -> Vec<f64> {
+    async fn pack2(ctx: &mut RankCtx, b: &Block, z0: usize) -> Vec<f64> {
         // Two full planes starting at z0: row-major, so a unit-stride run.
+        let plane = b.nx * b.ny;
         let base = z0 * plane;
-        ctx.ld_range(&b.u, base..base + 2 * plane);
+        ctx.ld_range(&b.u, base..base + 2 * plane).await;
         b.u.as_slice()[base..base + 2 * plane].to_vec()
-    };
+    }
     // Exchange two planes down-edge and up-edge.
     let mut below = vec![0.0; 2 * plane];
     let mut above = vec![0.0; 2 * plane];
     if rank + 1 < size {
-        let top = pack2(ctx, b, nz - 2);
-        ctx.send(rank + 1, 60, f64s_to_bytes(&top));
+        let top = pack2(ctx, b, nz - 2).await;
+        ctx.send(rank + 1, 60, f64s_to_bytes(&top)).await;
     }
     if rank > 0 {
-        below = bytes_to_f64s(&ctx.recv(Some(rank - 1), 60));
-        let bot = pack2(ctx, b, 0);
-        ctx.send(rank - 1, 61, f64s_to_bytes(&bot));
+        below = bytes_to_f64s(&ctx.recv(Some(rank - 1), 60).await);
+        let bot = pack2(ctx, b, 0).await;
+        ctx.send(rank - 1, 61, f64s_to_bytes(&bot)).await;
     }
     if rank + 1 < size {
-        above = bytes_to_f64s(&ctx.recv(Some(rank + 1), 61));
+        above = bytes_to_f64s(&ctx.recv(Some(rank + 1), 61).await);
     }
     let at = |below: &[f64], above: &[f64], b: &Block, vals: &Vec<Vec<f64>>, x: usize, y: usize, gz: i64, z0: i64, nzl: i64| -> f64 {
         if gz < 0 || gz >= (z0 + nzl) && above.is_empty() {
@@ -219,7 +220,7 @@ fn apply_z(ctx: &mut RankCtx, b: &mut Block) {
     // Snapshot the local planes (operator application needs the originals).
     let mut vals: Vec<Vec<f64>> = Vec::with_capacity(nz);
     for z in 0..nz {
-        ctx.ld_range(&b.u, z * plane..(z + 1) * plane);
+        ctx.ld_range(&b.u, z * plane..(z + 1) * plane).await;
         vals.push(b.u.as_slice()[z * plane..(z + 1) * plane].to_vec());
     }
     let z0 = rank as i64 * nz as i64;
@@ -242,7 +243,7 @@ fn apply_z(ctx: &mut RankCtx, b: &mut Block) {
                     ctx.fp_pair(plan, SemOp::MulAdd);
                 }
                 let idx = b.idx(x, y, z);
-                ctx.st(&mut b.u, idx, v);
+                ctx.st(&mut b.u, idx, v).await;
             }
         }
         ctx.overhead(plane as u64);
@@ -252,7 +253,7 @@ fn apply_z(ctx: &mut RankCtx, b: &mut Block) {
 /// Solve along the distributed z direction with the pipelined banded
 /// elimination: the rhs recurrence state (last two eliminated planes)
 /// flows up the ranks, the back-substitution state flows down.
-fn solve_z(ctx: &mut RankCtx, b: &mut Block, el: &Elim) {
+async fn solve_z(ctx: &mut RankCtx, b: &mut Block, el: &Elim) {
     let (rank, size) = (ctx.rank(), ctx.size());
     let (nx, ny, nz) = (b.nx, b.ny, b.nz);
     let plane = nx * ny;
@@ -261,7 +262,7 @@ fn solve_z(ctx: &mut RankCtx, b: &mut Block, el: &Elim) {
     // ---- Forward elimination (pipeline up) ----
     let mut prev: Vec<f64> = vec![0.0; 2 * plane]; // [prev2 | prev1]
     if rank > 0 {
-        prev = bytes_to_f64s(&ctx.recv(Some(rank - 1), 70));
+        prev = bytes_to_f64s(&ctx.recv(Some(rank - 1), 70).await);
     }
     for z in 0..nz {
         let k = z0 + z;
@@ -269,7 +270,7 @@ fn solve_z(ctx: &mut RankCtx, b: &mut Block, el: &Elim) {
             for x in 0..nx {
                 let i = b.idx(x, y, z);
                 let pi = y * nx + x;
-                let mut v = ctx.ld(&b.u, i);
+                let mut v = ctx.ld(&b.u, i).await;
                 if k >= 2 {
                     v -= el.m2[k] * prev[pi];
                 }
@@ -278,7 +279,7 @@ fn solve_z(ctx: &mut RankCtx, b: &mut Block, el: &Elim) {
                 }
                 ctx.fp1(SemOp::Div);
                 ctx.fp_scalar_n(SemOp::MulAdd, 6);
-                ctx.st(&mut b.u, i, v);
+                ctx.st(&mut b.u, i, v).await;
                 prev[pi] = prev[plane + pi];
                 prev[plane + pi] = v;
             }
@@ -286,13 +287,13 @@ fn solve_z(ctx: &mut RankCtx, b: &mut Block, el: &Elim) {
         ctx.overhead(plane as u64);
     }
     if rank + 1 < size {
-        ctx.send(rank + 1, 70, f64s_to_bytes(&prev));
+        ctx.send(rank + 1, 70, f64s_to_bytes(&prev)).await;
     }
 
     // ---- Back substitution (pipeline down) ----
     let mut up: Vec<f64> = vec![0.0; 2 * plane]; // [up1 | up2]
     if rank + 1 < size {
-        up = bytes_to_f64s(&ctx.recv(Some(rank + 1), 71));
+        up = bytes_to_f64s(&ctx.recv(Some(rank + 1), 71).await);
     }
     for z in (0..nz).rev() {
         let k = z0 + z;
@@ -300,12 +301,12 @@ fn solve_z(ctx: &mut RankCtx, b: &mut Block, el: &Elim) {
             for x in 0..nx {
                 let i = b.idx(x, y, z);
                 let pi = y * nx + x;
-                let mut v = ctx.ld(&b.u, i);
+                let mut v = ctx.ld(&b.u, i).await;
                 v -= el.e1[k] * up[pi] + el.e2[k] * up[plane + pi];
                 v /= el.dd[k];
                 ctx.fp_scalar_n(SemOp::MulAdd, 2);
                 ctx.fp1(SemOp::Mul);
-                ctx.st(&mut b.u, i, v);
+                ctx.st(&mut b.u, i, v).await;
                 up[plane + pi] = up[pi];
                 up[pi] = v;
             }
@@ -313,12 +314,12 @@ fn solve_z(ctx: &mut RankCtx, b: &mut Block, el: &Elim) {
         ctx.overhead(plane as u64);
     }
     if rank > 0 {
-        ctx.send(rank - 1, 71, f64s_to_bytes(&up));
+        ctx.send(rank - 1, 71, f64s_to_bytes(&up)).await;
     }
 }
 
 /// Run SP on this rank.
-pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
+pub async fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     let (nx, ny, nz) = dims(class);
     let size = ctx.size();
     let n = nx * ny * nz;
@@ -330,53 +331,53 @@ pub fn run(ctx: &mut RankCtx, class: Class) -> KernelResult {
     for i in 0..n {
         let v: f64 = rng.gen_range(-1.0..1.0);
         exact.push(v);
-        ctx.st(&mut b.u, i, v);
+        ctx.st(&mut b.u, i, v).await;
     }
     ctx.overhead(n as u64);
 
     // b = P_x P_y P_z u*  (apply z, then y, then x).
     let mut scratch = Vec::new();
-    apply_z(ctx, &mut b);
+    apply_z(ctx, &mut b).await;
     for z in 0..nz {
         for x in 0..nx {
             let base = b.idx(x, 0, z);
-            apply_local(ctx, &mut b, base, nx, ny, &mut scratch);
+            apply_local(ctx, &mut b, base, nx, ny, &mut scratch).await;
         }
     }
     for z in 0..nz {
         for y in 0..ny {
             let base = b.idx(0, y, z);
-            apply_local(ctx, &mut b, base, 1, nx, &mut scratch);
+            apply_local(ctx, &mut b, base, 1, nx, &mut scratch).await;
         }
     }
 
     // ADI solve: x lines, y lines, then the pipelined z lines.
-    let el_x = factor(ctx, nx);
-    let el_y = factor(ctx, ny);
-    let el_z = factor(ctx, nz * size);
+    let el_x = factor(ctx, nx).await;
+    let el_y = factor(ctx, ny).await;
+    let el_z = factor(ctx, nz * size).await;
     for z in 0..nz {
         for y in 0..ny {
             let base = b.idx(0, y, z);
-            solve_local_line(ctx, &mut b, base, 1, &el_x);
+            solve_local_line(ctx, &mut b, base, 1, &el_x).await;
         }
     }
     for z in 0..nz {
         for x in 0..nx {
             let base = b.idx(x, 0, z);
-            solve_local_line(ctx, &mut b, base, nx, &el_y);
+            solve_local_line(ctx, &mut b, base, nx, &el_y).await;
         }
     }
-    solve_z(ctx, &mut b, &el_z);
+    solve_z(ctx, &mut b, &el_z).await;
 
     // Verification: recovered field matches the manufactured solution.
     let mut max_err = 0.0f64;
     for (i, &want) in exact.iter().enumerate() {
         max_err = max_err.max((b.u.raw(i) - want).abs());
     }
-    let global = bytes_to_f64s(&ctx.allreduce(
-        bgp_mpi::ReduceOp::MaxF64,
-        f64s_to_bytes(&[max_err]),
-    ))[0];
+    let global = bytes_to_f64s(
+        &ctx.allreduce(bgp_mpi::ReduceOp::MaxF64, f64s_to_bytes(&[max_err]))
+            .await,
+    )[0];
     KernelResult { kernel: Kernel::Sp, verified: global < 1e-8, checksum: global }
 }
 
@@ -434,14 +435,18 @@ mod tests {
     fn banded_elimination_matches_dense_reference() {
         for len in [1usize, 2, 3, 5, 16, 33] {
             let rhs: Vec<f64> = (0..len).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
-            let got = single(move |ctx| {
-                let el = factor(ctx, len);
-                let mut b = Block { nx: len, ny: 1, nz: 1, u: ctx.alloc(len) };
-                for (i, &v) in rhs.iter().enumerate() {
-                    ctx.st(&mut b.u, i, v);
+            let got = single(|mut ctx| {
+                let rhs = rhs.clone();
+                async move {
+                    let ctx = &mut ctx;
+                    let el = factor(ctx, len).await;
+                    let mut b = Block { nx: len, ny: 1, nz: 1, u: ctx.alloc(len) };
+                    for (i, &v) in rhs.iter().enumerate() {
+                        ctx.st(&mut b.u, i, v).await;
+                    }
+                    solve_local_line(ctx, &mut b, 0, 1, &el).await;
+                    (0..len).map(|i| b.u.raw(i)).collect::<Vec<_>>()
                 }
-                solve_local_line(ctx, &mut b, 0, 1, &el);
-                (0..len).map(|i| b.u.raw(i)).collect::<Vec<_>>()
             });
             let want = dense_solve(len, &(0..len).map(|i| ((i * 7) % 13) as f64 - 6.0).collect::<Vec<_>>());
             for (g, w) in got.iter().zip(&want) {
@@ -454,27 +459,32 @@ mod tests {
     fn strided_lines_solve_identically_to_contiguous() {
         let len = 8;
         let rhs: Vec<f64> = (0..len).map(|i| (i as f64).sin()).collect();
-        let contiguous = single({
+        let contiguous = single(|mut ctx| {
             let rhs = rhs.clone();
-            move |ctx| {
-                let el = factor(ctx, len);
+            async move {
+                let ctx = &mut ctx;
+                let el = factor(ctx, len).await;
                 let mut b = Block { nx: len, ny: 1, nz: 1, u: ctx.alloc(len) };
                 for (i, &v) in rhs.iter().enumerate() {
-                    ctx.st(&mut b.u, i, v);
+                    ctx.st(&mut b.u, i, v).await;
                 }
-                solve_local_line(ctx, &mut b, 0, 1, &el);
+                solve_local_line(ctx, &mut b, 0, 1, &el).await;
                 (0..len).map(|i| b.u.raw(i)).collect::<Vec<_>>()
             }
         });
-        let strided = single(move |ctx| {
-            let el = factor(ctx, len);
-            // Same system living along a stride-4 line of a bigger array.
-            let mut b = Block { nx: 4, ny: len, nz: 1, u: ctx.alloc(4 * len) };
-            for (i, &v) in rhs.iter().enumerate() {
-                ctx.st(&mut b.u, 2 + 4 * i, v);
+        let strided = single(|mut ctx| {
+            let rhs = rhs.clone();
+            async move {
+                let ctx = &mut ctx;
+                let el = factor(ctx, len).await;
+                // Same system living along a stride-4 line of a bigger array.
+                let mut b = Block { nx: 4, ny: len, nz: 1, u: ctx.alloc(4 * len) };
+                for (i, &v) in rhs.iter().enumerate() {
+                    ctx.st(&mut b.u, 2 + 4 * i, v).await;
+                }
+                solve_local_line(ctx, &mut b, 2, 4, &el).await;
+                (0..len).map(|i| b.u.raw(2 + 4 * i)).collect::<Vec<_>>()
             }
-            solve_local_line(ctx, &mut b, 2, 4, &el);
-            (0..len).map(|i| b.u.raw(2 + 4 * i)).collect::<Vec<_>>()
         });
         assert_eq!(contiguous, strided);
     }
@@ -483,17 +493,18 @@ mod tests {
     fn apply_then_solve_is_identity() {
         let len = 12;
         let original: Vec<f64> = (0..len).map(|i| ((i * 5) % 9) as f64 * 0.5 - 2.0).collect();
-        let got = single({
+        let got = single(|mut ctx| {
             let original = original.clone();
-            move |ctx| {
-                let el = factor(ctx, len);
+            async move {
+                let ctx = &mut ctx;
+                let el = factor(ctx, len).await;
                 let mut b = Block { nx: len, ny: 1, nz: 1, u: ctx.alloc(len) };
                 for (i, &v) in original.iter().enumerate() {
-                    ctx.st(&mut b.u, i, v);
+                    ctx.st(&mut b.u, i, v).await;
                 }
                 let mut scratch = Vec::new();
-                apply_local(ctx, &mut b, 0, 1, len, &mut scratch);
-                solve_local_line(ctx, &mut b, 0, 1, &el);
+                apply_local(ctx, &mut b, 0, 1, len, &mut scratch).await;
+                solve_local_line(ctx, &mut b, 0, 1, &el).await;
                 (0..len).map(|i| b.u.raw(i)).collect::<Vec<_>>()
             }
         });

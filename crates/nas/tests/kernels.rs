@@ -14,7 +14,7 @@ fn run_kernel(kernel: Kernel, ranks: usize, mode: OpMode) -> (bool, f64) {
     spec.counter_policy = CounterPolicy::Fixed(CounterMode::Mode0);
     let m = Machine::new(spec);
     m.enable_all_counters();
-    let out = m.run(|ctx| kernel.run(ctx, Class::S));
+    let out = m.run(move |ctx| async move { kernel.exec(Class::S, ctx).await.1 });
     let verified = out.iter().all(|r| r.verified);
     (verified, out[0].checksum)
 }
@@ -95,7 +95,7 @@ fn numeric_results_are_quantum_invariant() {
         spec.quantum = q;
         spec.counter_policy = CounterPolicy::Fixed(CounterMode::Mode0);
         let m = Machine::new(spec);
-        let out = m.run(|ctx| Kernel::Cg.run(ctx, Class::S));
+        let out = m.run(|ctx| async move { Kernel::Cg.exec(Class::S, ctx).await.1 });
         assert!(out.iter().all(|r| r.verified));
         out.iter().map(|r| r.checksum.to_bits()).collect::<Vec<_>>()
     };
@@ -113,7 +113,7 @@ fn timing_depends_on_compiler_build_but_math_does_not() {
         spec.compile = compile;
         spec.counter_policy = CounterPolicy::Fixed(CounterMode::Mode0);
         let m = Machine::new(spec);
-        let out = m.run(|ctx| Kernel::Mg.run(ctx, Class::S));
+        let out = m.run(|ctx| async move { Kernel::Mg.exec(Class::S, ctx).await.1 });
         (out[0].checksum.to_bits(), m.job_cycles())
     };
     let (base_sum, base_cycles) = run_with(bgp_compiler::CompileOpts::baseline());

@@ -19,6 +19,7 @@
 //! `--once` runs of the same job must produce byte-identical files,
 //! which is exactly what the CI smoke test asserts.
 
+use bgp_arch::cli::ArgParser;
 use bgp_serve::load::{run_load, str_member, LoadConfig};
 use bgp_serve::proto::{
     parse_class, parse_kernel, parse_mode, result_payload, Request, SubmitReq,
@@ -64,12 +65,11 @@ fn parse_args() -> Result<Args, String> {
         bench: None,
         out: None,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+    let mut p = ArgParser::from_env(USAGE);
+    while let Some(a) = p.next_flag()? {
         match a.as_str() {
             "--addr" => {
-                let s = value("--addr")?;
+                let s = p.value(&a)?;
                 addr = Some(
                     s.to_socket_addrs()
                         .map_err(|e| format!("--addr {s}: {e}"))?
@@ -77,63 +77,39 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or(format!("--addr {s}: no address"))?,
                 );
             }
-            "--requests" => {
-                args.requests =
-                    value("--requests")?.parse().map_err(|e| format!("--requests: {e}"))?;
-            }
-            "--concurrency" => {
-                args.concurrency = value("--concurrency")?
-                    .parse()
-                    .map_err(|e| format!("--concurrency: {e}"))?;
-            }
-            "--distinct" => {
-                args.distinct =
-                    value("--distinct")?.parse().map_err(|e| format!("--distinct: {e}"))?;
-            }
+            "--requests" => args.requests = p.parse(&a)?,
+            "--concurrency" => args.concurrency = p.parse(&a)?,
+            "--distinct" => args.distinct = p.parse(&a)?,
             "--kernel" => {
-                let k = value("--kernel")?;
                 args.template.kernel =
-                    parse_kernel(&k).ok_or(format!("unknown kernel {k}"))?;
+                    p.token(&a, "mg|ft|ep|cg|is|lu|sp|bt", parse_kernel)?;
             }
-            "--class" => {
-                let c = value("--class")?;
-                args.template.class =
-                    parse_class(&c).ok_or(format!("unknown class {c}"))?;
-            }
-            "--ranks" => {
-                args.template.ranks =
-                    value("--ranks")?.parse().map_err(|e| format!("--ranks: {e}"))?;
-            }
+            "--class" => args.template.class = p.token(&a, "s|w|a", parse_class)?,
+            "--ranks" => args.template.ranks = p.parse(&a)?,
             "--mode" => {
-                let m = value("--mode")?;
-                args.template.mode = parse_mode(&m).ok_or(format!("unknown mode {m}"))?;
+                args.template.mode = p.token(&a, "smp1|smp4|dual|vnm", parse_mode)?;
             }
-            "--priority" => {
-                args.template.priority =
-                    value("--priority")?.parse().map_err(|e| format!("--priority: {e}"))?;
-            }
-            "--seed" => {
-                args.template.seed =
-                    value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
-            }
+            "--priority" => args.template.priority = p.parse(&a)?,
+            "--seed" => args.template.seed = p.parse(&a)?,
             "--stream" => args.template.stream = true,
-            "--bench" => args.bench = Some(PathBuf::from(value("--bench")?)),
+            "--bench" => args.bench = Some(p.path(&a)?),
             "--once" => args.op = Op::Once,
-            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--out" => args.out = Some(p.path(&a)?),
             "--admin" => {
-                args.op = Op::Admin(match value("--admin")?.as_str() {
-                    "ping" => Request::Ping,
-                    "stats" => Request::Stats,
-                    "drain" => Request::Drain,
-                    "shutdown" => Request::Shutdown,
-                    other => return Err(format!("unknown admin op {other}")),
-                });
+                args.op = Op::Admin(p.token(&a, "ping|stats|drain|shutdown", |op| {
+                    Some(match op {
+                        "ping" => Request::Ping,
+                        "stats" => Request::Stats,
+                        "drain" => Request::Drain,
+                        "shutdown" => Request::Shutdown,
+                        _ => return None,
+                    })
+                })?);
             }
-            "--help" | "-h" => return Err(USAGE.into()),
-            other => return Err(format!("unexpected argument {other}\n{USAGE}")),
+            other => return Err(p.unexpected(other)),
         }
     }
-    args.addr = addr.ok_or(format!("missing --addr HOST:PORT\n{USAGE}"))?;
+    args.addr = addr.ok_or_else(|| p.missing("--addr HOST:PORT"))?;
     Ok(args)
 }
 

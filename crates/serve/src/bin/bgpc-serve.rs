@@ -12,6 +12,7 @@
 //! a `shutdown` request drains the queue. See `bgp_serve::proto` for
 //! the wire protocol and `bgpc-load` for the matching client.
 
+use bgp_arch::cli::ArgParser;
 use bgp_serve::{Server, ServerConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -24,47 +25,27 @@ const USAGE: &str = "usage: bgpc-serve [--addr HOST:PORT] [--addr-file PATH] \
 fn parse_args() -> Result<(ServerConfig, Option<PathBuf>), String> {
     let mut cfg = ServerConfig::default();
     let mut addr_file = None;
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+    let mut p = ArgParser::from_env(USAGE);
+    while let Some(a) = p.next_flag()? {
         match a.as_str() {
-            "--addr" => cfg.addr = value("--addr")?,
-            "--addr-file" => addr_file = Some(PathBuf::from(value("--addr-file")?)),
-            "--workers" => {
-                cfg.workers =
-                    value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?;
-            }
-            "--queue-cap" => {
-                cfg.queue.capacity = value("--queue-cap")?
-                    .parse()
-                    .map_err(|e| format!("--queue-cap: {e}"))?;
-            }
+            "--addr" => cfg.addr = p.value(&a)?,
+            "--addr-file" => addr_file = Some(p.path(&a)?),
+            "--workers" => cfg.workers = p.parse(&a)?,
+            "--queue-cap" => cfg.queue.capacity = p.parse(&a)?,
             "--age-ms" => {
-                let ms: u64 =
-                    value("--age-ms")?.parse().map_err(|e| format!("--age-ms: {e}"))?;
-                cfg.queue.age_to_boost = Duration::from_millis(ms);
+                cfg.queue.age_to_boost = Duration::from_millis(p.parse(&a)?);
             }
-            "--cache-dir" => cfg.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--cache-dir" => cfg.cache_dir = Some(p.path(&a)?),
             "--trace" => cfg.trace_jobs = true,
-            "--sim-threads" => {
-                cfg.job_sim_threads = value("--sim-threads")?
-                    .parse()
-                    .map_err(|e| format!("--sim-threads: {e}"))?;
-            }
+            "--sim-threads" | "--threads" => cfg.job_sim_threads = p.parse(&a)?,
             "--wall-budget-ms" => {
-                let ms: u64 = value("--wall-budget-ms")?
-                    .parse()
-                    .map_err(|e| format!("--wall-budget-ms: {e}"))?;
+                // 0 disables the watchdog, same convention as bgpc-run.
+                let ms: u64 = p.parse(&a)?;
                 cfg.wall_budget = (ms > 0).then(|| Duration::from_millis(ms));
             }
-            "--max-retries" => {
-                cfg.max_retries = value("--max-retries")?
-                    .parse()
-                    .map_err(|e| format!("--max-retries: {e}"))?;
-            }
+            "--max-retries" => cfg.max_retries = p.parse(&a)?,
             "--quiet" => cfg.quiet = true,
-            "--help" | "-h" => return Err(USAGE.into()),
-            other => return Err(format!("unexpected argument {other}\n{USAGE}")),
+            other => return Err(p.unexpected(other)),
         }
     }
     Ok((cfg, addr_file))

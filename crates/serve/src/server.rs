@@ -23,7 +23,9 @@
 //!    store; every waiter (submitter + joiners) is notified and the
 //!    key leaves the in-flight table, so later submits hit the cache.
 
-use crate::proto::{mode_token, CacheOutcome, Request, SubmitReq};
+use crate::proto::{
+    mode_token, CacheOutcome, ParseError, Request, SubmitReq, PROTO_VERSION,
+};
 use crate::queue::{JobQueue, PushError, QueueConfig, QueueItem};
 use bgp_core::supervisor::{
     supervise_observed, RunObserver, SupervisorConfig, SupervisedRun,
@@ -120,6 +122,8 @@ impl JobSlot {
 #[derive(Default)]
 struct Stats {
     submits: AtomicU64,
+    batches: AtomicU64,
+    subscribes: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     joined: AtomicU64,
@@ -363,7 +367,19 @@ fn dispatch(
 ) -> std::io::Result<bool> {
     let req = match Request::parse(line) {
         Ok(req) => req,
-        Err(detail) => {
+        Err(ParseError::UnsupportedVersion { requested, detail }) => {
+            state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let resp = Obj::new()
+                .field_bool("ok", false)
+                .field_str("error", "unsupported-version")
+                .field_u64("requested", requested)
+                .field_u64("supported", PROTO_VERSION)
+                .field_str("detail", &detail)
+                .finish();
+            write_line(out, &resp)?;
+            return Ok(false);
+        }
+        Err(ParseError::Malformed(detail)) => {
             state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
             let resp = Obj::new()
                 .field_bool("ok", false)
@@ -420,6 +436,14 @@ fn dispatch(
             handle_submit(state, sub, out)?;
             Ok(false)
         }
+        Request::Batch(jobs) => {
+            handle_batch(state, jobs, out)?;
+            Ok(false)
+        }
+        Request::Subscribe { key, stream } => {
+            handle_subscribe(state, key, stream, out)?;
+            Ok(false)
+        }
     }
 }
 
@@ -427,6 +451,8 @@ fn stats_response(state: &ServeState) -> String {
     let s = &state.stats;
     let body = Obj::new()
         .field_u64("submits", s.submits.load(Ordering::Relaxed))
+        .field_u64("batches", s.batches.load(Ordering::Relaxed))
+        .field_u64("subscribes", s.subscribes.load(Ordering::Relaxed))
         .field_u64("hits", s.hits.load(Ordering::Relaxed))
         .field_u64("misses", s.misses.load(Ordering::Relaxed))
         .field_u64("joined", s.joined.load(Ordering::Relaxed))
@@ -500,50 +526,76 @@ fn reject_draining(state: &ServeState) -> String {
     Obj::new().field_bool("ok", false).field_str("error", "draining").finish()
 }
 
-fn handle_submit(
-    state: &Arc<ServeState>,
-    sub: SubmitReq,
-    out: &mut TcpStream,
-) -> std::io::Result<()> {
+fn job_failed_response(key: CacheKey, detail: &str) -> String {
+    Obj::new()
+        .field_bool("ok", false)
+        .field_str("error", "job-failed")
+        .field_str("key", &key.hex())
+        .field_str("detail", detail)
+        .finish()
+}
+
+/// What happened to one submission at admission time.
+enum Admission {
+    /// Served from the content-addressed store; no machine ran.
+    Cached(Arc<Vec<u8>>),
+    /// Admitted (miss) or coalesced (join); wait on the slot.
+    Wait(Arc<JobSlot>, CacheOutcome),
+    /// Refused; the pre-built terminal response line.
+    Reject(String),
+}
+
+/// Steps 1–3 of a submit (cache probe, coalesce, admit) without
+/// waiting — shared by lone submits and batch envelopes, which admit
+/// every job *before* waiting on any so a batch runs with the pool's
+/// full parallelism.
+fn admit(state: &Arc<ServeState>, sub: SubmitReq) -> (CacheKey, Admission) {
     state.stats.submits.fetch_add(1, Ordering::Relaxed);
     let key = sub.cache_key(state.cfg.job_sim_threads, state.cfg.trace_jobs);
 
     // 1. Cache: the scalable path.
     if let Some(bytes) = state.cache.get(key) {
         state.stats.hits.fetch_add(1, Ordering::Relaxed);
-        return write_line(out, &submit_response(CacheOutcome::Hit, key, 0, &bytes));
+        return (key, Admission::Cached(bytes));
     }
 
     // 2./3. Coalesce onto an in-flight job, or admit a new one.
-    let (slot, outcome) = {
-        let mut inflight = state.inflight.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(slot) = inflight.get(&key) {
-            state.stats.joined.fetch_add(1, Ordering::Relaxed);
-            (Arc::clone(slot), CacheOutcome::Joined)
-        } else {
-            if state.draining.load(Ordering::SeqCst) {
-                return write_line(out, &reject_draining(state));
-            }
-            let slot = Arc::new(JobSlot::new());
-            inflight.insert(key, Arc::clone(&slot));
-            match state.queue.push(key, sub) {
-                Ok(_) => {
-                    state.stats.misses.fetch_add(1, Ordering::Relaxed);
-                    (slot, CacheOutcome::Miss)
-                }
-                Err(PushError::Full { depth }) => {
-                    inflight.remove(&key);
-                    return write_line(out, &reject_backpressure(state, depth));
-                }
-                Err(PushError::Closed) => {
-                    inflight.remove(&key);
-                    return write_line(out, &reject_draining(state));
-                }
-            }
+    let mut inflight = state.inflight.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(slot) = inflight.get(&key) {
+        state.stats.joined.fetch_add(1, Ordering::Relaxed);
+        return (key, Admission::Wait(Arc::clone(slot), CacheOutcome::Joined));
+    }
+    if state.draining.load(Ordering::SeqCst) {
+        return (key, Admission::Reject(reject_draining(state)));
+    }
+    let slot = Arc::new(JobSlot::new());
+    inflight.insert(key, Arc::clone(&slot));
+    match state.queue.push(key, sub) {
+        Ok(_) => {
+            state.stats.misses.fetch_add(1, Ordering::Relaxed);
+            (key, Admission::Wait(slot, CacheOutcome::Miss))
         }
-    };
+        Err(PushError::Full { depth }) => {
+            inflight.remove(&key);
+            (key, Admission::Reject(reject_backpressure(state, depth)))
+        }
+        Err(PushError::Closed) => {
+            inflight.remove(&key);
+            (key, Admission::Reject(reject_draining(state)))
+        }
+    }
+}
 
-    // 4. Wait for the worker, streaming updates if asked.
+/// Step 4: wait for the worker to resolve `slot`, streaming `update`
+/// lines to `out` when `stream` is set, and return the terminal
+/// response line (not yet written).
+fn await_job(
+    slot: &JobSlot,
+    key: CacheKey,
+    outcome: CacheOutcome,
+    stream: bool,
+    out: &mut TcpStream,
+) -> std::io::Result<String> {
     let started = Instant::now();
     let mut last_update: Option<(&'static str, u64)> = None;
     loop {
@@ -567,22 +619,13 @@ fn handle_submit(
         match view {
             View::Done(bytes) => {
                 let queue_ms = started.elapsed().as_millis() as u64;
-                return write_line(
-                    out,
-                    &submit_response(outcome, key, queue_ms, &bytes),
-                );
+                return Ok(submit_response(outcome, key, queue_ms, &bytes));
             }
             View::Failed(detail) => {
-                let resp = Obj::new()
-                    .field_bool("ok", false)
-                    .field_str("error", "job-failed")
-                    .field_str("key", &key.hex())
-                    .field_str("detail", &detail)
-                    .finish();
-                return write_line(out, &resp);
+                return Ok(job_failed_response(key, &detail));
             }
             View::Waiting(token, phase) => {
-                if sub.stream && last_update != Some((token, phase)) {
+                if stream && last_update != Some((token, phase)) {
                     last_update = Some((token, phase));
                     let body = Obj::new()
                         .field_str("key", &key.hex())
@@ -601,6 +644,94 @@ fn handle_submit(
             }
         }
     }
+}
+
+fn handle_submit(
+    state: &Arc<ServeState>,
+    sub: SubmitReq,
+    out: &mut TcpStream,
+) -> std::io::Result<()> {
+    let stream = sub.stream;
+    let (key, admission) = admit(state, sub);
+    let terminal = match admission {
+        Admission::Cached(bytes) => submit_response(CacheOutcome::Hit, key, 0, &bytes),
+        Admission::Reject(line) => line,
+        Admission::Wait(slot, outcome) => await_job(&slot, key, outcome, stream, out)?,
+    };
+    write_line(out, &terminal)
+}
+
+/// One envelope, many jobs: admit every job first, then collect each
+/// job's terminal object in submission order. Per-job failures and
+/// rejects land in the `results` array; the envelope itself always
+/// completes. Update streaming is suppressed (one response line per
+/// envelope).
+fn handle_batch(
+    state: &Arc<ServeState>,
+    jobs: Vec<SubmitReq>,
+    out: &mut TcpStream,
+) -> std::io::Result<()> {
+    state.stats.batches.fetch_add(1, Ordering::Relaxed);
+    let admitted: Vec<(CacheKey, Admission)> =
+        jobs.into_iter().map(|sub| admit(state, sub)).collect();
+    let count = admitted.len();
+    let mut results = Arr::new();
+    for (key, admission) in admitted {
+        let terminal = match admission {
+            Admission::Cached(bytes) => {
+                submit_response(CacheOutcome::Hit, key, 0, &bytes)
+            }
+            Admission::Reject(line) => line,
+            Admission::Wait(slot, outcome) => {
+                await_job(&slot, key, outcome, false, out)?
+            }
+        };
+        results = results.push_raw(&terminal);
+    }
+    let resp = Obj::new()
+        .field_bool("ok", true)
+        .field_u64("jobs", count as u64)
+        .field_raw("results", &results.finish())
+        .finish();
+    write_line(out, &resp)
+}
+
+/// Attach to a key without submitting work: cached keys answer like a
+/// hit, in-flight keys are awaited (streaming updates if asked), and
+/// keys the server has never seen are refused — subscribing never
+/// enqueues a job.
+fn handle_subscribe(
+    state: &Arc<ServeState>,
+    key: CacheKey,
+    stream: bool,
+    out: &mut TcpStream,
+) -> std::io::Result<()> {
+    state.stats.subscribes.fetch_add(1, Ordering::Relaxed);
+    if let Some(bytes) = state.cache.get(key) {
+        state.stats.hits.fetch_add(1, Ordering::Relaxed);
+        return write_line(out, &submit_response(CacheOutcome::Hit, key, 0, &bytes));
+    }
+    let slot = {
+        let inflight = state.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        inflight.get(&key).map(Arc::clone)
+    };
+    if let Some(slot) = slot {
+        let terminal = await_job(&slot, key, CacheOutcome::Joined, stream, out)?;
+        return write_line(out, &terminal);
+    }
+    // The job may have finished between the cache probe and the
+    // in-flight lookup (workers publish to the cache first, then
+    // retire the slot) — re-probe before declaring the key unknown.
+    if let Some(bytes) = state.cache.get(key) {
+        state.stats.hits.fetch_add(1, Ordering::Relaxed);
+        return write_line(out, &submit_response(CacheOutcome::Hit, key, 0, &bytes));
+    }
+    let resp = Obj::new()
+        .field_bool("ok", false)
+        .field_str("error", "unknown-key")
+        .field_str("key", &key.hex())
+        .finish();
+    write_line(out, &resp)
 }
 
 /// Publishes each attempt's live machine into the job slot so waiters
@@ -682,7 +813,7 @@ fn run_job(state: &Arc<ServeState>, item: &QueueItem) -> Result<Arc<Vec<u8>>, St
     };
     let observer = SlotObserver { slot: &slot };
     let (kernel, class) = (item.req.kernel, item.req.class);
-    let run = supervise_observed(&spec, &sup, move |ctx| kernel.run(ctx, class), &observer)
+    let run = supervise_observed(&spec, &sup, move |ctx| kernel.exec(class, ctx), &observer)
         .map_err(|e| e.to_string())?;
     if !run.results.iter().all(|r| r.verified) {
         return Err("kernel verification failed".into());

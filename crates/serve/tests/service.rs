@@ -4,6 +4,7 @@
 //! persistence across a server restart.
 
 use bgp_serve::load::{str_member, u64_member};
+use bgp_nas::Kernel;
 use bgp_serve::proto::{result_payload, Request, SubmitReq};
 use bgp_serve::{request_once, Client, QueueConfig, Server, ServerConfig, ServerHandle};
 
@@ -182,6 +183,84 @@ fn persistent_cache_survives_restart() {
     assert_eq!(u64_member(&stats, "completed"), Some(0), "no job ran");
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_envelope_runs_all_jobs_and_replays_as_hits() {
+    let server = spawn(quiet_cfg());
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Job 1 shares job 0's seed but runs a different kernel — same
+    // hardware, different experiment, so it must get its own key
+    // (the workload tag keeps them apart in the spec fingerprint).
+    let jobs = vec![
+        SubmitReq { seed: 11, ..SubmitReq::default() },
+        SubmitReq { seed: 11, kernel: Kernel::Cg, ..SubmitReq::default() },
+        SubmitReq { seed: 11, ..SubmitReq::default() }, // duplicate of job 0
+    ];
+    assert_ne!(jobs[0].cache_key(1, false), jobs[1].cache_key(1, false));
+    let resp = client.request(&Request::Batch(jobs.clone()).encode()).unwrap();
+    assert_eq!(u64_member(&resp, "jobs"), Some(3), "{resp}");
+    assert!(resp.contains("\"results\":["), "{resp}");
+    // Every job completed and verified; the duplicate coalesced or hit
+    // rather than running twice.
+    assert_eq!(resp.matches("\"verified\":true").count(), 3, "{resp}");
+    let stats = client.request(&Request::Stats.encode()).unwrap();
+    assert_eq!(u64_member(&stats, "batches"), Some(1), "{stats}");
+    assert_eq!(u64_member(&stats, "completed"), Some(2), "duplicate ran once: {stats}");
+
+    // Replaying the envelope is pure cache traffic.
+    let replay = client.request(&Request::Batch(jobs).encode()).unwrap();
+    assert_eq!(replay.matches("\"cache\":\"hit\"").count(), 3, "{replay}");
+    server.shutdown();
+}
+
+#[test]
+fn subscribe_attaches_without_submitting() {
+    let server = spawn(quiet_cfg());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let req = SubmitReq { seed: 21, ..SubmitReq::default() };
+    let key = req.cache_key(1, false);
+
+    // Subscribing to a key the server has never seen enqueues nothing.
+    let unknown = client
+        .request(&Request::Subscribe { key, stream: false }.encode())
+        .unwrap();
+    assert_eq!(str_member(&unknown, "error"), Some("unknown-key"), "{unknown}");
+
+    // After a submit resolves the key, a subscribe serves the same
+    // bytes without running anything.
+    let first = submit(&mut client, &req);
+    let payload = result_payload(&first).unwrap().to_string();
+    let sub = client
+        .request(&Request::Subscribe { key, stream: false }.encode())
+        .unwrap();
+    assert_eq!(str_member(&sub, "cache"), Some("hit"), "{sub}");
+    assert_eq!(result_payload(&sub), Some(payload.as_str()));
+    let stats = client.request(&Request::Stats.encode()).unwrap();
+    assert_eq!(u64_member(&stats, "subscribes"), Some(2), "{stats}");
+    assert_eq!(u64_member(&stats, "completed"), Some(1), "subscribe never runs jobs");
+    server.shutdown();
+}
+
+#[test]
+fn old_clients_get_a_structured_version_error() {
+    let server = spawn(quiet_cfg());
+    let mut client = Client::connect(server.addr()).unwrap();
+    // A v1 client (no "v") reaching for a v2 op.
+    let resp = client
+        .request("{\"op\":\"batch\",\"jobs\":[{\"kernel\":\"mg\"}]}")
+        .unwrap();
+    assert_eq!(str_member(&resp, "error"), Some("unsupported-version"), "{resp}");
+    assert_eq!(u64_member(&resp, "requested"), Some(1));
+    assert_eq!(u64_member(&resp, "supported"), Some(2));
+    // A client from the future.
+    let resp = client.request("{\"op\":\"ping\",\"v\":9}").unwrap();
+    assert_eq!(str_member(&resp, "error"), Some("unsupported-version"), "{resp}");
+    assert_eq!(u64_member(&resp, "requested"), Some(9));
+    // The connection survives both rejects.
+    let pong = client.request(&Request::Ping.encode()).unwrap();
+    assert!(pong.contains("\"pong\":true"), "{pong}");
+    server.shutdown();
 }
 
 #[test]

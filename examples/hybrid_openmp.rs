@@ -26,36 +26,39 @@ use bgp::postproc::{ddr_traffic_bytes_per_node, Frame};
 const POINTS_PER_NODE: usize = 1 << 17; // 128 Ki points ≈ 3 MB of state
 const SWEEPS: usize = 10;
 
-fn jacobi(ctx: &mut RankCtx, points_per_rank: usize) {
+async fn jacobi(mut ctx: RankCtx, points_per_rank: usize) -> (RankCtx, ()) {
     let n = points_per_rank;
     let mut u = ctx.alloc::<f64>(n);
     let mut v = ctx.alloc::<f64>(n);
     for i in 0..n {
-        ctx.st(&mut u, i, (i % 97) as f64);
+        ctx.st(&mut u, i, (i % 97) as f64).await;
     }
     for _ in 0..SWEEPS {
         // Threads split the sweep; each works on its own contiguous
         // stripe through its own core's L1/L2.
-        ctx.omp_for(n, |ctx, range| {
+        for (t, range) in ctx.omp_chunks(n) {
+            ctx.set_thread(t);
             for i in range {
-                let um = if i > 0 { ctx.ld(&u, i - 1) } else { 0.0 };
-                let u0 = ctx.ld(&u, i);
-                let up = if i + 1 < n { ctx.ld(&u, i + 1) } else { 0.0 };
+                let um = if i > 0 { ctx.ld(&u, i - 1).await } else { 0.0 };
+                let u0 = ctx.ld(&u, i).await;
+                let up = if i + 1 < n { ctx.ld(&u, i + 1).await } else { 0.0 };
                 if i % 2 == 0 {
                     let plan = ctx.plan_pair(true);
                     ctx.fp_pair(plan, SemOp::Add);
                     ctx.fp_pair(plan, SemOp::MulAdd);
                 }
-                ctx.st(&mut v, i, (um + up + 2.0 * u0) * 0.25);
+                ctx.st(&mut v, i, (um + up + 2.0 * u0) * 0.25).await;
             }
             ctx.overhead((n / ctx.threads()) as u64);
-        });
+        }
+        ctx.omp_join();
         std::mem::swap(&mut u, &mut v);
         // Rank-level sync each sweep, like a halo exchange would impose.
-        ctx.barrier();
+        ctx.barrier().await;
     }
     // Sanity: values stay bounded (the operator averages).
     assert!(u.raw(n / 2).is_finite());
+    (ctx, ())
 }
 
 fn main() {

@@ -14,14 +14,14 @@ use bgp::counters::{run_instrumented, WHOLE_PROGRAM_SET};
 use bgp::mpi::{CounterPolicy, JobSpec, Machine, SemOp};
 use bgp::postproc::{fp_mix, mflops_per_core, Frame, MixCategory};
 
-fn matmul(ctx: &mut bgp::mpi::RankCtx) {
+async fn matmul(mut ctx: bgp::mpi::RankCtx) -> (bgp::mpi::RankCtx, ()) {
     let n = 64;
     let mut a = ctx.alloc::<f64>(n * n);
     let mut b = ctx.alloc::<f64>(n * n);
     let mut c = ctx.alloc::<f64>(n * n);
     for i in 0..n * n {
-        ctx.st(&mut a, i, (i % 17) as f64);
-        ctx.st(&mut b, i, (i % 11) as f64);
+        ctx.st(&mut a, i, (i % 17) as f64).await;
+        ctx.st(&mut b, i, (i % 11) as f64).await;
     }
     for i in 0..n {
         for j in 0..n {
@@ -31,16 +31,17 @@ fn matmul(ctx: &mut bgp::mpi::RankCtx) {
             let mut k = 0;
             while k < n {
                 let plan = ctx.plan_pair(true);
-                let (a0, a1) = ctx.ld2(&a, i * n + k, plan);
-                let (b0, b1) = ctx.ld2(&b, j * n + k, plan);
+                let (a0, a1) = ctx.ld2(&a, i * n + k, plan).await;
+                let (b0, b1) = ctx.ld2(&b, j * n + k, plan).await;
                 ctx.fp_pair(plan, SemOp::MulAdd);
                 acc += a0 * b0 + a1 * b1;
                 k += 2;
             }
-            ctx.st(&mut c, i * n + j, acc);
+            ctx.st(&mut c, i * n + j, acc).await;
             ctx.overhead(n as u64);
         }
     }
+    (ctx, ())
 }
 
 fn run_with(compile: CompileOpts) -> (Frame, u64) {

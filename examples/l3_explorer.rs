@@ -18,20 +18,20 @@ use bgp::postproc::{ddr_traffic_bytes_per_node, l3_miss_ratio, Frame};
 
 /// The user application: a tiled out-of-place transpose of a matrix that
 /// is larger than any single cache level.
-fn transpose_workload(ctx: &mut bgp::mpi::RankCtx) {
+async fn transpose_workload(mut ctx: bgp::mpi::RankCtx) -> (bgp::mpi::RankCtx, ()) {
     let n = 384; // 384×384 doubles ≈ 1.1 MB per matrix per rank
     let tile = 16;
     let mut a = ctx.alloc::<f64>(n * n);
     let mut b = ctx.alloc::<f64>(n * n);
     for i in 0..n * n {
-        ctx.st(&mut a, i, i as f64);
+        ctx.st(&mut a, i, i as f64).await;
     }
     for ti in (0..n).step_by(tile) {
         for tj in (0..n).step_by(tile) {
             for i in ti..ti + tile {
                 for j in tj..tj + tile {
-                    let v = ctx.ld(&a, i * n + j);
-                    ctx.st(&mut b, j * n + i, v);
+                    let v = ctx.ld(&a, i * n + j).await;
+                    ctx.st(&mut b, j * n + i, v).await;
                 }
             }
             ctx.overhead((tile * tile) as u64);
@@ -39,6 +39,7 @@ fn transpose_workload(ctx: &mut bgp::mpi::RankCtx) {
     }
     // Verify a few entries.
     assert_eq!(b.raw(5 * n + 7), (7 * n + 5) as f64);
+    (ctx, ())
 }
 
 fn main() {

@@ -20,61 +20,62 @@ fn main() {
     let machine = Machine::new(spec);
 
     // The "application": plain MPI code, unaware of any counters.
-    let (_, lib) = run_instrumented(&machine, |ctx| {
+    let (_, lib) = run_instrumented(&machine, |mut ctx| async move {
         let n = 1 << 12;
         let steps = 20;
         let mut u = ctx.alloc::<f64>(n + 2); // +2 halo cells
         for i in 1..=n {
-            ctx.st(&mut u, i, if ctx.rank() == 0 && i == 1 { 1000.0 } else { 0.0 });
+            ctx.st(&mut u, i, if ctx.rank() == 0 && i == 1 { 1000.0 } else { 0.0 }).await;
         }
         let (rank, size) = (ctx.rank(), ctx.size());
         for _step in 0..steps {
             // Halo exchange with the neighbours.
             if rank + 1 < size {
-                let edge = ctx.ld(&u, n);
-                ctx.send(rank + 1, 1, f64s_to_bytes(&[edge]));
+                let edge = ctx.ld(&u, n).await;
+                ctx.send(rank + 1, 1, f64s_to_bytes(&[edge])).await;
             }
             if rank > 0 {
-                let v = bytes_to_f64s(&ctx.recv(Some(rank - 1), 1))[0];
-                ctx.st(&mut u, 0, v);
-                let edge = ctx.ld(&u, 1);
-                ctx.send(rank - 1, 2, f64s_to_bytes(&[edge]));
+                let v = bytes_to_f64s(&ctx.recv(Some(rank - 1), 1).await)[0];
+                ctx.st(&mut u, 0, v).await;
+                let edge = ctx.ld(&u, 1).await;
+                ctx.send(rank - 1, 2, f64s_to_bytes(&[edge])).await;
             }
             if rank + 1 < size {
-                let v = bytes_to_f64s(&ctx.recv(Some(rank + 1), 2))[0];
-                ctx.st(&mut u, n + 1, v);
+                let v = bytes_to_f64s(&ctx.recv(Some(rank + 1), 2).await)[0];
+                ctx.st(&mut u, n + 1, v).await;
             }
             // Zero-flux (reflective) physical boundaries so total heat is
             // conserved and the verification below can check it.
             if rank == 0 {
-                let v = ctx.ld(&u, 1);
-                ctx.st(&mut u, 0, v);
+                let v = ctx.ld(&u, 1).await;
+                ctx.st(&mut u, 0, v).await;
             }
             if rank + 1 == size {
-                let v = ctx.ld(&u, n);
-                ctx.st(&mut u, n + 1, v);
+                let v = ctx.ld(&u, n).await;
+                ctx.st(&mut u, n + 1, v).await;
             }
             // Diffusion step (vectorizable stencil).
             let mut next = ctx.alloc::<f64>(n + 2);
             for i in 1..=n {
-                let um = ctx.ld(&u, i - 1);
-                let u0 = ctx.ld(&u, i);
-                let up = ctx.ld(&u, i + 1);
+                let um = ctx.ld(&u, i - 1).await;
+                let u0 = ctx.ld(&u, i).await;
+                let up = ctx.ld(&u, i + 1).await;
                 if i % 2 == 0 {
                     let plan = ctx.plan_pair(true);
                     ctx.fp_pair(plan, SemOp::Add);
                     ctx.fp_pair(plan, SemOp::MulAdd);
                 }
-                ctx.st(&mut next, i, u0 + 0.25 * (um - 2.0 * u0 + up));
+                ctx.st(&mut next, i, u0 + 0.25 * (um - 2.0 * u0 + up)).await;
             }
             ctx.overhead(n as u64);
             u = next;
-            ctx.barrier();
+            ctx.barrier().await;
         }
         // Total heat must be conserved: verify via all-reduce.
         let local: f64 = (1..=n).map(|i| u.raw(i)).sum();
-        let total = ctx.allreduce_sum_f64(&[local])[0];
+        let total = ctx.allreduce_sum_f64(&[local]).await[0];
         assert!((total - 1000.0).abs() < 1e-6, "heat not conserved: {total}");
+        (ctx, ())
     });
 
     // Fig. 5's right half: dumps -> post-processing -> csv/metrics.

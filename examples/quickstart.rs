@@ -22,7 +22,8 @@ fn main() {
     // core 0's pipeline, FPU and L1/L2 events.
     let machine = Machine::new(JobSpec::new(1, OpMode::Smp1));
 
-    let job = machine.run(|ctx| {
+    let job = machine.run(|mut ctx| async move {
+        let ctx = &mut ctx;
         // BGP_Initialize — the builder programs the UPC. The counter
         // mode is a per-job choice, so it rides on the builder instead
         // of the JobSpec.
@@ -41,18 +42,18 @@ fn main() {
         let mut x = s.alloc::<f64>(n);
         let mut y = s.alloc::<f64>(n);
         for i in 0..n {
-            s.st(&mut x, i, i as f64);
-            s.st(&mut y, i, 1.0);
+            s.st(&mut x, i, i as f64).await;
+            s.st(&mut y, i, 1.0).await;
         }
         let mut i = 0;
         while i + 1 < n {
             // The modeled compiler decides whether this pair becomes one
             // SIMD FMA + quadword loads or two scalar FMAs.
             let plan = s.plan_pair(true);
-            let (x0, x1) = s.ld2(&x, i, plan);
-            let (y0, y1) = s.ld2(&y, i, plan);
+            let (x0, x1) = s.ld2(&x, i, plan).await;
+            let (y0, y1) = s.ld2(&y, i, plan).await;
             s.fp_pair(plan, SemOp::MulAdd);
-            s.st2(&mut y, i, (a * x0 + y0, a * x1 + y1), plan);
+            s.st2(&mut y, i, (a * x0 + y0, a * x1 + y1), plan).await;
             i += 2;
         }
         s.overhead(n as u64);

@@ -35,7 +35,10 @@ fn main() {
     });
 
     let m2 = machine.clone();
-    machine.run(move |ctx| {
+    machine.run(move |mut ctx| {
+        let m2 = m2.clone();
+        async move {
+        let ctx = &mut ctx;
         let n = 1 << 16; // 64Ki doubles = 512 KB, far beyond L1
         let v = ctx.alloc::<f64>(n);
         let mut layout_bad = true;
@@ -49,7 +52,7 @@ fn main() {
             } else {
                 pos = (pos + 1) % n;
             }
-            let _ = ctx.ld(&v, pos);
+            let _ = ctx.ld(&v, pos).await;
             touched += 1;
             // Poll the interrupt queue every once in a while, like a
             // monitoring thread woken by the UPC interrupt line.
@@ -70,6 +73,7 @@ fn main() {
         }
         let switched_at = switched_at.expect("the stride walk must trip the threshold");
         println!("switched to streaming layout after {switched_at} accesses");
+        }
     });
 
     // Inspect the final state through the memory-mapped register file,

@@ -96,6 +96,12 @@ echo "==> counter service load gate (quick scale: 2k requests, byte-identical re
 BGP_RESULTS_DIR="$trace_dir" BGP_BENCH_DIR="$trace_dir" \
     target/release/fig_ext_service --quick --gate
 
+echo "==> full-machine scaling gate (73,728 nodes / 294,912 ranks, <= 10 KB/rank)"
+# Runs at Default scale so the 73k-node smoke actually executes and the
+# committed BENCH_fullmachine.json records the acceptance numbers; the
+# bin itself asserts verification and the per-rank RSS budget (~10 s).
+BGP_RESULTS_DIR="$trace_dir" target/release/fig_ext_fullmachine
+
 echo "==> snapshot overhead gate (checkpoint every 64 phases < 5%, Default scale)"
 # Runs at Default scale (MG class A) so the committed BENCH_snapshot.json
 # records the acceptance-criterion numbers; ~1 min.

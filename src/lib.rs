@@ -33,14 +33,18 @@
 //! calls do not compile. One unified [`Error`]/[`Result`] covers the
 //! whole workspace (every crate already reports through it).
 //!
+//! Kernels are `async`: every blocking point (memory walk, message,
+//! collective) is an explicit `.await` suspension, so a fixed worker
+//! pool can multiplex any number of ranks without one OS thread each.
+//!
 //! ```
 //! use bgp::{JobSpec, Machine, Session};
 //! use bgp::arch::OpMode;
 //! use bgp::mpi::SemOp;
 //!
 //! let machine = Machine::new(JobSpec::new(2, OpMode::VirtualNode));
-//! let dumps = machine.run(|ctx| -> bgp::Result<_> {
-//!     let mut session = Session::builder(ctx).build()?.start(0)?;
+//! let dumps = machine.run(|mut ctx| async move {
+//!     let mut session = Session::builder(&mut ctx).build()?.start(0)?;
 //!     session.fp1(SemOp::MulAdd); // the measured region
 //!     session.stop()?.finalize()
 //! });
@@ -51,10 +55,13 @@
 //! ## Migrating from the four-call API
 //!
 //! The free-standing `bgp_initialize` / `bgp_start` / `bgp_stop` /
-//! `bgp_finalize` quadruple on [`counters::CounterLibrary`] is
-//! deprecated; each call maps onto one session transition:
+//! `bgp_finalize` quadruple on [`counters::CounterLibrary`] has been
+//! **removed**; the typestate [`Session`] and the rank-execution entry
+//! points (`Machine::run`, `counters::run_instrumented`,
+//! `counters::supervisor::supervise`) are the only public ways in.
+//! Each old call maps onto one session transition:
 //!
-//! | Before (deprecated)            | After                                   |
+//! | Before (removed)               | After                                   |
 //! |--------------------------------|-----------------------------------------|
 //! | `CounterLibrary::new(machine)` | *(implicit — sessions share the per-machine library)* |
 //! | `lib.bgp_initialize(ctx)?`     | `let s = Session::builder(ctx).build()?` |
@@ -63,6 +70,11 @@
 //! | `lib.bgp_stop(ctx, set)?`      | `let s = s.stop()?` *(set id from the typestate)* |
 //! | `lib.bgp_finalize(ctx)?`       | `let dump = s.finalize()?`               |
 //! | `lib.dumps()?`                 | `dump.dumps()?`                          |
+//!
+//! Whole-program instrumentation (the paper's "link the instrumented
+//! MPI library" flow) is `counters::run_instrumented(&machine, |ctx| ...)`,
+//! whose kernel takes the [`RankCtx`] by value and hands it back:
+//! `move |ctx| kernel.exec(class, ctx)`.
 //!
 //! What used to be runtime protocol errors — start before initialize,
 //! nested sets, mismatched stop, finalize with an open set — are now

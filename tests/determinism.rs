@@ -43,7 +43,7 @@ fn run(kernel: Kernel, ranks: usize, threads: usize, seed: u64) -> (Vec<Vec<u8>>
     spec.sim_threads = Some(threads);
     spec.faults = Some(timing_faults(seed, spec.nodes()));
     let machine = Machine::new(spec);
-    let (out, lib) = run_instrumented(&machine, move |ctx| kernel.run(ctx, Class::S));
+    let (out, lib) = run_instrumented(&machine, move |ctx| kernel.exec(Class::S, ctx));
     assert!(out.iter().all(|r| r.verified), "{kernel} failed verification");
     let dumps = (0..machine.num_nodes())
         .map(|n| lib.encoded_dump(n).expect("node finalized"))
@@ -109,7 +109,7 @@ fn run_traced(
     spec.trace =
         Some(TraceConfig { sample_every: 8, sample_slots: vec![0, 1, 2], ..Default::default() });
     let machine = Machine::new(spec);
-    let (out, _lib) = run_instrumented(&machine, move |ctx| kernel.run(ctx, class));
+    let (out, _lib) = run_instrumented(&machine, move |ctx| kernel.exec(class, ctx));
     assert!(out.iter().all(|r| r.verified), "{kernel} failed verification");
     let trace = machine.job_trace().expect("tracing enabled");
     assert!(trace.total_events() > 0, "traced run recorded nothing");
@@ -146,6 +146,46 @@ fn mg_traces_are_thread_count_invariant() {
 #[ignore = "class A is slow; CI opts in with -- --ignored"]
 fn mg_class_a_traces_are_thread_count_invariant() {
     assert_trace_thread_invariant(Kernel::Mg, Class::A, 16, &[1, 7, 42]);
+}
+
+/// Cheap probe for the large-rank smoke: a few FP events, one global
+/// collective and a barrier per rank — the multiplexed runtime at
+/// thousands of ranks without NAS-sized per-rank state.
+async fn probe_rank(mut ctx: bgp::RankCtx) -> (bgp::RankCtx, bool) {
+    use bgp::mpi::SemOp;
+    for _ in 0..8 {
+        ctx.fp1(SemOp::MulAdd);
+    }
+    let n = ctx.size() as f64;
+    let sum = ctx.allreduce_sum_f64(&[ctx.rank() as f64]).await;
+    ctx.barrier().await;
+    let ok = sum[0] == n * (n - 1.0) / 2.0;
+    (ctx, ok)
+}
+
+fn run_probe(ranks: usize, threads: usize, seed: u64) -> (Vec<Vec<u8>>, u64) {
+    let mut spec = JobSpec::new(ranks, OpMode::VirtualNode);
+    spec.sim_threads = Some(threads);
+    spec.faults = Some(timing_faults(seed, spec.nodes()));
+    let machine = Machine::new(spec);
+    let (out, lib) = run_instrumented(&machine, probe_rank);
+    assert!(out.iter().all(|&ok| ok), "probe rank-sum failed");
+    let dumps = (0..machine.num_nodes())
+        .map(|n| lib.encoded_dump(n).expect("node finalized"))
+        .collect();
+    (dumps, machine.job_cycles())
+}
+
+/// The large-rank smoke: 4,096 VNM ranks (1,024 nodes), every rank a
+/// resumable state machine over the fixed worker pool, byte-identical
+/// dumps across `BGP_SIM_THREADS` ∈ {1, 4} under timing faults.
+#[test]
+fn large_rank_dumps_are_thread_count_invariant() {
+    let (serial, serial_cycles) = run_probe(4096, 1, 42);
+    let (par, par_cycles) = run_probe(4096, 4, 42);
+    assert_eq!(serial_cycles, par_cycles, "job cycles differ at 4 threads");
+    assert_eq!(serial.len(), 1024);
+    assert_eq!(serial, par, "dumps not byte-identical at 4 threads");
 }
 
 /// Stress test for the phase-merge path (loom is not available in this

@@ -14,7 +14,7 @@ fn job(kernel: Kernel, ranks: usize, policy: CounterPolicy) -> (Frame, u64) {
     let mut spec = JobSpec::new(ranks, OpMode::VirtualNode);
     spec.counter_policy = policy;
     let machine = Machine::new(spec);
-    let (out, lib) = run_instrumented(&machine, move |ctx| kernel.run(ctx, Class::S));
+    let (out, lib) = run_instrumented(&machine, move |ctx| kernel.exec(Class::S, ctx));
     assert!(out.iter().all(|r| r.verified), "{kernel} failed verification");
     let frame = Frame::from_dumps(&lib.dumps().unwrap(), WHOLE_PROGRAM_SET).unwrap();
     (frame, machine.job_cycles())
@@ -70,11 +70,11 @@ fn instrumentation_perturbation_is_negligible() {
     let mut spec = JobSpec::new(4, OpMode::VirtualNode);
     spec.counter_policy = CounterPolicy::Fixed(CounterMode::Mode0);
     let bare = Machine::new(spec.clone());
-    bare.run(move |ctx| kernel.run(ctx, Class::S));
+    bare.run(move |ctx| kernel.exec(Class::S, ctx));
     let bare_cycles = bare.job_cycles();
 
     let instrumented = Machine::new(spec);
-    let (_, _lib) = run_instrumented(&instrumented, move |ctx| kernel.run(ctx, Class::S));
+    let (_, _lib) = run_instrumented(&instrumented, move |ctx| kernel.exec(Class::S, ctx));
     let instr_cycles = instrumented.job_cycles();
 
     let overhead = instr_cycles as f64 / bare_cycles as f64 - 1.0;
@@ -95,7 +95,8 @@ fn per_region_sets_isolate_phases() {
     let mut spec = JobSpec::new(1, OpMode::Smp1);
     spec.counter_policy = CounterPolicy::Fixed(CounterMode::Mode0);
     let machine = Machine::new(spec);
-    let job = machine.run(|ctx| {
+    let job = machine.run(|mut ctx| async move {
+        let ctx = &mut ctx;
         let s = Session::builder(ctx).build().unwrap();
         // Phase 1: pure FP.
         let mut s1 = s.start(1).unwrap();
@@ -107,7 +108,7 @@ fn per_region_sets_isolate_phases() {
         let mut s2 = s.start(2).unwrap();
         let mut v = s2.alloc::<f64>(256);
         for i in 0..256 {
-            s2.st(&mut v, i, 0.0);
+            s2.st(&mut v, i, 0.0).await;
         }
         s2.stop().unwrap().finalize().unwrap()
     });

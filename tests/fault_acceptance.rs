@@ -42,7 +42,7 @@ fn run_mg(plan: Option<Arc<FaultPlan>>) -> (Arc<CounterLibrary>, usize) {
     spec.faults = plan;
     let nodes = spec.nodes();
     let machine = Machine::new(spec);
-    let (results, lib) = run_instrumented(&machine, |ctx| Kernel::Mg.run(ctx, Class::S));
+    let (results, lib) = run_instrumented(&machine, move |ctx| Kernel::Mg.exec(Class::S, ctx));
     assert!(
         results.iter().all(|r| r.verified),
         "faults perturb timing and counters, never the numerics"

@@ -51,7 +51,7 @@ fn export_kernels(dir: &Path, kernels: &[Kernel]) -> Vec<std::path::PathBuf> {
             }
             let machine = Machine::new(spec);
             let (out, lib) =
-                run_instrumented(&machine, move |ctx| kernel.run(ctx, Class::S));
+                run_instrumented(&machine, move |ctx| kernel.exec(Class::S, ctx));
             assert!(out.iter().all(|r| r.verified), "{kernel} failed verification");
             let tag = format!(
                 "{kernel}_{}{}",

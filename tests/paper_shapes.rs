@@ -29,7 +29,7 @@ fn run(
     spec.machine = machine_cfg;
     spec.counter_policy = policy;
     let machine = Machine::new(spec);
-    let (out, lib) = run_instrumented(&machine, move |ctx| kernel.run(ctx, class));
+    let (out, lib) = run_instrumented(&machine, move |ctx| kernel.exec(class, ctx));
     assert!(out.iter().all(|r| r.verified));
     Run {
         frame: Frame::from_dumps(&lib.dumps().unwrap(), WHOLE_PROGRAM_SET).unwrap(),

@@ -81,7 +81,7 @@ fn run_mg(spec: JobSpec, class: Class, snap: Option<Snapshot>) -> Vec<(String, V
     if let Some(snap) = snap {
         machine.resume(snap).expect("snapshot accepted");
     }
-    let (out, lib) = run_instrumented(&machine, move |ctx| Kernel::Mg.run(ctx, class));
+    let (out, lib) = run_instrumented(&machine, move |ctx| Kernel::Mg.exec(class, ctx));
     assert!(out.iter().all(|r| r.verified), "MG failed verification");
     observe(&machine, &lib)
 }
@@ -167,6 +167,77 @@ fn resume_is_byte_identical_across_threads_and_seeds() {
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+/// Kernel with heterogeneous suspension points: each rank ping-pongs
+/// with a partner — half the ranks parked in `recv` while the other
+/// half are past their matching `send` — before joining a global
+/// collective. A snapshot taken at an interior phase boundary
+/// therefore lands while the rank state machines sit at *different*
+/// awaits of the same job, the adversarial case for checkpointing the
+/// multiplexed runtime.
+async fn staggered_rank(mut ctx: bgp::RankCtx) -> (bgp::RankCtx, bool) {
+    let (rank, size) = (ctx.rank(), ctx.size());
+    let partner = rank ^ 1;
+    let mut acc = 0.0f64;
+    for _round in 0..4 {
+        if rank % 2 == 0 {
+            ctx.send(partner, 1, vec![rank as u8; 8]).await;
+            acc += ctx.recv(Some(partner), 2).await.len() as f64;
+        } else {
+            acc += ctx.recv(Some(partner), 1).await.len() as f64;
+            ctx.send(partner, 2, vec![rank as u8; 8]).await;
+        }
+        ctx.barrier().await;
+    }
+    let sum = ctx.allreduce_sum_f64(&[acc]).await;
+    ctx.barrier().await;
+    let ok = sum[0] == size as f64 * 32.0;
+    (ctx, ok)
+}
+
+/// Snapshot/resume with suspended ranks mid-phase: checkpoint every
+/// phase boundary of the staggered job, then resume from each snapshot
+/// (on 4 sim threads, for extra schedule adversity) and demand byte
+/// identity with the uninterrupted run.
+#[test]
+fn resume_with_ranks_suspended_mid_phase_is_byte_identical() {
+    let dir = tempdir("midphase");
+    let mut ref_spec = spec(1, Some(42));
+    ref_spec.checkpoint = Some(CheckpointConfig {
+        every: 1,
+        dir: dir.clone(),
+        retain: RETAIN_ALL,
+    });
+    let machine = Machine::new(ref_spec);
+    let (out, lib) = run_instrumented(&machine, staggered_rank);
+    assert!(out.iter().all(|&ok| ok), "staggered kernel failed verification");
+    let reference = observe(&machine, &lib);
+
+    let store = SnapshotStore::new(&dir, RETAIN_ALL);
+    let files = store.list().expect("list snapshots");
+    assert!(
+        files.len() >= 3,
+        "staggered job must cross several phase boundaries, got {}",
+        files.len()
+    );
+    for path in &files {
+        let snap = Snapshot::decode(&std::fs::read(path).unwrap()).expect("snapshot decodes");
+        let phase = snap.phase;
+        let machine = Machine::new(spec(4, Some(42)));
+        machine.resume(snap).expect("snapshot accepted");
+        let (out, lib) = run_instrumented(&machine, staggered_rank);
+        assert!(
+            out.iter().all(|&ok| ok),
+            "resume from phase {phase}: rank verification failed"
+        );
+        assert_same(
+            &observe(&machine, &lib),
+            &reference,
+            &format!("mid-phase resume from phase {phase}"),
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Damaged snapshot files must never resume: every corruption is
@@ -270,7 +341,7 @@ fn supervisor_recovers_injected_kill() {
         inject_kill_at_phase: Some(20),
         ..Default::default()
     };
-    let run = supervise(&job, &cfg, |ctx| Kernel::Mg.run(ctx, Class::S)).expect("recovers");
+    let run = supervise(&job, &cfg, move |ctx| Kernel::Mg.exec(Class::S, ctx)).expect("recovers");
     assert_eq!(run.attempts.len(), 2, "kill then one successful retry");
     assert!(
         run.attempts[1].resumed_from.is_some(),

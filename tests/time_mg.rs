@@ -15,7 +15,7 @@ fn time_mg_class_a_16() {
     for _ in 0..2 {
         let machine = Machine::new(JobSpec::new(16, OpMode::VirtualNode));
         let t0 = Instant::now();
-        let (out, _lib) = run_instrumented(&machine, |ctx| Kernel::Mg.run(ctx, Class::A));
+        let (out, _lib) = run_instrumented(&machine, move |ctx| Kernel::Mg.exec(Class::A, ctx));
         assert!(out.iter().all(|r| r.verified));
         best = best.min(t0.elapsed().as_secs_f64());
     }
