@@ -2,11 +2,21 @@
 //!
 //! ```text
 //! bgpc-run --out DIR [--kernel mg] [--class s] [--ranks 8] [--mode vnm]
+//!          [--policy fixed0|fixed1|fixed2|fixed3|evenodd|mux[:dwell]]
 //!          [--threads N] [--trace]
 //!          [--checkpoint-every N] [--checkpoint-dir DIR] [--retain N]
 //!          [--resume DIR] [--crash-at-phase N]
 //!          [--wall-budget-ms N] [--cycle-budget N] [--max-retries N]
 //! ```
+//!
+//! `--policy` selects the counter instrumentation policy: a fixed
+//! counter mode on every node, the paper's even/odd split (the
+//! default), or adaptive multiplexing (`mux`, optionally with a
+//! baseline dwell in phases, e.g. `mux:8`). The policy is recorded in
+//! `run.json`, and multiplexed runs additionally record the rotation
+//! schedule summary (rotations, interrupt-driven dwell extensions,
+//! early rotations, per-mode phase and cycle occupancy) so
+//! post-processing can audit the schedule that produced the dumps.
 //!
 //! The job runs under [`bgp_core::supervisor::supervise`]: wall-clock
 //! and simulated-cycle budgets, watchdog kills, and bounded
@@ -22,10 +32,12 @@
 //! `phases.csv` timeline exports.
 
 use bgp_arch::cli::ArgParser;
+use bgp_arch::events::CounterMode;
 use bgp_arch::OpMode;
 use bgp_bench::RunConfig;
 use bgp_core::supervisor::{supervise, AttemptOutcome, SupervisorConfig};
 use bgp_mpi::machine::CheckpointConfig;
+use bgp_mpi::CounterPolicy;
 use bgp_nas::{Class, Kernel};
 use bgp_serve::proto::{parse_class, parse_kernel, parse_mode, workload_tag};
 use bgp_trace::TraceConfig;
@@ -39,6 +51,7 @@ struct Args {
     class: Class,
     ranks: usize,
     mode: OpMode,
+    policy: Option<CounterPolicy>,
     threads: Option<usize>,
     trace: bool,
     checkpoint_every: Option<u64>,
@@ -52,9 +65,49 @@ struct Args {
 }
 
 const USAGE: &str = "usage: bgpc-run --out DIR [--kernel mg|ft|ep|cg|is|lu|sp|bt] \
-[--class s|w|a] [--ranks N] [--mode smp1|smp4|dual|vnm] [--threads N] [--trace] \
+[--class s|w|a] [--ranks N] [--mode smp1|smp4|dual|vnm] \
+[--policy fixed0|fixed1|fixed2|fixed3|evenodd|mux[:dwell]] [--threads N] [--trace] \
 [--checkpoint-every N] [--checkpoint-dir DIR] [--retain N] [--resume DIR] \
 [--crash-at-phase N] [--wall-budget-ms N] [--cycle-budget N] [--max-retries N]";
+
+/// Baseline dwell (phases per mode) a bare `--policy mux` uses — the
+/// value the validation suite's reconstruction gate is tuned at.
+const DEFAULT_MUX_DWELL: u32 = 12;
+
+fn parse_policy(s: &str) -> Option<CounterPolicy> {
+    let mode = |i: usize| CounterMode::from_index(i).expect("mode index in range");
+    match s {
+        "fixed0" => Some(CounterPolicy::Fixed(mode(0))),
+        "fixed1" => Some(CounterPolicy::Fixed(mode(1))),
+        "fixed2" => Some(CounterPolicy::Fixed(mode(2))),
+        "fixed3" => Some(CounterPolicy::Fixed(mode(3))),
+        "evenodd" => Some(CounterPolicy::EvenOdd { even: mode(0), odd: mode(1) }),
+        "mux" => Some(CounterPolicy::Multiplexed {
+            first: mode(0),
+            base_dwell: DEFAULT_MUX_DWELL,
+        }),
+        other => {
+            let dwell: u32 = other.strip_prefix("mux:")?.parse().ok()?;
+            (dwell > 0).then_some(CounterPolicy::Multiplexed {
+                first: mode(0),
+                base_dwell: dwell,
+            })
+        }
+    }
+}
+
+/// Short tag naming the policy in `run.json` and the stdout summary.
+fn policy_tag(p: &CounterPolicy) -> String {
+    match p {
+        CounterPolicy::Fixed(m) => format!("fixed{}", m.index()),
+        CounterPolicy::EvenOdd { even, odd } => {
+            format!("evenodd({},{})", even.index(), odd.index())
+        }
+        CounterPolicy::Multiplexed { first, base_dwell } => {
+            format!("mux(first={},dwell={base_dwell})", first.index())
+        }
+    }
+}
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -63,6 +116,7 @@ fn parse_args() -> Result<Args, String> {
         class: Class::S,
         ranks: 8,
         mode: OpMode::VirtualNode,
+        policy: None,
         threads: None,
         trace: false,
         checkpoint_every: None,
@@ -85,6 +139,13 @@ fn parse_args() -> Result<Args, String> {
             "--class" => args.class = p.token(&a, "s|w|a", parse_class)?,
             "--ranks" => args.ranks = p.parse(&a)?,
             "--mode" => args.mode = p.token(&a, "smp1|smp4|dual|vnm", parse_mode)?,
+            "--policy" => {
+                args.policy = Some(p.token(
+                    &a,
+                    "fixed0|fixed1|fixed2|fixed3|evenodd|mux[:dwell]",
+                    parse_policy,
+                )?);
+            }
             "--threads" | "--sim-threads" => args.threads = Some(p.parse(&a)?),
             "--trace" => args.trace = true,
             "--checkpoint-every" => args.checkpoint_every = Some(p.parse(&a)?),
@@ -175,6 +236,9 @@ fn main() -> ExitCode {
     spec.workload = Some(workload_tag(run_cfg.kernel, run_cfg.class));
     spec.machine = run_cfg.machine.clone();
     spec.compile = run_cfg.compile;
+    if let Some(policy) = args.policy {
+        spec.counter_policy = policy;
+    }
     spec.sim_threads = args.threads;
     spec.cycle_budget = args.cycle_budget;
     if args.trace {
@@ -232,19 +296,38 @@ fn main() -> ExitCode {
     // one cache entry.
     let cache_key =
         bgp_snapshot::CacheKey { spec: spec.fingerprint(), seed: 0 };
-    let run_json = format!(
+    let mut run_json = format!(
         "{{\n  \"kernel\": \"{}\",\n  \"class\": \"{}\",\n  \"ranks\": {},\n  \
-         \"mode\": \"{}\",\n  \"spec_hash\": \"{:#018x}\",\n  \"seed\": {},\n  \
-         \"job_cycles\": {},\n  \"phases\": {}\n}}\n",
+         \"mode\": \"{}\",\n  \"policy\": \"{}\",\n  \"spec_hash\": \"{:#018x}\",\n  \
+         \"seed\": {},\n  \"job_cycles\": {},\n  \"phases\": {}",
         run_cfg.kernel,
         run_cfg.class,
         run_cfg.ranks,
         run_cfg.mode,
+        policy_tag(&spec.counter_policy),
         cache_key.spec,
         cache_key.seed,
         run.machine.job_cycles(),
         run.machine.phases()
     );
+    // Multiplexed jobs also record the rotation schedule the adaptive
+    // scheduler actually ran, so the dumps' synthetic sets can be
+    // audited without re-running the job.
+    if let Some(mux) = run.machine.mux_summary() {
+        run_json.push_str(&format!(
+            ",\n  \"mux\": {{\"base_dwell\": {}, \"rotations\": {}, \"irq_extends\": {}, \
+             \"early_rotates\": {}, \"irq_drained\": {}, \"occupancy\": {:?}, \
+             \"cycle_occupancy\": {:?}}}",
+            mux.base_dwell,
+            mux.rotations,
+            mux.irq_extends,
+            mux.early_rotates,
+            mux.irq_drained,
+            mux.occupancy,
+            mux.cycle_occupancy
+        ));
+    }
+    run_json.push_str("\n}\n");
     if let Err(e) = std::fs::write(args.out.join("run.json"), run_json) {
         eprintln!("bgpc-run: writing run.json: {e}");
         return ExitCode::FAILURE;
@@ -263,11 +346,12 @@ fn main() -> ExitCode {
 
     let stats = run.machine.snapshot_stats();
     println!(
-        "{} class {} on {} ranks ({}): {} cycles, {} phases, {} attempt(s)",
+        "{} class {} on {} ranks ({}, policy {}): {} cycles, {} phases, {} attempt(s)",
         run_cfg.kernel,
         run_cfg.class,
         run_cfg.ranks,
         run_cfg.mode,
+        policy_tag(&spec.counter_policy),
         run.machine.job_cycles(),
         run.machine.phases(),
         run.attempts.len()

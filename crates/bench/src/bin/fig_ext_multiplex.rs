@@ -1,0 +1,108 @@
+//! Extension: **adaptive multiplexing coverage/cost**. Compares the
+//! classical strategy for full 1024-event coverage — re-running the
+//! application once per counter mode — against a single run under
+//! `CounterPolicy::Multiplexed`, across base dwell settings. Reports
+//! the rotation statistics (rotations, interrupt-driven dwell
+//! extensions, early rotates from derivative collapse), the occupancy
+//! balance across the four modes, and the reconstruction quality of
+//! the multiplexed estimates against simulator ground truth.
+
+use bgp_arch::events::{CounterMode, NUM_MODES};
+use bgp_bench::{measure_with_truth, RunConfig, Scale};
+use bgp_core::dump::NodeDump;
+use bgp_core::WHOLE_PROGRAM_SET;
+use bgp_mpi::CounterPolicy;
+use bgp_nas::Kernel;
+use bgp_postproc::{Csv, ValidationReport};
+
+/// Base dwell settings (phases per rotation quantum) swept per kernel.
+const DWELLS: [u32; 3] = [4, 8, 16];
+
+fn main() {
+    let scale = Scale::from_args();
+    let kernels = [Kernel::Mg, Kernel::Cg];
+
+    let mut csv = Csv::new([
+        "kernel",
+        "base_dwell",
+        "runs_needed",
+        "cycles_fixed_total",
+        "cycles_mux",
+        "rotations",
+        "irq_extends",
+        "early_rotates",
+        "irq_drained",
+        "occ_mode0",
+        "occ_mode1",
+        "occ_mode2",
+        "occ_mode3",
+        "coverage",
+        "mux_median_err",
+    ]);
+
+    for kernel in kernels {
+        let cfg = RunConfig::new(kernel, scale.class(), scale.ranks());
+
+        // Exact baseline: one run per mode, total cost = 4 runs.
+        let mut exact: [Vec<NodeDump>; NUM_MODES] = [vec![], vec![], vec![], vec![]];
+        let mut truth = None;
+        let mut cycles_fixed_total = 0u64;
+        for (m, slot) in exact.iter_mut().enumerate() {
+            let mode = CounterMode::from_index(m).expect("mode index");
+            let r = measure_with_truth(&cfg, CounterPolicy::Fixed(mode), None, None);
+            cycles_fixed_total += r.job_cycles;
+            if truth.is_none() {
+                truth = Some(r.truth);
+            }
+            *slot = r.dumps;
+        }
+        let truth = truth.expect("exact baseline ran");
+
+        for dwell in DWELLS {
+            let policy =
+                CounterPolicy::Multiplexed { first: CounterMode::Mode0, base_dwell: dwell };
+            let mux = measure_with_truth(&cfg, policy, None, None);
+            let summary = mux.mux.expect("multiplexed run has a summary");
+            let label = format!("{kernel} dwell {dwell}");
+            let report = ValidationReport::build(
+                &label,
+                &truth,
+                &exact,
+                &mux.dumps,
+                None,
+                WHOLE_PROGRAM_SET,
+            );
+            csv.row([
+                kernel.name().to_string(),
+                dwell.to_string(),
+                format!("{NUM_MODES}"),
+                cycles_fixed_total.to_string(),
+                mux.job_cycles.to_string(),
+                summary.rotations.to_string(),
+                summary.irq_extends.to_string(),
+                summary.early_rotates.to_string(),
+                summary.irq_drained.to_string(),
+                summary.occupancy[0].to_string(),
+                summary.occupancy[1].to_string(),
+                summary.occupancy[2].to_string(),
+                summary.occupancy[3].to_string(),
+                format!("{:.4}", report.coverage),
+                format!("{:.4}", report.mux_median_err),
+            ]);
+            println!(
+                "{kernel} dwell {dwell}: {} rotations ({} irq-extended, {} early), \
+                 coverage {:.0}%, median err {:.2}%, 1 run vs {NUM_MODES} \
+                 ({} vs {} cycles)",
+                summary.rotations,
+                summary.irq_extends,
+                summary.early_rotates,
+                report.coverage * 100.0,
+                report.mux_median_err * 100.0,
+                mux.job_cycles,
+                cycles_fixed_total,
+            );
+        }
+    }
+
+    bgp_bench::emit("fig_ext_multiplex", &csv);
+}

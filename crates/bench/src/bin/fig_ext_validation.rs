@@ -1,0 +1,249 @@
+//! Extension: **ground-truth event validation**. For MG and CG, run
+//! each counter mode exactly (`Fixed(m)` × 4), once under the adaptive
+//! multiplexing policy, and once multiplexed with injected counter
+//! faults — then check every derivable event against the simulator's
+//! independent bookkeeping (`bgp-fpu` flop classes, per-core
+//! instruction counts, `MemStats` cache/DDR families, the node's
+//! always-on network mirror). Emits the per-event accuracy tables
+//! (CSV), a summary CSV, and `BENCH_validation.json` at Default/Paper
+//! scale.
+//!
+//! `--gate` turns the acceptance criteria into an exit code:
+//!
+//! * every exact-run event matches truth bit-for-bit (0% error),
+//! * the multiplexed run is byte-identical between 1 and 4 simulator
+//!   worker threads (dump bytes compared, not summaries),
+//! * at Default/Paper scale only: the multiplexed reconstruction's
+//!   **median** relative error over significant events stays within
+//!   [`GATE_MUX_MEDIAN`] and the rotation recovers full 1024-event
+//!   coverage. Quick runs are too short for the rotation to sample
+//!   every mode meaningfully (a handful of rotations per node), so
+//!   reconstruction quality is reported but not gated there.
+
+use bgp_arch::events::{CounterMode, NUM_MODES};
+use bgp_bench::{measure_with_truth, RunConfig, Scale};
+use bgp_core::dump::NodeDump;
+use bgp_core::WHOLE_PROGRAM_SET;
+use bgp_faults::{FaultPlan, FaultSpec};
+use bgp_mpi::CounterPolicy;
+use bgp_nas::Kernel;
+use bgp_postproc::ValidationReport;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Median relative reconstruction error allowed over significant events.
+const GATE_MUX_MEDIAN: f64 = 0.05;
+
+/// Rotation baseline dwell (phases) used by the validation runs.
+const BASE_DWELL: u32 = 12;
+
+struct KernelValidation {
+    kernel: Kernel,
+    report: ValidationReport,
+    mux_rotations: u64,
+    thread_invariant: bool,
+    fixed_cycles: u64,
+    mux_cycles: u64,
+}
+
+fn validate_kernel(kernel: Kernel, scale: Scale) -> KernelValidation {
+    let cfg = RunConfig::new(kernel, scale.class(), scale.ranks());
+    let mux_policy =
+        CounterPolicy::Multiplexed { first: CounterMode::Mode0, base_dwell: BASE_DWELL };
+
+    // Exact legs: one Fixed run per mode. Determinism makes the four
+    // runs views of the same execution, so one run's ground truth
+    // stands for all (asserted below).
+    let mut exact: [Vec<NodeDump>; NUM_MODES] = [vec![], vec![], vec![], vec![]];
+    let mut truth = None;
+    let mut fixed_cycles = 0u64;
+    for (m, slot) in exact.iter_mut().enumerate() {
+        let mode = CounterMode::from_index(m).expect("mode index");
+        let r = measure_with_truth(&cfg, CounterPolicy::Fixed(mode), None, None);
+        fixed_cycles += r.job_cycles;
+        match &truth {
+            None => truth = Some(r.truth),
+            Some(t) => assert_eq!(
+                t.len(),
+                r.truth.len(),
+                "fixed runs must see the same machine"
+            ),
+        }
+        *slot = r.dumps;
+    }
+    let truth = truth.expect("at least one exact run");
+
+    // Multiplexed leg, twice: pinned to 1 and 4 workers. The dumps
+    // must be byte-identical — the gate's determinism check.
+    let mux1 = measure_with_truth(&cfg, mux_policy, None, Some(1));
+    let mux4 = measure_with_truth(&cfg, mux_policy, None, Some(4));
+    let thread_invariant = mux1.encoded == mux4.encoded;
+
+    // Fault-degraded leg: every node suffers a counter bit flip as its
+    // window closes.
+    let fault_spec = FaultSpec { counter_bitflip_rate: 1.0, ..FaultSpec::none() };
+    let nodes = mux1.dumps.len();
+    let plan = Arc::new(FaultPlan::new(fault_spec, 7, nodes));
+    let degraded = measure_with_truth(&cfg, mux_policy, Some(plan), None);
+
+    let label = format!("{} class {:?} x {} ranks", kernel, cfg.class, cfg.ranks);
+    let report = ValidationReport::build(
+        &label,
+        &truth,
+        &exact,
+        &mux1.dumps,
+        Some(&degraded.dumps),
+        WHOLE_PROGRAM_SET,
+    );
+    let mux_rotations = mux1.mux.as_ref().map_or(0, |s| s.rotations);
+    KernelValidation {
+        kernel,
+        report,
+        mux_rotations,
+        thread_invariant,
+        fixed_cycles: fixed_cycles / NUM_MODES as u64,
+        mux_cycles: mux1.job_cycles,
+    }
+}
+
+fn emit_per_event(kernel: Kernel, report: &ValidationReport) {
+    let name = format!("fig_ext_validation_{}", kernel.name().to_lowercase());
+    bgp_bench::emit(&name, &report.to_csv());
+}
+
+fn main() -> ExitCode {
+    let scale = Scale::from_args();
+    let gate = std::env::args().any(|a| a == "--gate");
+    let kernels = [Kernel::Mg, Kernel::Cg];
+
+    let mut rows = Vec::new();
+    let mut summary = bgp_postproc::Csv::new([
+        "kernel",
+        "exact_checked",
+        "exact_matches",
+        "mux_median_err",
+        "mux_max_err",
+        "coverage",
+        "rotations",
+        "thread_invariant",
+        "fixed_mode_cycles",
+        "mux_cycles",
+    ]);
+    for kernel in kernels {
+        let v = validate_kernel(kernel, scale);
+        emit_per_event(kernel, &v.report);
+        summary.row([
+            format!("{kernel}"),
+            v.report.exact_checked.to_string(),
+            v.report.exact_matches.to_string(),
+            format!("{:.4}", v.report.mux_median_err),
+            format!("{:.4}", v.report.mux_max_err),
+            format!("{:.4}", v.report.coverage),
+            v.mux_rotations.to_string(),
+            v.thread_invariant.to_string(),
+            v.fixed_cycles.to_string(),
+            v.mux_cycles.to_string(),
+        ]);
+        rows.push(v);
+    }
+    bgp_bench::emit("fig_ext_validation", &summary);
+
+    if scale != Scale::Quick {
+        let mut json = String::from("{\n  \"benchmark\": \"fig_ext_validation (exact / multiplexed-reconstructed / fault-degraded counts vs simulator ground truth)\",\n");
+        json.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+        json.push_str(&format!(
+            "  \"gate\": \"exact events 0% error; mux median relative error <= {GATE_MUX_MEDIAN}; full coverage; thread-invariant dumps\",\n"
+        ));
+        json.push_str("  \"kernels\": [\n");
+        for (i, v) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"exact_checked\": {}, \"exact_matches\": {}, \
+                 \"mux_median_err\": {:.6}, \"mux_max_err\": {:.6}, \"coverage\": {:.4}, \
+                 \"rotations\": {}, \"thread_invariant\": {}, \"fixed_mode_cycles\": {}, \
+                 \"mux_cycles\": {},\n     \"report\": {}}}{}\n",
+                v.kernel,
+                v.report.exact_checked,
+                v.report.exact_matches,
+                v.report.mux_median_err,
+                v.report.mux_max_err,
+                v.report.coverage,
+                v.mux_rotations,
+                v.thread_invariant,
+                v.fixed_cycles,
+                v.mux_cycles,
+                indent_json(&v.report.to_json(), 5),
+                if i + 1 == rows.len() { "" } else { "," },
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        let path = bgp_bench::bench_json_path("BENCH_validation.json");
+        std::fs::write(&path, json).expect("write BENCH_validation.json");
+        println!("==== BENCH_validation.json -> {} ====", path.display());
+    }
+
+    if gate {
+        let full = scale != Scale::Quick;
+        let mut failed = false;
+        for v in &rows {
+            if !v.report.exact_ok() {
+                eprintln!(
+                    "fig_ext_validation: GATE FAILED — {}: {}/{} exact events diverge from ground truth",
+                    v.kernel,
+                    v.report.exact_checked - v.report.exact_matches,
+                    v.report.exact_checked
+                );
+                failed = true;
+            }
+            if !v.thread_invariant {
+                eprintln!(
+                    "fig_ext_validation: GATE FAILED — {}: multiplexed dumps differ between 1 and 4 sim threads",
+                    v.kernel
+                );
+                failed = true;
+            }
+            if full && v.report.mux_median_err > GATE_MUX_MEDIAN {
+                eprintln!(
+                    "fig_ext_validation: GATE FAILED — {}: mux median error {:.4} (limit {GATE_MUX_MEDIAN})",
+                    v.kernel, v.report.mux_median_err
+                );
+                failed = true;
+            }
+            if full && v.report.coverage < 1.0 {
+                eprintln!(
+                    "fig_ext_validation: GATE FAILED — {}: rotation covered {:.1}% of events",
+                    v.kernel,
+                    v.report.coverage * 100.0
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+        if full {
+            println!(
+                "gate ok: exact events 0% error, mux median error within {GATE_MUX_MEDIAN}, full coverage, thread-invariant dumps"
+            );
+        } else {
+            println!(
+                "gate ok: exact events 0% error, thread-invariant dumps (reconstruction quality gated at Default scale)"
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Re-indent a pretty-printed JSON block so it nests inside the outer
+/// document.
+fn indent_json(block: &str, levels: usize) -> String {
+    let pad = "  ".repeat(levels);
+    let mut out = String::new();
+    for (i, line) in block.trim_end().lines().enumerate() {
+        if i > 0 {
+            out.push('\n');
+            out.push_str(&pad);
+        }
+        out.push_str(line);
+    }
+    out
+}

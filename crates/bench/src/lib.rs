@@ -19,13 +19,17 @@
 pub mod figures;
 pub mod microbench;
 
-use bgp_arch::events::CounterMode;
-use bgp_arch::{MachineConfig, OpMode};
+use bgp_arch::events::{CoreEvent, CounterMode, NetEvent, SharedEvent};
+use bgp_arch::{MachineConfig, OpMode, CORES_PER_NODE};
 use bgp_compiler::CompileOpts;
+use bgp_core::dump::NodeDump;
 use bgp_core::{run_instrumented, WHOLE_PROGRAM_SET};
-use bgp_mpi::{CounterPolicy, JobSpec, Machine};
+use bgp_faults::FaultPlan;
+use bgp_fpu::FpOp;
+use bgp_mpi::{CounterPolicy, JobSpec, Machine, MuxSummary};
 use bgp_nas::{Class, Kernel};
-use bgp_postproc::Frame;
+use bgp_node::Node;
+use bgp_postproc::{Frame, NodeTruth, TruthEntry};
 use std::path::PathBuf;
 
 /// Everything that identifies one measured job.
@@ -111,6 +115,200 @@ pub fn measure_memory(cfg: &RunConfig) -> Measured {
 /// Run with mode 3 everywhere: network events.
 pub fn measure_network(cfg: &RunConfig) -> Measured {
     measure(cfg, CounterPolicy::Fixed(CounterMode::Mode3))
+}
+
+/// Outcome of one instrumented run kept at dump granularity, with the
+/// simulator's independent ground truth — the raw material of the
+/// validation harness ([`bgp_postproc::validate`]).
+pub struct TruthMeasured {
+    /// Decoded per-node dumps (synthetic mux sets included when the
+    /// policy rotated).
+    pub dumps: Vec<NodeDump>,
+    /// Encoded dump bytes per node, for byte-identity checks.
+    pub encoded: Vec<Vec<u8>>,
+    /// Independent per-node ground truth read from the machine after
+    /// the run.
+    pub truth: Vec<NodeTruth>,
+    /// Wall-clock cycles of the job (slowest core).
+    pub job_cycles: u64,
+    /// Rotation statistics, when the policy multiplexed.
+    pub mux: Option<MuxSummary>,
+}
+
+/// Run the kernel once under `policy`, keeping dumps, encoded bytes,
+/// and ground truth. `faults` arms the job's fault plan (the degraded
+/// leg of the validation figures); `sim_threads` pins the simulator's
+/// worker pool (results are thread-invariant — pinning lets the
+/// validation gate prove it by byte comparison).
+pub fn measure_with_truth(
+    cfg: &RunConfig,
+    policy: CounterPolicy,
+    faults: Option<std::sync::Arc<FaultPlan>>,
+    sim_threads: Option<usize>,
+) -> TruthMeasured {
+    let mut spec = cfg.spec(policy);
+    spec.faults = faults;
+    if sim_threads.is_some() {
+        spec.sim_threads = sim_threads;
+    }
+    let machine = Machine::new(spec);
+    let kernel = cfg.kernel;
+    let class = cfg.class;
+    let (results, lib) = run_instrumented(&machine, move |ctx| kernel.exec(class, ctx));
+    assert!(
+        results.iter().all(|r| r.verified),
+        "{} class {} on {} ranks failed verification",
+        cfg.kernel,
+        cfg.class,
+        cfg.ranks
+    );
+    let dumps = lib.dumps().expect("all nodes finalized");
+    let encoded = (0..machine.num_nodes())
+        .map(|i| lib.encoded_dump(i).expect("node finalized"))
+        .collect();
+    let truth = ground_truth(&machine);
+    TruthMeasured {
+        dumps,
+        encoded,
+        truth,
+        job_cycles: machine.job_cycles(),
+        mux: machine.mux_summary(),
+    }
+}
+
+/// Read every node's independent ground truth off the machine. Valid
+/// for whole-program instrumentation only: the truth mirrors are
+/// cumulative, so the counting window must have covered all retirement.
+pub fn ground_truth(machine: &Machine) -> Vec<NodeTruth> {
+    (0..machine.num_nodes())
+        .map(|i| machine.with_node(i, |n| node_truth(i as u32, n)))
+        .collect()
+}
+
+fn entry(name: String, events: Vec<bgp_arch::EventId>, truth: u64) -> TruthEntry {
+    TruthEntry { name, events: events.into_iter().map(|e| e.index()).collect(), truth }
+}
+
+/// Every derivable quantity of one node. Per-core instruction, FPU and
+/// stall events have per-event truth; cache/DDR families only exist in
+/// aggregate (`MemStats` is node-level, the L3/DDR events are banked);
+/// mode-3 events check against the node's always-on network mirror.
+/// Slots with no independent source (cycle counters, snoops, L3
+/// allocations, prefetch stream allocations) are not emitted.
+fn node_truth(id: u32, n: &Node) -> NodeTruth {
+    let mut entries = Vec::new();
+    for c in 0..CORES_PER_NODE {
+        let core = n.core(c);
+        let ic = core.instr_counts();
+        let word_loads = ic.loads - ic.load_double - ic.quadload;
+        let word_stores = ic.stores - ic.store_double - ic.quadstore;
+        let per_core: [(CoreEvent, u64); 16] = [
+            (CoreEvent::InstrCompleted, core.instructions()),
+            (CoreEvent::IntOp, ic.int_ops),
+            (CoreEvent::Branch, ic.branches),
+            (CoreEvent::BranchMispredict, ic.mispredicts),
+            // The scalar path reports a 4-byte access on `Load`/`Store`
+            // twice (once as the class, once as the width event).
+            (CoreEvent::Load, ic.loads + word_loads),
+            (CoreEvent::Store, ic.stores + word_stores),
+            (CoreEvent::LoadDouble, ic.load_double),
+            (CoreEvent::StoreDouble, ic.store_double),
+            (CoreEvent::Quadload, ic.quadload),
+            (CoreEvent::Quadstore, ic.quadstore),
+            (CoreEvent::StallMem, core.stall_mem()),
+            (CoreEvent::StallFpu, core.stall_fpu()),
+            (CoreEvent::FpMove, core.fpu().count(FpOp::Move)),
+            (CoreEvent::FpAddSub, core.fpu().count(FpOp::AddSub)),
+            (CoreEvent::FpMult, core.fpu().count(FpOp::Mult)),
+            (CoreEvent::FpDiv, core.fpu().count(FpOp::Div)),
+        ];
+        for (ev, truth) in per_core {
+            let eid = ev.id(c);
+            entries.push(entry(eid.name(), vec![eid], truth));
+        }
+        for (ev, op) in [
+            (CoreEvent::FpFma, FpOp::Fma),
+            (CoreEvent::FpSimdAddSub, FpOp::SimdAddSub),
+            (CoreEvent::FpSimdMult, FpOp::SimdMult),
+            (CoreEvent::FpSimdDiv, FpOp::SimdDiv),
+            (CoreEvent::FpSimdFma, FpOp::SimdFma),
+        ] {
+            let eid = ev.id(c);
+            entries.push(entry(eid.name(), vec![eid], core.fpu().count(op)));
+        }
+    }
+    // Whole-chip FP arithmetic family (the per-class rows above already
+    // pin each weight of the flops formula, so this aggregate plus
+    // those implies `bgp_fpu::Fpu::flops` agreement).
+    let mut flop_events = Vec::new();
+    for c in 0..CORES_PER_NODE {
+        for ev in [
+            CoreEvent::FpAddSub,
+            CoreEvent::FpMult,
+            CoreEvent::FpDiv,
+            CoreEvent::FpFma,
+            CoreEvent::FpSimdAddSub,
+            CoreEvent::FpSimdMult,
+            CoreEvent::FpSimdDiv,
+            CoreEvent::FpSimdFma,
+        ] {
+            flop_events.push(ev.id(c));
+        }
+    }
+    let fp_arith: u64 = (0..CORES_PER_NODE)
+        .map(|c| {
+            let f = n.core(c).fpu();
+            FpOp::ALL
+                .iter()
+                .filter(|&&op| op != FpOp::Move)
+                .map(|&op| f.count(op))
+                .sum::<u64>()
+        })
+        .sum();
+    entries.push(entry("fp_arith_instructions".into(), flop_events, fp_arith));
+    // Node-level memory-hierarchy families.
+    let ms = n.mem_stats();
+    let per_core_family = |ev: CoreEvent| -> Vec<bgp_arch::EventId> {
+        (0..CORES_PER_NODE).map(|c| ev.id(c)).collect()
+    };
+    for (name, ev, truth) in [
+        ("l1d_hits", CoreEvent::L1dHit, ms.l1d_hits),
+        ("l1d_misses", CoreEvent::L1dMiss, ms.l1d_misses),
+        ("l1d_writebacks", CoreEvent::L1dWriteback, ms.l1d_writebacks),
+        ("l1i_hits", CoreEvent::L1iHit, ms.l1i_hits),
+        ("l1i_misses", CoreEvent::L1iMiss, ms.l1i_misses),
+        ("l2_hits", CoreEvent::L2Hit, ms.l2_hits),
+        ("l2_misses", CoreEvent::L2Miss, ms.l2_misses),
+        ("l2_prefetch_hits", CoreEvent::L2PrefetchHit, ms.l2_prefetch_hits),
+        ("l2_prefetches_issued", CoreEvent::L2PrefetchIssued, ms.l2_prefetches_issued),
+    ] {
+        entries.push(entry(name.into(), per_core_family(ev), truth));
+    }
+    for (name, evs, truth) in [
+        ("l3_hits", vec![SharedEvent::L3Hit0, SharedEvent::L3Hit1], ms.l3_hits),
+        ("l3_misses", vec![SharedEvent::L3Miss0, SharedEvent::L3Miss1], ms.l3_misses),
+        (
+            "l3_writebacks",
+            vec![SharedEvent::L3Writeback0, SharedEvent::L3Writeback1],
+            ms.l3_writebacks,
+        ),
+        ("ddr_reads", vec![SharedEvent::DdrRead0, SharedEvent::DdrRead1], ms.ddr_reads),
+        ("ddr_writes", vec![SharedEvent::DdrWrite0, SharedEvent::DdrWrite1], ms.ddr_writes),
+        (
+            "ddr_conflicts",
+            vec![SharedEvent::DdrConflict0, SharedEvent::DdrConflict1],
+            ms.ddr_conflicts,
+        ),
+    ] {
+        entries.push(entry(name.into(), evs.into_iter().map(|e| e.id()).collect(), truth));
+    }
+    // Network events against the node's always-on mode-3 mirror.
+    for &ev in NetEvent::ALL {
+        let eid = ev.id();
+        let truth = n.net_truth()[eid.slot().0 as usize];
+        entries.push(entry(eid.name(), vec![eid], truth));
+    }
+    NodeTruth { node: id, entries }
 }
 
 /// Experiment scale selected on the command line.

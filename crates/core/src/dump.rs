@@ -39,6 +39,55 @@ pub const HEADER_BYTES: usize = 17;
 /// One set record: id + records + 256 counters + per-set checksum.
 pub const SET_RECORD_BYTES: usize = 8 + NUM_COUNTERS * 8 + 8;
 
+/// High bit marking a **synthetic multiplexing set**. Under
+/// [`bgp_mpi::CounterPolicy::Multiplexed`] the node rotates through all
+/// four counter modes, so one user set yields raw counts in every mode.
+/// `BGP_Finalize` emits the primary [`SetDump`] (base-mode counts, id
+/// unchanged) plus four synthetic sets carrying the per-mode blocks:
+/// `id = MUX_SET_BASE | (user_set << 2) | mode`, with `records` holding
+/// the mode's **occupancy** (phases the window spent counting in that
+/// mode) — the weight reconstruction scales by. User set ids must stay
+/// below `2^29` for the encoding to be collision-free.
+pub const MUX_SET_BASE: u32 = 0x8000_0000;
+
+/// Synthetic-set id of `user_set`'s mode-`mode` block (see
+/// [`MUX_SET_BASE`]).
+pub fn mux_set_id(user_set: u32, mode: usize) -> u32 {
+    MUX_SET_BASE | (user_set << 2) | mode as u32
+}
+
+/// Whether `id` names a synthetic multiplexing set.
+pub fn is_mux_set(id: u32) -> bool {
+    id & MUX_SET_BASE != 0
+}
+
+/// Split a synthetic multiplexing set id into `(user_set, mode index)`;
+/// `None` for ordinary set ids.
+pub fn mux_set_parts(id: u32) -> Option<(u32, usize)> {
+    is_mux_set(id).then_some(((id & !MUX_SET_BASE) >> 2, (id & 3) as usize))
+}
+
+/// Bit marking a **multiplexing schedule set**: one synthetic set per
+/// multiplexed user set, `id = MUX_SCHED_BASE | user_set`, whose counts
+/// carry the rotation schedule's weights instead of event counts —
+/// `counts[0..4]` are the window's enabled *cycles* per mode,
+/// `counts[4..8]` the enabled *phases* per mode, the rest zero. Cycle
+/// weights are what reconstruction scales by; phase counts are the
+/// fallback for windows shorter than a phase. Distinct from
+/// [`MUX_SET_BASE`] ids because user set ids stay below `2^29`, so an
+/// ordinary set never has bit 30 set and a mode set always has bit 31.
+pub const MUX_SCHED_BASE: u32 = 0x4000_0000;
+
+/// Schedule-set id of a multiplexed `user_set` (see [`MUX_SCHED_BASE`]).
+pub fn mux_sched_id(user_set: u32) -> u32 {
+    MUX_SCHED_BASE | user_set
+}
+
+/// Whether `id` names a multiplexing schedule set.
+pub fn is_mux_sched(id: u32) -> bool {
+    id & (MUX_SET_BASE | MUX_SCHED_BASE) == MUX_SCHED_BASE
+}
+
 /// Accumulated counter deltas of one instrumentation set.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SetDump {

@@ -39,11 +39,11 @@ pub mod state;
 pub mod supervisor;
 
 use bgp_arch::error::Result;
-use bgp_arch::events::NUM_COUNTERS;
+use bgp_arch::events::{NUM_COUNTERS, NUM_EVENTS, NUM_MODES};
 use bgp_arch::BgpError;
 use bgp_arch::sync::Mutex;
 use bgp_faults::{CounterFault, FaultPlan};
-use bgp_mpi::{CounterPolicy, JobSpec, Machine, RankCtx};
+use bgp_mpi::{CounterPolicy, JobSpec, Machine, MuxMark, RankCtx};
 use bgp_trace::{EventKind, FaultEvent};
 use dump::{NodeDump, RecoveredDump, SetDump};
 use std::collections::BTreeMap;
@@ -74,6 +74,19 @@ struct SetState {
     start_snap: Option<Box<[u64; NUM_COUNTERS]>>,
     accum: Vec<u64>,
     records: u32,
+    /// Continuous mux mark taken at the window's first `BGP_Start`
+    /// (only under [`CounterPolicy::Multiplexed`]).
+    mux_start: Option<MuxMark>,
+    /// Per-event window totals, `[mode * 256 + slot]` — raw counts
+    /// observed while the rotation sat in each mode. Empty when the job
+    /// is not multiplexed.
+    mux_accum: Vec<u64>,
+    /// Phases the closed windows spent counting in each mode.
+    mux_occupancy: [u64; NUM_MODES],
+    /// Job cycles the closed windows spent counting in each mode (the
+    /// occupancy weights reconstruction scales by — phases vary in
+    /// length, cycles are the honest time base).
+    mux_cycles: [u64; NUM_MODES],
 }
 
 #[derive(Default)]
@@ -187,7 +200,13 @@ impl CounterLibrary {
                 });
                 ctx.with_own_node(|n| {
                     let upc = n.upc_mut();
-                    upc.set_mode(mode);
+                    // Under the multiplexed policy the machine owns the
+                    // mode (sentinels armed, rotation advancing it every
+                    // dwell); reprogramming it here would fight the
+                    // rotation engine's notion of the current mode.
+                    if !policy.is_multiplexed() {
+                        upc.set_mode(mode);
+                    }
                     upc.set_enabled(false);
                     upc.clear();
                     upc.set_saturating(saturate);
@@ -224,12 +243,15 @@ impl CounterLibrary {
                         n.upc_mut().set_enabled(true);
                         n.upc().snapshot()
                     });
+                    // Continuous rotation mark (lock order: mux, then
+                    // node — so this must stay outside `with_own_node`).
+                    let mux_start = ctx.machine().mux_mark(node);
                     let s = st.sets.entry(set).or_insert_with(|| SetState {
-                        start_snap: None,
                         accum: vec![0; NUM_COUNTERS],
-                        records: 0,
+                        ..SetState::default()
                     });
                     s.start_snap = Some(Box::new(snap));
+                    s.mux_start = mux_start;
                 }
                 Some(active) if active == set => {
                     st.start_arrivals += 1;
@@ -299,10 +321,47 @@ impl CounterLibrary {
                         n.upc_mut().set_enabled(false);
                         snap
                     });
+                    // The closing rotation mark (outside `with_own_node`:
+                    // lock order is mux, then node). Faults above struck
+                    // the live counters first, so a degraded window is
+                    // degraded in the mux view too.
+                    let mux_stop = ctx.machine().mux_mark(node);
                     let s = st.sets.get_mut(&set).expect("set created at start");
                     let base = s.start_snap.take().expect("start snapshot present");
-                    for i in 0..NUM_COUNTERS {
-                        s.accum[i] = s.accum[i].wrapping_add(snap[i].wrapping_sub(base[i]));
+                    match (s.mux_start.take(), mux_stop) {
+                        (Some(start), Some(stop)) => {
+                            // Multiplexed: the raw snapshot spans
+                            // rotations (counters clear at every mode
+                            // entry), so the window comes from the
+                            // continuous marks instead. The primary
+                            // accumulator gets the base mode's block —
+                            // the mode the dump header advertises.
+                            let (win, occ, cyc) = stop.window_since(&start);
+                            if s.mux_accum.is_empty() {
+                                s.mux_accum = vec![0; NUM_EVENTS];
+                            }
+                            for (a, w) in s.mux_accum.iter_mut().zip(&win) {
+                                *a = a.wrapping_add(*w);
+                            }
+                            for m in 0..NUM_MODES {
+                                s.mux_occupancy[m] =
+                                    s.mux_occupancy[m].saturating_add(occ[m]);
+                                s.mux_cycles[m] = s.mux_cycles[m].saturating_add(cyc[m]);
+                            }
+                            let policy = (*self.policy_override.lock())
+                                .unwrap_or(self.spec.counter_policy);
+                            let off =
+                                policy.mode_for(ctx.node_id()).index() * NUM_COUNTERS;
+                            for i in 0..NUM_COUNTERS {
+                                s.accum[i] = s.accum[i].wrapping_add(win[off + i]);
+                            }
+                        }
+                        _ => {
+                            for i in 0..NUM_COUNTERS {
+                                s.accum[i] =
+                                    s.accum[i].wrapping_add(snap[i].wrapping_sub(base[i]));
+                            }
+                        }
                     }
                     s.records += 1;
                     st.active_set = None;
@@ -339,8 +398,17 @@ impl CounterLibrary {
                         "BGP_Finalize with set {active} still active"
                     )));
                 }
-                let mode = ctx.with_own_node(|n| n.upc().mode());
-                let sets = st
+                // Under rotation the unit sits in whatever mode the last
+                // dwell left it; the dump header advertises the policy's
+                // base mode — the mode the primary sets accumulated.
+                let policy =
+                    (*self.policy_override.lock()).unwrap_or(self.spec.counter_policy);
+                let mode = if policy.is_multiplexed() {
+                    policy.mode_for(ctx.node_id())
+                } else {
+                    ctx.with_own_node(|n| n.upc().mode())
+                };
+                let mut sets: Vec<SetDump> = st
                     .sets
                     .iter()
                     .map(|(&id, s)| SetDump {
@@ -349,6 +417,34 @@ impl CounterLibrary {
                         counts: s.accum.clone(),
                     })
                     .collect();
+                // Synthetic per-mode sets: the raw block each mode
+                // observed, with the mode's occupancy as the record
+                // count (see [`dump::MUX_SET_BASE`]).
+                for (&id, s) in &st.sets {
+                    if s.mux_accum.is_empty() {
+                        continue;
+                    }
+                    for m in 0..NUM_MODES {
+                        sets.push(SetDump {
+                            id: dump::mux_set_id(id, m),
+                            records: s.mux_occupancy[m].min(u64::from(u32::MAX)) as u32,
+                            counts: s.mux_accum[m * NUM_COUNTERS..(m + 1) * NUM_COUNTERS]
+                                .to_vec(),
+                        });
+                    }
+                    // Schedule set: per-mode enabled job cycles (the
+                    // honest occupancy weight — dwell phases vary wildly
+                    // in length) and enabled phase counts (see
+                    // [`dump::MUX_SCHED_BASE`]).
+                    let mut counts = vec![0u64; NUM_COUNTERS];
+                    counts[..NUM_MODES].copy_from_slice(&s.mux_cycles);
+                    counts[NUM_MODES..2 * NUM_MODES].copy_from_slice(&s.mux_occupancy);
+                    sets.push(SetDump {
+                        id: dump::mux_sched_id(id),
+                        records: 1,
+                        counts,
+                    });
+                }
                 let d = NodeDump { node: node as u32, mode, sets };
                 let encoded = dump::encode(&d);
                 ctx.trace_event(EventKind::CounterDump { bytes: encoded.len() as u64 });
@@ -606,6 +702,60 @@ mod tests {
         assert_eq!(s0.counts[CoreEvent::FpAddSub.id(1).slot().0 as usize], 1);
         assert_eq!(s1.counts[CoreEvent::FpAddSub.id(2).slot().0 as usize], 1);
         assert_eq!(s1.counts[CoreEvent::FpAddSub.id(3).slot().0 as usize], 1);
+    }
+
+    #[test]
+    fn multiplexed_job_dumps_synthetic_per_mode_sets() {
+        let m = machine(
+            8, // two VNM nodes
+            OpMode::VirtualNode,
+            CounterPolicy::Multiplexed { first: CounterMode::Mode1, base_dwell: 2 },
+        );
+        let (_, lib) = run_instrumented(&m, |mut ctx| async move {
+            for _ in 0..24 {
+                ctx.fp1(SemOp::MulAdd);
+                ctx.allreduce_sum_f64(&[1.0]).await;
+            }
+            (ctx, ())
+        });
+        let dumps = lib.dumps().unwrap();
+        assert_eq!(dumps.len(), 2);
+        for (i, d) in dumps.iter().enumerate() {
+            // Header advertises the node's staggered base mode (first +
+            // node), not whatever mode the last dwell left the unit in.
+            let base = CounterMode::from_index(
+                (CounterMode::Mode1.index() + i) % bgp_arch::events::NUM_MODES,
+            )
+            .unwrap();
+            assert_eq!(d.mode, base);
+            // One primary set, four synthetic per-mode blocks, and the
+            // rotation schedule set.
+            assert_eq!(d.sets.len(), 6);
+            let primary = d.set(WHOLE_PROGRAM_SET).unwrap();
+            assert_eq!(primary.records, 1);
+            let mut occ_total = 0u64;
+            for mode in 0..bgp_arch::events::NUM_MODES {
+                let id = dump::mux_set_id(WHOLE_PROGRAM_SET, mode);
+                assert_eq!(dump::mux_set_parts(id), Some((WHOLE_PROGRAM_SET, mode)));
+                let synth = d.set(id).unwrap();
+                occ_total += u64::from(synth.records);
+                // The base mode's synthetic block IS the primary data.
+                if mode == base.index() {
+                    assert_eq!(synth.counts, primary.counts);
+                }
+            }
+            assert!(occ_total > 0, "window must have occupied some dwell phases");
+            let sched_id = dump::mux_sched_id(WHOLE_PROGRAM_SET);
+            assert!(dump::is_mux_sched(sched_id));
+            let sched = d.set(sched_id).unwrap();
+            assert_eq!(sched.records, 1);
+            let nm = bgp_arch::events::NUM_MODES;
+            let cycles: u64 = sched.counts[..nm].iter().sum();
+            let phases: u64 = sched.counts[nm..2 * nm].iter().sum();
+            assert!(cycles > 0, "schedule set must attribute job cycles to modes");
+            assert_eq!(phases, occ_total, "schedule phases mirror synthetic records");
+            assert!(sched.counts[2 * nm..].iter().all(|&c| c == 0));
+        }
     }
 
     #[test]

@@ -245,6 +245,16 @@ impl JobDump {
 
 impl CounterLibrary {
     pub(crate) fn set_policy_override(&self, p: CounterPolicy) -> Result<()> {
+        // Rotation state (sentinel thresholds, the mux engine itself) is
+        // wired when the machine is built, so an override can neither
+        // switch multiplexing on or off nor re-tune its dwell.
+        let spec_p = self.spec.counter_policy;
+        if (p.is_multiplexed() || spec_p.is_multiplexed()) && p != spec_p {
+            return Err(BgpError::protocol(format!(
+                "multiplexed counter policy is fixed at machine construction: \
+                 job runs {spec_p:?}, override asks for {p:?}"
+            )));
+        }
         let mut cur = self.policy_override.lock();
         match *cur {
             None => {
@@ -327,6 +337,26 @@ mod tests {
             1,
             "exactly one rank wins the policy race; the other errors: {oks:?}"
         );
+    }
+
+    #[test]
+    fn mux_policy_cannot_be_switched_by_override() {
+        let mut spec = JobSpec::new(1, OpMode::Smp1);
+        spec.counter_policy = bgp_mpi::CounterPolicy::multiplexed();
+        let m = Machine::new(spec);
+        let errs = m.run(|mut ctx| async move {
+            // Turning rotation *off* is rejected...
+            let off = Session::builder(&mut ctx).counter_mode(CounterMode::Mode1).build();
+            let off_err = off.is_err();
+            // ...while restating the job's own policy is a no-op.
+            let same = Session::builder(&mut ctx)
+                .counter_policy(bgp_mpi::CounterPolicy::multiplexed())
+                .build()
+                .unwrap();
+            same.finalize().unwrap();
+            off_err
+        });
+        assert!(errs[0], "fixed-mode override over a multiplexed job must fail");
     }
 
     #[test]

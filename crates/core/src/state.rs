@@ -13,9 +13,10 @@
 
 use crate::{CounterLibrary, NodeState, SetState};
 use bgp_arch::error::{BgpError, Result};
-use bgp_arch::events::NUM_COUNTERS;
+use bgp_arch::events::{NUM_COUNTERS, NUM_EVENTS, NUM_MODES};
 use bgp_arch::wire::{put_bool, put_bytes, put_u32, put_u64, put_u64s, put_u8, Reader};
 use bgp_mpi::machine::AppState;
+use bgp_mpi::MuxMark;
 
 fn save_set(out: &mut Vec<u8>, id: u32, s: &SetState) {
     put_u32(out, id);
@@ -28,6 +29,26 @@ fn save_set(out: &mut Vec<u8>, id: u32, s: &SetState) {
     }
     put_u64s(out, &s.accum);
     put_u32(out, s.records);
+    match &s.mux_start {
+        Some(mark) => {
+            put_u8(out, 1);
+            put_u64s(out, &mark.totals);
+            for &o in &mark.occupancy {
+                put_u64(out, o);
+            }
+            for &c in &mark.cycles {
+                put_u64(out, c);
+            }
+        }
+        None => put_u8(out, 0),
+    }
+    put_u64s(out, &s.mux_accum);
+    for &o in &s.mux_occupancy {
+        put_u64(out, o);
+    }
+    for &c in &s.mux_cycles {
+        put_u64(out, c);
+    }
 }
 
 fn load_set(r: &mut Reader<'_>) -> Result<(u32, SetState)> {
@@ -52,7 +73,52 @@ fn load_set(r: &mut Reader<'_>) -> Result<(u32, SetState)> {
         )));
     }
     let records = r.u32("set records")?;
-    Ok((id, SetState { start_snap, accum, records }))
+    let mux_start = match r.u8("mux-start tag")? {
+        0 => None,
+        1 => {
+            let totals = r.u64s("mux mark totals")?;
+            if totals.len() != NUM_EVENTS {
+                return Err(BgpError::corrupt(format!(
+                    "mux mark has {} totals, expected {NUM_EVENTS}",
+                    totals.len()
+                )));
+            }
+            let mut occupancy = [0u64; NUM_MODES];
+            for o in &mut occupancy {
+                *o = r.u64("mux mark occupancy")?;
+            }
+            let mut cycles = [0u64; NUM_MODES];
+            for c in &mut cycles {
+                *c = r.u64("mux mark cycles")?;
+            }
+            Some(MuxMark { totals, occupancy, cycles })
+        }
+        t => return Err(BgpError::corrupt(format!("bad mux-start tag {t}"))),
+    };
+    let mux_accum = r.u64s("mux accumulator")?;
+    if !mux_accum.is_empty() && mux_accum.len() != NUM_EVENTS {
+        return Err(BgpError::corrupt(format!(
+            "mux accumulator has {} slots, expected 0 or {NUM_EVENTS}",
+            mux_accum.len()
+        )));
+    }
+    let mut mux_occupancy = [0u64; NUM_MODES];
+    for o in &mut mux_occupancy {
+        *o = r.u64("mux occupancy")?;
+    }
+    let mut mux_cycles = [0u64; NUM_MODES];
+    for c in &mut mux_cycles {
+        *c = r.u64("mux cycles")?;
+    }
+    Ok((id, SetState {
+        start_snap,
+        accum,
+        records,
+        mux_start,
+        mux_accum,
+        mux_occupancy,
+        mux_cycles,
+    }))
 }
 
 fn save_node(out: &mut Vec<u8>, st: &NodeState) {
@@ -180,6 +246,14 @@ mod tests {
                 start_snap: Some(Box::new([3u64; NUM_COUNTERS])),
                 accum: vec![9; NUM_COUNTERS],
                 records: 5,
+                mux_start: Some(MuxMark {
+                    totals: vec![2; NUM_EVENTS],
+                    occupancy: [1, 2, 3, 4],
+                    cycles: [10, 20, 30, 40],
+                }),
+                mux_accum: vec![4; NUM_EVENTS],
+                mux_occupancy: [5, 6, 7, 8],
+                mux_cycles: [50, 60, 70, 80],
             };
             set.accum[17] = u64::MAX;
             st.sets.insert(7, set);
@@ -201,7 +275,12 @@ mod tests {
         let lib = CounterLibrary::for_machine(&m);
         lib.nodes.lock()[0].sets.insert(
             0,
-            SetState { start_snap: None, accum: vec![1; NUM_COUNTERS], records: 1 },
+            SetState {
+                start_snap: None,
+                accum: vec![1; NUM_COUNTERS],
+                records: 1,
+                ..SetState::default()
+            },
         );
         let bytes = lib.save();
         let victim = CounterLibrary::for_machine(&Machine::new(spec));

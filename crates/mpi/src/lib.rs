@@ -30,6 +30,7 @@
 pub mod comm;
 pub mod ctx;
 pub mod machine;
+pub mod mux;
 pub mod sched;
 pub mod simvec;
 
@@ -39,4 +40,5 @@ pub use machine::{
     place, AppState, CheckpointConfig, CounterPolicy, JobSpec, Machine, MpiCosts, Placement,
     SnapshotStats,
 };
+pub use mux::{MuxMark, MuxSummary};
 pub use simvec::{SimElem, SimVec};

@@ -4,6 +4,7 @@
 
 use crate::comm::{CollKind, CollSlot, Message, Payload};
 use crate::ctx::RankCtx;
+use crate::mux::{MuxMark, MuxState, MuxSummary};
 use crate::sched::{take_suspend, Claim, LeaveOutcome, PhaseEngine, Suspend, Wait};
 use bgp_arch::events::CounterMode;
 use bgp_arch::geometry::{NodeId, TorusDims};
@@ -55,10 +56,35 @@ pub enum CounterPolicy {
         /// Mode for odd-numbered nodes.
         odd: CounterMode,
     },
+    /// Adaptive multiplexing: every node rotates through all four
+    /// counter modes at phase boundaries, recovering 1024 events of
+    /// coverage from one run. The rotation scheduler dwells
+    /// `base_dwell` phases in each mode by default, extends the dwell
+    /// when the mode's sentinel counters cross their thresholds (the
+    /// UPC threshold interrupts signal "this event set is hot"), and
+    /// rotates early when counter derivatives collapse (a phase
+    /// change). Per-mode occupancy is tracked so `bgp-postproc` can
+    /// reconstruct full-run totals with error bars.
+    Multiplexed {
+        /// Mode node 0 starts in. Node `i` starts in mode
+        /// `first + i (mod 4)` — staggering the rotation across nodes
+        /// decorrelates the dwell schedule from the program's phase
+        /// structure, so the cross-node sum samples every phase with
+        /// every mode.
+        first: CounterMode,
+        /// Baseline phases to dwell in each mode (clamped to >= 1).
+        base_dwell: u32,
+    },
 }
 
 impl CounterPolicy {
-    /// Mode assigned to `node`.
+    /// The default adaptive-multiplexing policy: start in mode 0,
+    /// dwell 8 phases per mode at baseline.
+    pub fn multiplexed() -> CounterPolicy {
+        CounterPolicy::Multiplexed { first: CounterMode::Mode0, base_dwell: 8 }
+    }
+
+    /// Mode assigned to `node` at job start.
     pub fn mode_for(&self, node: NodeId) -> CounterMode {
         match *self {
             CounterPolicy::Fixed(m) => m,
@@ -69,7 +95,17 @@ impl CounterPolicy {
                     odd
                 }
             }
+            CounterPolicy::Multiplexed { first, .. } => {
+                let n = bgp_arch::events::NUM_MODES;
+                CounterMode::from_index((first.index() + node.0) % n)
+                    .expect("mode index in range")
+            }
         }
+    }
+
+    /// Whether this policy rotates modes at phase boundaries.
+    pub fn is_multiplexed(&self) -> bool {
+        matches!(self, CounterPolicy::Multiplexed { .. })
     }
 }
 
@@ -324,6 +360,10 @@ pub struct Machine {
     pub(crate) sched: PhaseEngine,
     pub(crate) comm: Mutex<CommInner>,
     pub(crate) trace: Arc<TraceState>,
+    /// Adaptive counter-mode rotation state (present iff the policy is
+    /// [`CounterPolicy::Multiplexed`]). Mutated only at phase
+    /// boundaries, with the machine quiescent.
+    mux: Option<Mutex<MuxState>>,
     ran: AtomicBool,
     /// Rotating snapshot writer (present iff `spec.checkpoint` is).
     store: Option<SnapshotStore>,
@@ -380,6 +420,15 @@ impl Machine {
                 ))
             })
             .collect();
+        let mux = match spec.counter_policy {
+            CounterPolicy::Multiplexed { first, base_dwell } => {
+                for n in &nodes {
+                    MuxState::arm_sentinels(n.lock().upc_mut());
+                }
+                Some(Mutex::new(MuxState::new(n_nodes, first, base_dwell)))
+            }
+            _ => None,
+        };
         let mut torus = TorusNetwork::new(dims, spec.net.clone());
         if let Some(plan) = &spec.faults {
             torus.set_fault_plan(Arc::clone(plan));
@@ -421,6 +470,7 @@ impl Machine {
             nodes,
             spec,
             trace,
+            mux,
             ran: AtomicBool::new(false),
             store,
             replay: AtomicBool::new(false),
@@ -558,6 +608,77 @@ impl Machine {
         hooks.push(hook);
     }
 
+    /// Whether the counter policy rotates modes at phase boundaries.
+    pub fn mux_active(&self) -> bool {
+        self.mux.is_some()
+    }
+
+    /// A continuity mark of `node`'s multiplexed counter totals
+    /// (harvested accumulators plus live counters) and per-mode
+    /// occupancy, or `None` when the policy is not multiplexed. The
+    /// counter library brackets each session window with two marks;
+    /// their difference is the window's counts.
+    pub fn mux_mark(&self, node: usize) -> Option<MuxMark> {
+        let mux = self.mux.as_ref()?.lock();
+        let n = self.nodes[node].lock();
+        Some(mux.mark(node, n.upc(), n.node_cycles()))
+    }
+
+    /// Aggregate rotation-schedule summary across all nodes, or `None`
+    /// when the policy is not multiplexed.
+    pub fn mux_summary(&self) -> Option<MuxSummary> {
+        self.mux.as_ref().map(|m| m.lock().summary())
+    }
+
+    /// One phase boundary of the multiplexing scheduler: drain every
+    /// node's threshold interrupts, advance the phase detectors, rotate
+    /// the units whose dwell is up. Runs with the machine quiescent, in
+    /// canonical node order; trace events (canonically ordered, stamped
+    /// with the job clock like `PhaseResolve`) are appended after the
+    /// phase's scheduler events.
+    fn mux_step(&self, tracing: bool, phase: u64) {
+        let Some(mux) = &self.mux else { return };
+        let mut mux = mux.lock();
+        // The job clock is stable here (machine quiescent), so the
+        // phase's cycle span is deterministic for any thread count.
+        let now = self.job_cycles();
+        let delta = mux.advance_clock(now);
+        let cycle = if tracing { now } else { 0 };
+        let mut events: Vec<TraceEvent> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let out = mux.step_node(i, node.lock().upc_mut(), delta);
+            if !tracing {
+                continue;
+            }
+            for irq in &out.interrupts {
+                events.push(TraceEvent {
+                    cycle,
+                    kind: EventKind::ThresholdInterrupt {
+                        node: i as u32,
+                        slot: irq.slot,
+                        value: irq.value,
+                        threshold: irq.threshold,
+                    },
+                });
+            }
+            if let Some((from, to, dwell)) = out.rotated {
+                events.push(TraceEvent {
+                    cycle,
+                    kind: EventKind::CounterRotate {
+                        node: i as u32,
+                        from: from.index() as u8,
+                        to: to.index() as u8,
+                        phase,
+                        dwell,
+                    },
+                });
+            }
+        }
+        if !events.is_empty() {
+            self.trace.extend_sched(events);
+        }
+    }
+
     /// Totals of the snapshot writes performed so far.
     pub fn snapshot_stats(&self) -> SnapshotStats {
         let last = self.snap_last_phase.load(Ordering::Relaxed);
@@ -677,6 +798,10 @@ impl Machine {
                 self.apply_restore(comm);
             }
         } else {
+            // Counter-mode rotation precedes the checkpoint capture so a
+            // snapshot sees this phase's post-rotation state; replay
+            // skips it entirely (the mux section restores at go-live).
+            self.mux_step(tracing, phase);
             if let Some(cp) = &self.spec.checkpoint {
                 if phase > 0 && phase.is_multiple_of(cp.every) {
                     self.capture_snapshot(comm, phase);
@@ -740,6 +865,14 @@ impl Machine {
         let mut buf = Vec::new();
         self.trace.save_state(&mut buf);
         snap.add_section("trace", buf);
+
+        // Rotation-scheduler state (present iff the policy multiplexes;
+        // the fingerprint pins the policy, so saver and restorer agree).
+        if let Some(mux) = &self.mux {
+            let mut buf = Vec::new();
+            mux.lock().save_state(&mut buf);
+            snap.add_section("mux", buf);
+        }
 
         for hook in self.app_states.lock().iter() {
             snap.add_section(&format!("app:{}", hook.name()), hook.save());
@@ -808,6 +941,13 @@ impl Machine {
         let mut r = bgp_arch::wire::Reader::new(bytes);
         self.trace.restore_state(&mut r).expect("trace state restore failed");
         r.expect_end("trace section").expect("trailing bytes in trace section");
+
+        if let Some(mux) = &self.mux {
+            let bytes = snap.section_required("mux").expect("mux section");
+            let mut r = bgp_arch::wire::Reader::new(bytes);
+            mux.lock().restore_state(&mut r).expect("mux state restore failed");
+            r.expect_end("mux section").expect("trailing bytes in mux section");
+        }
 
         let hooks = self.app_states.lock();
         for hook in hooks.iter() {
@@ -1342,6 +1482,42 @@ mod tests {
         assert_eq!(m.with_node(0, |n| n.upc().mode()), CounterMode::Mode0);
         assert_eq!(m.with_node(1, |n| n.upc().mode()), CounterMode::Mode1);
         assert_eq!(m.with_node(2, |n| n.upc().mode()), CounterMode::Mode0);
+    }
+
+    #[test]
+    fn multiplexed_policy_rotates_through_modes_during_a_job() {
+        let mut spec = JobSpec::new(8, OpMode::VirtualNode);
+        spec.counter_policy = CounterPolicy::Multiplexed {
+            first: CounterMode::Mode2,
+            base_dwell: 2,
+        };
+        let m = Machine::new(spec);
+        assert!(m.mux_active());
+        assert_eq!(m.with_node(0, |n| n.upc().mode()), CounterMode::Mode2);
+        m.enable_all_counters();
+        let start = m.mux_mark(0).expect("mux policy has marks");
+        m.run(|mut ctx| async move {
+            for _ in 0..32 {
+                ctx.allreduce_sum_f64(&[1.0]).await;
+            }
+        });
+        let stop = m.mux_mark(0).expect("mux policy has marks");
+        let s = m.mux_summary().expect("mux policy has a summary");
+        assert!(s.rotations > 0, "32 collectives must cross a 2-phase dwell");
+        assert!(s.occupancy.iter().sum::<u64>() > 0);
+        // Marks are monotone: the stop totals dominate the start totals.
+        assert!(stop
+            .totals
+            .iter()
+            .zip(&start.totals)
+            .all(|(after, before)| after >= before));
+        let (counts, occ, cyc) = stop.window_since(&start);
+        assert_eq!(counts.len(), bgp_arch::events::NUM_EVENTS);
+        assert!(occ.iter().sum::<u64>() > 0);
+        assert!(
+            cyc.iter().sum::<u64>() > 0,
+            "phase boundaries must attribute job cycles to the occupied mode"
+        );
     }
 
     #[test]

@@ -1,0 +1,610 @@
+//! Adaptive counter-mode multiplexing (`CounterPolicy::Multiplexed`).
+//!
+//! The UPC watches one counter mode's 256 events at a time, so full
+//! 1024-event coverage needs either four runs or time-division
+//! multiplexing. This module is the rotation scheduler: at every phase
+//! boundary — the only points where the whole machine is quiescent —
+//! each node's [`MuxNode`] decides whether to stay in the current mode
+//! or rotate to the next one, folding the harvested counter values into
+//! a per-mode accumulator and tracking per-mode *occupancy* (enabled
+//! phases spent in the mode) so `bgp-postproc::validate` can scale the
+//! sampled counts back up to full-run estimates with error bars.
+//!
+//! The schedule is adaptive on two signals, both read at phase
+//! granularity so the whole thing is byte-identical for every
+//! `BGP_SIM_THREADS` value:
+//!
+//! * **threshold interrupts** — a small set of sentinel counter slots is
+//!   armed with UPC threshold interrupts; a firing means the current
+//!   event set is hot, and the dwell is extended (up to 8× the base) to
+//!   sample it more densely;
+//! * **counter derivatives** — the per-phase delta of the unit-wide
+//!   counter sum; when it collapses to less than half of the previous
+//!   phase's delta the workload changed phase, and the scheduler
+//!   rotates early to re-survey the other event sets.
+//!
+//! Everything here is integer arithmetic over state mutated only at
+//! phase boundaries, under the machine's quiescence guarantee, in
+//! canonical node order — the schedule, the accumulators and the trace
+//! events it emits are deterministic.
+
+use bgp_arch::error::Result;
+use bgp_arch::events::{CounterMode, NUM_COUNTERS, NUM_EVENTS, NUM_MODES};
+use bgp_arch::wire::{put_u64, put_u8, Reader};
+use bgp_arch::BgpError;
+use bgp_upc::{CounterConfig, Upc};
+
+/// Counter slots armed with threshold interrupts under multiplexing.
+///
+/// Sentinels watch whatever event is wired to the slot in the mode the
+/// unit currently sits in (slot 20 is core 0's L1d-miss counter in
+/// mode 0, slot 2 is the L3-miss-bank-0 counter in mode 2, …): the
+/// scheduler only cares that *some* fast-moving counter crosses its
+/// threshold, which reads as "this event set is hot, dwell longer".
+pub const SENTINEL_SLOTS: [u8; 4] = [2, 8, 20, 140];
+
+/// Floor for re-armed sentinel thresholds: below this a threshold would
+/// fire on noise every phase and the dwell extension would saturate.
+pub const SENTINEL_MIN_THRESHOLD: u64 = 1024;
+
+/// Dwell-extension ceiling, as a multiple of the base dwell.
+pub const MAX_DWELL_FACTOR: u64 = 8;
+
+/// Per-node rotation state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MuxNode {
+    /// Index of the mode the node's UPC currently sits in.
+    cur: usize,
+    /// Phases spent in the current mode since entering it.
+    phases_in_mode: u64,
+    /// Phases to dwell before the next rotation (adapted per entry).
+    dwell: u64,
+    /// Harvested counter values, `[mode * 256 + slot]`, folded in at
+    /// each rotation. Together with the live counters of the current
+    /// mode this is a continuous, monotone per-event total.
+    accum: Vec<u64>,
+    /// Enabled phases spent in each mode (the sampling quanta).
+    occupancy: [u64; NUM_MODES],
+    /// Enabled job cycles spent in each mode — the reconstruction
+    /// weights. Phases vary wildly in length, so scaling a mode's
+    /// sampled counts by its share of *cycles* (not phases) is what
+    /// makes the occupancy-weighted estimates track ground truth.
+    cycle_occ: [u64; NUM_MODES],
+    /// Unit-wide counter sum at the previous phase boundary.
+    last_total: u64,
+    /// Previous phase's delta of that sum (the derivative the phase
+    /// detector compares against).
+    last_delta: u64,
+    /// Mean counts/phase observed in each mode's most recent dwell —
+    /// the activity estimate that weights the next dwell in that mode.
+    rate: [u64; NUM_MODES],
+    /// Mean counts/phase of each sentinel slot per mode, used to re-arm
+    /// thresholds so they fire on above-trend activity, not on every
+    /// phase.
+    sentinel_rate: [[u64; SENTINEL_SLOTS.len()]; NUM_MODES],
+    /// Completed rotations.
+    rotations: u64,
+    /// Dwell extensions granted on threshold interrupts.
+    irq_extends: u64,
+    /// Rotations forced early by the derivative phase detector.
+    early_rotates: u64,
+    /// Threshold interrupts drained at phase boundaries.
+    irq_drained: u64,
+}
+
+/// A threshold interrupt drained from a node at a phase boundary
+/// (surfaced to the trace as `EventKind::ThresholdInterrupt`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DrainedInterrupt {
+    /// Counter slot that crossed its threshold.
+    pub slot: u8,
+    /// Counter value when it fired.
+    pub value: u64,
+    /// The threshold it crossed.
+    pub threshold: u64,
+}
+
+/// What one node did at one phase boundary (for trace emission).
+#[derive(Clone, Debug, Default)]
+pub struct MuxPhaseOutcome {
+    /// Interrupts drained this phase, in slot-ascending raise order.
+    pub interrupts: Vec<DrainedInterrupt>,
+    /// `Some((from, to, dwell))` if the node rotated, with the dwell
+    /// chosen for the new mode.
+    pub rotated: Option<(CounterMode, CounterMode, u64)>,
+}
+
+/// A point-in-time reading of a node's multiplexed totals, taken by the
+/// counter library at session start/stop so a window's counts are the
+/// difference of two marks (continuous across rotations).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MuxMark {
+    /// Continuous per-event totals, `[mode * 256 + slot]`: harvested
+    /// accumulator plus the live counters of the current mode.
+    pub totals: Vec<u64>,
+    /// Enabled phases spent in each mode so far.
+    pub occupancy: [u64; NUM_MODES],
+    /// Enabled job cycles spent in each mode so far (as of the last
+    /// phase boundary; the partial phase in flight is not attributed).
+    pub cycles: [u64; NUM_MODES],
+}
+
+impl MuxMark {
+    /// Per-event window counts, per-mode phase occupancy, and per-mode
+    /// cycle occupancy between two marks (`self` at stop, `start` at
+    /// start).
+    pub fn window_since(
+        &self,
+        start: &MuxMark,
+    ) -> (Vec<u64>, [u64; NUM_MODES], [u64; NUM_MODES]) {
+        let counts = self
+            .totals
+            .iter()
+            .zip(&start.totals)
+            .map(|(stop, start)| stop.wrapping_sub(*start))
+            .collect();
+        let mut occ = [0u64; NUM_MODES];
+        let mut cyc = [0u64; NUM_MODES];
+        for m in 0..NUM_MODES {
+            occ[m] = self.occupancy[m].saturating_sub(start.occupancy[m]);
+            cyc[m] = self.cycles[m].saturating_sub(start.cycles[m]);
+        }
+        (counts, occ, cyc)
+    }
+}
+
+/// Aggregate schedule summary across all nodes (for `run.json` and
+/// `bgpc-dump --json`: a dump should say how its numbers were gathered).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MuxSummary {
+    /// Baseline dwell (phases) the job was configured with.
+    pub base_dwell: u64,
+    /// Total rotations across all nodes.
+    pub rotations: u64,
+    /// Total dwell extensions granted on threshold interrupts.
+    pub irq_extends: u64,
+    /// Total early rotations forced by the derivative phase detector.
+    pub early_rotates: u64,
+    /// Total threshold interrupts drained at phase boundaries.
+    pub irq_drained: u64,
+    /// Enabled phases spent in each mode, summed over nodes.
+    pub occupancy: [u64; NUM_MODES],
+    /// Enabled job cycles spent in each mode, summed over nodes.
+    pub cycle_occupancy: [u64; NUM_MODES],
+}
+
+/// Whole-machine multiplexing state (one [`MuxNode`] per node).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MuxState {
+    base_dwell: u64,
+    /// Job clock at the previous phase boundary (cycle-occupancy
+    /// attribution base; one clock serves every node).
+    last_cycle: u64,
+    nodes: Vec<MuxNode>,
+}
+
+impl MuxState {
+    /// Fresh state for `n_nodes` nodes. Node `i` starts in mode
+    /// `first + i (mod 4)` and `(i / 4) mod base_dwell` phases into its
+    /// first dwell: the two staggers combine to shift node `i`'s
+    /// schedule by `(i mod 4)·dwell + (i / 4) mod dwell` phases, giving
+    /// up to `4·dwell` distinct alignments across the partition.
+    /// Decorrelating the schedule from the program's phase structure
+    /// this way makes reconstruction error average out in cross-node
+    /// sums instead of compounding.
+    pub fn new(n_nodes: usize, first: CounterMode, base_dwell: u32) -> MuxState {
+        let base_dwell = u64::from(base_dwell).max(1);
+        let nodes = (0..n_nodes)
+            .map(|i| MuxNode {
+                cur: (first.index() + i) % NUM_MODES,
+                phases_in_mode: (i / NUM_MODES) as u64 % base_dwell,
+                dwell: base_dwell,
+                accum: vec![0; NUM_EVENTS],
+                occupancy: [0; NUM_MODES],
+                cycle_occ: [0; NUM_MODES],
+                last_total: 0,
+                last_delta: 0,
+                rate: [0; NUM_MODES],
+                sentinel_rate: [[0; SENTINEL_SLOTS.len()]; NUM_MODES],
+                rotations: 0,
+                irq_extends: 0,
+                early_rotates: 0,
+                irq_drained: 0,
+            })
+            .collect();
+        MuxState { base_dwell, last_cycle: 0, nodes }
+    }
+
+    /// Advance the shared phase-boundary clock to `now` (the job clock,
+    /// read while the machine is quiescent) and return the cycles
+    /// elapsed since the previous boundary. Call once per phase, before
+    /// the per-node [`MuxState::step_node`] sweep.
+    pub fn advance_clock(&mut self, now: u64) -> u64 {
+        let delta = now.saturating_sub(self.last_cycle);
+        self.last_cycle = now;
+        delta
+    }
+
+    /// Arm the sentinel slots of one UPC unit: edge-sensitive, interrupt
+    /// on threshold, no freeze (the counter keeps counting; the
+    /// interrupt is a scheduling signal, not a stop condition).
+    pub fn arm_sentinels(upc: &mut Upc) {
+        let cfg = CounterConfig {
+            interrupt_enable: true,
+            freeze_on_threshold: false,
+            ..CounterConfig::default()
+        };
+        for &slot in &SENTINEL_SLOTS {
+            upc.configure(slot, cfg);
+            upc.set_threshold(slot, SENTINEL_MIN_THRESHOLD);
+        }
+    }
+
+    /// One phase boundary for `node`'s UPC unit: drain interrupts,
+    /// advance the phase detector, and rotate if the dwell is up or the
+    /// derivative collapsed. Must be called with the machine quiescent,
+    /// in canonical node order.
+    pub fn step_node(
+        &mut self,
+        node: usize,
+        upc: &mut Upc,
+        cycle_delta: u64,
+    ) -> MuxPhaseOutcome {
+        let base = self.base_dwell;
+        let st = &mut self.nodes[node];
+        let mut out = MuxPhaseOutcome::default();
+
+        // Drain threshold interrupts raised since the last boundary.
+        // `Upc::pending` preserves raise order, which is deterministic
+        // at phase granularity (counters advance in canonical rank
+        // order within a node's quantum).
+        for irq in upc.take_interrupts() {
+            out.interrupts.push(DrainedInterrupt {
+                slot: irq.slot,
+                value: irq.value,
+                threshold: irq.threshold,
+            });
+        }
+        st.irq_drained += out.interrupts.len() as u64;
+
+        let snap = upc.snapshot();
+        let total: u64 = snap.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        let delta = total.wrapping_sub(st.last_total);
+        let enabled = upc.enabled();
+        if enabled {
+            st.occupancy[st.cur] += 1;
+            st.cycle_occ[st.cur] = st.cycle_occ[st.cur].saturating_add(cycle_delta);
+        }
+        st.phases_in_mode += 1;
+
+        // A firing sentinel means this event set is hot: extend the
+        // dwell (bounded) to sample it more densely.
+        if !out.interrupts.is_empty() && st.dwell < base * MAX_DWELL_FACTOR {
+            st.dwell += base;
+            st.irq_extends += 1;
+        }
+
+        // Rotate when the dwell is up, or early when the unit-wide
+        // derivative collapses to under half its previous value — the
+        // workload changed phase, go re-survey the other event sets.
+        let dwell_up = st.phases_in_mode >= st.dwell;
+        let early = enabled
+            && st.phases_in_mode >= base
+            && st.last_delta > 0
+            && delta.saturating_mul(2) < st.last_delta;
+        if !(dwell_up || early) {
+            st.last_total = total;
+            st.last_delta = delta;
+            return out;
+        }
+        if early && !dwell_up {
+            st.early_rotates += 1;
+        }
+
+        // Harvest: counters were cleared on mode entry, so the snapshot
+        // is exactly this dwell's contribution.
+        for (i, &v) in snap.iter().enumerate() {
+            st.accum[st.cur * NUM_COUNTERS + i] = st.accum[st.cur * NUM_COUNTERS + i].wrapping_add(v);
+        }
+        let phases = st.phases_in_mode.max(1);
+        st.rate[st.cur] = total / phases;
+        for (k, &slot) in SENTINEL_SLOTS.iter().enumerate() {
+            st.sentinel_rate[st.cur][k] = snap[slot as usize] / phases;
+        }
+
+        let from = CounterMode::from_index(st.cur).expect("mode index in range");
+        st.cur = (st.cur + 1) % NUM_MODES;
+        let to = CounterMode::from_index(st.cur).expect("mode index in range");
+        upc.set_mode(to); // clears counters, fired latches and pending
+
+        // Entry dwell is weighted by the mode's share of observed
+        // activity: a mode whose counters moved fastest last time gets
+        // up to 4x the base dwell.
+        let rate_sum: u64 = st.rate.iter().sum();
+        let weight = 1 + (st.rate[st.cur].saturating_mul(4) / rate_sum.max(1)).min(3);
+        st.dwell = base * weight;
+
+        // Re-arm sentinels at twice the extrapolated dwell volume so
+        // they fire on above-trend activity, not every phase.
+        for (k, &slot) in SENTINEL_SLOTS.iter().enumerate() {
+            let th = st.sentinel_rate[st.cur][k]
+                .saturating_mul(st.dwell)
+                .saturating_mul(2)
+                .max(SENTINEL_MIN_THRESHOLD);
+            upc.set_threshold(slot, th);
+        }
+
+        st.phases_in_mode = 0;
+        st.last_total = 0;
+        st.last_delta = 0;
+        st.rotations += 1;
+        out.rotated = Some((from, to, st.dwell));
+        out
+    }
+
+    /// A continuity mark for `node`: harvested totals plus the live
+    /// counters of the current mode, and the occupancy so far. The
+    /// counter library takes one at session start and one at stop; the
+    /// window's counts are their difference.
+    ///
+    /// `node_clock` is the node's own cycle count at the mark (a
+    /// deterministic quantity, unlike the job clock mid-phase): the
+    /// in-flight partial phase `[last boundary, mark]` is attributed to
+    /// the current mode in the returned copy, so mark differences carry
+    /// exact per-mode cycle spans even when windows open or close
+    /// mid-phase. Without it the closing partial phase's counts would
+    /// enter the window with no weight, biasing reconstruction.
+    pub fn mark(&self, node: usize, upc: &Upc, node_clock: u64) -> MuxMark {
+        let st = &self.nodes[node];
+        let mut totals = st.accum.clone();
+        let live = upc.snapshot();
+        for (i, &v) in live.iter().enumerate() {
+            totals[st.cur * NUM_COUNTERS + i] =
+                totals[st.cur * NUM_COUNTERS + i].wrapping_add(v);
+        }
+        let mut cycles = st.cycle_occ;
+        cycles[st.cur] =
+            cycles[st.cur].saturating_add(node_clock.saturating_sub(self.last_cycle));
+        MuxMark { totals, occupancy: st.occupancy, cycles }
+    }
+
+    /// Aggregate schedule summary over all nodes.
+    pub fn summary(&self) -> MuxSummary {
+        let mut s = MuxSummary { base_dwell: self.base_dwell, ..MuxSummary::default() };
+        for st in &self.nodes {
+            s.rotations += st.rotations;
+            s.irq_extends += st.irq_extends;
+            s.early_rotates += st.early_rotates;
+            s.irq_drained += st.irq_drained;
+            for m in 0..NUM_MODES {
+                s.occupancy[m] += st.occupancy[m];
+                s.cycle_occupancy[m] += st.cycle_occ[m];
+            }
+        }
+        s
+    }
+
+    /// Serialize the complete state (checkpoint section `"mux"`).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.base_dwell);
+        put_u64(out, self.last_cycle);
+        put_u64(out, self.nodes.len() as u64);
+        for st in &self.nodes {
+            put_u8(out, st.cur as u8);
+            put_u64(out, st.phases_in_mode);
+            put_u64(out, st.dwell);
+            for &v in &st.accum {
+                put_u64(out, v);
+            }
+            for &v in &st.occupancy {
+                put_u64(out, v);
+            }
+            for &v in &st.cycle_occ {
+                put_u64(out, v);
+            }
+            put_u64(out, st.last_total);
+            put_u64(out, st.last_delta);
+            for &v in &st.rate {
+                put_u64(out, v);
+            }
+            for row in &st.sentinel_rate {
+                for &v in row {
+                    put_u64(out, v);
+                }
+            }
+            put_u64(out, st.rotations);
+            put_u64(out, st.irq_extends);
+            put_u64(out, st.early_rotates);
+            put_u64(out, st.irq_drained);
+        }
+    }
+
+    /// Restore state saved by [`MuxState::save_state`]. Fails closed on
+    /// any shape mismatch; on error `self` is unchanged.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<()> {
+        let base_dwell = r.u64("mux base dwell")?;
+        let last_cycle = r.u64("mux last cycle")?;
+        let n = r.u64("mux node count")? as usize;
+        if n != self.nodes.len() {
+            return Err(BgpError::corrupt(format!(
+                "mux snapshot has {n} nodes, machine has {}",
+                self.nodes.len()
+            )));
+        }
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let cur = r.u8("mux mode index")? as usize;
+            if cur >= NUM_MODES {
+                return Err(BgpError::corrupt(format!("mux mode index {cur} out of range")));
+            }
+            let phases_in_mode = r.u64("mux phases in mode")?;
+            let dwell = r.u64("mux dwell")?;
+            let mut accum = vec![0u64; NUM_EVENTS];
+            for v in &mut accum {
+                *v = r.u64("mux accumulator")?;
+            }
+            let mut occupancy = [0u64; NUM_MODES];
+            for v in &mut occupancy {
+                *v = r.u64("mux occupancy")?;
+            }
+            let mut cycle_occ = [0u64; NUM_MODES];
+            for v in &mut cycle_occ {
+                *v = r.u64("mux cycle occupancy")?;
+            }
+            let last_total = r.u64("mux last total")?;
+            let last_delta = r.u64("mux last delta")?;
+            let mut rate = [0u64; NUM_MODES];
+            for v in &mut rate {
+                *v = r.u64("mux rate")?;
+            }
+            let mut sentinel_rate = [[0u64; SENTINEL_SLOTS.len()]; NUM_MODES];
+            for row in &mut sentinel_rate {
+                for v in row.iter_mut() {
+                    *v = r.u64("mux sentinel rate")?;
+                }
+            }
+            nodes.push(MuxNode {
+                cur,
+                phases_in_mode,
+                dwell,
+                accum,
+                occupancy,
+                cycle_occ,
+                last_total,
+                last_delta,
+                rate,
+                sentinel_rate,
+                rotations: r.u64("mux rotations")?,
+                irq_extends: r.u64("mux irq extends")?,
+                early_rotates: r.u64("mux early rotates")?,
+                irq_drained: r.u64("mux irq drained")?,
+            });
+        }
+        self.base_dwell = base_dwell;
+        self.last_cycle = last_cycle;
+        self.nodes = nodes;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_arch::events::EventId;
+
+    fn hot_upc(mode: CounterMode) -> Upc {
+        let mut upc = Upc::new(mode);
+        MuxState::arm_sentinels(&mut upc);
+        upc.set_enabled(true);
+        upc
+    }
+
+    #[test]
+    fn dwell_rotates_through_all_four_modes() {
+        let mut mux = MuxState::new(1, CounterMode::Mode0, 2);
+        let mut upc = hot_upc(CounterMode::Mode0);
+        let mut seen = vec![CounterMode::Mode0];
+        for _ in 0..16 {
+            if let Some((_, to, _)) = mux.step_node(0, &mut upc, 100).rotated {
+                assert_eq!(upc.mode(), to);
+                seen.push(to);
+            }
+        }
+        assert!(seen.contains(&CounterMode::Mode1));
+        assert!(seen.contains(&CounterMode::Mode2));
+        assert!(seen.contains(&CounterMode::Mode3));
+        assert_eq!(mux.summary().rotations, seen.len() as u64 - 1);
+    }
+
+    #[test]
+    fn sentinel_interrupt_extends_the_dwell() {
+        let mut mux = MuxState::new(1, CounterMode::Mode0, 4);
+        let mut upc = hot_upc(CounterMode::Mode0);
+        // Drive the slot-2 sentinel (core 0 event at slot 2 in mode 0)
+        // past its floor threshold in the first phase.
+        upc.emit(EventId::new(CounterMode::Mode0, 2), SENTINEL_MIN_THRESHOLD);
+        let out = mux.step_node(0, &mut upc, 100);
+        assert_eq!(out.interrupts.len(), 1);
+        assert_eq!(out.interrupts[0].slot, 2);
+        let s = mux.summary();
+        assert_eq!(s.irq_extends, 1);
+        assert_eq!(s.irq_drained, 1);
+        // Dwell extended 4 -> 8: quiet phases 2..8 must not rotate.
+        for _ in 1..7 {
+            assert!(mux.step_node(0, &mut upc, 100).rotated.is_none());
+        }
+        assert!(mux.step_node(0, &mut upc, 100).rotated.is_some());
+    }
+
+    #[test]
+    fn derivative_collapse_rotates_early() {
+        let mut mux = MuxState::new(1, CounterMode::Mode0, 2);
+        let mut upc = hot_upc(CounterMode::Mode0);
+        // Slot 2 is a sentinel: the first phase fires its threshold and
+        // extends the dwell 2 -> 4, opening the window where the
+        // derivative detector can beat the dwell timer.
+        let ev = EventId::new(CounterMode::Mode0, 2);
+        upc.emit(ev, 2000);
+        assert!(mux.step_node(0, &mut upc, 100).rotated.is_none()); // delta 2000
+        upc.emit(ev, 2000);
+        assert!(mux.step_node(0, &mut upc, 100).rotated.is_none()); // delta 2000
+        // Third phase: one short of the extended dwell, but the delta
+        // collapses 2000 -> 100, so the phase detector rotates early.
+        upc.emit(ev, 100);
+        let out = mux.step_node(0, &mut upc, 100);
+        assert!(out.rotated.is_some());
+        assert_eq!(mux.summary().early_rotates, 1);
+    }
+
+    #[test]
+    fn marks_are_continuous_across_rotations() {
+        let mut mux = MuxState::new(1, CounterMode::Mode0, 1);
+        let mut upc = hot_upc(CounterMode::Mode0);
+        let ev = EventId::new(CounterMode::Mode0, 7);
+        let start = mux.mark(0, &upc, 0);
+        upc.emit(ev, 500);
+        let delta = mux.advance_clock(100);
+        mux.step_node(0, &mut upc, delta); // rotates out of mode 0, harvesting 500
+        upc.emit(ev, 999); // mode 1 now: not wired, not counted
+        let stop = mux.mark(0, &upc, 100);
+        let (counts, occ, cyc) = stop.window_since(&start);
+        assert_eq!(counts[ev.index()], 500);
+        assert_eq!(occ[0], 1);
+        assert_eq!(cyc[0], 100, "the boundary's cycle span lands on mode 0");
+        assert_eq!(cyc[1], 0, "no cycles past the boundary: nothing to attribute");
+
+        // A stop mark taken mid-phase attributes the in-flight partial
+        // phase to the current mode — counts entering the window always
+        // carry weight.
+        let late = mux.mark(0, &upc, 160);
+        let (_, _, cyc) = late.window_since(&start);
+        assert_eq!(cyc[1], 60, "partial phase lands on the occupied mode");
+    }
+
+    #[test]
+    fn state_round_trips_and_fails_closed_when_truncated() {
+        let mut mux = MuxState::new(2, CounterMode::Mode1, 3);
+        let mut upc = hot_upc(CounterMode::Mode1);
+        for _ in 0..10 {
+            upc.emit(EventId::new(upc.mode(), 4), 2000);
+            mux.step_node(0, &mut upc, 100);
+            mux.step_node(1, &mut upc, 100);
+        }
+        let mut bytes = Vec::new();
+        mux.save_state(&mut bytes);
+        let mut other = MuxState::new(2, CounterMode::Mode0, 1);
+        let mut r = Reader::new(&bytes);
+        other.restore_state(&mut r).unwrap();
+        r.expect_end("mux state").unwrap();
+        assert_eq!(other, mux);
+        for cut in [0, 1, 9, bytes.len() / 2, bytes.len() - 1] {
+            let mut victim = MuxState::new(2, CounterMode::Mode0, 1);
+            let before = victim.clone();
+            assert!(
+                victim.restore_state(&mut Reader::new(&bytes[..cut])).is_err(),
+                "cut at {cut} must fail"
+            );
+            assert_eq!(victim, before, "failed restore must not partially apply");
+        }
+    }
+}

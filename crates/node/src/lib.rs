@@ -15,7 +15,7 @@ pub mod core;
 
 pub use crate::core::{Core, InstrCounts, MemRetire, ISSUE_WIDTH, MISPREDICT_PENALTY};
 
-use bgp_arch::events::{CoreEvent, CounterMode};
+use bgp_arch::events::{CoreEvent, CounterMode, NUM_COUNTERS};
 use bgp_arch::geometry::{AddressLayout, NodeId};
 use bgp_arch::{MachineConfig, OpMode, CORES_PER_NODE};
 use bgp_mem::{HitLevel, MemorySystem};
@@ -89,6 +89,14 @@ pub struct Node {
     /// Whether the L1-I geometry holds the whole code footprint — the
     /// precondition for skipping per-fetch probes once it is resident.
     icache_fits: bool,
+    /// Ground-truth mirror of mode-3 (network) event emissions made
+    /// while counting was enabled, indexed by mode-3 slot. The network
+    /// layer has no per-node accumulator of its own (torus traffic is
+    /// per-phase and reset at each resolution), so the node records
+    /// what it reported to the UPC independently of the mode the unit
+    /// happened to be in — the reference the validation harness checks
+    /// counted and reconstructed network events against.
+    net_truth: Box<[u64; NUM_COUNTERS]>,
     /// Translated-address scratch buffer reused across batches.
     batch: Vec<bgp_mem::MemAccess>,
 }
@@ -109,6 +117,7 @@ impl Node {
             icursor: [0; CORES_PER_NODE],
             ifetches: [0; CORES_PER_NODE],
             icache_fits: (CODE_LINES as usize).div_ceil(cfg.l1_sets()) <= cfg.l1_ways,
+            net_truth: Box::new([0; NUM_COUNTERS]),
             batch: Vec::new(),
         }
     }
@@ -265,9 +274,22 @@ impl Node {
         self.cores[core].sync_cycle_counter(&mut self.upc);
     }
 
-    /// Report a network event with a count to this node's UPC.
+    /// Report a network event with a count to this node's UPC, and
+    /// mirror mode-3 emissions into the node's ground-truth accumulator
+    /// (same enabled gating as the counters, but independent of the
+    /// unit's current mode — the multiplexing validation reference).
     pub fn emit_event(&mut self, event: bgp_arch::EventId, count: u64) {
+        if self.upc.enabled() && event.mode() == CounterMode::Mode3 {
+            let slot = event.slot().0 as usize;
+            self.net_truth[slot] = self.net_truth[slot].wrapping_add(count);
+        }
         self.upc.emit(event, count);
+    }
+
+    /// Ground-truth totals of mode-3 (network) events emitted while
+    /// counting was enabled, indexed by mode-3 slot.
+    pub fn net_truth(&self) -> &[u64; NUM_COUNTERS] {
+        &self.net_truth
     }
 
     fn touch_icache(&mut self, core: usize) {
@@ -317,6 +339,9 @@ impl Node {
         for &v in &self.ifetches {
             bgp_arch::wire::put_u64(out, v);
         }
+        for &v in self.net_truth.iter() {
+            bgp_arch::wire::put_u64(out, v);
+        }
     }
 
     /// Restore state previously written by [`Node::save_state`] into a
@@ -336,6 +361,7 @@ impl Node {
         self.upc.restore_state(r)?;
         r.u64_array(&mut self.icursor, "node icursor")?;
         r.u64_array(&mut self.ifetches, "node ifetches")?;
+        r.u64_array(&mut *self.net_truth, "node net truth")?;
         Ok(())
     }
 }
@@ -468,6 +494,62 @@ mod tests {
             }
             assert_eq!(scalar.upc().snapshot(), batched.upc().snapshot());
         }
+    }
+
+    #[test]
+    fn net_truth_mirrors_enabled_mode3_emissions() {
+        use bgp_arch::events::NetEvent;
+        // Mode 0: the UPC is blind to network events, but the ground
+        // truth still records them — that independence is the point.
+        let mut n = node(CounterMode::Mode0);
+        let ev = NetEvent::TorusBytesSent.id();
+        n.emit_event(ev, 100);
+        n.upc_mut().set_enabled(false);
+        n.emit_event(ev, 7); // outside the window: not truth either
+        assert_eq!(n.net_truth()[ev.slot().0 as usize], 100);
+        assert_eq!(n.upc().read_event(ev), None);
+    }
+
+    #[test]
+    fn threshold_interrupts_agree_between_scalar_and_batched_paths() {
+        use bgp_upc::CounterConfig;
+        // Slot 20 is core 0's L1d-miss counter in mode 0. The scalar
+        // path bumps it one miss at a time and fires exactly at the
+        // threshold; the batched engine folds a whole walk's misses
+        // into one emission and fires at the first fold boundary past
+        // it. Raise counts, slots and final counter values must agree;
+        // only the captured value-at-fire may differ.
+        let mk = || {
+            let mut n = node(CounterMode::Mode0);
+            let cfg = CounterConfig { interrupt_enable: true, ..CounterConfig::default() };
+            n.upc_mut().configure(20, cfg);
+            n.upc_mut().set_threshold(20, 10);
+            n
+        };
+        let (mut scalar, mut batched) = (mk(), mk());
+        let ops: Vec<MemOp> = (0..2000u64)
+            .map(|i| MemOp { vaddr: i * 64, width: MemWidth::Double, write: false })
+            .collect();
+        for o in &ops {
+            scalar.mem_op(0, 0, o.vaddr, o.width, o.write);
+        }
+        batched.mem_ops(0, 0, &ops);
+        assert_eq!(scalar.upc().snapshot(), batched.upc().snapshot());
+        assert_eq!(scalar.upc().interrupts_raised(), 1);
+        assert_eq!(batched.upc().interrupts_raised(), 1);
+        let a = scalar.upc_mut().take_interrupts();
+        let b = batched.upc_mut().take_interrupts();
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!((a[0].slot, a[0].threshold), (20, 10));
+        assert_eq!((b[0].slot, b[0].threshold), (20, 10));
+        assert_eq!(a[0].value, 10, "scalar path fires exactly at the threshold");
+        assert!(b[0].value >= 10, "batched path fires at a fold boundary");
+        // Drain semantics: pending is emptied, the latch stays set, and
+        // the (non-frozen) counter kept counting past the threshold.
+        assert!(scalar.upc_mut().take_interrupts().is_empty());
+        assert!(batched.upc_mut().take_interrupts().is_empty());
+        assert!(scalar.upc().read(20) > 10);
     }
 
     #[test]

@@ -18,8 +18,16 @@
 //! * `--json`: emit the node summaries, warnings, and statistics as one
 //!   JSON document on stdout (machine-readable, shares the toolchain
 //!   with `bgpc-trace` timelines).
+//!
+//! Dumps produced under `CounterPolicy::Multiplexed` carry synthetic
+//! sets next to each user set: four per-mode blocks and one schedule
+//! set recording the rotation's per-mode cycle/phase weights. Set
+//! listings label them (`mux[set.mN]`, `sched[set]`) instead of
+//! printing the raw high-bit ids, and `--json` adds a `mux_schedule`
+//! object (weights pooled across nodes) plus the counter `policy`
+//! recorded in `run.json` when present.
 
-use bgp_arch::events::EventId;
+use bgp_arch::events::{EventId, NUM_MODES};
 use bgp_core::dump::NodeDump;
 use bgp_postproc::{stats_csv, EventStats, Frame};
 use bgp_trace::json::escape;
@@ -84,16 +92,56 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
-/// The `(spec-hash, seed)` cache identity `bgpc-run` records next to
-/// the dumps, when the input directory carries a `run.json`. This is
-/// the same key the counter service (`bgpc-serve`) addresses results
-/// by, so a dump directory can be matched to its cache entry.
-fn cache_identity(input: &Path) -> Option<(String, u64)> {
+/// Run metadata `bgpc-run` records next to the dumps in `run.json`:
+/// the `(spec-hash, seed)` cache identity — the same key the counter
+/// service (`bgpc-serve`) addresses results by, so a dump directory
+/// can be matched to its cache entry — and the counter policy the job
+/// ran under, when recorded.
+struct RunMeta {
+    spec: String,
+    seed: u64,
+    policy: Option<String>,
+}
+
+fn run_meta(input: &Path) -> Option<RunMeta> {
     let text = std::fs::read_to_string(input.join("run.json")).ok()?;
     let v = bgp_trace::json::parse(&text).ok()?;
     let spec = v.get("spec_hash")?.as_str()?.to_string();
     let seed = v.get("seed").and_then(bgp_trace::json::Value::as_u64).unwrap_or(0);
-    Some((spec, seed))
+    let policy = v.get("policy").and_then(|p| p.as_str()).map(str::to_string);
+    Some(RunMeta { spec, seed, policy })
+}
+
+/// Human-readable label for a set id: user sets print as plain
+/// numbers, synthetic multiplexing sets as `mux[set.mN]`, rotation
+/// schedule sets as `sched[set]`.
+fn set_label(id: u32) -> String {
+    if let Some((user, mode)) = bgp_core::dump::mux_set_parts(id) {
+        format!("mux[{user}.m{mode}]")
+    } else if bgp_core::dump::is_mux_sched(id) {
+        format!("sched[{}]", id & !bgp_core::dump::MUX_SCHED_BASE)
+    } else {
+        id.to_string()
+    }
+}
+
+/// Rotation-schedule weights for `set`, pooled over every node that
+/// carries a schedule set (multiplexed dumps only).
+fn pooled_schedule(dumps: &[NodeDump], set: u32) -> Option<([u64; NUM_MODES], [u64; NUM_MODES])> {
+    let sched_id = bgp_core::dump::mux_sched_id(set);
+    let mut cycles = [0u64; NUM_MODES];
+    let mut phases = [0u64; NUM_MODES];
+    let mut seen = false;
+    for d in dumps {
+        if let Some(s) = d.set(sched_id) {
+            seen = true;
+            for m in 0..NUM_MODES {
+                cycles[m] += s.counts.get(m).copied().unwrap_or(0);
+                phases[m] += s.counts.get(NUM_MODES + m).copied().unwrap_or(0);
+            }
+        }
+    }
+    seen.then_some((cycles, phases))
 }
 
 /// Render dumps + statistics as one JSON document (stable key order).
@@ -101,22 +149,43 @@ fn render_json(
     dumps: &[NodeDump],
     frame: &Frame,
     set: u32,
-    identity: Option<&(String, u64)>,
+    meta: Option<&RunMeta>,
     stats: &[(EventId, EventStats)],
 ) -> String {
     use std::fmt::Write as _;
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"set\": {set},");
-    if let Some((spec, seed)) = identity {
-        let _ = writeln!(out, "  \"spec_hash\": {},", escape(spec));
-        let _ = writeln!(out, "  \"seed\": {seed},");
+    if let Some(m) = meta {
+        let _ = writeln!(out, "  \"spec_hash\": {},", escape(&m.spec));
+        let _ = writeln!(out, "  \"seed\": {},", m.seed);
+        if let Some(policy) = &m.policy {
+            let _ = writeln!(out, "  \"policy\": {},", escape(policy));
+        }
+    }
+    if let Some((cycles, phases)) = pooled_schedule(dumps, set) {
+        let join = |w: &[u64]| {
+            w.iter().map(u64::to_string).collect::<Vec<_>>().join(", ")
+        };
+        let _ = writeln!(
+            out,
+            "  \"mux_schedule\": {{\"cycles\": [{}], \"phases\": [{}]}},",
+            join(&cycles),
+            join(&phases)
+        );
     }
     out.push_str("  \"nodes\": [\n");
     for (i, d) in dumps.iter().enumerate() {
         let sets: Vec<String> = d
             .sets
             .iter()
-            .map(|s| format!("{{\"id\": {}, \"records\": {}}}", s.id, s.records))
+            .map(|s| {
+                format!(
+                    "{{\"id\": {}, \"label\": {}, \"records\": {}}}",
+                    s.id,
+                    escape(&set_label(s.id)),
+                    s.records
+                )
+            })
             .collect();
         let _ = write!(
             out,
@@ -181,7 +250,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let identity = args.input.is_dir().then(|| cache_identity(&args.input)).flatten();
+    let meta = args.input.is_dir().then(|| run_meta(&args.input)).flatten();
 
     if args.json {
         let mut stats = frame.all_stats();
@@ -189,7 +258,7 @@ fn main() -> ExitCode {
             stats.sort_by_key(|(_, s)| std::cmp::Reverse(s.sum));
             stats.truncate(args.top);
         }
-        print!("{}", render_json(&dumps, &frame, args.set, identity.as_ref(), &stats));
+        print!("{}", render_json(&dumps, &frame, args.set, meta.as_ref(), &stats));
         if let Some(path) = args.csv {
             if let Err(e) = stats_csv(&frame).write(&path) {
                 eprintln!("bgpc-dump: writing {}: {e}", path.display());
@@ -200,16 +269,22 @@ fn main() -> ExitCode {
     }
 
     println!("{} node dump(s)", dumps.len());
-    if let Some((spec, seed)) = &identity {
-        println!("cache key: spec {spec}, seed {seed}");
+    if let Some(m) = &meta {
+        println!("cache key: spec {}, seed {}", m.spec, m.seed);
+        if let Some(policy) = &m.policy {
+            println!("counter policy: {policy}");
+        }
     }
     for d in &dumps {
         let sets: Vec<String> = d
             .sets
             .iter()
-            .map(|s| format!("{} ({} records)", s.id, s.records))
+            .map(|s| format!("{} ({} records)", set_label(s.id), s.records))
             .collect();
         println!("  node {:>5}  {}  sets: [{}]", d.node, d.mode, sets.join(", "));
+    }
+    if let Some((cycles, phases)) = pooled_schedule(&dumps, args.set) {
+        println!("mux schedule (pooled): cycles {cycles:?}, phases {phases:?}");
     }
     for a in frame.anomalies() {
         println!("warning: {a}");

@@ -12,7 +12,10 @@
 //!   nodes that survived a faulted run, with per-event coverage,
 //! * [`metrics`] — MFLOPS, DDR traffic/bandwidth, L3 miss ratio, and the
 //!   Fig. 6 instruction-mix categories,
-//! * [`csv`] — CSV emission, including the "all 512 counters" option.
+//! * [`csv`] — CSV emission, including the "all 512 counters" option,
+//! * [`validate`] — ground-truth event validation: exact,
+//!   multiplexed-reconstructed, and fault-degraded counts checked
+//!   against the simulator's independent bookkeeping.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,10 +25,12 @@ pub mod degraded;
 pub mod frame;
 pub mod metrics;
 pub mod report;
+pub mod validate;
 
 pub use csv::{stats_csv, Csv};
 pub use degraded::{AggregateOptions, DegradedEventStats, DegradedFrame};
 pub use frame::{EventStats, Frame};
+pub use validate::{NodeTruth, TruthEntry, ValidationReport};
 pub use report::render as render_report;
 pub use metrics::{
     ddr_bandwidth_mb_s, ddr_bursts_per_node, ddr_traffic_bytes_per_node, fp_mix, l3_miss_ratio,

@@ -134,6 +134,40 @@ struct Stats {
     failed: AtomicU64,
     running: AtomicU64,
     job_wall_ms: AtomicU64,
+    latency: Mutex<LatencyRing>,
+}
+
+/// Completed-job wall times retained for the latency percentiles
+/// (sliding window over the most recent completions).
+const LATENCY_WINDOW: usize = 4096;
+
+#[derive(Default)]
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl LatencyRing {
+    fn record(&mut self, wall_ms: u64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(wall_ms);
+        } else {
+            self.samples[self.next] = wall_ms;
+        }
+        self.next = (self.next + 1) % LATENCY_WINDOW;
+    }
+
+    /// `(p50, p90, p99, sample count)` over the retained window, by
+    /// nearest-rank on the sorted samples (zeros when empty).
+    fn percentiles(&self) -> (u64, u64, u64, u64) {
+        if self.samples.is_empty() {
+            return (0, 0, 0, 0);
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let pick = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
+        (pick(0.50), pick(0.90), pick(0.99), sorted.len() as u64)
+    }
 }
 
 struct ServeState {
@@ -449,6 +483,8 @@ fn dispatch(
 
 fn stats_response(state: &ServeState) -> String {
     let s = &state.stats;
+    let (p50, p90, p99, samples) =
+        s.latency.lock().unwrap_or_else(|e| e.into_inner()).percentiles();
     let body = Obj::new()
         .field_u64("submits", s.submits.load(Ordering::Relaxed))
         .field_u64("batches", s.batches.load(Ordering::Relaxed))
@@ -463,6 +499,10 @@ fn stats_response(state: &ServeState) -> String {
         .field_u64("failed", s.failed.load(Ordering::Relaxed))
         .field_u64("running", s.running.load(Ordering::Relaxed))
         .field_u64("queued", state.queue.len() as u64)
+        .field_u64("latency_p50_ms", p50)
+        .field_u64("latency_p90_ms", p90)
+        .field_u64("latency_p99_ms", p99)
+        .field_u64("latency_samples", samples)
         .field_u64("cache_entries", state.cache.len() as u64)
         .field_u64("workers", state.cfg.workers.max(1) as u64)
         .field_bool("draining", state.draining.load(Ordering::SeqCst))
@@ -769,6 +809,12 @@ fn worker_loop(state: &Arc<ServeState>) {
             Ok(bytes) => {
                 state.stats.completed.fetch_add(1, Ordering::Relaxed);
                 state.stats.job_wall_ms.fetch_add(wall_ms, Ordering::Relaxed);
+                state
+                    .stats
+                    .latency
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .record(wall_ms);
                 state.log(format_args!(
                     "job {} completed in {wall_ms} ms ({} queued)",
                     item.key.hex(),

@@ -56,6 +56,14 @@ fn miss_then_hit_is_byte_identical() {
     assert_eq!(u64_member(&stats, "misses"), Some(2));
     assert_eq!(u64_member(&stats, "completed"), Some(2));
 
+    // Service-latency percentiles cover the two completed jobs, and the
+    // quantiles are ordered.
+    assert_eq!(u64_member(&stats, "latency_samples"), Some(2), "{stats}");
+    let p50 = u64_member(&stats, "latency_p50_ms").unwrap();
+    let p90 = u64_member(&stats, "latency_p90_ms").unwrap();
+    let p99 = u64_member(&stats, "latency_p99_ms").unwrap();
+    assert!(p50 <= p90 && p90 <= p99, "quantiles ordered: {stats}");
+
     server.shutdown();
 }
 

@@ -225,6 +225,33 @@ pub enum EventKind {
         /// DDR write bursts in the window.
         ddr_writes: u64,
     },
+    /// A UPC threshold interrupt drained at phase resolution (raised
+    /// mid-quantum by a sentinel counter crossing its threshold,
+    /// surfaced in canonical node order while the machine is quiescent).
+    ThresholdInterrupt {
+        /// Node whose UPC unit raised the interrupt.
+        node: u32,
+        /// Counter slot that crossed its threshold.
+        slot: u8,
+        /// Counter value when it fired.
+        value: u64,
+        /// The configured threshold.
+        threshold: u64,
+    },
+    /// The multiplexing scheduler rotated a node's UPC unit to the next
+    /// counter mode at a phase boundary.
+    CounterRotate {
+        /// Node whose unit rotated.
+        node: u32,
+        /// Mode index rotated out of.
+        from: u8,
+        /// Mode index rotated into.
+        to: u8,
+        /// Phase at which the rotation happened.
+        phase: u64,
+        /// Dwell (phases) chosen for the new mode.
+        dwell: u64,
+    },
     /// A fault-plan event manifested.
     Fault(FaultEvent),
 }
@@ -246,6 +273,8 @@ impl EventKind {
             EventKind::CounterDump { .. } => "counter_dump",
             EventKind::CounterSample { .. } => "counter_sample",
             EventKind::MemWindow { .. } => "mem_window",
+            EventKind::ThresholdInterrupt { .. } => "threshold_interrupt",
+            EventKind::CounterRotate { .. } => "counter_rotate",
             EventKind::Fault(f) => match f {
                 FaultEvent::Straggler { .. } => "fault_straggler",
                 FaultEvent::RouterDegraded => "fault_router_degraded",
@@ -269,7 +298,9 @@ impl EventKind {
             | EventKind::SessionStop { .. }
             | EventKind::SessionFinalize
             | EventKind::CounterDump { .. } => "session",
-            EventKind::CounterSample { .. } => "upc",
+            EventKind::CounterSample { .. }
+            | EventKind::ThresholdInterrupt { .. }
+            | EventKind::CounterRotate { .. } => "upc",
             EventKind::MemWindow { .. } => "mem",
             EventKind::Fault(_) => "fault",
         }
@@ -327,6 +358,21 @@ impl EventKind {
                     ("l3_misses", Num(*l3_misses)),
                     ("ddr_reads", Num(*ddr_reads)),
                     ("ddr_writes", Num(*ddr_writes)),
+                ]
+            }
+            EventKind::ThresholdInterrupt { node, slot, value, threshold } => vec![
+                ("node", Num(u64::from(*node))),
+                ("slot", Num(u64::from(*slot))),
+                ("value", Num(*value)),
+                ("threshold", Num(*threshold)),
+            ],
+            EventKind::CounterRotate { node, from, to, phase, dwell } => {
+                vec![
+                    ("node", Num(u64::from(*node))),
+                    ("from", Num(u64::from(*from))),
+                    ("to", Num(u64::from(*to))),
+                    ("phase", Num(*phase)),
+                    ("dwell", Num(*dwell)),
                 ]
             }
             EventKind::Fault(f) => match f {

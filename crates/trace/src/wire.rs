@@ -27,6 +27,8 @@ const TAG_COUNTER_DUMP: u8 = 10;
 const TAG_COUNTER_SAMPLE: u8 = 11;
 const TAG_MEM_WINDOW: u8 = 12;
 const TAG_FAULT: u8 = 13;
+const TAG_THRESHOLD_INTERRUPT: u8 = 14;
+const TAG_COUNTER_ROTATE: u8 = 15;
 
 const FAULT_STRAGGLER: u8 = 0;
 const FAULT_ROUTER: u8 = 1;
@@ -110,6 +112,21 @@ pub fn encode_event(ev: &TraceEvent, out: &mut Vec<u8>) {
                 put_u64(out, *v);
             }
         }
+        EventKind::ThresholdInterrupt { node, slot, value, threshold } => {
+            put_u8(out, TAG_THRESHOLD_INTERRUPT);
+            put_u32(out, *node);
+            put_u8(out, *slot);
+            put_u64(out, *value);
+            put_u64(out, *threshold);
+        }
+        EventKind::CounterRotate { node, from, to, phase, dwell } => {
+            put_u8(out, TAG_COUNTER_ROTATE);
+            put_u32(out, *node);
+            put_u8(out, *from);
+            put_u8(out, *to);
+            put_u64(out, *phase);
+            put_u64(out, *dwell);
+        }
         EventKind::Fault(f) => {
             put_u8(out, TAG_FAULT);
             match f {
@@ -192,6 +209,19 @@ pub fn decode_event(r: &mut Reader<'_>) -> Result<TraceEvent> {
             l3_misses: r.u64("mw l3_misses")?,
             ddr_reads: r.u64("mw ddr_reads")?,
             ddr_writes: r.u64("mw ddr_writes")?,
+        },
+        TAG_THRESHOLD_INTERRUPT => EventKind::ThresholdInterrupt {
+            node: r.u32("ti node")?,
+            slot: r.u8("ti slot")?,
+            value: r.u64("ti value")?,
+            threshold: r.u64("ti threshold")?,
+        },
+        TAG_COUNTER_ROTATE => EventKind::CounterRotate {
+            node: r.u32("cr node")?,
+            from: r.u8("cr from")?,
+            to: r.u8("cr to")?,
+            phase: r.u64("cr phase")?,
+            dwell: r.u64("cr dwell")?,
         },
         TAG_FAULT => {
             let fk = r.u8("fault kind")?;
@@ -320,6 +350,8 @@ mod tests {
             EventKind::CounterDump { bytes: 2120 },
             EventKind::CounterSample { slot: 200, value: u64::MAX },
             EventKind::MemWindow { window: 8, l3_hits: 1, l3_misses: 2, ddr_reads: 3, ddr_writes: 4 },
+            EventKind::ThresholdInterrupt { node: 9, slot: 140, value: 4096, threshold: 1024 },
+            EventKind::CounterRotate { node: 9, from: 2, to: 3, phase: 88, dwell: 16 },
             EventKind::Fault(FaultEvent::Straggler { penalty_cycles: 5000 }),
             EventKind::Fault(FaultEvent::RouterDegraded),
             EventKind::Fault(FaultEvent::CounterBitFlip { slot: 255, bit: 31 }),

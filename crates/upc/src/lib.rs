@@ -538,6 +538,97 @@ mod tests {
     }
 
     #[test]
+    fn frozen_counter_rearms_and_refreezes() {
+        let mut u = enabled_unit(CounterMode::Mode0);
+        let ev = CoreEvent::Load.id(0);
+        let slot = ev.slot().0;
+        u.configure(
+            slot,
+            CounterConfig {
+                interrupt_enable: true,
+                freeze_on_threshold: true,
+                ..Default::default()
+            },
+        );
+        u.set_threshold(slot, 5);
+        u.emit(ev, 7);
+        assert_eq!(u.take_interrupts().len(), 1);
+        u.emit(ev, 100);
+        assert_eq!(u.read_event(ev), Some(7), "frozen after firing");
+        // Re-arming with a new threshold thaws the frozen counter...
+        u.set_threshold(slot, 50);
+        u.emit(ev, 10);
+        assert_eq!(u.read_event(ev), Some(17), "counting resumed on re-arm");
+        // ...and the threshold can fire — and freeze — again.
+        u.emit(ev, 40); // 57 >= 50
+        let irqs = u.take_interrupts();
+        assert_eq!(irqs.len(), 1);
+        assert_eq!(irqs[0].value, 57);
+        u.emit(ev, 1);
+        assert_eq!(u.read_event(ev), Some(57), "frozen again after refire");
+        // clear() zeroes and re-arms everything at once.
+        u.clear();
+        u.emit(ev, 3);
+        assert_eq!(u.read_event(ev), Some(3));
+        assert_eq!(u.interrupts_raised(), 2);
+    }
+
+    #[test]
+    fn batched_crossings_queue_in_emission_order() {
+        let mut u = enabled_unit(CounterMode::Mode0);
+        let evs = [CoreEvent::L1dMiss.id(0), CoreEvent::FpFma.id(1), CoreEvent::Load.id(0)];
+        for ev in evs {
+            u.configure(
+                ev.slot().0,
+                CounterConfig { interrupt_enable: true, ..Default::default() },
+            );
+            u.set_threshold(ev.slot().0, 10);
+        }
+        // One batched slice the way the memory engine retires one:
+        // aggregated pulse totals land slot by slot. Two slots cross,
+        // the middle one stays below threshold.
+        u.emit(evs[2], 1000);
+        u.emit(evs[1], 9);
+        u.emit(evs[0], 12);
+        let irqs = u.take_interrupts();
+        assert_eq!(irqs.len(), 2, "only crossing slots raise interrupts");
+        assert_eq!(irqs[0].event, evs[2], "queue order is emission order");
+        assert_eq!(
+            irqs[0].value, 1000,
+            "a batch that overshoots reports the post-batch value"
+        );
+        assert_eq!(irqs[1].event, evs[0]);
+        assert_eq!(irqs[1].value, 12);
+    }
+
+    #[test]
+    fn take_interrupts_drains_completely_between_batches() {
+        let mut u = enabled_unit(CounterMode::Mode0);
+        let ev = CoreEvent::L1dMiss.id(1);
+        let slot = ev.slot().0;
+        u.configure(
+            slot,
+            CounterConfig { interrupt_enable: true, ..Default::default() },
+        );
+        u.set_threshold(slot, 4);
+        u.emit(ev, 4);
+        let first = u.take_interrupts();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].value, 4, "fires on reaching the threshold exactly");
+        assert!(u.take_interrupts().is_empty(), "drain is destructive");
+        // Still counting (no freeze bit), but no refire while armed-fired...
+        u.emit(ev, 100);
+        assert!(u.take_interrupts().is_empty());
+        // ...until re-armed: the next batch queues a fresh interrupt.
+        u.set_threshold(slot, 105);
+        u.emit(ev, 1); // 105 >= 105
+        let second = u.take_interrupts();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].value, 105);
+        assert_eq!(u.interrupts_raised(), 2);
+    }
+
+    #[test]
     fn config_bits_round_trip() {
         for bits in 0..16u8 {
             assert_eq!(CounterConfig::from_bits(bits).to_bits(), bits);

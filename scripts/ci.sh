@@ -41,6 +41,13 @@ BGP_RESULTS_DIR="$trace_dir" BGP_BENCH_DIR="$trace_dir" \
 echo "==> batched memory engine gate (mem_ops >= 1.5x mem_op)"
 BGP_RESULTS_DIR="$trace_dir" target/release/fig_ext_memthroughput --quick --gate
 
+echo "==> event validation gate (exact events bit-for-bit, mux dumps thread-invariant)"
+# Quick scale gates exactness + determinism; the reconstruction-quality
+# bounds (median error, coverage) are asserted at Default scale, where
+# the committed BENCH_validation.json is produced.
+BGP_RESULTS_DIR="$trace_dir" BGP_BENCH_DIR="$trace_dir" \
+    target/release/fig_ext_validation --quick --gate
+
 echo "==> checkpoint/restart smoke (crash MG S mid-run, resume, byte-diff)"
 ck_dir="$trace_dir/ck"
 target/release/bgpc-run --out "$ck_dir/reference" --kernel mg --class s --ranks 8 \

@@ -93,6 +93,64 @@ fn full_matrix_dumps_are_thread_count_invariant() {
     }
 }
 
+/// Like [`run`] but under the adaptive multiplexing policy: the
+/// rotation scheduler (interrupt-driven dwell extensions, derivative
+/// phase detector, per-node stagger) runs at every phase boundary, so
+/// any thread-count dependence in its inputs shows up as a dump
+/// mismatch.
+fn run_mux(kernel: Kernel, ranks: usize, threads: usize, seed: u64) -> (Vec<Vec<u8>>, u64) {
+    use bgp::arch::events::CounterMode;
+    let mut spec = JobSpec::new(ranks, OpMode::VirtualNode);
+    spec.counter_policy =
+        bgp::mpi::CounterPolicy::Multiplexed { first: CounterMode::Mode0, base_dwell: 4 };
+    spec.sim_threads = Some(threads);
+    spec.faults = Some(timing_faults(seed, spec.nodes()));
+    let machine = Machine::new(spec);
+    let (out, lib) = run_instrumented(&machine, move |ctx| kernel.exec(Class::S, ctx));
+    assert!(out.iter().all(|r| r.verified), "{kernel} failed verification");
+    let dumps = (0..machine.num_nodes())
+        .map(|n| lib.encoded_dump(n).expect("node finalized"))
+        .collect();
+    (dumps, machine.job_cycles())
+}
+
+/// The validation suite's determinism claim in miniature: multiplexed
+/// dumps (per-mode synthetic sets, schedule sets and all) are
+/// byte-identical across `BGP_SIM_THREADS` ∈ {1, 4} × 2 seeds, under
+/// timing faults.
+#[test]
+fn multiplexed_dumps_are_thread_count_invariant() {
+    for seed in [1, 42] {
+        let (serial, serial_cycles) = run_mux(Kernel::Mg, 8, 1, seed);
+        let (par, par_cycles) = run_mux(Kernel::Mg, 8, 4, seed);
+        assert_eq!(serial_cycles, par_cycles, "seed {seed}: job cycles differ");
+        assert_eq!(serial, par, "seed {seed}: mux dumps not byte-identical");
+    }
+}
+
+/// Multiplexed arm of the full matrix. Run with
+/// `cargo test --test determinism -- --ignored`.
+#[test]
+#[ignore = "full sweep is slow; CI opts in with -- --ignored"]
+fn full_matrix_multiplexed_dumps_are_thread_count_invariant() {
+    for kernel in [Kernel::Mg, Kernel::Cg] {
+        for seed in [1, 7] {
+            let (serial, serial_cycles) = run_mux(kernel, 8, 1, seed);
+            for threads in [2, 4, 8] {
+                let (par, par_cycles) = run_mux(kernel, 8, threads, seed);
+                assert_eq!(
+                    serial_cycles, par_cycles,
+                    "{kernel} seed {seed}: job cycles differ at {threads} threads"
+                );
+                assert_eq!(
+                    serial, par,
+                    "{kernel} seed {seed}: mux dumps not byte-identical at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
 /// Run a *traced* job and return the rendered Chrome-trace JSON plus
 /// the per-phase metrics CSV — the two export surfaces whose bytes the
 /// tracing layer promises are thread-count invariant.
@@ -146,6 +204,40 @@ fn mg_traces_are_thread_count_invariant() {
 #[ignore = "class A is slow; CI opts in with -- --ignored"]
 fn mg_class_a_traces_are_thread_count_invariant() {
     assert_trace_thread_invariant(Kernel::Mg, Class::A, 16, &[1, 7, 42]);
+}
+
+/// Like [`run_traced`] but under the multiplexing policy, so the trace
+/// carries the rotation's scheduler events (`counter_rotate`,
+/// `threshold_interrupt`) alongside the usual phase records.
+fn run_traced_mux(kernel: Kernel, ranks: usize, threads: usize, seed: u64) -> String {
+    use bgp::arch::events::CounterMode;
+    let mut spec = JobSpec::new(ranks, OpMode::VirtualNode);
+    spec.counter_policy =
+        bgp::mpi::CounterPolicy::Multiplexed { first: CounterMode::Mode0, base_dwell: 4 };
+    spec.sim_threads = Some(threads);
+    spec.faults = Some(timing_faults(seed, spec.nodes()));
+    spec.trace = Some(TraceConfig::default());
+    let machine = Machine::new(spec);
+    let (out, _lib) = run_instrumented(&machine, move |ctx| kernel.exec(Class::S, ctx));
+    assert!(out.iter().all(|r| r.verified), "{kernel} failed verification");
+    machine.job_trace().expect("tracing enabled").chrome_json()
+}
+
+/// Threshold interrupts are recorded in the trace at phase resolution
+/// in canonical node order, so the rendered timeline of a multiplexed
+/// run is byte-identical across thread counts — and actually contains
+/// the interrupt events (a trace that dropped them would also pass a
+/// bare equality check).
+#[test]
+fn multiplexed_traces_are_thread_count_invariant_and_record_interrupts() {
+    let serial = run_traced_mux(Kernel::Mg, 8, 1, 42);
+    let par = run_traced_mux(Kernel::Mg, 8, 4, 42);
+    assert_eq!(serial, par, "mux chrome trace not byte-identical at 4 threads");
+    assert!(
+        serial.contains("threshold_interrupt"),
+        "trace records no threshold interrupts"
+    );
+    assert!(serial.contains("counter_rotate"), "trace records no rotations");
 }
 
 /// Cheap probe for the large-rank smoke: a few FP events, one global
